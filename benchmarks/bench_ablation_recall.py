@@ -1,0 +1,62 @@
+"""Ablation: the blocking recall target trades difficulty for imbalance.
+
+Section VI step 2: "the selected recall level determines the difficulty of
+the labeled instances. The higher the recall levels are, the more difficult
+to classify positive instances are included at the expense of including
+more and easier negative instances". This bench runs the methodology at
+increasing recall targets and checks both directions of the trade-off:
+candidates grow (imbalance worsens) and the retained positives become
+harder (lower mean similarity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.methodology import create_benchmark
+from repro.datasets import load_source_pair
+from repro.text.similarity import jaccard_similarity
+
+RECALL_TARGETS = (0.6, 0.75, 0.9)
+
+
+def _sweep():
+    sources = load_source_pair("abt_buy")
+    outcome = {}
+    for target in RECALL_TARGETS:
+        built = create_benchmark(
+            sources, label=f"ablation_r{target}", recall_target=target, seed=0
+        )
+        positives = [
+            jaccard_similarity(pair.left.tokens(), pair.right.tokens())
+            for pair, label in built.task.all_pairs()
+            if label == 1
+        ]
+        outcome[target] = {
+            "candidates": built.blocking.result.n_candidates,
+            "pq": built.blocking.pairs_quality,
+            "mean_positive_similarity": float(np.mean(positives)),
+        }
+    return outcome
+
+
+def test_recall_ablation(runner, benchmark):
+    outcome = run_once(benchmark, _sweep)
+    print()
+    for target, values in outcome.items():
+        print(
+            f"recall>={target:.2f}: |C|={values['candidates']:6d} "
+            f"PQ={values['pq']:.3f} "
+            f"mean positive similarity={values['mean_positive_similarity']:.3f}"
+        )
+
+    lowest, middle, highest = (outcome[t] for t in RECALL_TARGETS)
+    # Higher recall target -> more candidates and lower precision.
+    assert highest["candidates"] >= middle["candidates"] >= lowest["candidates"]
+    assert highest["pq"] <= lowest["pq"]
+    # Higher recall keeps harder (less similar) positives.
+    assert (
+        highest["mean_positive_similarity"]
+        <= lowest["mean_positive_similarity"] + 1e-9
+    )

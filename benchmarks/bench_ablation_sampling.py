@@ -1,0 +1,51 @@
+"""Ablation: negative-pair sampling strategy drives benchmark difficulty.
+
+DESIGN.md calls out negative sampling as the central lever behind the
+difficulty of the established benchmarks: random negatives emulate loose
+blocking (easy, linearly separable candidate sets), nearest-neighbour
+negatives emulate strict blocking (hard). This bench sweeps the hard
+fraction on one generated source pair and checks that the degree of
+linearity decreases monotonically-ish with it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.linearity import degree_of_linearity
+from repro.datasets import load_source_pair
+from repro.datasets.generator import build_task_from_sources
+
+HARD_FRACTIONS = (0.0, 0.5, 1.0)
+
+
+def _sweep():
+    sources = load_source_pair("amazon_google")
+    linearity = {}
+    for hard_fraction in HARD_FRACTIONS:
+        task = build_task_from_sources(
+            sources,
+            n_pairs=800,
+            positive_fraction=0.15,
+            hard_negative_fraction=hard_fraction,
+            seed=13,
+            name=f"ablation_h{hard_fraction}",
+        )
+        linearity[hard_fraction] = degree_of_linearity(task, "cosine").max_f1
+    return linearity
+
+
+def test_sampling_ablation(runner, benchmark):
+    linearity = run_once(benchmark, _sweep)
+    print()
+    for hard_fraction, value in linearity.items():
+        print(f"hard_negative_fraction={hard_fraction:.1f}  F1_CS^max={value:.3f}")
+
+    # Loose blocking (random negatives) yields a far more separable task
+    # than strict blocking (nearest-neighbour negatives).
+    assert linearity[0.0] > linearity[1.0] + 0.1
+    # The middle setting sits between the extremes (with slack for noise).
+    assert linearity[0.5] <= linearity[0.0] + 0.02
+    assert linearity[0.5] >= linearity[1.0] - 0.02
+    assert linearity[0.0] == max(linearity.values())

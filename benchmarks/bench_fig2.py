@@ -1,0 +1,31 @@
+"""Figure 2: complexity measures of the established benchmarks.
+
+Shape assertions from Section V-A: D_s7 has the lowest mean complexity, the
+easy datasets fall below the paper's 0.40 mean cut, and the challenging
+ones (D_s4, D_s6, D_d4, D_t1, D_t2) exceed it.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure2
+from repro.experiments.report import render_figure
+
+
+def test_figure2(runner, benchmark):
+    figure = run_once(benchmark, figure2, runner)
+    print()
+    print(render_figure(figure, title="Figure 2 — complexity measures (established)"))
+
+    means = {dataset_id: series["mean"] for dataset_id, series in figure.items()}
+    # D_s7 is the simplest dataset of all.
+    assert means["Ds7"] == min(means.values())
+    # Easy bibliographic benchmarks stay under the 0.40 cut...
+    for dataset_id in ("Ds1", "Ds7"):
+        assert means[dataset_id] < 0.40, dataset_id
+    # ...while the challenging ones exceed it.
+    for dataset_id in ("Ds4", "Ds6", "Dd4", "Dt1"):
+        assert means[dataset_id] > 0.40, dataset_id
+    # Every individual measure is in [0, 1].
+    for series in figure.values():
+        assert all(0.0 <= value <= 1.0 for value in series.values())

@@ -1,0 +1,43 @@
+"""Figure 3: non-linear boost and learning-based margin (established).
+
+Shape assertions from Section V-B's conclusion: exactly the quartet
+{D_s4, D_s6, D_d4, D_t1} clears both practical bars (>5%), D_s7 reduces
+both measures to ~0, and the easy bibliographic datasets have a tiny LBM
+(practically solved).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure3
+from repro.experiments.report import render_figure
+
+CHALLENGING = ("Ds4", "Ds6", "Dd4", "Dt1")
+
+
+def test_figure3(runner, benchmark):
+    figure = run_once(benchmark, figure3, runner)
+    print()
+    print(render_figure(figure, title="Figure 3 — NLB and LBM (established)"))
+
+    # The challenging quartet clears both 5% bars.
+    for dataset in CHALLENGING:
+        series = figure[dataset]
+        assert series["nlb"] > 0.05, dataset
+        assert series["lbm"] > 0.05, dataset
+
+    # D_s7 is solved by everyone: both measures collapse.
+    assert figure["Ds7"]["nlb"] < 0.04
+    assert figure["Ds7"]["lbm"] < 0.02
+
+    # The easy bibliographic benchmarks are practically solved (low LBM).
+    assert figure["Ds1"]["lbm"] < 0.05
+
+    # Most non-challenging datasets fail at least one bar.
+    easy_failing = [
+        dataset
+        for dataset, series in figure.items()
+        if dataset not in CHALLENGING
+        and (series["nlb"] <= 0.05 or series["lbm"] <= 0.05)
+    ]
+    assert len(easy_failing) >= 6

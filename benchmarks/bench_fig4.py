@@ -1,0 +1,36 @@
+"""Figure 4: degree of linearity of the new benchmarks.
+
+Shape assertions from Section VI-A: the bibliographic benchmarks (D_n3,
+D_n8) stay highly linearly separable, while the product benchmarks are
+far below them — the a-priori evidence that the methodology produced
+harder tasks.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure4
+from repro.experiments.report import render_figure
+
+
+def test_figure4(runner, benchmark):
+    figure = run_once(benchmark, figure4, runner)
+    print()
+    print(render_figure(figure, title="Figure 4 — degree of linearity (new)"))
+
+    def linearity(label: str) -> float:
+        series = figure[label]
+        return max(series["f1_cosine"], series["f1_jaccard"])
+
+    # Bibliographic benchmarks stay (nearly) linearly separable.
+    assert linearity("Dn3") > 0.87
+    assert linearity("Dn8") > 0.80
+
+    # The challenging product/movie benchmarks are far below.
+    for label in ("Dn1", "Dn2", "Dn6", "Dn7"):
+        assert linearity(label) < 0.72, label
+
+    # The bibliographic ones dominate every other benchmark.
+    hardest_bib = min(linearity("Dn3"), linearity("Dn8"))
+    for label in ("Dn1", "Dn2", "Dn5", "Dn6", "Dn7"):
+        assert linearity(label) < hardest_bib, label

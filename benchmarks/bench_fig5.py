@@ -1,0 +1,32 @@
+"""Figure 5: complexity measures of the new benchmarks.
+
+Shape assertions from Section VI-A: the bibliographic benchmarks have the
+lowest mean complexity scores, while the challenging product benchmarks
+(D_n1, D_n2, D_n6, D_n7) exceed the 0.40 easy cut.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure5
+from repro.experiments.report import render_figure
+
+
+def test_figure5(runner, benchmark):
+    figure = run_once(benchmark, figure5, runner)
+    print()
+    print(render_figure(figure, title="Figure 5 — complexity measures (new)"))
+
+    means = {label: series["mean"] for label, series in figure.items()}
+
+    # The bibliographic benchmarks are the simplest.
+    assert means["Dn3"] < 0.40
+    assert means["Dn8"] < 0.40
+
+    # The challenging product benchmarks exceed the cut.
+    for label in ("Dn1", "Dn2", "Dn6", "Dn7"):
+        assert means[label] > 0.40, label
+
+    # All individual scores bounded.
+    for series in figure.values():
+        assert all(0.0 <= value <= 1.0 for value in series.values())

@@ -1,0 +1,33 @@
+"""Figure 6: NLB and LBM of the new benchmarks.
+
+(The paper reports these numbers alongside Figure 5.) Shape assertions
+from Section VI-A: both practical measures collapse on D_n3, stay small on
+D_n8, and clear the 5% bars on the four challenging benchmarks — which
+therefore pass all four difficulty gates.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure6
+from repro.experiments.report import render_figure
+
+CHALLENGING_NEW = ("Dn1", "Dn2", "Dn6", "Dn7")
+
+
+def test_figure6(runner, benchmark):
+    figure = run_once(benchmark, figure6, runner)
+    print()
+    print(render_figure(figure, title="Figure 6 — NLB and LBM (new benchmarks)"))
+
+    # D_n3 is solved by everyone: both measures near zero.
+    assert figure["Dn3"]["nlb"] < 0.04
+    assert figure["Dn3"]["lbm"] < 0.04
+
+    # D_n8 stays small (the paper reports ~4.3% for both).
+    assert figure["Dn8"]["lbm"] < 0.15
+
+    # The challenging new benchmarks clear both bars.
+    for label in CHALLENGING_NEW:
+        assert figure[label]["nlb"] > 0.05, label
+        assert figure[label]["lbm"] > 0.05, label

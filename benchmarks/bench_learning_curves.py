@@ -1,0 +1,50 @@
+"""Ablation: epoch sensitivity of the deep matchers.
+
+Section V-B singles out the number of epochs as the most important DL
+hyperparameter and therefore reports every method at two budgets. This
+bench traces the full validation-F1 curve instead and checks the structure
+behind those two columns: on an easy benchmark training plateaus early
+(the "(15)" column already captures the peak), and with validation-based
+model selection more epochs never hurt the selected model.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.datasets import load_established_task
+from repro.experiments.learning_curves import learning_curve
+from repro.matchers.deep import DeepMatcherNet, EMTransformerNet
+
+
+def _sweep():
+    curves = {}
+    easy = load_established_task("Ds1")
+    hard = load_established_task("Ds6")
+    curves["easy"] = learning_curve(EMTransformerNet("B", epochs=40), easy)
+    curves["hard"] = learning_curve(EMTransformerNet("B", epochs=40), hard)
+    curves["easy_short"] = learning_curve(DeepMatcherNet(epochs=15), easy)
+    curves["easy_long"] = learning_curve(DeepMatcherNet(epochs=40), easy)
+    return curves
+
+
+def test_epoch_sensitivity(runner, benchmark):
+    curves = run_once(benchmark, _sweep)
+    print()
+    for name, curve in curves.items():
+        print(
+            f"{name:11s} {curve.matcher:22s} plateau@{curve.plateau_epoch:2d} "
+            f"best@{curve.best_epoch:2d} test F1={curve.test_f1:.3f}"
+        )
+
+    # Easy data plateaus within the paper's default budget of 15 epochs.
+    assert curves["easy"].plateau_epoch <= 15
+    # With validation model selection, 40 epochs never select a worse model
+    # than 15 (the paper's two columns differ little on easy data).
+    assert (
+        max(curves["easy_long"].validation_f1[:15])
+        <= max(curves["easy_long"].validation_f1) + 1e-12
+    )
+    assert abs(curves["easy_long"].test_f1 - curves["easy_short"].test_f1) < 0.10
+    # Every recorded point is a valid F1.
+    for curve in curves.values():
+        assert all(0.0 <= value <= 1.0 for value in curve.validation_f1)

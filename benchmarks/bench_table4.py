@@ -1,0 +1,58 @@
+"""Table IV: F1 of every matcher on the 13 established benchmarks.
+
+The heaviest experiment of the reproduction: the full matcher roster
+(5 DL families x 2 epoch budgets + EMTransformer checkpoint variants,
+Magellan x 4 heads, ZeroER, 6 ESDE variants) on all 13 datasets. Shape
+assertions mirror Section V-B: the trivial dataset (D_s7) is aced by the
+best matcher of every family, ZeroER collapses on hard/dirty data, and on
+the challenging datasets the best non-linear matcher clearly beats the
+best linear one.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.datasets.registry import ESTABLISHED_DATASET_IDS
+from repro.experiments.matcher_suite import family_of
+from repro.experiments.report import render_table
+from repro.experiments.tables import table4
+
+
+def _collect(runner):
+    return table4(runner)
+
+
+def test_table4(runner, benchmark):
+    headers, rows = run_once(benchmark, _collect, runner)
+    print()
+    print(render_table(headers, rows, title="Table IV — F1 per matcher and dataset"))
+
+    columns = {dataset: index + 2 for index, dataset in enumerate(ESTABLISHED_DATASET_IDS)}
+
+    def best_f1(dataset: str, family: str | None = None) -> float:
+        values = []
+        for row in rows:
+            if family is not None and family_of(row[0]) != family:
+                continue
+            cell = row[columns[dataset]]
+            if cell != "-":
+                values.append(float(cell))
+        return max(values)
+
+    # D_s7: every family solves it (perfect or near-perfect F1).
+    for family in ("dl", "ml", "linear"):
+        assert best_f1("Ds7", family) > 95.0, family
+
+    # The challenging quartet: non-linear matchers clearly beat linear ones.
+    for dataset in ("Ds4", "Ds6", "Dd4", "Dt1"):
+        non_linear = max(best_f1(dataset, "dl"), best_f1(dataset, "ml"))
+        linear = best_f1(dataset, "linear")
+        assert non_linear - linear > 5.0, dataset
+
+    # ZeroER collapses on the hard product datasets, as in the paper.
+    zeroer = {row[0]: row for row in rows}["ZeroER"]
+    assert float(zeroer[columns["Ds4"]]) < 40.0
+    assert float(zeroer[columns["Ds6"]]) < 40.0
+
+    # Easy bibliographic data: even linear matchers stay strong.
+    assert best_f1("Ds1", "linear") > 85.0

@@ -1,0 +1,48 @@
+"""Table VI: F1 of every matcher on the 8 new benchmarks.
+
+Shape assertions from Section VI-A: (near-)perfect performance across the
+board on D_n3 and very strong on D_n8 (the linearly separable bibliographic
+pairs), and a clear non-linear advantage on the challenging new benchmarks
+(D_n1, D_n2, D_n6, D_n7).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.datasets.registry import SOURCE_DATASET_IDS
+from repro.experiments.matcher_suite import family_of
+from repro.experiments.report import render_table
+from repro.experiments.tables import table6
+
+
+def test_table6(runner, benchmark):
+    headers, rows = run_once(benchmark, table6, runner)
+    print()
+    print(render_table(headers, rows, title="Table VI — F1 per matcher (new benchmarks)"))
+
+    labels = headers[2:]
+    columns = {label: index + 2 for index, label in enumerate(labels)}
+    assert len(labels) == len(SOURCE_DATASET_IDS)
+
+    def best_f1(label: str, family: str | None = None) -> float:
+        values = []
+        for row in rows:
+            if family is not None and family_of(row[0]) != family:
+                continue
+            cell = row[columns[label]]
+            if cell != "-":
+                values.append(float(cell))
+        return max(values)
+
+    # D_n3: everyone near-perfect, even linear matchers.
+    assert best_f1("Dn3", "linear") > 95.0
+    assert best_f1("Dn3", "dl") > 95.0
+
+    # D_n8: strong across the board.
+    assert best_f1("Dn8") > 85.0
+
+    # Challenging new benchmarks: non-linear matchers clearly win.
+    for label in ("Dn1", "Dn2", "Dn6", "Dn7"):
+        non_linear = max(best_f1(label, "dl"), best_f1(label, "ml"))
+        linear = best_f1(label, "linear")
+        assert non_linear - linear > 5.0, label

@@ -1,0 +1,36 @@
+"""The paper's headline conclusion: the four-gate verdict tables.
+
+Asserts the two central claims of the paper end-to-end:
+
+* Section V: exactly {D_s4, D_s6, D_d4, D_t1} of the 13 established
+  benchmarks survive all four difficulty gates;
+* Section VI-A: exactly {D_n1, D_n2, D_n6, D_n7} of the new benchmarks do.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.datasets.registry import SOURCE_DATASET_IDS
+from repro.experiments.report import render_table
+from repro.experiments.tables import verdict_table
+
+CHALLENGING_ESTABLISHED = {"Ds4", "Ds6", "Dd4", "Dt1"}
+CHALLENGING_NEW = {"Dn1", "Dn2", "Dn6", "Dn7"}
+
+
+def test_established_verdicts(runner, benchmark):
+    headers, rows = run_once(benchmark, verdict_table, runner)
+    print()
+    print(render_table(headers, rows, title="Verdicts — established benchmarks"))
+    challenging = {row[0] for row in rows if row[-1] == "CHALLENGING"}
+    assert challenging == CHALLENGING_ESTABLISHED
+
+
+def test_new_verdicts(runner, benchmark):
+    headers, rows = run_once(
+        benchmark, verdict_table, runner, SOURCE_DATASET_IDS
+    )
+    print()
+    print(render_table(headers, rows, title="Verdicts — new benchmarks"))
+    challenging = {row[0] for row in rows if row[-1] == "CHALLENGING"}
+    assert challenging == CHALLENGING_NEW

@@ -1,0 +1,65 @@
+"""Compare the full matcher roster on one benchmark (a Table IV column).
+
+Runs every matcher of the paper's evaluation — the five DL families at
+their default epoch budgets, Magellan's four heads, ZeroER and the six
+linear ESDE variants — on one dataset and prints the per-family leaderboard
+plus the two aggregate practical measures.
+
+Run with:  python examples/compare_matchers.py [dataset_id]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.practical import practical_measures
+from repro.datasets import ESTABLISHED_DATASET_IDS, load_established_task
+from repro.experiments.matcher_suite import (
+    evaluate_suite,
+    family_of,
+    linear_f1_scores,
+    non_linear_f1_scores,
+)
+
+_FAMILY_TITLES = {
+    "dl": "(a) DL-based matching algorithms",
+    "ml": "(b) Non-neural, non-linear ML-based matching algorithms",
+    "linear": "(c) Non-neural, linear supervised matching algorithms",
+}
+
+
+def main() -> None:
+    dataset_id = sys.argv[1] if len(sys.argv) > 1 else "Ds6"
+    if dataset_id not in ESTABLISHED_DATASET_IDS:
+        raise SystemExit(
+            f"unknown dataset {dataset_id!r}; choose from {ESTABLISHED_DATASET_IDS}"
+        )
+    print(f"Evaluating the full matcher roster on {dataset_id} ...\n")
+    task = load_established_task(dataset_id)
+    results = evaluate_suite(task)
+
+    for family in ("dl", "ml", "linear"):
+        print(_FAMILY_TITLES[family])
+        family_results = sorted(
+            (result for name, result in results.items() if family_of(name) == family),
+            key=lambda result: -result.f1,
+        )
+        for result in family_results:
+            print(
+                f"  {result.matcher:24s} F1={result.f1_percent:6.2f}  "
+                f"P={result.precision:.2f} R={result.recall:.2f}  "
+                f"fit={result.fit_seconds:5.1f}s"
+            )
+        print()
+
+    practical = practical_measures(
+        non_linear_f1_scores(results), linear_f1_scores(results)
+    )
+    print(f"non-linear boost (NLB):      {100 * practical.non_linear_boost:6.1f}%")
+    print(f"learning-based margin (LBM): {100 * practical.learning_based_margin:6.1f}%")
+    challenging = practical.is_challenging()
+    print(f"practically challenging:     {challenging} (both bars at 5%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Quickstart: assess the difficulty of one ER benchmark.
+
+Loads a synthetic equivalent of the Walmart-Amazon benchmark (D_s4 in the
+paper), runs the two a-priori difficulty measures — the degree of linearity
+(Algorithm 1) and the 17 complexity measures — then prices the a-posteriori
+measures with a small matcher panel, and prints the paper's four-flag
+verdict.
+
+Run with:  python examples/quickstart.py [dataset_id]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.assessment import assess_benchmark
+from repro.core.practical import practical_measures
+from repro.datasets import load_established_task
+from repro.matchers import EsdeMatcher, MagellanMatcher
+from repro.matchers.deep import DeepMatcherNet, EMTransformerNet
+
+
+def main() -> None:
+    dataset_id = sys.argv[1] if len(sys.argv) > 1 else "Ds4"
+    print(f"Building benchmark {dataset_id} ...")
+    task = load_established_task(dataset_id)
+    stats = task.statistics()
+    print(
+        f"  |D1|={stats.left_size} |D2|={stats.right_size} "
+        f"|A|={stats.n_attributes} pairs={len(task.all_pairs())} "
+        f"IR={100 * stats.imbalance_ratio:.1f}%"
+    )
+
+    print("\nRunning a small matcher panel (a-posteriori evidence) ...")
+    linear_f1: dict[str, float] = {}
+    non_linear_f1: dict[str, float] = {}
+    for matcher in (EsdeMatcher("SA"), EsdeMatcher("SB")):
+        result = matcher.evaluate(task)
+        linear_f1[result.matcher] = result.f1
+        print(f"  [linear]     {result.matcher:18s} F1 = {result.f1_percent:.2f}")
+    for matcher in (
+        MagellanMatcher("RF"),
+        DeepMatcherNet(epochs=15),
+        EMTransformerNet("R", epochs=15),
+    ):
+        result = matcher.evaluate(task)
+        non_linear_f1[result.matcher] = result.f1
+        print(f"  [non-linear] {result.matcher:18s} F1 = {result.f1_percent:.2f}")
+
+    practical = practical_measures(non_linear_f1, linear_f1)
+    print("\nComputing a-priori measures (linearity + complexity) ...")
+    assessment = assess_benchmark(task, practical=practical)
+
+    print(f"\n=== Verdict for {dataset_id} ===")
+    print(
+        f"degree of linearity: cosine {assessment.linearity['cosine'].max_f1:.3f} "
+        f"(t={assessment.linearity['cosine'].best_threshold:.2f}), "
+        f"jaccard {assessment.linearity['jaccard'].max_f1:.3f}"
+    )
+    print(f"mean complexity:     {assessment.complexity.mean:.3f}")
+    print(f"non-linear boost:    {100 * practical.non_linear_boost:.1f}%")
+    print(f"learning margin:     {100 * practical.learning_based_margin:.1f}%")
+    print(f"easy by linearity:   {assessment.easy_by_linearity}")
+    print(f"easy by complexity:  {assessment.easy_by_complexity}")
+    print(f"easy by practical:   {assessment.easy_by_practical}")
+    print(f"CHALLENGING:         {assessment.is_challenging}")
+
+
+if __name__ == "__main__":
+    main()

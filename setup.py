@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+The reproduction environment has no `wheel` package, so PEP 517 editable
+installs fail; `python setup.py develop` (or the sitecustomize .pth fallback)
+still works. Configuration lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

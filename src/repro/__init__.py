@@ -1,0 +1,32 @@
+"""repro — reproduction of "A Critical Re-evaluation of Record Linkage
+Benchmarks for Learning-Based Matching Algorithms" (ICDE 2024).
+
+The package implements the paper's full apparatus:
+
+* :mod:`repro.core` — the four difficulty measures (degree of linearity,
+  the 17 complexity measures, non-linear boost, learning-based margin), the
+  combined assessment verdict, the Section VI benchmark-construction
+  methodology, and extensions (difficulty continuum, leakage analysis);
+* :mod:`repro.matchers` — the evaluation roster: 6 linear ESDE variants,
+  Magellan (4 heads), ZeroER, and five deep-matcher stand-ins;
+* :mod:`repro.blocking` — token/q-gram/sorted-neighborhood blocking, the
+  DeepBlocker equivalent, PC/PQ evaluation and the recall-targeted tuner;
+* :mod:`repro.datasets` — synthetic equivalents of the 13 established
+  benchmarks and the 8 Table V source pairs;
+* :mod:`repro.embeddings` — the synthetic pre-trained language model
+  (static / contextual / sentence embedders);
+* :mod:`repro.ml` — from-scratch numpy estimators;
+* :mod:`repro.data` — records, pair sets, matching tasks, CSV round-trip;
+* :mod:`repro.experiments` — the table/figure harness, paper comparison,
+  SVG rendering and the ``python -m repro`` CLI.
+
+Quickstart::
+
+    from repro.datasets import load_established_task
+    from repro.core import assess_benchmark
+
+    task = load_established_task("Ds4")
+    print(assess_benchmark(task).summary())
+"""
+
+__version__ = "1.0.0"

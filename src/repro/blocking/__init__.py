@@ -1,0 +1,31 @@
+"""Blocking substrate: candidate generation and its evaluation.
+
+Blocking reduces the quadratic pair space to the likely matches a matcher
+can afford to classify. This package provides classic token and q-gram
+blocking, the DeepBlocker equivalent (embedding top-K nearest-neighbour
+retrieval with an optional self-supervised autoencoder), the PC/PQ
+evaluation used throughout Section VI, and the grid-search tuner that
+realizes the paper's "fine-tune for a minimum level of recall, maximizing
+precision" step.
+"""
+
+from repro.blocking.base import BlockingResult, evaluate_blocking
+from repro.blocking.token import TokenBlocker
+from repro.blocking.qgram import QGramBlocker
+from repro.blocking.sorted_neighborhood import SortedNeighborhoodBlocker
+from repro.blocking.autoencoder import LinearAutoencoder
+from repro.blocking.deepblocker import DeepBlocker, DeepBlockerConfig
+from repro.blocking.tuning import TunedBlocking, tune_deepblocker
+
+__all__ = [
+    "BlockingResult",
+    "DeepBlocker",
+    "DeepBlockerConfig",
+    "LinearAutoencoder",
+    "QGramBlocker",
+    "SortedNeighborhoodBlocker",
+    "TokenBlocker",
+    "TunedBlocking",
+    "evaluate_blocking",
+    "tune_deepblocker",
+]

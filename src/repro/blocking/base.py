@@ -1,0 +1,46 @@
+"""Blocking evaluation: pair completeness (PC) and pairs quality (PQ).
+
+Section VI measures blocking with recall — *pair completeness*, the fraction
+of true matches among the candidates — and precision — *pairs quality*, the
+fraction of candidates that are matches. Both follow Christen's standard
+definitions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.datasets.generator import SourcePair
+
+
+@dataclass(frozen=True)
+class BlockingResult:
+    """Candidate set plus its PC/PQ against the ground truth."""
+
+    candidates: frozenset[tuple[str, str]]
+    pair_completeness: float
+    pairs_quality: float
+    n_matching_candidates: int
+
+    @property
+    def n_candidates(self) -> int:
+        return len(self.candidates)
+
+
+def evaluate_blocking(
+    candidates: Iterable[tuple[str, str]], sources: SourcePair
+) -> BlockingResult:
+    """Score a candidate key set against the source pair's ground truth."""
+    candidate_set = frozenset(candidates)
+    matching = len(candidate_set & sources.matches)
+    pair_completeness = (
+        matching / sources.n_matches if sources.n_matches else 0.0
+    )
+    pairs_quality = matching / len(candidate_set) if candidate_set else 0.0
+    return BlockingResult(
+        candidates=candidate_set,
+        pair_completeness=pair_completeness,
+        pairs_quality=pairs_quality,
+        n_matching_candidates=matching,
+    )

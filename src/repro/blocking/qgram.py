@@ -1,0 +1,53 @@
+"""Character q-gram blocking: robust to typos at the cost of larger blocks."""
+
+from __future__ import annotations
+
+from repro.data.records import RecordStore
+from repro.datasets.generator import SourcePair
+
+
+class QGramBlocker:
+    """Inverted-index blocking on character q-grams of the full record text.
+
+    A pair becomes a candidate when it shares at least ``min_common``
+    q-grams. Because q-grams survive single-character typos, this blocker
+    catches duplicates token blocking loses — with much lower precision.
+    """
+
+    def __init__(
+        self, q: int = 3, min_common: int = 2, max_block_size: int | None = 200
+    ) -> None:
+        if q < 1:
+            raise ValueError(f"q must be >= 1, got {q}")
+        if min_common < 1:
+            raise ValueError(f"min_common must be >= 1, got {min_common}")
+        self.q = q
+        self.min_common = min_common
+        self.max_block_size = max_block_size
+
+    def _index(self, store: RecordStore) -> dict[str, list[str]]:
+        index: dict[str, list[str]] = {}
+        for record in store:
+            for gram in record.qgrams(self.q):
+                index.setdefault(gram, []).append(record.record_id)
+        if self.max_block_size is not None:
+            index = {
+                gram: ids
+                for gram, ids in index.items()
+                if len(ids) <= self.max_block_size
+            }
+        return index
+
+    def candidates(self, sources: SourcePair) -> set[tuple[str, str]]:
+        """All candidate (left_id, right_id) pairs."""
+        right_index = self._index(sources.right)
+        results: set[tuple[str, str]] = set()
+        for left_record in sources.left:
+            counts: dict[str, int] = {}
+            for gram in left_record.qgrams(self.q):
+                for right_id in right_index.get(gram, ()):
+                    counts[right_id] = counts.get(right_id, 0) + 1
+            for right_id, shared in counts.items():
+                if shared >= self.min_common:
+                    results.add((left_record.record_id, right_id))
+        return results

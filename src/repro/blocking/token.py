@@ -1,0 +1,51 @@
+"""Standard token blocking: candidates share at least ``min_common`` tokens."""
+
+from __future__ import annotations
+
+from repro.data.records import RecordStore
+from repro.datasets.generator import SourcePair
+from repro.text.tokenize import STOPWORDS
+
+
+class TokenBlocker:
+    """Inverted-index token blocking over the schema-agnostic token sets.
+
+    Every (left, right) pair sharing at least ``min_common`` non-stop-word
+    tokens becomes a candidate. ``max_block_size`` prunes high-frequency
+    tokens whose blocks would degenerate toward the cross product.
+    """
+
+    def __init__(self, min_common: int = 1, max_block_size: int | None = None) -> None:
+        if min_common < 1:
+            raise ValueError(f"min_common must be >= 1, got {min_common}")
+        self.min_common = min_common
+        self.max_block_size = max_block_size
+
+    def _index(self, store: RecordStore) -> dict[str, list[str]]:
+        index: dict[str, list[str]] = {}
+        for record in store:
+            for token in record.tokens():
+                if token in STOPWORDS:
+                    continue
+                index.setdefault(token, []).append(record.record_id)
+        return index
+
+    def candidates(self, sources: SourcePair) -> set[tuple[str, str]]:
+        """All candidate (left_id, right_id) pairs."""
+        right_index = self._index(sources.right)
+        if self.max_block_size is not None:
+            right_index = {
+                token: ids
+                for token, ids in right_index.items()
+                if len(ids) <= self.max_block_size
+            }
+        results: set[tuple[str, str]] = set()
+        for left_record in sources.left:
+            counts: dict[str, int] = {}
+            for token in left_record.tokens():
+                for right_id in right_index.get(token, ()):
+                    counts[right_id] = counts.get(right_id, 0) + 1
+            for right_id, shared in counts.items():
+                if shared >= self.min_common:
+                    results.add((left_record.record_id, right_id))
+        return results

@@ -1,0 +1,49 @@
+"""The paper's primary contribution: benchmark difficulty assessment.
+
+Four complementary approaches (Section III):
+
+1. **Degree of linearity** (:mod:`repro.core.linearity`) — Algorithm 1: the
+   best F1 a single similarity threshold can reach over all labeled pairs,
+   with cosine and Jaccard token similarity.
+2. **Complexity measures** (:mod:`repro.core.complexity`) — the 17 measures
+   of Table I computed on the two-dimensional [CS, JS] feature vector.
+3. **Non-linear boost (NLB)** and 4. **learning-based margin (LBM)**
+   (:mod:`repro.core.practical`) — a-posteriori measures aggregated from
+   matcher results.
+
+:mod:`repro.core.assessment` combines the four into the paper's verdict: a
+benchmark is *challenging* only if none of the measures marks it easy.
+:mod:`repro.core.methodology` implements the Section VI pipeline that builds
+new benchmarks from raw source pairs via tuned blocking.
+"""
+
+from repro.core.linearity import LinearityResult, degree_of_linearity
+from repro.core.practical import (
+    PracticalMeasures,
+    learning_based_margin,
+    non_linear_boost,
+    practical_measures,
+)
+from repro.core.assessment import (
+    AssessmentThresholds,
+    BenchmarkAssessment,
+    assess_benchmark,
+)
+from repro.core.methodology import NewBenchmark, create_benchmark
+from repro.core.continuum import ContinuumPoint, difficulty_continuum
+
+__all__ = [
+    "ContinuumPoint",
+    "difficulty_continuum",
+    "AssessmentThresholds",
+    "BenchmarkAssessment",
+    "LinearityResult",
+    "NewBenchmark",
+    "PracticalMeasures",
+    "assess_benchmark",
+    "create_benchmark",
+    "degree_of_linearity",
+    "learning_based_margin",
+    "non_linear_boost",
+    "practical_measures",
+]

@@ -1,0 +1,117 @@
+"""Four-approach benchmark assessment (the paper's overall verdict).
+
+Section V's conclusion: "a benchmark dataset is challenging for entity
+matching only if it is marked easy by none of our measures". The four easy
+flags are:
+
+* degree of linearity above 0.80 (either similarity) — linearly separable;
+* mean complexity below 0.40 — simple patterns suffice;
+* non-linear boost at or below 5% — linear matchers are competitive;
+* learning-based margin at or below 5% — already (practically) solved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.complexity.profile import (
+    EASY_MEAN_THRESHOLD,
+    ComplexityProfile,
+    complexity_profile,
+)
+from repro.core.linearity import LinearityResult, linearity_profile
+from repro.core.practical import CHALLENGING_THRESHOLD, PracticalMeasures
+from repro.data.task import MatchingTask
+
+
+@dataclass(frozen=True)
+class AssessmentThresholds:
+    """The cut-offs of the paper's four easy flags."""
+
+    linearity_easy: float = 0.80
+    complexity_easy_mean: float = EASY_MEAN_THRESHOLD
+    practical_challenging: float = CHALLENGING_THRESHOLD
+
+
+@dataclass(frozen=True)
+class BenchmarkAssessment:
+    """The combined verdict for one benchmark."""
+
+    task_name: str
+    linearity: dict[str, LinearityResult]
+    complexity: ComplexityProfile
+    practical: PracticalMeasures | None = None
+    thresholds: AssessmentThresholds = field(default_factory=AssessmentThresholds)
+
+    @property
+    def max_linearity(self) -> float:
+        return max(result.max_f1 for result in self.linearity.values())
+
+    @property
+    def easy_by_linearity(self) -> bool:
+        return self.max_linearity > self.thresholds.linearity_easy
+
+    @property
+    def easy_by_complexity(self) -> bool:
+        return self.complexity.mean < self.thresholds.complexity_easy_mean
+
+    @property
+    def easy_by_practical(self) -> bool:
+        """Easy when either practical measure fails the 5% bar.
+
+        With no matcher results available the flag is False (unknown is not
+        evidence of easiness); use :attr:`has_practical` to distinguish.
+        """
+        if self.practical is None:
+            return False
+        return not self.practical.is_challenging(
+            self.thresholds.practical_challenging
+        )
+
+    @property
+    def has_practical(self) -> bool:
+        return self.practical is not None
+
+    @property
+    def is_challenging(self) -> bool:
+        """True only when no measure marks the benchmark easy."""
+        return not (
+            self.easy_by_linearity
+            or self.easy_by_complexity
+            or self.easy_by_practical
+        )
+
+    def summary(self) -> dict[str, object]:
+        """Flat dict rendering (used by reports and tests)."""
+        row: dict[str, object] = {
+            "task": self.task_name,
+            "linearity_cosine": self.linearity["cosine"].max_f1,
+            "linearity_jaccard": self.linearity["jaccard"].max_f1,
+            "complexity_mean": self.complexity.mean,
+            "easy_by_linearity": self.easy_by_linearity,
+            "easy_by_complexity": self.easy_by_complexity,
+            "challenging": self.is_challenging,
+        }
+        if self.practical is not None:
+            row["nlb"] = self.practical.non_linear_boost
+            row["lbm"] = self.practical.learning_based_margin
+            row["easy_by_practical"] = self.easy_by_practical
+        return row
+
+
+def assess_benchmark(
+    task: MatchingTask,
+    practical: PracticalMeasures | None = None,
+    thresholds: AssessmentThresholds | None = None,
+    max_complexity_instances: int | None = 1500,
+) -> BenchmarkAssessment:
+    """Run the a-priori measures (and fold in a-posteriori ones if given)."""
+    return BenchmarkAssessment(
+        task_name=task.name,
+        linearity=linearity_profile(task),
+        complexity=complexity_profile(
+            task, max_instances=max_complexity_instances
+        ),
+        practical=practical,
+        thresholds=thresholds if thresholds is not None else AssessmentThresholds(),
+    )

@@ -1,0 +1,75 @@
+"""The 17 complexity measures of Table I, reimplemented from scratch.
+
+These follow Lorena et al., "How complex is your classification problem?"
+and Barella et al., "Data complexity measures for imbalanced classification
+tasks" — the sources behind the problexity package used by the paper. Every
+measure maps a binary dataset to [0, 1] with **higher = more complex**.
+
+The paper applies them to ER by representing each candidate pair as the
+two-dimensional feature vector [CS, JS] (cosine and Jaccard token
+similarity); :func:`pair_feature_matrix` produces exactly that. The
+dimensionality measures (t2, t3, t4) and the redundant f4/l3 are excluded
+for the reasons given in Section III-B.
+"""
+
+from repro.core.complexity.base import (
+    ComplexityInputs,
+    pair_feature_matrix,
+    prepare_inputs,
+)
+from repro.core.complexity.class_balance import c1_entropy, c2_imbalance
+from repro.core.complexity.feature_based import (
+    f1_fisher,
+    f1v_directional_fisher,
+    f2_overlap_volume,
+    f3_feature_efficiency,
+)
+from repro.core.complexity.linearity import l1_error_distance, l2_error_rate
+from repro.core.complexity.neighborhood import (
+    lsc_local_set_cardinality,
+    n1_borderline_fraction,
+    n2_intra_extra_ratio,
+    n3_nearest_neighbor_error,
+    n4_nearest_neighbor_nonlinearity,
+    t1_hypersphere_fraction,
+)
+from repro.core.complexity.network import (
+    cls_clustering_coefficient,
+    den_density,
+    hub_score,
+)
+from repro.core.complexity.profile import (
+    MEASURE_GROUPS,
+    MEASURE_NAMES,
+    ComplexityProfile,
+    complexity_profile,
+)
+from repro.core.complexity.gower import gower_distance_matrix
+
+__all__ = [
+    "MEASURE_GROUPS",
+    "MEASURE_NAMES",
+    "ComplexityInputs",
+    "ComplexityProfile",
+    "c1_entropy",
+    "c2_imbalance",
+    "cls_clustering_coefficient",
+    "complexity_profile",
+    "den_density",
+    "f1_fisher",
+    "f1v_directional_fisher",
+    "f2_overlap_volume",
+    "f3_feature_efficiency",
+    "gower_distance_matrix",
+    "hub_score",
+    "l1_error_distance",
+    "l2_error_rate",
+    "lsc_local_set_cardinality",
+    "n1_borderline_fraction",
+    "n2_intra_extra_ratio",
+    "n3_nearest_neighbor_error",
+    "n4_nearest_neighbor_nonlinearity",
+    "pair_feature_matrix",
+    "prepare_inputs",
+    "t1_hypersphere_fraction",
+]

@@ -1,0 +1,45 @@
+"""Class-balance complexity measures: c1, c2 (Table I-e).
+
+Both score 0 on perfectly balanced data and approach 1 under extreme
+imbalance — the regime where ER candidate sets usually live.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.complexity.base import ComplexityInputs
+
+
+def _class_proportions(inputs: ComplexityInputs) -> np.ndarray:
+    __, counts = np.unique(inputs.labels, return_counts=True)
+    return counts / inputs.n_samples
+
+
+def c1_entropy(inputs: ComplexityInputs) -> float:
+    """1 - normalized entropy of the class proportions."""
+    proportions = _class_proportions(inputs)
+    n_classes = len(proportions)
+    if n_classes < 2:
+        return 1.0
+    entropy = -float(np.sum(proportions * np.log(proportions)))
+    return 1.0 - entropy / np.log(n_classes)
+
+
+def c2_imbalance(inputs: ComplexityInputs) -> float:
+    """Imbalance-ratio measure of Tanwani & Farooq, as used by Lorena et al.
+
+    IR = ((C-1)/C) * sum_c n_c / (n - n_c); c2 = 1 - 1/IR. Balanced binary
+    data gives IR = 1 and c2 = 0.
+    """
+    __, counts = np.unique(inputs.labels, return_counts=True)
+    n_classes = len(counts)
+    if n_classes < 2:
+        return 1.0
+    n = inputs.n_samples
+    ir = (n_classes - 1) / n_classes * float(
+        np.sum(counts / (n - counts))
+    )
+    if ir <= 0:
+        return 1.0
+    return 1.0 - 1.0 / ir

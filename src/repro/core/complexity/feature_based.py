@@ -1,0 +1,121 @@
+"""Feature-based complexity measures: f1, f1v, f2, f3 (Table I-a).
+
+These quantify how discriminative the individual (or linearly combined)
+features are. All return values in [0, 1], higher = more complex.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.complexity.base import ComplexityInputs
+
+
+def _class_split(inputs: ComplexityInputs) -> tuple[np.ndarray, np.ndarray]:
+    return (
+        inputs.features[inputs.class_mask(0)],
+        inputs.features[inputs.class_mask(1)],
+    )
+
+
+def f1_fisher(inputs: ComplexityInputs) -> float:
+    """Maximum Fisher's discriminant ratio, mapped to [0, 1].
+
+    For each feature: r = between-class scatter / within-class scatter;
+    f1 = 1 / (1 + max_f r). Well-separated classes give a large ratio and a
+    value near 0 (simple).
+    """
+    negatives, positives = _class_split(inputs)
+    overall_mean = inputs.features.mean(axis=0)
+    numerator = np.zeros(inputs.n_features)
+    denominator = np.zeros(inputs.n_features)
+    for group in (negatives, positives):
+        group_mean = group.mean(axis=0)
+        numerator += len(group) * (group_mean - overall_mean) ** 2
+        denominator += ((group - group_mean) ** 2).sum(axis=0)
+    ratios = np.divide(
+        numerator,
+        denominator,
+        out=np.full(inputs.n_features, np.inf),
+        where=denominator > 0,
+    )
+    return 1.0 / (1.0 + float(ratios.max()))
+
+
+def f1v_directional_fisher(inputs: ComplexityInputs) -> float:
+    """Directional-vector Fisher ratio (f1v).
+
+    Projects onto the Fisher direction d = W^-1 (mu1 - mu0) and measures the
+    separation along it: dF = (d'Bd)/(d'Wd); f1v = 1/(1+dF).
+    """
+    negatives, positives = _class_split(inputs)
+    mean_negative = negatives.mean(axis=0)
+    mean_positive = positives.mean(axis=0)
+    difference = mean_positive - mean_negative
+
+    proportion_negative = len(negatives) / inputs.n_samples
+    proportion_positive = len(positives) / inputs.n_samples
+    scatter_negative = np.cov(negatives.T, bias=True).reshape(
+        inputs.n_features, inputs.n_features
+    )
+    scatter_positive = np.cov(positives.T, bias=True).reshape(
+        inputs.n_features, inputs.n_features
+    )
+    within = (
+        proportion_negative * scatter_negative
+        + proportion_positive * scatter_positive
+    )
+    between = np.outer(difference, difference) * (
+        proportion_negative * proportion_positive
+    )
+    direction = np.linalg.pinv(within) @ difference
+    denominator = float(direction @ within @ direction)
+    if denominator <= 0:
+        return 0.0
+    ratio = float(direction @ between @ direction) / denominator
+    return 1.0 / (1.0 + ratio)
+
+
+def _overlap_bounds(
+    negatives: np.ndarray, positives: np.ndarray, feature: int
+) -> tuple[float, float, float, float]:
+    """(overlap_low, overlap_high, range_low, range_high) for one feature."""
+    low = max(negatives[:, feature].min(), positives[:, feature].min())
+    high = min(negatives[:, feature].max(), positives[:, feature].max())
+    range_low = min(negatives[:, feature].min(), positives[:, feature].min())
+    range_high = max(negatives[:, feature].max(), positives[:, feature].max())
+    return low, high, range_low, range_high
+
+
+def f2_overlap_volume(inputs: ComplexityInputs) -> float:
+    """Volume of the per-feature class-overlap region (product over features)."""
+    negatives, positives = _class_split(inputs)
+    volume = 1.0
+    for feature in range(inputs.n_features):
+        low, high, range_low, range_high = _overlap_bounds(
+            negatives, positives, feature
+        )
+        span = range_high - range_low
+        if span <= 0:
+            continue  # constant feature: no contribution
+        volume *= max(0.0, high - low) / span
+    return float(volume)
+
+
+def f3_feature_efficiency(inputs: ComplexityInputs) -> float:
+    """Complement of the best single-feature efficiency.
+
+    A point is *separable* by a feature when it lies outside the class
+    overlap interval of that feature; f3 = 1 - max_f (separable_f / n).
+    """
+    negatives, positives = _class_split(inputs)
+    best_efficiency = 0.0
+    for feature in range(inputs.n_features):
+        low, high, __, __ = _overlap_bounds(negatives, positives, feature)
+        values = inputs.features[:, feature]
+        if high < low:
+            separable = inputs.n_samples  # no overlap: fully efficient
+        else:
+            separable = int(np.sum((values < low) | (values > high)))
+        best_efficiency = max(best_efficiency, separable / inputs.n_samples)
+    return 1.0 - best_efficiency

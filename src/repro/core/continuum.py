@@ -1,0 +1,86 @@
+"""Difficulty-continuum construction (the paper's future-work extension).
+
+The conclusions sketch the next step: "create a series of datasets that
+cover the entire continuum of benchmark difficulty". The blocking recall
+target of the Section VI methodology is exactly the dial: low targets admit
+only easy positives and few near-miss negatives, high targets drag in the
+hardest positives and denser nearest-neighbour negatives.
+
+:func:`difficulty_continuum` runs the methodology across a ladder of recall
+targets and returns one benchmark per rung, each with its a-priori
+difficulty measured, so a user can pick — or sweep over — the difficulty
+level their evaluation needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.assessment import BenchmarkAssessment, assess_benchmark
+from repro.core.methodology import NewBenchmark, create_benchmark
+from repro.datasets.generator import SourcePair
+
+#: Default recall rungs, easy to hard.
+DEFAULT_RECALL_LADDER: tuple[float, ...] = (0.5, 0.7, 0.9)
+
+
+@dataclass(frozen=True)
+class ContinuumPoint:
+    """One rung of the difficulty continuum."""
+
+    recall_target: float
+    benchmark: NewBenchmark
+    assessment: BenchmarkAssessment
+
+    @property
+    def difficulty_score(self) -> float:
+        """A scalar difficulty summary in [0, 1]: higher = harder.
+
+        Averages the two a-priori signals: (1 - max linearity) and the mean
+        complexity. Useful only for *ordering* rungs of the same source.
+        """
+        return (
+            (1.0 - self.assessment.max_linearity) + self.assessment.complexity.mean
+        ) / 2.0
+
+
+def difficulty_continuum(
+    sources: SourcePair,
+    recall_ladder: tuple[float, ...] = DEFAULT_RECALL_LADDER,
+    label_prefix: str | None = None,
+    seed: int = 0,
+    max_complexity_instances: int | None = 1000,
+) -> list[ContinuumPoint]:
+    """Build one benchmark per recall rung, assessed a-priori.
+
+    Returns the points in ladder order (ascending recall). Duplicate or
+    unsorted rungs are rejected so the continuum is well-defined.
+    """
+    if not recall_ladder:
+        raise ValueError("recall_ladder must not be empty")
+    if list(recall_ladder) != sorted(set(recall_ladder)):
+        raise ValueError(
+            f"recall_ladder must be strictly increasing, got {recall_ladder}"
+        )
+    if any(not 0.0 < rung <= 1.0 for rung in recall_ladder):
+        raise ValueError(f"recall targets must be in (0, 1], got {recall_ladder}")
+
+    prefix = label_prefix if label_prefix is not None else sources.name
+    points: list[ContinuumPoint] = []
+    for rung in recall_ladder:
+        benchmark = create_benchmark(
+            sources,
+            label=f"{prefix}@pc{rung:.2f}",
+            recall_target=rung,
+            seed=seed,
+        )
+        assessment = assess_benchmark(
+            benchmark.task,
+            max_complexity_instances=max_complexity_instances,
+        )
+        points.append(
+            ContinuumPoint(
+                recall_target=rung, benchmark=benchmark, assessment=assessment
+            )
+        )
+    return points

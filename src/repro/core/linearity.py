@@ -1,0 +1,172 @@
+"""Degree of linearity — Algorithm 1 of the paper.
+
+For every labeled pair in T | V | C the schema-agnostic token similarity is
+computed (cosine or Jaccard over the distinct lower-cased tokens of all
+attribute values); a threshold sweep over [0.01, 0.99] step 0.01 finds the
+F1-optimal linear separation. The maximum F1 is the dataset's degree of
+linearity; high values mean a linear classifier already solves the
+benchmark, so it cannot differentiate complex matchers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Set
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.pairs import LabeledPairSet
+from repro.data.task import MatchingTask
+from repro.text.similarity import cosine_similarity, jaccard_similarity
+
+SimilarityFn = Callable[[Set[str], Set[str]], float]
+
+#: The two similarity measures considered by the paper (Dice and overlap are
+#: monotone in these and add no information, as Section III-A notes).
+SIMILARITIES: dict[str, SimilarityFn] = {
+    "cosine": cosine_similarity,
+    "jaccard": jaccard_similarity,
+}
+
+
+@dataclass(frozen=True)
+class LinearityResult:
+    """Output of Algorithm 1 for one (dataset, similarity) combination."""
+
+    similarity: str
+    max_f1: float
+    best_threshold: float
+
+
+def best_threshold_f1(
+    scores: np.ndarray,
+    labels: np.ndarray,
+    thresholds: np.ndarray | None = None,
+) -> tuple[float, float]:
+    """Sweep thresholds and return (max F1, best threshold).
+
+    Vectorized equivalent of lines 5-12 of Algorithm 1: scores are sorted
+    once, and for every threshold the confusion counts follow from the
+    number of positives/negatives above it. Ties keep the lowest threshold,
+    like the sequential sweep of the paper (strict improvement check).
+    """
+    if thresholds is None:
+        thresholds = np.round(np.arange(0.01, 1.00, 0.01), 2)
+    score_array = np.asarray(scores, dtype=np.float64)
+    label_array = np.asarray(labels)
+    if score_array.shape != label_array.shape:
+        raise ValueError(
+            f"scores and labels differ in shape: "
+            f"{score_array.shape} vs {label_array.shape}"
+        )
+    total_positives = int(label_array.sum())
+
+    order = np.argsort(score_array, kind="stable")
+    sorted_scores = score_array[order]
+    sorted_labels = label_array[order]
+    # positives with score >= t  =  total_positives - positives below t
+    cumulative_positives = np.concatenate(([0], np.cumsum(sorted_labels)))
+
+    best_f1 = 0.0
+    best_threshold = 0.0
+    for threshold in thresholds:
+        cut = int(np.searchsorted(sorted_scores, threshold, side="left"))
+        predicted_positive = len(score_array) - cut
+        true_positive = total_positives - int(cumulative_positives[cut])
+        if predicted_positive == 0 or total_positives == 0:
+            continue
+        precision = true_positive / predicted_positive
+        recall = true_positive / total_positives
+        if precision + recall == 0:
+            continue
+        f1 = 2.0 * precision * recall / (precision + recall)
+        if f1 > best_f1:
+            best_f1 = f1
+            best_threshold = float(threshold)
+    return best_f1, best_threshold
+
+
+def pair_similarities(
+    pairs: LabeledPairSet, similarity: SimilarityFn
+) -> np.ndarray:
+    """Schema-agnostic token similarity per labeled pair (lines 2-4)."""
+    return np.asarray(
+        [
+            similarity(pair.left.tokens(), pair.right.tokens())
+            for pair, __ in pairs
+        ],
+        dtype=np.float64,
+    )
+
+
+def degree_of_linearity(
+    task: MatchingTask, similarity: str = "cosine"
+) -> LinearityResult:
+    """Run Algorithm 1 on a matching task.
+
+    Parameters
+    ----------
+    task:
+        The benchmark; all of T | V | C is used (the measure characterizes
+        the dataset, not a trained model).
+    similarity:
+        ``"cosine"`` or ``"jaccard"``.
+    """
+    if similarity not in SIMILARITIES:
+        raise KeyError(
+            f"unknown similarity {similarity!r}; known: {sorted(SIMILARITIES)}"
+        )
+    merged = task.all_pairs()
+    scores = pair_similarities(merged, SIMILARITIES[similarity])
+    max_f1, threshold = best_threshold_f1(scores, merged.labels)
+    return LinearityResult(
+        similarity=similarity, max_f1=max_f1, best_threshold=threshold
+    )
+
+
+def linearity_profile(task: MatchingTask) -> dict[str, LinearityResult]:
+    """Both degrees of linearity (the two bars of Figure 1 per dataset)."""
+    return {
+        name: degree_of_linearity(task, name) for name in SIMILARITIES
+    }
+
+
+def schema_aware_linearity(
+    task: MatchingTask, similarity: str = "cosine"
+) -> dict[str, LinearityResult]:
+    """Per-attribute degree of linearity (the schema-aware setting).
+
+    Section III reports that schema-aware variants of the theoretical
+    measures showed no significant difference from the schema-agnostic
+    setting; this function computes them anyway — one threshold sweep per
+    attribute, over that attribute's token similarity — so the claim can be
+    checked (see ``benchmarks/bench_ablation_schema.py``).
+
+    Returns a mapping attribute -> :class:`LinearityResult`; the *best*
+    attribute's F1 is the schema-aware degree of linearity.
+    """
+    if similarity not in SIMILARITIES:
+        raise KeyError(
+            f"unknown similarity {similarity!r}; known: {sorted(SIMILARITIES)}"
+        )
+    similarity_fn = SIMILARITIES[similarity]
+    merged = task.all_pairs()
+    labels = merged.labels
+    results: dict[str, LinearityResult] = {}
+    for attribute in task.attributes:
+        scores = np.asarray(
+            [
+                similarity_fn(
+                    pair.left.attribute_tokens(attribute),
+                    pair.right.attribute_tokens(attribute),
+                )
+                for pair, __ in merged
+            ]
+        )
+        max_f1, threshold = best_threshold_f1(scores, labels)
+        results[attribute] = LinearityResult(
+            similarity=f"{similarity}:{attribute}",
+            max_f1=max_f1,
+            best_threshold=threshold,
+        )
+    return results

@@ -1,0 +1,86 @@
+"""The Section VI methodology for constructing new benchmarks.
+
+Four steps:
+
+1. apply a state-of-the-art blocking method (DeepBlocker) to a dataset with
+   complete ground truth;
+2. fine-tune it for a minimum recall (default 0.9) while maximizing
+   precision — this fixes the class imbalance and difficulty;
+3. randomly split the candidates into training/validation/testing (3:1:1),
+   stratified on the ground-truth labels;
+4. assess the result with the Section III measures (the caller's job, via
+   :func:`repro.core.assessment.assess_benchmark`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blocking.tuning import DEFAULT_K_LADDER, TunedBlocking, tune_deepblocker
+from repro.data.pairs import LabeledPairSet, RecordPair
+from repro.data.splits import split_three_way
+from repro.data.task import MatchingTask
+from repro.datasets.generator import SourcePair
+
+
+@dataclass(frozen=True)
+class NewBenchmark:
+    """A benchmark produced by the methodology, plus its provenance."""
+
+    label: str
+    sources: SourcePair
+    blocking: TunedBlocking
+    task: MatchingTask
+
+    @property
+    def imbalance_ratio(self) -> float:
+        """Positive fraction among the candidates (IR of Table V)."""
+        return self.task.all_pairs().imbalance_ratio
+
+
+def candidate_pairs_to_labeled(
+    sources: SourcePair, candidates: frozenset[tuple[str, str]]
+) -> LabeledPairSet:
+    """Label blocking candidates against the complete ground truth.
+
+    Candidates are ordered deterministically (sorted by key) so downstream
+    splits are reproducible.
+    """
+    pairs = LabeledPairSet()
+    for left_id, right_id in sorted(candidates):
+        pair = RecordPair(sources.left.get(left_id), sources.right.get(right_id))
+        pairs.add(pair, 1 if (left_id, right_id) in sources.matches else 0)
+    return pairs
+
+
+def create_benchmark(
+    sources: SourcePair,
+    label: str,
+    recall_target: float = 0.9,
+    ratios: tuple[int, int, int] = (3, 1, 1),
+    k_ladder: tuple[int, ...] = DEFAULT_K_LADDER,
+    seed: int = 0,
+) -> NewBenchmark:
+    """Run steps 1-3 of the methodology on one source pair."""
+    tuned = tune_deepblocker(
+        sources, recall_target=recall_target, k_ladder=k_ladder, seed=seed
+    )
+    labeled = candidate_pairs_to_labeled(sources, tuned.result.candidates)
+    training, validation, testing = split_three_way(
+        labeled, ratios=ratios, seed=seed + 1
+    )
+    task = MatchingTask(
+        name=label,
+        left=sources.left,
+        right=sources.right,
+        training=training,
+        validation=validation,
+        testing=testing,
+        metadata={
+            "vocabulary": sources.vocabulary,
+            "blocking_config": tuned.config.describe(),
+            "pair_completeness": tuned.pair_completeness,
+            "pairs_quality": tuned.pairs_quality,
+        },
+    )
+    return NewBenchmark(label=label, sources=sources, blocking=tuned, task=task)

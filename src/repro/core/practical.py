@@ -1,0 +1,82 @@
+"""A-posteriori practical measures: non-linear boost and learning-based margin.
+
+Section III-C: given the test F1 of every matcher on a benchmark,
+
+* **NLB** = max F1 over all non-linear (ML + DL) matchers minus max F1 over
+  all linear matchers. Near zero means the classes are (almost) linearly
+  separable — the benchmark cannot showcase complex matchers.
+* **LBM** = 1 - max F1 over *all* learning-based matchers. Near zero means
+  the benchmark is already solved — no room for improvement.
+
+The paper's rule of thumb: a challenging benchmark needs both measures above
+5% (ideally 10%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The paper's minimum for a benchmark to count as challenging.
+CHALLENGING_THRESHOLD = 0.05
+
+
+@dataclass(frozen=True)
+class PracticalMeasures:
+    """NLB and LBM for one benchmark, with the contributing maxima."""
+
+    non_linear_boost: float
+    learning_based_margin: float
+    best_non_linear_f1: float
+    best_linear_f1: float
+
+    @property
+    def best_overall_f1(self) -> float:
+        return max(self.best_non_linear_f1, self.best_linear_f1)
+
+    def is_challenging(self, threshold: float = CHALLENGING_THRESHOLD) -> bool:
+        """True when both measures exceed *threshold* (paper: 5%)."""
+        return (
+            self.non_linear_boost > threshold
+            and self.learning_based_margin > threshold
+        )
+
+
+def _validate_scores(scores: dict[str, float], label: str) -> None:
+    if not scores:
+        raise ValueError(f"no {label} matcher scores provided")
+    for name, value in scores.items():
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{label} matcher {name!r} has F1 {value} outside [0, 1]")
+
+
+def non_linear_boost(
+    non_linear_f1: dict[str, float], linear_f1: dict[str, float]
+) -> float:
+    """NLB from per-matcher F1 dicts (negative when linear matchers win).
+
+    The paper keeps the sign: on D_s5 the best linear algorithms outperform
+    the best non-linear ones, which argues against the dataset.
+    """
+    _validate_scores(non_linear_f1, "non-linear")
+    _validate_scores(linear_f1, "linear")
+    return max(non_linear_f1.values()) - max(linear_f1.values())
+
+
+def learning_based_margin(all_f1: dict[str, float]) -> float:
+    """LBM = 1 - best F1 among all learning-based matchers."""
+    _validate_scores(all_f1, "learning-based")
+    return 1.0 - max(all_f1.values())
+
+
+def practical_measures(
+    non_linear_f1: dict[str, float], linear_f1: dict[str, float]
+) -> PracticalMeasures:
+    """Compute both aggregate measures from the two matcher-family results."""
+    boost = non_linear_boost(non_linear_f1, linear_f1)
+    combined = {**non_linear_f1, **linear_f1}
+    return PracticalMeasures(
+        non_linear_boost=boost,
+        learning_based_margin=learning_based_margin(combined),
+        best_non_linear_f1=max(non_linear_f1.values()),
+        best_linear_f1=max(linear_f1.values()),
+    )

@@ -1,0 +1,35 @@
+"""Record/pair substrate: the data model every other subsystem builds on.
+
+A *record* is a dict of attribute values with an id and a source tag; a
+*record store* is one duplicate-free data source; a *record pair* joins two
+records (one per source, record linkage / Clean-Clean ER); a *labeled pair
+set* carries match/non-match labels; and a *matching task* bundles the
+training, validation and testing sets (T, V, C of Problem 1 in the paper)
+with the 3:1:1 split convention of the established benchmarks.
+"""
+
+from repro.data.records import Record, RecordStore, Schema
+from repro.data.pairs import LabeledPairSet, RecordPair
+from repro.data.task import MatchingTask, TaskStatistics
+from repro.data.splits import split_three_way
+from repro.data.io import (
+    load_record_store,
+    load_task,
+    save_record_store,
+    save_task,
+)
+
+__all__ = [
+    "LabeledPairSet",
+    "MatchingTask",
+    "Record",
+    "RecordPair",
+    "RecordStore",
+    "Schema",
+    "TaskStatistics",
+    "load_record_store",
+    "load_task",
+    "save_record_store",
+    "save_task",
+    "split_three_way",
+]

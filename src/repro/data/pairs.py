@@ -1,0 +1,112 @@
+"""Candidate record pairs and labeled pair sets."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.records import Record
+
+
+@dataclass(frozen=True)
+class RecordPair:
+    """A candidate pair: one record from each of the two sources."""
+
+    left: Record
+    right: Record
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """A hashable identity for the pair (left id, right id)."""
+        return (self.left.record_id, self.right.record_id)
+
+
+class LabeledPairSet:
+    """An ordered set of candidate pairs with binary match labels.
+
+    Serves as any of the T / V / C sets of Problem 1. Order is preserved and
+    meaningful (labels align by position); pair keys are unique.
+    """
+
+    def __init__(
+        self,
+        pairs: Sequence[RecordPair] = (),
+        labels: Sequence[int] = (),
+    ) -> None:
+        if len(pairs) != len(labels):
+            raise ValueError(
+                f"{len(pairs)} pairs but {len(labels)} labels"
+            )
+        self._pairs: list[RecordPair] = []
+        self._labels: list[int] = []
+        self._keys: set[tuple[str, str]] = set()
+        for pair, label in zip(pairs, labels):
+            self.add(pair, label)
+
+    def add(self, pair: RecordPair, label: int) -> None:
+        """Append a labeled pair; duplicate pair keys are rejected."""
+        if label not in (0, 1):
+            raise ValueError(f"label must be 0 or 1, got {label!r}")
+        if pair.key in self._keys:
+            raise ValueError(f"duplicate pair {pair.key}")
+        self._keys.add(pair.key)
+        self._pairs.append(pair)
+        self._labels.append(label)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self) -> Iterator[tuple[RecordPair, int]]:
+        return iter(zip(self._pairs, self._labels))
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        return key in self._keys
+
+    @property
+    def pairs(self) -> list[RecordPair]:
+        return list(self._pairs)
+
+    @property
+    def labels(self) -> np.ndarray:
+        return np.asarray(self._labels, dtype=np.int64)
+
+    @property
+    def positive_count(self) -> int:
+        return sum(self._labels)
+
+    @property
+    def negative_count(self) -> int:
+        return len(self._labels) - self.positive_count
+
+    @property
+    def imbalance_ratio(self) -> float:
+        """Fraction of positive instances (the IR column of Table III/V)."""
+        if not self._labels:
+            return 0.0
+        return self.positive_count / len(self._labels)
+
+    def keys(self) -> set[tuple[str, str]]:
+        """The set of pair keys (copies the internal set)."""
+        return set(self._keys)
+
+    def subset(self, indices: Sequence[int]) -> "LabeledPairSet":
+        """A new set with the pairs at *indices*, in that order."""
+        return LabeledPairSet(
+            [self._pairs[i] for i in indices],
+            [self._labels[i] for i in indices],
+        )
+
+    @staticmethod
+    def merge(parts: Iterable["LabeledPairSet"]) -> "LabeledPairSet":
+        """Concatenate several disjoint pair sets into one.
+
+        This is line 1 of Algorithm 1 (``D = T | V | C``); overlapping keys
+        raise, enforcing the mutual exclusivity of Problem 1.
+        """
+        merged = LabeledPairSet()
+        for part in parts:
+            for pair, label in part:
+                merged.add(pair, label)
+        return merged

@@ -1,0 +1,124 @@
+"""Records, schemas and record stores (one store = one data source)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.text.tokenize import qgrams, tokenize
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered list of attribute names shared by all records in a store."""
+
+    attributes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise ValueError("a schema needs at least one attribute")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise ValueError(f"duplicate attribute names: {self.attributes}")
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.attributes)
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self.attributes
+
+
+@dataclass(frozen=True)
+class Record:
+    """One entity description: an id, a source tag and attribute values.
+
+    Values are plain strings (numeric attributes are stored in their string
+    form, as in the CSV benchmarks); missing values are empty strings.
+    """
+
+    record_id: str
+    source: str
+    values: Mapping[str, str] = field(hash=False)
+
+    def value(self, attribute: str) -> str:
+        """The value of *attribute* ('' when missing)."""
+        return self.values.get(attribute, "")
+
+    def full_text(self) -> str:
+        """All attribute values concatenated (schema-agnostic view)."""
+        return " ".join(v for v in self.values.values() if v)
+
+    def tokens(self) -> set[str]:
+        """Distinct lower-cased tokens over all attribute values.
+
+        This is the ``tokens(r)`` function of Algorithm 1.
+        """
+        return set(tokenize(self.full_text()))
+
+    def attribute_tokens(self, attribute: str) -> set[str]:
+        """Distinct tokens of one attribute value."""
+        return set(tokenize(self.value(attribute)))
+
+    def qgrams(self, q: int) -> set[str]:
+        """Character q-grams over the concatenated record text."""
+        return qgrams(self.full_text(), q)
+
+    def attribute_qgrams(self, attribute: str, q: int) -> set[str]:
+        """Character q-grams of one attribute value."""
+        return qgrams(self.value(attribute), q)
+
+
+class RecordStore:
+    """A duplicate-free collection of records from a single source."""
+
+    def __init__(
+        self, name: str, schema: Schema, records: Iterable[Record] = ()
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        self._records: dict[str, Record] = {}
+        for record in records:
+            self.add(record)
+
+    def add(self, record: Record) -> None:
+        """Add a record; ids must be unique and values must fit the schema."""
+        if record.record_id in self._records:
+            raise ValueError(f"duplicate record id {record.record_id!r}")
+        unknown = set(record.values) - set(self.schema.attributes)
+        if unknown:
+            raise ValueError(
+                f"record {record.record_id!r} has attributes {sorted(unknown)} "
+                f"outside schema {self.schema.attributes}"
+            )
+        self._records[record.record_id] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records.values())
+
+    def __contains__(self, record_id: str) -> bool:
+        return record_id in self._records
+
+    def get(self, record_id: str) -> Record:
+        """Look up a record by id (raises ``KeyError`` when absent)."""
+        return self._records[record_id]
+
+    def ids(self) -> list[str]:
+        """All record ids in insertion order."""
+        return list(self._records)
+
+    def records(self) -> list[Record]:
+        """All records in insertion order (a copy of the view)."""
+        return list(self._records.values())
+
+    def subset(self, record_ids: Sequence[str], name: str | None = None) -> "RecordStore":
+        """A new store containing only the given ids, in the given order."""
+        return RecordStore(
+            name if name is not None else self.name,
+            self.schema,
+            (self._records[record_id] for record_id in record_ids),
+        )

@@ -1,0 +1,51 @@
+"""Seeded stratified splitting of labeled pair sets.
+
+The established benchmarks split candidates into training/validation/testing
+with ratio 3:1:1 (Section V); the new-benchmark methodology (Section VI,
+step 3) does the same "randomly ... using the ground truth", i.e. stratified
+so that "the imbalance ratio ... is the same in all sets".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.pairs import LabeledPairSet
+
+
+def split_three_way(
+    pairs: LabeledPairSet,
+    ratios: tuple[int, int, int] = (3, 1, 1),
+    seed: int = 0,
+) -> tuple[LabeledPairSet, LabeledPairSet, LabeledPairSet]:
+    """Split into (training, validation, testing) stratified by label.
+
+    Each class is shuffled independently and divided according to *ratios*,
+    so every split keeps (up to rounding) the global imbalance ratio. The
+    split is deterministic given *seed*.
+    """
+    if len(ratios) != 3 or any(r <= 0 for r in ratios):
+        raise ValueError(f"ratios must be three positive numbers, got {ratios}")
+    if len(pairs) < 3:
+        raise ValueError(f"need at least 3 pairs to split, got {len(pairs)}")
+
+    rng = np.random.default_rng(seed)
+    labels = pairs.labels
+    total = sum(ratios)
+    buckets: tuple[list[int], list[int], list[int]] = ([], [], [])
+    for cls in (1, 0):
+        members = np.flatnonzero(labels == cls)
+        rng.shuffle(members)
+        first_cut = int(round(len(members) * ratios[0] / total))
+        second_cut = first_cut + int(round(len(members) * ratios[1] / total))
+        buckets[0].extend(members[:first_cut].tolist())
+        buckets[1].extend(members[first_cut:second_cut].tolist())
+        buckets[2].extend(members[second_cut:].tolist())
+
+    # Shuffle within each split so classes are interleaved, not blocked.
+    final: list[LabeledPairSet] = []
+    for bucket in buckets:
+        order = np.asarray(bucket)
+        rng.shuffle(order)
+        final.append(pairs.subset(order.tolist()))
+    return final[0], final[1], final[2]

@@ -1,0 +1,114 @@
+"""The matching task: Problem 1 of the paper as a first-class object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.pairs import LabeledPairSet
+from repro.data.records import RecordStore
+
+
+@dataclass(frozen=True)
+class TaskStatistics:
+    """The descriptive statistics reported in Tables III and V."""
+
+    name: str
+    left_size: int
+    right_size: int
+    n_attributes: int
+    training_instances: int
+    training_positives: int
+    training_negatives: int
+    validation_instances: int
+    testing_instances: int
+    testing_positives: int
+    testing_negatives: int
+    imbalance_ratio: float
+
+
+class MatchingTask:
+    """A record-linkage matching benchmark: two sources plus T, V, C.
+
+    Invariants enforced at construction (Problem 1): the three pair sets are
+    mutually exclusive, and every pair joins a left-source record with a
+    right-source record.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        left: RecordStore,
+        right: RecordStore,
+        training: LabeledPairSet,
+        validation: LabeledPairSet,
+        testing: LabeledPairSet,
+        metadata: dict[str, object] | None = None,
+    ) -> None:
+        for first, second, label in (
+            (training, validation, "training/validation"),
+            (training, testing, "training/testing"),
+            (validation, testing, "validation/testing"),
+        ):
+            overlap = first.keys() & second.keys()
+            if overlap:
+                raise ValueError(
+                    f"{label} sets of task {name!r} overlap on {len(overlap)} pairs"
+                )
+        for split_name, split in (
+            ("training", training),
+            ("validation", validation),
+            ("testing", testing),
+        ):
+            for pair, __ in split:
+                if pair.left.record_id not in left:
+                    raise ValueError(
+                        f"{split_name} pair references unknown left record "
+                        f"{pair.left.record_id!r} in task {name!r}"
+                    )
+                if pair.right.record_id not in right:
+                    raise ValueError(
+                        f"{split_name} pair references unknown right record "
+                        f"{pair.right.record_id!r} in task {name!r}"
+                    )
+        self.name = name
+        self.left = left
+        self.right = right
+        self.training = training
+        self.validation = validation
+        self.testing = testing
+        #: free-form provenance, e.g. the generator's concept vocabulary
+        #: (under key ``"vocabulary"``) that the synthetic language model
+        #: uses as its "pre-training corpus".
+        self.metadata: dict[str, object] = dict(metadata or {})
+
+    def all_pairs(self) -> LabeledPairSet:
+        """T | V | C merged (line 1 of Algorithm 1)."""
+        return LabeledPairSet.merge([self.training, self.validation, self.testing])
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """The shared attribute names (both sources use aligned schemata)."""
+        return self.left.schema.attributes
+
+    def statistics(self) -> TaskStatistics:
+        """Compute the Table III / Table V row for this task."""
+        return TaskStatistics(
+            name=self.name,
+            left_size=len(self.left),
+            right_size=len(self.right),
+            n_attributes=len(self.left.schema),
+            training_instances=len(self.training),
+            training_positives=self.training.positive_count,
+            training_negatives=self.training.negative_count,
+            validation_instances=len(self.validation),
+            testing_instances=len(self.testing),
+            testing_positives=self.testing.positive_count,
+            testing_negatives=self.testing.negative_count,
+            imbalance_ratio=self.all_pairs().imbalance_ratio,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MatchingTask({self.name!r}, |T|={len(self.training)}, "
+            f"|V|={len(self.validation)}, |C|={len(self.testing)})"
+        )

@@ -1,0 +1,55 @@
+"""Benchmark substrate: synthetic equivalents of the public ER datasets.
+
+The reproduction environment has no access to the DeepMatcher benchmark
+files, so this package generates deterministic synthetic clean-clean ER
+datasets whose *difficulty structure* is calibrated to the paper's findings
+(see DESIGN.md, Substitutions). The key levers are:
+
+* **synonym divergence** — the two sources describe the same entity with
+  different surface forms drawn from the vocabulary's synonym clusters,
+  which lexical similarity cannot bridge but the (synthetic) pre-trained
+  language model can;
+* **noise channels** — typos, token drops, abbreviations, missing values and
+  (for the dirty variants) attribute-value misplacement;
+* **negative-pair sampling** — random negatives emulate loose blocking and
+  yield linearly separable benchmarks, nearest-neighbour negatives emulate
+  strict blocking and yield hard ones.
+
+`established` builds the 13 benchmarks of Table III (D_s1..D_s7, D_d1..D_d4,
+D_t1, D_t2); `sources` builds the 8 raw dataset pairs of Table V that the
+Section VI methodology turns into the new benchmarks D_n1..D_n8.
+"""
+
+from repro.datasets.vocabulary import Concept, ConceptVocabulary, build_vocabulary
+from repro.datasets.noise import NoiseModel
+from repro.datasets.generator import (
+    GeneratorProfile,
+    SourcePair,
+    build_task_from_sources,
+    generate_source_pair,
+    sample_candidate_pairs,
+)
+from repro.datasets.registry import (
+    ESTABLISHED_DATASET_IDS,
+    SOURCE_DATASET_IDS,
+    clear_cache,
+    load_established_task,
+    load_source_pair,
+)
+
+__all__ = [
+    "Concept",
+    "ConceptVocabulary",
+    "ESTABLISHED_DATASET_IDS",
+    "GeneratorProfile",
+    "NoiseModel",
+    "SOURCE_DATASET_IDS",
+    "SourcePair",
+    "build_task_from_sources",
+    "build_vocabulary",
+    "clear_cache",
+    "generate_source_pair",
+    "load_established_task",
+    "load_source_pair",
+    "sample_candidate_pairs",
+]

@@ -1,0 +1,410 @@
+"""Domain specifications and ground-truth entity factories.
+
+An *entity* is the latent real-world object both data sources describe. It is
+represented symbolically — per attribute, a sequence of *parts* that are
+either concept references (resolved to surface forms at render time) or
+literals (model codes, years, prices, phone numbers, which both sources copy
+verbatim up to noise).
+
+Entities are generated partly in *families*: variations of a base entity that
+share most attributes but differ in a discriminating detail (another model
+code, another year). Families are what make nearest-neighbour negatives
+genuinely hard, the same way real product catalogues contain near-identical
+variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.vocabulary import ConceptVocabulary, build_vocabulary
+
+_CODE_LETTERS = "abcdefghjkmnpqrstuvwxyz"
+
+
+@dataclass(frozen=True)
+class Part:
+    """One unit of an attribute value: a concept reference XOR a literal."""
+
+    concept_id: int | None = None
+    literal: str | None = None
+
+    def __post_init__(self) -> None:
+        if (self.concept_id is None) == (self.literal is None):
+            raise ValueError("a Part is either a concept reference or a literal")
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """How one attribute of a domain is composed.
+
+    ``kind`` selects the composition rule:
+
+    - ``concepts``: ``min_parts..max_parts`` concepts from ``pool``;
+    - ``person``: a first+last name (pools ``first_name``/``last_name``),
+      repeated ``min_parts..max_parts`` times (authors, actor lists);
+    - ``code``: an alphanumeric model/product code literal;
+    - ``year``: a four-digit year literal;
+    - ``price``: a decimal price literal;
+    - ``phone``: a phone-number literal;
+    - ``text``: a long concept sequence from ``pool`` (textual benchmarks).
+    """
+
+    name: str
+    kind: str
+    pool: str | None = None
+    min_parts: int = 1
+    max_parts: int = 1
+    #: append a discriminative alphanumeric code literal after the concept
+    #: parts (product names like "sony turntable pslx350h").
+    with_code: bool = False
+
+    def __post_init__(self) -> None:
+        allowed = {"concepts", "person", "code", "year", "price", "phone", "text"}
+        if self.kind not in allowed:
+            raise ValueError(f"unknown attribute kind {self.kind!r}")
+        if self.kind in {"concepts", "text"} and self.pool is None:
+            raise ValueError(f"attribute {self.name!r} of kind {self.kind!r} needs a pool")
+        if self.min_parts < 1 or self.max_parts < self.min_parts:
+            raise ValueError(
+                f"bad part range [{self.min_parts}, {self.max_parts}] "
+                f"for attribute {self.name!r}"
+            )
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """A domain: its attributes, vocabulary pools and family behaviour."""
+
+    name: str
+    attributes: tuple[AttributeSpec, ...]
+    pools: dict[str, int]
+    title_attribute: str
+    #: attributes regenerated when spawning a family variant (the
+    #: discriminating details); everything else is shared within a family.
+    variant_attributes: tuple[str, ...]
+
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(spec.name for spec in self.attributes)
+
+
+@dataclass(frozen=True)
+class Entity:
+    """A latent real-world object: per-attribute part sequences."""
+
+    entity_id: int
+    parts: dict[str, tuple[Part, ...]]
+
+
+class EntityFactory:
+    """Generates ground-truth entities for a domain."""
+
+    def __init__(self, domain: DomainSpec, seed: int = 0) -> None:
+        self.domain = domain
+        self.seed = seed
+        self.vocabulary: ConceptVocabulary = build_vocabulary(
+            name=domain.name,
+            pools=domain.pools,
+            synonym_fraction=0.45,
+            homograph_fraction=0.03,
+            seed=seed,
+        )
+
+    def generate(
+        self,
+        n_entities: int,
+        family_fraction: float = 0.3,
+        rng: np.random.Generator | None = None,
+    ) -> list[Entity]:
+        """Generate *n_entities* entities; a fraction are family variants.
+
+        A family variant copies a previously generated entity and
+        regenerates only the domain's ``variant_attributes``.
+        """
+        if n_entities < 1:
+            raise ValueError(f"n_entities must be >= 1, got {n_entities}")
+        if not 0.0 <= family_fraction <= 1.0:
+            raise ValueError(
+                f"family_fraction must be in [0, 1], got {family_fraction}"
+            )
+        if rng is None:
+            rng = np.random.default_rng(self.seed + 1)
+        entities: list[Entity] = []
+        for index in range(n_entities):
+            if entities and rng.random() < family_fraction:
+                base = entities[int(rng.integers(0, len(entities)))]
+                entities.append(self._variant_of(base, index, rng))
+            else:
+                entities.append(self._fresh(index, rng))
+        return entities
+
+    def _fresh(self, entity_id: int, rng: np.random.Generator) -> Entity:
+        parts = {
+            spec.name: self._make_parts(spec, rng)
+            for spec in self.domain.attributes
+        }
+        return Entity(entity_id=entity_id, parts=parts)
+
+    def _variant_of(
+        self, base: Entity, entity_id: int, rng: np.random.Generator
+    ) -> Entity:
+        """A family variant: shared identity, fresh discriminating details.
+
+        Attributes listed in ``variant_attributes`` are regenerated wholly;
+        in addition every code literal (``kind='code'`` or ``with_code``) is
+        refreshed, so e.g. a product variant keeps its name words but gets a
+        new model number — the hardest kind of non-match.
+        """
+        parts = dict(base.parts)
+        for spec in self.domain.attributes:
+            if spec.name in self.domain.variant_attributes:
+                parts[spec.name] = self._make_parts(spec, rng)
+            elif spec.kind == "code":
+                parts[spec.name] = self._make_parts(spec, rng)
+            elif spec.with_code:
+                kept = parts[spec.name][:-1]
+                parts[spec.name] = kept + (self._make_code(rng),)
+        return Entity(entity_id=entity_id, parts=parts)
+
+    def _make_code(self, rng: np.random.Generator) -> Part:
+        letters = "".join(
+            _CODE_LETTERS[int(rng.integers(0, len(_CODE_LETTERS)))] for __ in range(2)
+        )
+        return Part(literal=f"{letters}{int(rng.integers(100, 10000))}")
+
+    def _make_parts(
+        self, spec: AttributeSpec, rng: np.random.Generator
+    ) -> tuple[Part, ...]:
+        count = int(rng.integers(spec.min_parts, spec.max_parts + 1))
+        if spec.kind in {"concepts", "text"}:
+            assert spec.pool is not None
+            parts = tuple(
+                Part(concept_id=self.vocabulary.sample(spec.pool, rng).concept_id)
+                for __ in range(count)
+            )
+            if spec.with_code:
+                parts = parts + (self._make_code(rng),)
+            return parts
+        if spec.kind == "person":
+            parts: list[Part] = []
+            for __ in range(count):
+                parts.append(
+                    Part(
+                        concept_id=self.vocabulary.sample(
+                            "first_name", rng
+                        ).concept_id
+                    )
+                )
+                parts.append(
+                    Part(
+                        concept_id=self.vocabulary.sample(
+                            "last_name", rng
+                        ).concept_id
+                    )
+                )
+            return tuple(parts)
+        if spec.kind == "code":
+            letters = "".join(
+                _CODE_LETTERS[int(rng.integers(0, len(_CODE_LETTERS)))]
+                for __ in range(2)
+            )
+            digits = int(rng.integers(100, 10000))
+            return (Part(literal=f"{letters}{digits}"),)
+        if spec.kind == "year":
+            return (Part(literal=str(int(rng.integers(1950, 2024)))),)
+        if spec.kind == "price":
+            price = rng.integers(5, 2000) + rng.choice([0.0, 0.49, 0.95, 0.99])
+            return (Part(literal=f"{price:.2f}"),)
+        if spec.kind == "phone":
+            area = int(rng.integers(200, 999))
+            mid = int(rng.integers(200, 999))
+            tail = int(rng.integers(1000, 9999))
+            return (Part(literal=f"{area}-{mid}-{tail}"),)
+        raise AssertionError(f"unhandled kind {spec.kind!r}")
+
+
+# --------------------------------------------------------------------------
+# Domain definitions. Pool sizes trade realism (rich vocabularies) against
+# determinism and speed; names follow the public datasets they emulate.
+# --------------------------------------------------------------------------
+
+
+def product_domain(name: str = "products") -> DomainSpec:
+    """Consumer-product catalogues (Abt-Buy, Walmart-Amazon style)."""
+    return DomainSpec(
+        name=name,
+        attributes=(
+            AttributeSpec(
+                "name", "concepts", pool="name_word",
+                min_parts=2, max_parts=4, with_code=True,
+            ),
+            AttributeSpec(
+                "description", "concepts", pool="descriptor", min_parts=4, max_parts=10
+            ),
+            AttributeSpec("price", "price"),
+        ),
+        pools={"name_word": 150, "descriptor": 260},
+        title_attribute="name",
+        variant_attributes=("price",),
+    )
+
+
+def rich_product_domain(name: str = "rich_products") -> DomainSpec:
+    """Products with type/model structure (Walmart-Amazon has 5 attributes)."""
+    return DomainSpec(
+        name=name,
+        attributes=(
+            AttributeSpec("title", "concepts", pool="descriptor", min_parts=3, max_parts=6),
+            AttributeSpec("brand", "concepts", pool="brand", min_parts=1, max_parts=1),
+            AttributeSpec("category", "concepts", pool="product_type", min_parts=1, max_parts=2),
+            AttributeSpec("modelno", "code"),
+            AttributeSpec("price", "price"),
+        ),
+        pools={"brand": 50, "product_type": 40, "descriptor": 220},
+        title_attribute="title",
+        variant_attributes=("modelno", "price"),
+    )
+
+
+def software_domain(name: str = "software") -> DomainSpec:
+    """Software products (Amazon-Google style, 3-4 attributes)."""
+    return DomainSpec(
+        name=name,
+        attributes=(
+            AttributeSpec(
+                "title", "concepts", pool="descriptor",
+                min_parts=2, max_parts=6, with_code=True,
+            ),
+            AttributeSpec("manufacturer", "concepts", pool="brand", min_parts=1, max_parts=1),
+            AttributeSpec("price", "price"),
+        ),
+        pools={"brand": 45, "descriptor": 200},
+        title_attribute="title",
+        variant_attributes=("price",),
+    )
+
+
+def bibliographic_domain(name: str = "bibliographic") -> DomainSpec:
+    """Publications (DBLP-ACM, DBLP-Scholar style, 4 attributes)."""
+    return DomainSpec(
+        name=name,
+        attributes=(
+            AttributeSpec("title", "concepts", pool="topic", min_parts=5, max_parts=9),
+            AttributeSpec("authors", "person", min_parts=1, max_parts=3),
+            AttributeSpec("venue", "concepts", pool="venue", min_parts=1, max_parts=1),
+            AttributeSpec("year", "year"),
+        ),
+        pools={"topic": 320, "venue": 35, "first_name": 80, "last_name": 160},
+        title_attribute="title",
+        variant_attributes=("year", "venue"),
+    )
+
+
+def music_domain(name: str = "music") -> DomainSpec:
+    """Songs (iTunes-Amazon style, 8 attributes)."""
+    return DomainSpec(
+        name=name,
+        attributes=(
+            AttributeSpec("song_name", "concepts", pool="song_word", min_parts=1, max_parts=4),
+            AttributeSpec("artist_name", "person", min_parts=1, max_parts=1),
+            AttributeSpec("album_name", "concepts", pool="album_word", min_parts=1, max_parts=3),
+            AttributeSpec("genre", "concepts", pool="genre", min_parts=1, max_parts=2),
+            AttributeSpec("price", "price"),
+            AttributeSpec("copyright", "concepts", pool="label", min_parts=1, max_parts=2),
+            AttributeSpec("time", "code"),
+            AttributeSpec("released", "year"),
+        ),
+        pools={
+            "song_word": 260,
+            "album_word": 140,
+            "genre": 18,
+            "label": 40,
+            "first_name": 70,
+            "last_name": 130,
+        },
+        title_attribute="song_name",
+        variant_attributes=("song_name", "time", "price"),
+    )
+
+
+def beer_domain(name: str = "beer") -> DomainSpec:
+    """Beers (Beer benchmark, 4 attributes)."""
+    return DomainSpec(
+        name=name,
+        attributes=(
+            AttributeSpec("beer_name", "concepts", pool="beer_word", min_parts=1, max_parts=3),
+            AttributeSpec("brew_factory_name", "concepts", pool="brewery", min_parts=1, max_parts=2),
+            AttributeSpec("style", "concepts", pool="style", min_parts=1, max_parts=1),
+            AttributeSpec("abv", "price"),
+        ),
+        pools={"beer_word": 160, "brewery": 70, "style": 24},
+        title_attribute="beer_name",
+        variant_attributes=("style", "abv"),
+    )
+
+
+def restaurant_domain(name: str = "restaurants") -> DomainSpec:
+    """Restaurants (Fodors-Zagats style, 6 attributes)."""
+    return DomainSpec(
+        name=name,
+        attributes=(
+            AttributeSpec("name", "concepts", pool="restaurant_word", min_parts=1, max_parts=3),
+            AttributeSpec("addr", "concepts", pool="street", min_parts=2, max_parts=3),
+            AttributeSpec("city", "concepts", pool="city", min_parts=1, max_parts=1),
+            AttributeSpec("phone", "phone"),
+            AttributeSpec("type", "concepts", pool="cuisine", min_parts=1, max_parts=1),
+            AttributeSpec("class", "code"),
+        ),
+        pools={"restaurant_word": 170, "street": 120, "city": 25, "cuisine": 20},
+        title_attribute="name",
+        variant_attributes=("class",),
+    )
+
+
+def movie_domain(name: str, attributes: tuple[str, ...]) -> DomainSpec:
+    """Movies/TV (IMDB/TMDB/TVDB style) with a configurable attribute subset.
+
+    *attributes* selects from: title, director, actors, year, genre,
+    duration, language — the three Table V movie datasets expose 4-6 of
+    these.
+    """
+    catalogue = {
+        "title": AttributeSpec("title", "concepts", pool="title_word", min_parts=1, max_parts=4),
+        "director": AttributeSpec("director", "person", min_parts=1, max_parts=1),
+        "actors": AttributeSpec("actors", "person", min_parts=2, max_parts=4),
+        "year": AttributeSpec("year", "year"),
+        "genre": AttributeSpec("genre", "concepts", pool="genre", min_parts=1, max_parts=3),
+        "duration": AttributeSpec("duration", "code"),
+        "language": AttributeSpec("language", "concepts", pool="language", min_parts=1, max_parts=1),
+    }
+    unknown = set(attributes) - set(catalogue)
+    if unknown:
+        raise ValueError(f"unknown movie attributes {sorted(unknown)}")
+    return DomainSpec(
+        name=name,
+        attributes=tuple(catalogue[attr] for attr in attributes),
+        pools={
+            "title_word": 300,
+            "genre": 20,
+            "language": 12,
+            "first_name": 90,
+            "last_name": 170,
+        },
+        title_attribute="title",
+        variant_attributes=("year",),
+    )
+
+
+def company_domain(name: str = "company") -> DomainSpec:
+    """Long-text company descriptions (Company benchmark, 1 attribute)."""
+    return DomainSpec(
+        name=name,
+        attributes=(
+            AttributeSpec("content", "text", pool="content_word", min_parts=10, max_parts=80),
+        ),
+        pools={"content_word": 900},
+        title_attribute="content",
+        variant_attributes=(),
+    )

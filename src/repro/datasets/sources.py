@@ -1,0 +1,180 @@
+"""The 8 raw source-dataset pairs of Table V.
+
+These are full two-source datasets with complete ground truth — the input to
+the Section VI methodology (blocking -> tuning -> splitting -> assessment).
+Unlike the established benchmarks they come with *no* candidate pairs:
+DeepBlocker generates those.
+
+Difficulty calibration mirrors Table V / Section VI-A:
+
+* bibliographic pairs (``dblp_acm``, ``dblp_scholar``) are clean — blocking
+  reaches high precision and the resulting benchmarks stay easy;
+* product pairs (``abt_buy``, ``amazon_google``, ``walmart_amazon``) carry
+  heavy synonym divergence and noise — the resulting benchmarks are the
+  challenging ones;
+* movie pairs (``imdb_tmdb``, ``imdb_tvdb``, ``tmdb_tvdb``) are noisy with
+  missing values, forcing large K for 90% blocking recall (low PQ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.entities import (
+    DomainSpec,
+    bibliographic_domain,
+    movie_domain,
+    product_domain,
+    rich_product_domain,
+    software_domain,
+)
+from repro.datasets.generator import (
+    GeneratorProfile,
+    SourcePair,
+    generate_source_pair,
+)
+from repro.datasets.noise import NoiseModel
+
+
+@dataclass(frozen=True)
+class SourceProfile:
+    """Generation recipe for one Table V source-dataset pair."""
+
+    dataset_id: str
+    origin: str
+    domain: DomainSpec
+    n_matches: int
+    left_extra: int
+    right_extra: int
+    synonym_rate_right: float
+    noise: NoiseModel
+    family_fraction: float
+    seed: int
+
+
+_LIGHT = NoiseModel(typo_rate=0.02, drop_rate=0.01)
+_PRODUCT = NoiseModel(
+    typo_rate=0.10, drop_rate=0.07, abbreviate_rate=0.04, missing_rate=0.10
+)
+_MOVIE = NoiseModel(
+    typo_rate=0.06, drop_rate=0.05, abbreviate_rate=0.04, missing_rate=0.10
+)
+_SCHOLAR = NoiseModel(typo_rate=0.05, drop_rate=0.04, missing_rate=0.05)
+
+SOURCE_PROFILES: dict[str, SourceProfile] = {
+    "abt_buy": SourceProfile(
+        dataset_id="abt_buy",
+        origin="Abt / Buy",
+        domain=product_domain("abt_buy_src"),
+        n_matches=270, left_extra=0, right_extra=0,
+        synonym_rate_right=0.48, noise=_PRODUCT,
+        family_fraction=0.60, seed=201,
+    ),
+    "amazon_google": SourceProfile(
+        dataset_id="amazon_google",
+        origin="Amazon / Google Products",
+        domain=software_domain("amazon_google_src"),
+        n_matches=276, left_extra=62, right_extra=250,
+        synonym_rate_right=0.46, noise=_PRODUCT,
+        family_fraction=0.70, seed=202,
+    ),
+    "dblp_acm": SourceProfile(
+        dataset_id="dblp_acm",
+        origin="DBLP / ACM",
+        domain=bibliographic_domain("dblp_acm_src"),
+        n_matches=556, left_extra=98, right_extra=18,
+        synonym_rate_right=0.08, noise=_LIGHT,
+        family_fraction=0.15, seed=203,
+    ),
+    "imdb_tmdb": SourceProfile(
+        dataset_id="imdb_tmdb",
+        origin="IMDB / TMDB",
+        domain=movie_domain("imdb_tmdb_src",
+                            ("title", "director", "actors", "year", "genre")),
+        n_matches=200, left_extra=280, right_extra=360,
+        synonym_rate_right=0.34, noise=_MOVIE,
+        family_fraction=0.30, seed=204,
+    ),
+    "imdb_tvdb": SourceProfile(
+        dataset_id="imdb_tvdb",
+        origin="IMDB / TVDB",
+        domain=movie_domain("imdb_tvdb_src",
+                            ("title", "actors", "year", "genre")),
+        n_matches=120, left_extra=350, right_extra=560,
+        synonym_rate_right=0.36, noise=_MOVIE,
+        family_fraction=0.30, seed=205,
+    ),
+    "tmdb_tvdb": SourceProfile(
+        dataset_id="tmdb_tvdb",
+        origin="TMDB / TVDB",
+        domain=movie_domain(
+            "tmdb_tvdb_src",
+            ("title", "director", "actors", "year", "genre", "language"),
+        ),
+        n_matches=120, left_extra=250, right_extra=330,
+        synonym_rate_right=0.34, noise=_MOVIE,
+        family_fraction=0.45, seed=206,
+    ),
+    "walmart_amazon": SourceProfile(
+        dataset_id="walmart_amazon",
+        origin="Walmart / Amazon",
+        domain=rich_product_domain("walmart_amazon_src"),
+        n_matches=213, left_extra=340, right_extra=400,
+        synonym_rate_right=0.42, noise=_PRODUCT,
+        family_fraction=0.62, seed=207,
+    ),
+    "dblp_scholar": SourceProfile(
+        dataset_id="dblp_scholar",
+        origin="DBLP / Google Scholar",
+        domain=bibliographic_domain("dblp_scholar_src"),
+        n_matches=577, left_extra=52, right_extra=1800,
+        synonym_rate_right=0.06, noise=_SCHOLAR,
+        family_fraction=0.10, seed=208,
+    ),
+}
+
+#: Canonical new-benchmark order of Table V: D_n1 .. D_n8.
+SOURCE_ORDER: tuple[str, ...] = (
+    "abt_buy",       # D_n1
+    "amazon_google", # D_n2
+    "dblp_acm",      # D_n3
+    "imdb_tmdb",     # D_n4
+    "imdb_tvdb",     # D_n5
+    "tmdb_tvdb",     # D_n6
+    "walmart_amazon",# D_n7
+    "dblp_scholar",  # D_n8
+)
+
+#: D_nX label per source id.
+NEW_BENCHMARK_LABELS: dict[str, str] = {
+    source_id: f"Dn{index + 1}" for index, source_id in enumerate(SOURCE_ORDER)
+}
+
+
+def _scaled(value: int, size_factor: float, minimum: int = 0) -> int:
+    return max(minimum, int(round(value * size_factor)))
+
+
+def build_source_pair(dataset_id: str, size_factor: float = 1.0) -> SourcePair:
+    """Generate one Table V source pair (deterministic per dataset id)."""
+    if dataset_id not in SOURCE_PROFILES:
+        raise KeyError(
+            f"unknown source dataset {dataset_id!r}; known: {sorted(SOURCE_PROFILES)}"
+        )
+    if size_factor <= 0:
+        raise ValueError(f"size_factor must be > 0, got {size_factor}")
+    profile = SOURCE_PROFILES[dataset_id]
+    generator_profile = GeneratorProfile(
+        name=dataset_id,
+        domain=profile.domain,
+        n_matches=_scaled(profile.n_matches, size_factor, minimum=20),
+        left_extra=_scaled(profile.left_extra, size_factor),
+        right_extra=_scaled(profile.right_extra, size_factor),
+        synonym_rate_left=0.0,
+        synonym_rate_right=profile.synonym_rate_right,
+        noise_left=profile.noise,
+        noise_right=profile.noise,
+        family_fraction=profile.family_fraction,
+        seed=profile.seed,
+    )
+    return generate_source_pair(generator_profile)

@@ -1,0 +1,207 @@
+"""Concept vocabularies with synonym clusters and homographs.
+
+A *concept* is a unit of meaning with one or more *surface forms* (synonyms):
+think "laptop" / "notebook". The generator describes entities as sequences of
+concepts; the two data sources of a clean-clean ER dataset may render the
+same concept with different surfaces. Token-overlap measures only see the
+surfaces; the synthetic pre-trained language model (:mod:`repro.embeddings`)
+sees the clusters, giving embedding-based matchers the semantic advantage
+the paper attributes to real pre-trained models.
+
+A *homograph* is a surface form shared by two concepts ("bank" the
+institution / "bank" of a river) — static embeddings conflate the two,
+context-aware embeddings disambiguate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_CONSONANTS = "bcdfghjklmnprstvwz"
+_VOWELS = "aeiou"
+
+
+def _make_word(
+    rng: np.random.Generator, min_syllables: int = 2, max_syllables: int = 3
+) -> str:
+    """A pronounceable pseudo-word of 2-3 consonant-vowel(-consonant) syllables."""
+    syllables = rng.integers(min_syllables, max_syllables + 1)
+    parts = []
+    for __ in range(syllables):
+        part = rng.choice(list(_CONSONANTS)) + rng.choice(list(_VOWELS))
+        if rng.random() < 0.35:
+            part += rng.choice(list(_CONSONANTS))
+        parts.append(part)
+    return "".join(parts)
+
+
+@dataclass(frozen=True)
+class Concept:
+    """A meaning with its surface forms; ``surfaces[0]`` is canonical."""
+
+    concept_id: int
+    pool: str
+    surfaces: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.surfaces:
+            raise ValueError(f"concept {self.concept_id} has no surface forms")
+
+    @property
+    def canonical(self) -> str:
+        return self.surfaces[0]
+
+
+class ConceptVocabulary:
+    """All concepts of a domain, organized in named pools.
+
+    Pools model attribute-specific vocabularies: a product domain has a
+    ``brand`` pool, a ``descriptor`` pool and so on. Surfaces map back to
+    every concept using them (more than one concept for homographs).
+    """
+
+    def __init__(self, name: str, concepts: list[Concept] | None = None) -> None:
+        self.name = name
+        self.concepts: list[Concept] = []
+        self._by_id: dict[int, Concept] = {}
+        self._pools: dict[str, list[Concept]] = {}
+        self._surface_index: dict[str, list[Concept]] = {}
+        for concept in concepts or []:
+            self.add(concept)
+
+    def add(self, concept: Concept) -> None:
+        """Register a new concept (ids must be unique)."""
+        if concept.concept_id in self._by_id:
+            raise ValueError(f"duplicate concept id {concept.concept_id}")
+        self.concepts.append(concept)
+        self._by_id[concept.concept_id] = concept
+        self._pools.setdefault(concept.pool, []).append(concept)
+        for surface in concept.surfaces:
+            self._surface_index.setdefault(surface, []).append(concept)
+
+    def replace(self, concept_id: int, updated: Concept) -> None:
+        """Swap a concept for an updated version, rebuilding all indices."""
+        if updated.concept_id != concept_id:
+            raise ValueError(
+                f"updated concept has id {updated.concept_id}, expected {concept_id}"
+            )
+        if concept_id not in self._by_id:
+            raise KeyError(f"no concept with id {concept_id}")
+        remaining = [
+            concept if concept.concept_id != concept_id else updated
+            for concept in self.concepts
+        ]
+        self.concepts = []
+        self._by_id = {}
+        self._pools = {}
+        self._surface_index = {}
+        for concept in remaining:
+            self.add(concept)
+
+    def get(self, concept_id: int) -> Concept:
+        """Look up a concept by id (raises ``KeyError`` when absent)."""
+        return self._by_id[concept_id]
+
+    def pool(self, name: str) -> list[Concept]:
+        """All concepts of a pool (raises ``KeyError`` for unknown pools)."""
+        return list(self._pools[name])
+
+    def pool_names(self) -> list[str]:
+        return list(self._pools)
+
+    def concepts_for_surface(self, surface: str) -> list[Concept]:
+        """Concepts whose surface forms include *surface* (several = homograph)."""
+        return list(self._surface_index.get(surface, []))
+
+    def surfaces(self) -> list[str]:
+        """Every known surface form."""
+        return list(self._surface_index)
+
+    def homograph_surfaces(self) -> list[str]:
+        """Surfaces shared by more than one concept."""
+        return [
+            surface
+            for surface, owners in self._surface_index.items()
+            if len(owners) > 1
+        ]
+
+    def sample(self, pool: str, rng: np.random.Generator) -> Concept:
+        """Draw one concept uniformly from *pool*."""
+        members = self._pools[pool]
+        return members[int(rng.integers(0, len(members)))]
+
+
+def build_vocabulary(
+    name: str,
+    pools: dict[str, int],
+    synonym_fraction: float = 0.3,
+    max_synonyms: int = 3,
+    homograph_fraction: float = 0.02,
+    seed: int = 0,
+) -> ConceptVocabulary:
+    """Generate a vocabulary with the given pool sizes.
+
+    Parameters
+    ----------
+    pools:
+        Mapping pool name -> number of concepts.
+    synonym_fraction:
+        Fraction of concepts that get extra surface forms (2..max_synonyms).
+    homograph_fraction:
+        Fraction of concepts (per pool) that additionally adopt a surface
+        form belonging to another concept of the same pool, creating
+        polysemy.
+    """
+    if not 0.0 <= synonym_fraction <= 1.0:
+        raise ValueError(f"synonym_fraction must be in [0, 1], got {synonym_fraction}")
+    if not 0.0 <= homograph_fraction <= 1.0:
+        raise ValueError(
+            f"homograph_fraction must be in [0, 1], got {homograph_fraction}"
+        )
+    rng = np.random.default_rng(seed)
+    vocabulary = ConceptVocabulary(name=name)
+    used_surfaces: set[str] = set()
+    concept_id = 0
+
+    def fresh_word() -> str:
+        while True:
+            word = _make_word(rng)
+            if word not in used_surfaces:
+                used_surfaces.add(word)
+                return word
+
+    for pool_name, pool_size in pools.items():
+        if pool_size < 1:
+            raise ValueError(f"pool {pool_name!r} must have >= 1 concepts")
+        pool_concepts: list[Concept] = []
+        for __ in range(pool_size):
+            n_surfaces = 1
+            if rng.random() < synonym_fraction:
+                n_surfaces = int(rng.integers(2, max_synonyms + 1))
+            surfaces = tuple(fresh_word() for __ in range(n_surfaces))
+            concept = Concept(concept_id=concept_id, pool=pool_name, surfaces=surfaces)
+            concept_id += 1
+            pool_concepts.append(concept)
+            vocabulary.add(concept)
+
+        # Homographs: a concept adopts another concept's canonical surface as
+        # an extra alias, so that surface now belongs to two meanings.
+        n_homographs = int(round(homograph_fraction * pool_size))
+        if n_homographs and pool_size >= 2:
+            for __ in range(n_homographs):
+                borrower = pool_concepts[int(rng.integers(0, pool_size))]
+                lender = pool_concepts[int(rng.integers(0, pool_size))]
+                if borrower.concept_id == lender.concept_id:
+                    continue
+                if lender.canonical in borrower.surfaces:
+                    continue
+                updated = Concept(
+                    concept_id=borrower.concept_id,
+                    pool=borrower.pool,
+                    surfaces=borrower.surfaces + (lender.canonical,),
+                )
+                vocabulary.replace(borrower.concept_id, updated)
+                pool_concepts[pool_concepts.index(borrower)] = updated
+    return vocabulary

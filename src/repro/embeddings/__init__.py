@@ -1,0 +1,39 @@
+"""Synthetic pre-trained language model substrate.
+
+Real deep matchers lean on fastText / BERT / S-GTR-T5 for semantic knowledge
+that lexical similarity lacks. None of those are available offline, so this
+package provides a *synthetic* pre-trained LM whose semantic knowledge is,
+by construction, the synonym-cluster structure of the generated vocabularies
+(see DESIGN.md, Substitutions):
+
+* :class:`StaticEmbedder` — fastText stand-in: one vector per token, built
+  from the token's concept-cluster centroid plus a subword (character
+  n-gram) component, so synonyms land close together and typos land close
+  to their originals. Homograph tokens get the *average* of their cluster
+  centroids — static models cannot disambiguate.
+* :class:`ContextualEmbedder` — BERT/RoBERTa stand-in: the same vectors but
+  homographs are disambiguated from the surrounding tokens' clusters; the
+  ``variant`` seed models different pre-trained checkpoints ("B" vs "R").
+* :class:`SentenceEmbedder` — S-GTR-T5 stand-in: TF-IDF-weighted pooling of
+  token vectors into a single record vector.
+"""
+
+from repro.embeddings.lm import SyntheticLanguageModel
+from repro.embeddings.static import StaticEmbedder
+from repro.embeddings.contextual import ContextualEmbedder
+from repro.embeddings.sentence import SentenceEmbedder
+from repro.embeddings.distances import (
+    cosine_vector_similarity,
+    euclidean_similarity,
+    wasserstein_similarity,
+)
+
+__all__ = [
+    "ContextualEmbedder",
+    "SentenceEmbedder",
+    "StaticEmbedder",
+    "SyntheticLanguageModel",
+    "cosine_vector_similarity",
+    "euclidean_similarity",
+    "wasserstein_similarity",
+]

@@ -1,0 +1,94 @@
+"""Contextual token embedder (BERT/RoBERTa stand-in).
+
+Two mechanisms distinguish it from the static embedder:
+
+* **polysemy** — homograph tokens are disambiguated against the concept
+  centroids of the surrounding tokens (the paper's "bank" example);
+* **checkpoint variants** — the ``variant`` name ("B" for BERT-like, "R"
+  for RoBERTa-like) perturbs the underlying geometry slightly, modelling the
+  fact that different pre-trained checkpoints give correlated but not
+  identical representations (EMTransformer-B vs -R in Table IV).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.records import Record
+from repro.embeddings.lm import SyntheticLanguageModel
+from repro.text.tokenize import tokenize
+
+_VARIANT_SEEDS = {"B": 0, "R": 1}
+
+
+class ContextualEmbedder:
+    """Context-aware token and sequence embeddings."""
+
+    def __init__(
+        self, model: SyntheticLanguageModel, variant: str = "B"
+    ) -> None:
+        if variant not in _VARIANT_SEEDS:
+            raise ValueError(
+                f"unknown variant {variant!r}; known: {sorted(_VARIANT_SEEDS)}"
+            )
+        self.model = model
+        self.variant = variant
+        rng = np.random.default_rng(
+            model.seed * 31 + 1009 * _VARIANT_SEEDS[variant]
+        )
+        # A mild random rotation-ish mixing matrix per checkpoint variant:
+        # orthonormal basis from a QR decomposition keeps norms intact.
+        random_matrix = rng.normal(size=(model.dimension, model.dimension))
+        q, __ = np.linalg.qr(random_matrix)
+        blend = 0.15 if variant == "R" else 0.0
+        self._mix = (1.0 - blend) * np.eye(model.dimension) + blend * q
+
+    @property
+    def dimension(self) -> int:
+        return self.model.dimension
+
+    def _context_concepts(self, tokens: list[str]) -> list[int]:
+        """Unambiguous concept ids present in the token sequence."""
+        concepts: list[int] = []
+        for token in tokens:
+            ids = self.model.token_concepts(token)
+            if len(ids) == 1:
+                concepts.append(ids[0])
+        return concepts
+
+    def embed_sequence(self, tokens: list[str]) -> np.ndarray:
+        """Sequence vector: disambiguated token vectors, mean-pooled.
+
+        This emulates the [CLS]-style sequence encoding the transformer
+        matchers use: concatenate all attribute values into one sequence and
+        encode it as a whole.
+        """
+        if not tokens:
+            return np.zeros(self.dimension)
+        context = self._context_concepts(tokens)
+        total = np.zeros(self.dimension)
+        for token in tokens:
+            total += self.model.disambiguated_vector(token, context)
+        vector = (total / len(tokens)) @ self._mix
+        norm = np.linalg.norm(vector)
+        return vector / norm if norm > 0 else vector
+
+    def embed_text(self, text: str) -> np.ndarray:
+        return self.embed_sequence(tokenize(text))
+
+    def embed_record(self, record: Record) -> np.ndarray:
+        """Heterogeneous encoding: all attribute values as one sequence."""
+        return self.embed_text(record.full_text())
+
+    def embed_attribute(self, record: Record, attribute: str) -> np.ndarray:
+        """Attribute encoding, still disambiguated by the whole record."""
+        tokens = tokenize(record.value(attribute))
+        if not tokens:
+            return np.zeros(self.dimension)
+        context = self._context_concepts(tokenize(record.full_text()))
+        total = np.zeros(self.dimension)
+        for token in tokens:
+            total += self.model.disambiguated_vector(token, context)
+        vector = (total / len(tokens)) @ self._mix
+        norm = np.linalg.norm(vector)
+        return vector / norm if norm > 0 else vector

@@ -1,0 +1,46 @@
+"""Vector similarity measures used by the SAS/SBS-ESDE matchers.
+
+Section IV-C defines three similarities over sentence-embedding vectors:
+cosine, Euclidean similarity ``1 / (1 + ED)`` and Wasserstein similarity
+(same transform applied to the 1-d Wasserstein / Earth mover's distance
+between the two vectors viewed as samples).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_pair(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    left = np.asarray(a, dtype=np.float64).ravel()
+    right = np.asarray(b, dtype=np.float64).ravel()
+    if left.shape != right.shape:
+        raise ValueError(f"vector shapes differ: {left.shape} vs {right.shape}")
+    return left, right
+
+
+def cosine_vector_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity mapped into [0, 1] (0 for a zero vector)."""
+    left, right = _check_pair(a, b)
+    norms = np.linalg.norm(left) * np.linalg.norm(right)
+    if norms == 0:
+        return 0.0
+    cosine = float(left @ right) / norms
+    return float(np.clip((cosine + 1.0) / 2.0, 0.0, 1.0))
+
+
+def euclidean_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """``ES = 1 / (1 + ED)`` with ED the Euclidean distance (§IV-C)."""
+    left, right = _check_pair(a, b)
+    return 1.0 / (1.0 + float(np.linalg.norm(left - right)))
+
+
+def wasserstein_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """``WS = 1 / (1 + W1)`` with W1 the 1-d Wasserstein distance.
+
+    Treats the two vectors as empirical samples of equal size, for which W1
+    is the mean absolute difference of the sorted values.
+    """
+    left, right = _check_pair(a, b)
+    w1 = float(np.mean(np.abs(np.sort(left) - np.sort(right))))
+    return 1.0 / (1.0 + w1)

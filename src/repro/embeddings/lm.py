@@ -1,0 +1,167 @@
+"""The synthetic pre-trained language model.
+
+The model assigns every *concept* (synonym cluster) a fixed random centroid
+on the unit sphere and every surface form an offset around the centroid(s)
+of the concept(s) it belongs to. Tokens outside any vocabulary — typos,
+model codes, numbers — fall back to a purely subword (hashed character
+n-gram) vector, mirroring how fastText composes vectors for
+out-of-vocabulary words.
+
+Determinism: centroids and hashes derive from a seed plus stable string
+hashes, so the same vocabulary and seed always produce identical vectors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.datasets.vocabulary import ConceptVocabulary
+from repro.text.tokenize import qgrams
+
+
+def _stable_hash(text: str, salt: str) -> int:
+    digest = hashlib.blake2b(
+        f"{salt}:{text}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+def _unit(vector: np.ndarray) -> np.ndarray:
+    norm = np.linalg.norm(vector)
+    if norm == 0:
+        return vector
+    return vector / norm
+
+
+class SyntheticLanguageModel:
+    """Concept-aware token vectors for one vocabulary.
+
+    Parameters
+    ----------
+    vocabulary:
+        The concept vocabulary whose synonym clusters define semantics.
+    dimension:
+        Embedding width (64 is plenty for the synthetic vocabularies; the
+        ratio static:contextual widths of the real models is irrelevant to
+        the mechanisms under study).
+    subword_weight:
+        Mixing weight of the hashed character-trigram component; > 0 makes
+        typo'd tokens land near their originals.
+    seed:
+        Global seed; combined with stable string hashes per concept/gram.
+    """
+
+    def __init__(
+        self,
+        vocabulary: ConceptVocabulary,
+        dimension: int = 64,
+        subword_weight: float = 0.35,
+        seed: int = 0,
+    ) -> None:
+        if dimension < 4:
+            raise ValueError(f"dimension must be >= 4, got {dimension}")
+        if not 0.0 <= subword_weight <= 1.0:
+            raise ValueError(
+                f"subword_weight must be in [0, 1], got {subword_weight}"
+            )
+        self.vocabulary = vocabulary
+        self.dimension = dimension
+        self.subword_weight = subword_weight
+        self.seed = seed
+        self._centroids: dict[int, np.ndarray] = {}
+        self._gram_cache: dict[str, np.ndarray] = {}
+        self._token_cache: dict[str, np.ndarray] = {}
+
+    # -- building blocks ---------------------------------------------------
+
+    def concept_centroid(self, concept_id: int) -> np.ndarray:
+        """The unit-norm centroid of one synonym cluster."""
+        cached = self._centroids.get(concept_id)
+        if cached is None:
+            rng = np.random.default_rng(
+                (self.seed * 1_000_003 + concept_id) & 0x7FFFFFFF
+            )
+            cached = _unit(rng.normal(size=self.dimension))
+            self._centroids[concept_id] = cached
+        return cached
+
+    def _gram_vector(self, gram: str) -> np.ndarray:
+        cached = self._gram_cache.get(gram)
+        if cached is None:
+            rng = np.random.default_rng(
+                (_stable_hash(gram, f"gram{self.seed}")) & 0x7FFFFFFF
+            )
+            cached = _unit(rng.normal(size=self.dimension))
+            self._gram_cache[gram] = cached
+        return cached
+
+    def subword_vector(self, token: str) -> np.ndarray:
+        """Mean hashed character-trigram vector (fastText-style subwords)."""
+        grams = qgrams(f"<{token}>", 3)
+        if not grams:
+            return np.zeros(self.dimension)
+        total = np.zeros(self.dimension)
+        for gram in sorted(grams):
+            total += self._gram_vector(gram)
+        return _unit(total / len(grams))
+
+    # -- public API ---------------------------------------------------------
+
+    def token_concepts(self, token: str) -> list[int]:
+        """Concept ids this surface form belongs to ([] when OOV)."""
+        return [
+            concept.concept_id
+            for concept in self.vocabulary.concepts_for_surface(token)
+        ]
+
+    def token_vector(self, token: str) -> np.ndarray:
+        """Static (context-free) vector of a token.
+
+        In-vocabulary tokens mix the mean of their concept centroids with
+        the subword component; OOV tokens are pure subword vectors.
+        Homographs therefore sit between their meanings — the static
+        ambiguity the contextual embedder resolves.
+        """
+        cached = self._token_cache.get(token)
+        if cached is not None:
+            return cached
+        concept_ids = self.token_concepts(token)
+        subword = self.subword_vector(token)
+        if not concept_ids:
+            vector = subword
+        else:
+            centroid = np.mean(
+                [self.concept_centroid(cid) for cid in concept_ids], axis=0
+            )
+            vector = _unit(
+                (1.0 - self.subword_weight) * centroid
+                + self.subword_weight * subword
+            )
+        self._token_cache[token] = vector
+        return vector
+
+    def disambiguated_vector(
+        self, token: str, context_concepts: list[int]
+    ) -> np.ndarray:
+        """Context-aware vector: homographs pick the centroid closest to
+        the context centroid (mean of the context concepts' centroids).
+
+        Non-homograph and OOV tokens reduce to the static vector.
+        """
+        concept_ids = self.token_concepts(token)
+        if len(concept_ids) < 2 or not context_concepts:
+            return self.token_vector(token)
+        context = np.mean(
+            [self.concept_centroid(cid) for cid in context_concepts], axis=0
+        )
+        best = max(
+            concept_ids,
+            key=lambda cid: float(self.concept_centroid(cid) @ context),
+        )
+        subword = self.subword_vector(token)
+        return _unit(
+            (1.0 - self.subword_weight) * self.concept_centroid(best)
+            + self.subword_weight * subword
+        )

@@ -1,0 +1,66 @@
+"""Sentence embedder (S-GTR-T5 stand-in) for the SAS/SBS-ESDE matchers.
+
+Embeds the concatenation of all attribute values as a single vector using
+TF-IDF-weighted pooling of the language model's token vectors: frequent
+filler tokens contribute little, rare discriminative tokens dominate — the
+property of real sentence encoders the ESDE variants rely on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.data.records import Record
+from repro.embeddings.lm import SyntheticLanguageModel
+from repro.text.tokenize import tokenize
+from repro.text.vectorize import TfIdfVectorizer
+
+
+class SentenceEmbedder:
+    """TF-IDF-pooled record embeddings.
+
+    Must be fitted on a corpus of records (typically both sources of a
+    task) before use, mirroring how sentence encoders are applied after
+    tokenizer/vocabulary preparation.
+    """
+
+    def __init__(self, model: SyntheticLanguageModel) -> None:
+        self.model = model
+        self._vectorizer = TfIdfVectorizer()
+        self._fitted = False
+
+    @property
+    def dimension(self) -> int:
+        return self.model.dimension
+
+    def fit(self, records: Iterable[Record]) -> "SentenceEmbedder":
+        """Learn IDF weights from the record corpus."""
+        corpus = [tokenize(record.full_text()) for record in records]
+        corpus = [tokens for tokens in corpus if tokens]
+        if not corpus:
+            raise ValueError("cannot fit a SentenceEmbedder on empty records")
+        self._vectorizer.fit(corpus)
+        self._fitted = True
+        return self
+
+    def embed_text(self, text: str) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("SentenceEmbedder is not fitted; call fit() first")
+        tokens = tokenize(text)
+        if not tokens:
+            return np.zeros(self.dimension)
+        weights = self._vectorizer.weights(tokens)
+        total = np.zeros(self.dimension)
+        for token, weight in weights.items():
+            total += weight * self.model.token_vector(token)
+        norm = np.linalg.norm(total)
+        return total / norm if norm > 0 else total
+
+    def embed_record(self, record: Record) -> np.ndarray:
+        """Schema-agnostic sentence vector of the whole record."""
+        return self.embed_text(record.full_text())
+
+    def embed_attribute(self, record: Record, attribute: str) -> np.ndarray:
+        return self.embed_text(record.value(attribute))

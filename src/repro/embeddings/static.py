@@ -1,0 +1,49 @@
+"""Static token embedder (fastText stand-in)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.records import Record
+from repro.embeddings.lm import SyntheticLanguageModel
+from repro.text.tokenize import tokenize
+
+
+class StaticEmbedder:
+    """Context-free token and record embeddings.
+
+    Every token always maps to the same vector regardless of context
+    (homographs stay ambiguous). Record/attribute embeddings are mean-pooled
+    token vectors — the standard aggregation for static models.
+    """
+
+    def __init__(self, model: SyntheticLanguageModel) -> None:
+        self.model = model
+
+    @property
+    def dimension(self) -> int:
+        return self.model.dimension
+
+    def embed_token(self, token: str) -> np.ndarray:
+        return self.model.token_vector(token)
+
+    def embed_tokens(self, tokens: list[str]) -> np.ndarray:
+        """Mean-pooled vector of a token sequence (zeros when empty)."""
+        if not tokens:
+            return np.zeros(self.dimension)
+        total = np.zeros(self.dimension)
+        for token in tokens:
+            total += self.embed_token(token)
+        vector = total / len(tokens)
+        norm = np.linalg.norm(vector)
+        return vector / norm if norm > 0 else vector
+
+    def embed_text(self, text: str) -> np.ndarray:
+        return self.embed_tokens(tokenize(text))
+
+    def embed_attribute(self, record: Record, attribute: str) -> np.ndarray:
+        return self.embed_text(record.value(attribute))
+
+    def embed_record(self, record: Record) -> np.ndarray:
+        """Schema-agnostic record vector over all attribute values."""
+        return self.embed_text(record.full_text())

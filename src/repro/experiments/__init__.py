@@ -1,0 +1,27 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+:mod:`repro.experiments.runner` orchestrates and caches everything; the
+``tables`` and ``figures`` modules turn cached results into the paper's
+tables (III-VII) and figure series (1-6); ``report`` renders them as
+aligned text. Each experiment has a pytest-benchmark wrapper under
+``benchmarks/``.
+"""
+
+from repro.experiments.matcher_suite import (
+    build_suite,
+    evaluate_suite,
+    family_of,
+    linear_f1_scores,
+    non_linear_f1_scores,
+)
+from repro.experiments.runner import ExperimentRunner, default_runner
+
+__all__ = [
+    "ExperimentRunner",
+    "build_suite",
+    "default_runner",
+    "evaluate_suite",
+    "family_of",
+    "linear_f1_scores",
+    "non_linear_f1_scores",
+]

@@ -1,0 +1,142 @@
+"""Command-line interface: regenerate any experiment from a shell.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro table3                # print Table III
+    python -m repro table4 --scale 0.5    # half-scale matcher sweep
+    python -m repro fig1                  # Figure 1 series
+    python -m repro audit Ds4             # four-measure audit of one dataset
+    python -m repro list                  # list datasets and experiments
+
+Heavy sweeps honour ``--cache DIR`` (default ``.benchcache``), sharing the
+cache with the pytest-benchmark harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.datasets.registry import ESTABLISHED_DATASET_IDS, SOURCE_DATASET_IDS
+from repro.experiments import figures, tables
+from repro.experiments.report import render_figure, render_table
+from repro.experiments.runner import ExperimentRunner
+
+_TABLES = {
+    "table3": (tables.table3, "Table III — established benchmarks"),
+    "table4": (tables.table4, "Table IV — F1 per matcher and dataset"),
+    "table5": (tables.table5, "Table V — new benchmarks (DeepBlocker)"),
+    "table6": (tables.table6, "Table VI — F1 per matcher (new benchmarks)"),
+    "table7": (tables.table7, "Table VII — existing vs new benchmarks"),
+}
+
+_FIGURES = {
+    "fig1": (figures.figure1, "Figure 1 — degree of linearity (established)"),
+    "fig2": (figures.figure2, "Figure 2 — complexity measures (established)"),
+    "fig3": (figures.figure3, "Figure 3 — NLB and LBM (established)"),
+    "fig4": (figures.figure4, "Figure 4 — degree of linearity (new)"),
+    "fig5": (figures.figure5, "Figure 5 — complexity measures (new)"),
+    "fig6": (figures.figure6, "Figure 6 — NLB and LBM (new)"),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's tables, figures and audits.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="table3..table7, fig1..fig6, audit, or list",
+    )
+    parser.add_argument(
+        "dataset",
+        nargs="?",
+        default=None,
+        help="dataset id for 'audit' (e.g. Ds4 or abt_buy)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="dataset size factor (1.0 = CI scale)",
+    )
+    parser.add_argument(
+        "--cache",
+        type=Path,
+        default=Path(".benchcache"),
+        help="matcher-sweep cache directory ('' to disable)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="global experiment seed"
+    )
+    return parser
+
+
+def _audit(runner: ExperimentRunner, dataset_id: str) -> str:
+    assessment = runner.assessment(dataset_id, with_practical=True)
+    practical = assessment.practical
+    assert practical is not None
+    lines = [
+        f"=== {dataset_id} ===",
+        f"linearity (cosine):  {assessment.linearity['cosine'].max_f1:.3f}",
+        f"linearity (jaccard): {assessment.linearity['jaccard'].max_f1:.3f}",
+        f"mean complexity:     {assessment.complexity.mean:.3f}",
+        f"non-linear boost:    {100 * practical.non_linear_boost:.1f}%",
+        f"learning margin:     {100 * practical.learning_based_margin:.1f}%",
+        f"easy by linearity:   {assessment.easy_by_linearity}",
+        f"easy by complexity:  {assessment.easy_by_complexity}",
+        f"easy by practical:   {assessment.easy_by_practical}",
+        f"CHALLENGING:         {assessment.is_challenging}",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    cache_dir = args.cache if str(args.cache) else None
+    runner = ExperimentRunner(
+        size_factor=args.scale, seed=args.seed, cache_dir=cache_dir
+    )
+
+    if args.experiment == "list":
+        print("experiments:", ", ".join([*_TABLES, *_FIGURES, "verdicts", "audit"]))
+        print("established datasets:", ", ".join(ESTABLISHED_DATASET_IDS))
+        print("source datasets:", ", ".join(SOURCE_DATASET_IDS))
+        return 0
+
+    if args.experiment == "audit":
+        if args.dataset is None:
+            print("audit requires a dataset id (see 'repro list')")
+            return 2
+        print(_audit(runner, args.dataset))
+        return 0
+
+    if args.experiment == "verdicts":
+        from repro.datasets.registry import SOURCE_DATASET_IDS as _SOURCES
+        from repro.experiments.tables import verdict_table
+
+        headers, rows = verdict_table(runner)
+        print(render_table(headers, rows, title="Verdicts — established"))
+        headers, rows = verdict_table(runner, _SOURCES)
+        print()
+        print(render_table(headers, rows, title="Verdicts — new benchmarks"))
+        return 0
+
+    if args.experiment in _TABLES:
+        builder, title = _TABLES[args.experiment]
+        headers, rows = builder(runner)
+        print(render_table(headers, rows, title=title))
+        return 0
+
+    if args.experiment in _FIGURES:
+        builder, title = _FIGURES[args.experiment]
+        print(render_figure(builder(runner), title=title))
+        return 0
+
+    print(f"unknown experiment {args.experiment!r}; try 'repro list'")
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

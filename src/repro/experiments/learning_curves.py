@@ -1,0 +1,65 @@
+"""Epoch learning curves for the deep matchers.
+
+Section V-B: "the number of epochs is probably the most important
+hyperparameter for most DL-based matching algorithms", which is why every
+table reports two epoch budgets. This module extracts the per-epoch
+validation-F1 curve a deep matcher records during training, so the epoch
+sensitivity can be inspected directly instead of through two snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.task import MatchingTask
+from repro.matchers.deep.base import DeepMatcherBase
+from repro.ml.metrics import f1_score
+
+
+@dataclass(frozen=True)
+class LearningCurve:
+    """Per-epoch validation F1 plus the final test F1 of one training run."""
+
+    matcher: str
+    task: str
+    validation_f1: tuple[float, ...]
+    test_f1: float
+
+    @property
+    def best_epoch(self) -> int:
+        """1-based epoch whose validation F1 the model selection kept."""
+        best = max(self.validation_f1)
+        return self.validation_f1.index(best) + 1
+
+    @property
+    def plateau_epoch(self) -> int:
+        """First 1-based epoch within 1% F1 of the eventual best."""
+        best = max(self.validation_f1)
+        for epoch, value in enumerate(self.validation_f1, start=1):
+            if value >= best - 0.01:
+                return epoch
+        return len(self.validation_f1)
+
+
+def learning_curve(matcher: DeepMatcherBase, task: MatchingTask) -> LearningCurve:
+    """Train *matcher* on *task* and return its validation-F1 trajectory.
+
+    Relies on the MLP head's validation-history recording, which every deep
+    matcher's training loop populates (the paper's model-selection
+    protocol).
+    """
+    matcher.fit(task)
+    assert matcher._head is not None
+    history = tuple(matcher._head.validation_f1_history_)
+    if not history:
+        raise RuntimeError(
+            f"{matcher.name} recorded no validation history; was the task's "
+            "validation set empty?"
+        )
+    predictions = matcher.predict(task.testing)
+    return LearningCurve(
+        matcher=matcher.name,
+        task=task.name,
+        validation_f1=history,
+        test_f1=f1_score(task.testing.labels, predictions),
+    )

@@ -1,0 +1,167 @@
+"""Quantitative paper-vs-measured comparison.
+
+Builds, from a fitted :class:`ExperimentRunner` and the transcribed paper
+numbers, the evidence EXPERIMENTS.md records: per-dataset best-F1 per
+family (paper vs measured), the practical measures, the four-gate verdicts,
+and agreement statistics for the paper's headline claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.registry import (
+    ESTABLISHED_DATASET_IDS,
+    NEW_BENCHMARK_LABELS,
+    SOURCE_DATASET_IDS,
+)
+from repro.experiments.matcher_suite import family_of
+from repro.experiments.paper_reference import (
+    ESTABLISHED_ORDER,
+    NEW_ORDER,
+    PAPER_CHALLENGING_ESTABLISHED,
+    PAPER_CHALLENGING_NEW,
+    PAPER_TABLE4,
+    PAPER_TABLE6,
+    paper_best_f1,
+)
+from repro.experiments.runner import ExperimentRunner
+
+
+@dataclass(frozen=True)
+class DatasetComparison:
+    """Paper-vs-measured summary for one dataset."""
+
+    dataset: str
+    paper_best_dl: float
+    paper_best_ml: float
+    paper_best_linear: float
+    measured_best_dl: float
+    measured_best_ml: float
+    measured_best_linear: float
+    paper_challenging: bool
+    measured_challenging: bool
+
+    @property
+    def paper_nlb(self) -> float:
+        return max(self.paper_best_dl, self.paper_best_ml) - self.paper_best_linear
+
+    @property
+    def measured_nlb(self) -> float:
+        return (
+            max(self.measured_best_dl, self.measured_best_ml)
+            - self.measured_best_linear
+        )
+
+    @property
+    def nlb_sign_agrees(self) -> bool:
+        """Both runs agree on whether non-linear matchers meaningfully win.
+
+        Sign agreement uses the paper's 5% bar rather than the raw sign, so
+        tiny boosts on solved datasets don't count as disagreements.
+        """
+        return (self.paper_nlb > 5.0) == (self.measured_nlb > 5.0)
+
+    @property
+    def verdict_agrees(self) -> bool:
+        return self.paper_challenging == self.measured_challenging
+
+
+def _measured_best(runner: ExperimentRunner, dataset_id: str, family: str) -> float:
+    results = runner.matcher_results(dataset_id)
+    values = [
+        result.f1_percent
+        for name, result in results.items()
+        if family_of(name) == family
+    ]
+    return max(values)
+
+
+def compare_dataset(
+    runner: ExperimentRunner, dataset_id: str
+) -> DatasetComparison:
+    """Compare one dataset (established id or source id) with the paper."""
+    if dataset_id in ESTABLISHED_DATASET_IDS:
+        label = dataset_id
+        table, order = PAPER_TABLE4, ESTABLISHED_ORDER
+        paper_challenging = label in PAPER_CHALLENGING_ESTABLISHED
+    elif dataset_id in SOURCE_DATASET_IDS:
+        label = NEW_BENCHMARK_LABELS[dataset_id]
+        table, order = PAPER_TABLE6, NEW_ORDER
+        paper_challenging = label in PAPER_CHALLENGING_NEW
+    else:
+        raise KeyError(f"unknown dataset id {dataset_id!r}")
+
+    assessment = runner.assessment(dataset_id, with_practical=True)
+    return DatasetComparison(
+        dataset=label,
+        paper_best_dl=paper_best_f1(
+            table, order, label, lambda name: family_of(name) == "dl"
+        ),
+        paper_best_ml=paper_best_f1(
+            table, order, label, lambda name: family_of(name) == "ml"
+        ),
+        paper_best_linear=paper_best_f1(
+            table, order, label, lambda name: family_of(name) == "linear"
+        ),
+        measured_best_dl=_measured_best(runner, dataset_id, "dl"),
+        measured_best_ml=_measured_best(runner, dataset_id, "ml"),
+        measured_best_linear=_measured_best(runner, dataset_id, "linear"),
+        paper_challenging=paper_challenging,
+        measured_challenging=assessment.is_challenging,
+    )
+
+
+def compare_all(
+    runner: ExperimentRunner,
+) -> tuple[list[DatasetComparison], list[DatasetComparison]]:
+    """(established comparisons, new-benchmark comparisons)."""
+    established = [
+        compare_dataset(runner, dataset_id)
+        for dataset_id in ESTABLISHED_DATASET_IDS
+    ]
+    new = [
+        compare_dataset(runner, source_id) for source_id in SOURCE_DATASET_IDS
+    ]
+    return established, new
+
+
+def render_comparison_markdown(
+    established: list[DatasetComparison], new: list[DatasetComparison]
+) -> str:
+    """The EXPERIMENTS.md comparison tables, as markdown."""
+
+    def block(title: str, comparisons: list[DatasetComparison]) -> list[str]:
+        lines = [
+            f"### {title}",
+            "",
+            "| dataset | paper best DL/ML/linear | measured best DL/ML/linear |"
+            " paper NLB | measured NLB | NLB>5% agrees | verdict (paper / measured) |",
+            "|---|---|---|---|---|---|---|",
+        ]
+        for c in comparisons:
+            verdict = (
+                f"{'challenging' if c.paper_challenging else 'easy'} / "
+                f"{'challenging' if c.measured_challenging else 'easy'}"
+                + (" ✓" if c.verdict_agrees else " ✗")
+            )
+            lines.append(
+                f"| {c.dataset} "
+                f"| {c.paper_best_dl:.1f} / {c.paper_best_ml:.1f} / {c.paper_best_linear:.1f} "
+                f"| {c.measured_best_dl:.1f} / {c.measured_best_ml:.1f} / {c.measured_best_linear:.1f} "
+                f"| {c.paper_nlb:+.1f} | {c.measured_nlb:+.1f} "
+                f"| {'yes' if c.nlb_sign_agrees else 'no'} "
+                f"| {verdict} |"
+            )
+        agreement = sum(c.verdict_agrees for c in comparisons)
+        lines.append("")
+        lines.append(
+            f"Verdict agreement: **{agreement}/{len(comparisons)}** datasets."
+        )
+        lines.append("")
+        return lines
+
+    lines: list[str] = []
+    lines.extend(block("Established benchmarks (Table IV / Figure 3)", established))
+    lines.extend(block("New benchmarks (Table VI / Figure 6)", new))
+    return "\n".join(lines)

@@ -1,0 +1,148 @@
+"""The paper's reported results, transcribed as reference data.
+
+These constants hold the numbers the ICDE 2024 paper reports in its
+evaluation (Tables IV, V and VI plus the Section V/VI verdicts), so the
+reproduction can be compared against them quantitatively — not to match
+absolute values (the substrate differs, see DESIGN.md) but to check the
+*shape*: who wins where, which datasets pass which difficulty gates.
+
+``None`` entries correspond to the paper's hyphens ("insufficient memory")
+or missing values.
+"""
+
+from __future__ import annotations
+
+#: Established dataset order of Table IV columns.
+ESTABLISHED_ORDER: tuple[str, ...] = (
+    "Ds1", "Ds2", "Ds3", "Ds4", "Ds5", "Ds6", "Ds7",
+    "Dd1", "Dd2", "Dd3", "Dd4", "Dt1", "Dt2",
+)
+
+#: New benchmark order of Table VI columns.
+NEW_ORDER: tuple[str, ...] = (
+    "Dn1", "Dn2", "Dn3", "Dn4", "Dn5", "Dn6", "Dn7", "Dn8",
+)
+
+#: Table IV — F1 (x100) per matcher and established dataset, as run by the
+#: paper's authors (their own experiments, not the literature rows).
+PAPER_TABLE4: dict[str, tuple[float | None, ...]] = {
+    "DeepMatcher (15)": (98.65, 95.50, 88.46, 69.66, 75.86, 65.98, 95.45,
+                         96.63, 93.07, 75.00, 46.56, 68.53, 94.04),
+    "DeepMatcher (40)": (98.76, 93.70, 84.62, 64.42, 66.67, 53.73, 91.67,
+                         96.54, 92.73, 66.67, 46.99, 69.21, None),
+    "DITTO (15)": (51.46, 88.62, 67.61, 51.44, 42.62, 70.66, 28.76,
+                   42.29, 91.21, 61.73, 44.15, 38.94, 54.60),
+    "DITTO (40)": (89.43, 91.18, 56.82, 58.02, 28.00, 66.94, 65.67,
+                   90.16, 91.05, 65.06, 60.80, 42.09, 64.77),
+    "EMTransformer-B (15)": (98.99, 95.42, 92.59, 80.80, 82.35, 68.14, 97.78,
+                             98.88, 95.24, 98.04, 79.59, 83.94, 78.31),
+    "EMTransformer-B (40)": (99.21, 95.38, 92.31, 82.72, 82.35, 66.20, 97.78,
+                             98.99, 95.53, 94.34, 82.81, 85.42, 77.65),
+    "EMTransformer-R (15)": (98.87, 95.90, 96.15, 84.83, 80.00, 69.04, 100.00,
+                             98.19, 95.78, 94.12, 83.95, 89.29, 77.65),
+    "EMTransformer-R (40)": (98.52, 95.83, 94.55, 85.04, 80.00, 68.36, 100.00,
+                             98.30, 95.22, 94.34, 82.69, 87.11, 77.12),
+    "GNEM (10)": (98.21, 95.19, 96.43, 84.96, 77.78, 70.85, 100.00,
+                  98.87, 93.93, 94.74, 79.19, 88.66, None),
+    "GNEM (40)": (98.55, 94.95, 98.18, 20.45, 80.00, 74.75, 100.00,
+                  98.87, 93.92, 89.66, 83.87, 86.49, None),
+    "HierMatcher (10)": (None, 94.85, None, 79.37, 72.00, 72.06, 100.00,
+                         None, None, None, 58.63, None, None),
+    "HierMatcher (40)": (None, 94.85, None, 79.37, 72.00, 72.06, 100.00,
+                         None, None, None, 58.63, None, None),
+    "Magellan-DT": (97.65, 86.88, 88.52, 62.37, 84.85, 54.42, 100.00,
+                    40.07, 78.76, 50.00, 33.89, 48.46, 100.00),
+    "Magellan-LR": (97.66, 88.61, 84.21, 65.99, 80.00, 44.44, 100.00,
+                    83.20, 76.03, 50.00, 32.77, 37.36, 100.00),
+    "Magellan-RF": (98.32, 92.96, 89.66, 67.76, 84.85, 56.10, 100.00,
+                    60.47, 81.67, 52.00, 38.06, 51.30, 100.00),
+    "Magellan-SVM": (90.19, 81.41, 84.62, 65.03, 84.62, 2.53, 84.21,
+                     10.99, 48.15, 12.12, 12.62, 0.00, 99.96),
+    "ZeroER": (98.80, 65.67, 49.81, 64.41, 35.90, 18.50, 90.91,
+               36.53, 39.23, 10.42, 20.00, 2.56, None),
+    "SA-ESDE": (93.06, 87.57, 52.94, 45.27, 85.71, 51.58, 100.00,
+                92.71, 86.80, 52.94, 45.27, 37.67, 43.97),
+    "SAQ-ESDE": (93.08, 88.62, 55.81, 43.91, 82.76, 54.13, 97.77,
+                 93.16, 88.51, 49.41, 42.82, 37.94, 58.40),
+    "SAS-ESDE": (93.49, 87.40, 64.00, 43.62, 87.50, 48.17, 95.45,
+                 93.35, 86.79, 64.00, 42.27, 40.57, 79.86),
+    "SB-ESDE": (91.19, 79.63, 92.31, 67.81, 82.76, 52.65, 84.44,
+                84.27, 78.18, 46.43, 42.94, 45.63, 41.23),
+    "SBQ-ESDE": (91.44, 82.71, 84.21, 67.55, 83.33, 45.20, 100.00,
+                 87.54, 82.29, 55.70, 37.47, 47.17, 58.37),
+    "SBS-ESDE": (90.89, 82.45, 87.72, 67.35, 82.76, 46.68, 100.00,
+                 85.68, 80.06, 43.14, 41.29, 49.15, 79.86),
+}
+
+#: Table VI — F1 (x100) per matcher and new benchmark.
+PAPER_TABLE6: dict[str, tuple[float | None, ...]] = {
+    "DeepMatcher (15)": (70.49, 52.01, 99.32, 90.50, 59.88, 69.95, 56.57, 95.10),
+    "DeepMatcher (40)": (71.43, 56.15, 99.32, 89.73, 63.18, 67.28, 57.14, 93.51),
+    "DITTO (15)": (86.43, 38.10, None, 86.50, 66.82, None, 71.73, 95.31),
+    "DITTO (40)": (None, 67.95, None, 86.84, 0.59, None, 63.91, 95.04),
+    "EMTransformer-B (15)": (84.68, 64.39, 99.43, 91.91, 67.14, 77.78, 67.56, 93.16),
+    "EMTransformer-B (40)": (85.88, 65.38, 99.54, 91.26, None, 78.54, 62.86, 92.98),
+    "EMTransformer-R (15)": (91.35, 65.49, 99.43, 92.51, None, 79.28, 67.55, 94.81),
+    "EMTransformer-R (40)": (None, 70.12, 99.54, None, None, 77.56, 63.29, 93.21),
+    "GNEM (10)": (None, None, 99.43, None, None, None, 62.89, 95.53),
+    "GNEM (40)": (None, None, 99.43, None, None, None, 60.05, 95.34),
+    "HierMatcher (10)": (None, None, None, 91.39, 58.52, None, 63.31, None),
+    "HierMatcher (40)": (None, None, None, 91.39, 58.52, None, 63.31, None),
+    "Magellan-DT": (52.55, 41.67, 99.54, 91.69, 59.72, 56.84, 50.00, 91.73),
+    "Magellan-LR": (43.84, 39.19, 99.66, 91.25, 59.64, 61.10, 55.65, 91.06),
+    "Magellan-RF": (57.42, 44.44, 99.66, 92.64, 61.11, 59.74, 61.18, 93.82),
+    "Magellan-SVM": (None, None, 98.20, 91.01, 59.34, 61.01, 61.67, 88.70),
+    "ZeroER": (32.66, 22.14, 99.32, 43.32, 0.50, 53.76, 61.52, 84.14),
+    "SA-ESDE": (47.79, 40.35, 98.64, 85.75, 47.86, 43.98, 34.41, 88.24),
+    "SAQ-ESDE": (44.59, 41.41, 98.64, 82.80, 49.93, 43.96, 37.77, 88.57),
+    "SAS-ESDE": (47.97, 39.58, 98.75, 77.41, 49.53, 44.22, 35.19, 87.47),
+    "SB-ESDE": (49.62, 46.87, 99.66, 61.95, 58.87, 60.50, 66.13, 89.95),
+    "SBQ-ESDE": (52.95, 49.79, 99.66, 20.00, 7.61, 54.26, 34.07, 91.36),
+    "SBS-ESDE": (53.65, 45.39, 99.66, 20.00, 7.61, 53.60, 33.43, 88.29),
+}
+
+#: Table V — blocking provenance per new benchmark:
+#: (PC, PQ, |C|, K, imbalance ratio %).
+PAPER_TABLE5: dict[str, tuple[float, float, int, int, float]] = {
+    "Dn1": (0.899, 0.029, 33356, 31, 2.9),
+    "Dn2": (0.910, 0.074, 13540, 10, 7.4),
+    "Dn3": (0.983, 0.953, 2294, 1, 95.3),
+    "Dn4": (0.898, 0.011, 158658, 31, 1.1),
+    "Dn5": (0.891, 0.003, 322434, 63, 0.3),
+    "Dn6": (0.927, 0.130, 7810, 1, 13.0),
+    "Dn7": (0.894, 0.018, 43418, 17, 1.8),
+    "Dn8": (0.906, 0.166, 12580, 5, 16.6),
+}
+
+#: The Section V conclusion: established datasets marked challenging.
+PAPER_CHALLENGING_ESTABLISHED: frozenset[str] = frozenset(
+    {"Ds4", "Ds6", "Dd4", "Dt1"}
+)
+
+#: The Section VI-A conclusion: new benchmarks marked challenging.
+PAPER_CHALLENGING_NEW: frozenset[str] = frozenset(
+    {"Dn1", "Dn2", "Dn6", "Dn7"}
+)
+
+
+def paper_best_f1(
+    table: dict[str, tuple[float | None, ...]],
+    order: tuple[str, ...],
+    dataset: str,
+    family_filter=None,
+) -> float:
+    """Best paper-reported F1 on *dataset*, optionally filtered by family.
+
+    ``family_filter`` receives a matcher name and returns True to include
+    it (use :func:`repro.experiments.matcher_suite.family_of` to build one).
+    """
+    column = order.index(dataset)
+    values = [
+        row[column]
+        for name, row in table.items()
+        if row[column] is not None
+        and (family_filter is None or family_filter(name))
+    ]
+    if not values:
+        raise KeyError(f"no paper values for {dataset!r} under the given filter")
+    return max(values)

@@ -1,0 +1,44 @@
+"""Plain-text rendering of tables and figure series."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import FigureSeries
+
+
+def render_table(
+    headers: list[str], rows: list[list[str]], title: str | None = None
+) -> str:
+    """Align a (headers, rows) table into monospaced text."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("every row must have one cell per header")
+    widths = [
+        max(len(headers[column]), *(len(row[column]) for row in rows))
+        if rows
+        else len(headers[column])
+        for column in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def render_figure(figure: FigureSeries, title: str | None = None) -> str:
+    """Render a figure's series as an aligned dataset x value table."""
+    if not figure:
+        return title or ""
+    value_names = list(next(iter(figure.values())))
+    headers = ["dataset", *value_names]
+    rows = [
+        [label, *(f"{series[name]:.3f}" for name in value_names)]
+        for label, series in figure.items()
+    ]
+    return render_table(headers, rows, title=title)

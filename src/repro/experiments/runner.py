@@ -1,0 +1,249 @@
+"""The experiment runner: one object that caches every expensive artefact.
+
+Tables and figures share heavy intermediates — Table IV's matcher sweep
+feeds Figure 3, Table V's tuned blocking feeds Tables VI/VII and Figures
+4-6. The runner memoizes datasets, matcher sweeps, new benchmarks and
+assessments per (size_factor, seed), so regenerating all experiments costs
+one sweep of each kind.
+
+An optional on-disk cache (JSON, keyed by a fingerprint of the dataset
+profiles) makes repeated benchmark runs cheap; pass ``cache_dir=None`` to
+disable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.core.assessment import BenchmarkAssessment, assess_benchmark
+from repro.core.complexity.profile import ComplexityProfile
+from repro.core.linearity import LinearityResult
+from repro.core.methodology import NewBenchmark, create_benchmark
+from repro.core.practical import PracticalMeasures, practical_measures
+from repro.data.task import MatchingTask
+from repro.datasets.registry import (
+    ESTABLISHED_DATASET_IDS,
+    NEW_BENCHMARK_LABELS,
+    SOURCE_DATASET_IDS,
+    load_established_task,
+    load_source_pair,
+)
+from repro.experiments.matcher_suite import (
+    evaluate_suite,
+    linear_f1_scores,
+    non_linear_f1_scores,
+)
+from repro.matchers.base import MatcherResult
+
+
+class ExperimentRunner:
+    """Cached orchestration of all experiments at one scale."""
+
+    def __init__(
+        self,
+        size_factor: float = 1.0,
+        seed: int = 0,
+        cache_dir: Path | str | None = None,
+    ) -> None:
+        if size_factor <= 0:
+            raise ValueError(f"size_factor must be > 0, got {size_factor}")
+        self.size_factor = size_factor
+        self.seed = seed
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._matcher_results: dict[str, dict[str, MatcherResult]] = {}
+        self._new_benchmarks: dict[str, NewBenchmark] = {}
+        self._assessments: dict[str, BenchmarkAssessment] = {}
+
+    # -- datasets -------------------------------------------------------------
+
+    def established_task(self, dataset_id: str) -> MatchingTask:
+        """One of the 13 established benchmarks (registry-cached)."""
+        return load_established_task(dataset_id, self.size_factor)
+
+    def new_benchmark(self, source_id: str) -> NewBenchmark:
+        """One of the methodology-built benchmarks D_n1..D_n8."""
+        if source_id not in self._new_benchmarks:
+            sources = load_source_pair(source_id, self.size_factor)
+            self._new_benchmarks[source_id] = create_benchmark(
+                sources,
+                label=NEW_BENCHMARK_LABELS[source_id],
+                seed=self.seed,
+            )
+        return self._new_benchmarks[source_id]
+
+    def task_for(self, dataset_id: str) -> MatchingTask:
+        """Resolve an established id (DsX/DdX/DtX) or source id to a task."""
+        if dataset_id in ESTABLISHED_DATASET_IDS:
+            return self.established_task(dataset_id)
+        if dataset_id in SOURCE_DATASET_IDS:
+            return self.new_benchmark(dataset_id).task
+        raise KeyError(f"unknown dataset id {dataset_id!r}")
+
+    # -- matcher sweeps ---------------------------------------------------------
+
+    def _cache_path(self, dataset_id: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        # The fingerprint covers the generation profile, so editing a
+        # dataset's calibration automatically invalidates its cached sweep.
+        from repro.datasets.established import ESTABLISHED_PROFILES
+        from repro.datasets.sources import SOURCE_PROFILES
+
+        profile = ESTABLISHED_PROFILES.get(dataset_id) or SOURCE_PROFILES.get(
+            dataset_id
+        )
+        fingerprint = hashlib.blake2b(
+            f"{dataset_id}:{self.size_factor}:{self.seed}:{profile!r}".encode(),
+            digest_size=8,
+        ).hexdigest()
+        return self.cache_dir / f"suite_{dataset_id}_{fingerprint}.json"
+
+    def matcher_results(self, dataset_id: str) -> dict[str, MatcherResult]:
+        """The full matcher sweep on one dataset (Table IV / VI columns)."""
+        if dataset_id in self._matcher_results:
+            return self._matcher_results[dataset_id]
+
+        cache_path = self._cache_path(dataset_id)
+        if cache_path is not None and cache_path.exists():
+            results = _results_from_json(cache_path)
+        else:
+            results = evaluate_suite(self.task_for(dataset_id), seed=self.seed)
+            if cache_path is not None:
+                _results_to_json(results, cache_path)
+        self._matcher_results[dataset_id] = results
+        return results
+
+    def practical(self, dataset_id: str) -> PracticalMeasures:
+        """NLB and LBM for one dataset (Figure 3 / 6 bars)."""
+        results = self.matcher_results(dataset_id)
+        return practical_measures(
+            non_linear_f1_scores(results), linear_f1_scores(results)
+        )
+
+    # -- assessments --------------------------------------------------------------
+
+    def assessment(
+        self, dataset_id: str, with_practical: bool = True
+    ) -> BenchmarkAssessment:
+        """The four-approach verdict for one dataset.
+
+        The a-priori measures (linearity + complexity) are computed once
+        per dataset and shared between the with/without-practical views.
+        """
+        key = f"{dataset_id}:{with_practical}"
+        if key not in self._assessments:
+            base_key = f"{dataset_id}:False"
+            if base_key not in self._assessments:
+                cached = self._load_assessment(dataset_id)
+                if cached is None:
+                    cached = assess_benchmark(
+                        self.task_for(dataset_id), practical=None
+                    )
+                    self._store_assessment(dataset_id, cached)
+                self._assessments[base_key] = cached
+            if with_practical:
+                base = self._assessments[base_key]
+                self._assessments[key] = BenchmarkAssessment(
+                    task_name=base.task_name,
+                    linearity=base.linearity,
+                    complexity=base.complexity,
+                    practical=self.practical(dataset_id),
+                    thresholds=base.thresholds,
+                )
+        return self._assessments[key]
+
+    def linearity(self, dataset_id: str) -> dict[str, LinearityResult]:
+        """Degree of linearity (Figure 1 / 4 bars) via the assessment cache."""
+        return self.assessment(dataset_id, with_practical=False).linearity
+
+    # -- a-priori assessment disk cache ------------------------------------
+
+    def _assessment_path(self, dataset_id: str) -> Path | None:
+        cache_path = self._cache_path(dataset_id)
+        if cache_path is None:
+            return None
+        return cache_path.with_name("apriori_" + cache_path.name[6:])
+
+    def _store_assessment(
+        self, dataset_id: str, assessment: BenchmarkAssessment
+    ) -> None:
+        path = self._assessment_path(dataset_id)
+        if path is None:
+            return
+        payload = {
+            "task_name": assessment.task_name,
+            "linearity": {
+                name: {
+                    "similarity": result.similarity,
+                    "max_f1": result.max_f1,
+                    "best_threshold": result.best_threshold,
+                }
+                for name, result in assessment.linearity.items()
+            },
+            "complexity": assessment.complexity.scores,
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=1), encoding="utf-8")
+
+    def _load_assessment(self, dataset_id: str) -> BenchmarkAssessment | None:
+        path = self._assessment_path(dataset_id)
+        if path is None or not path.exists():
+            return None
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        return BenchmarkAssessment(
+            task_name=payload["task_name"],
+            linearity={
+                name: LinearityResult(
+                    similarity=entry["similarity"],
+                    max_f1=entry["max_f1"],
+                    best_threshold=entry["best_threshold"],
+                )
+                for name, entry in payload["linearity"].items()
+            },
+            complexity=ComplexityProfile(scores=payload["complexity"]),
+        )
+
+
+_default_runner: ExperimentRunner | None = None
+
+
+def default_runner() -> ExperimentRunner:
+    """The process-wide runner at CI scale (created on first use)."""
+    global _default_runner
+    if _default_runner is None:
+        _default_runner = ExperimentRunner(size_factor=1.0, seed=0)
+    return _default_runner
+
+
+def _results_to_json(results: dict[str, MatcherResult], path: Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        name: {
+            "task": result.task,
+            "precision": result.precision,
+            "recall": result.recall,
+            "f1": result.f1,
+            "fit_seconds": result.fit_seconds,
+            "predict_seconds": result.predict_seconds,
+        }
+        for name, result in results.items()
+    }
+    path.write_text(json.dumps(payload, indent=1), encoding="utf-8")
+
+
+def _results_from_json(path: Path) -> dict[str, MatcherResult]:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    return {
+        name: MatcherResult(
+            matcher=name,
+            task=entry["task"],
+            precision=entry["precision"],
+            recall=entry["recall"],
+            f1=entry["f1"],
+            fit_seconds=entry["fit_seconds"],
+            predict_seconds=entry["predict_seconds"],
+        )
+        for name, entry in payload.items()
+    }

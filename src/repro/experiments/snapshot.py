@@ -1,0 +1,83 @@
+"""Full experiment snapshot: every table and figure as one JSON document.
+
+``take_snapshot`` runs (or loads from cache) all experiments of the
+reproduction — Tables III-VII, Figures 1-6, and the paper-vs-measured
+comparison — and returns them as a JSON-serializable dict. This is what
+EXPERIMENTS.md records and what downstream tooling (plots, CI dashboards)
+can consume without re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments import figures, tables
+from repro.experiments.paper_comparison import compare_all
+from repro.experiments.runner import ExperimentRunner
+
+
+def take_snapshot(runner: ExperimentRunner) -> dict[str, object]:
+    """Collect every experiment's data through *runner*."""
+    table_entries = {}
+    for name, builder in (
+        ("table3", tables.table3),
+        ("table4", tables.table4),
+        ("table5", tables.table5),
+        ("table6", tables.table6),
+        ("table7", tables.table7),
+    ):
+        headers, rows = builder(runner)
+        table_entries[name] = {"headers": headers, "rows": rows}
+
+    figure_entries = {
+        name: builder(runner)
+        for name, builder in (
+            ("fig1", figures.figure1),
+            ("fig2", figures.figure2),
+            ("fig3", figures.figure3),
+            ("fig4", figures.figure4),
+            ("fig5", figures.figure5),
+            ("fig6", figures.figure6),
+        )
+    }
+
+    established, new = compare_all(runner)
+    comparisons = {
+        "established": [vars(c) | {
+            "paper_nlb": c.paper_nlb,
+            "measured_nlb": c.measured_nlb,
+            "verdict_agrees": c.verdict_agrees,
+        } for c in established],
+        "new": [vars(c) | {
+            "paper_nlb": c.paper_nlb,
+            "measured_nlb": c.measured_nlb,
+            "verdict_agrees": c.verdict_agrees,
+        } for c in new],
+    }
+
+    verdicts = {}
+    for dataset_id in (
+        *["Ds1", "Ds2", "Ds3", "Ds4", "Ds5", "Ds6", "Ds7",
+          "Dd1", "Dd2", "Dd3", "Dd4", "Dt1", "Dt2"],
+    ):
+        assessment = runner.assessment(dataset_id, with_practical=True)
+        verdicts[dataset_id] = assessment.summary()
+
+    return {
+        "size_factor": runner.size_factor,
+        "seed": runner.seed,
+        "tables": table_entries,
+        "figures": figure_entries,
+        "comparisons": comparisons,
+        "verdicts_established": verdicts,
+    }
+
+
+def save_snapshot(runner: ExperimentRunner, path: Path | str) -> dict[str, object]:
+    """Take a snapshot and write it as JSON; returns the snapshot."""
+    snapshot = take_snapshot(runner)
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(snapshot, indent=1), encoding="utf-8")
+    return snapshot

@@ -1,0 +1,109 @@
+"""Seed-stability analysis for the stochastic pipeline stages.
+
+DeepBlocker is stochastic (autoencoder initialization), so "the performance
+reported [in Table V] corresponds to the average after 10 repetitions"
+(Section VI). This module reproduces that protocol: repeat the tuned
+blocking across seeds and report mean/std of PC, PQ and |C| — plus the same
+treatment for any seeded matcher, since the deep matchers' minibatch order
+and initialization are seeded too.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.blocking.tuning import DEFAULT_K_LADDER, tune_deepblocker
+from repro.data.task import MatchingTask
+from repro.datasets.generator import SourcePair
+from repro.matchers.base import Matcher
+
+
+@dataclass(frozen=True)
+class StabilitySummary:
+    """Mean/std/min/max of one metric across repetitions."""
+
+    metric: str
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError(f"no values recorded for {self.metric!r}")
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.values)
+
+    @property
+    def std(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        return statistics.stdev(self.values)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values)
+
+    def describe(self) -> str:
+        return (
+            f"{self.metric}: {self.mean:.3f} +/- {self.std:.3f} "
+            f"[{self.minimum:.3f}, {self.maximum:.3f}] over {len(self.values)} runs"
+        )
+
+
+def blocking_stability(
+    sources: SourcePair,
+    repetitions: int = 10,
+    recall_target: float = 0.9,
+    k_ladder: tuple[int, ...] = DEFAULT_K_LADDER,
+    base_seed: int = 0,
+) -> dict[str, StabilitySummary]:
+    """The paper's 10-repetition protocol for tuned DeepBlocker.
+
+    Returns summaries for ``pair_completeness``, ``pairs_quality`` and
+    ``n_candidates`` across ``repetitions`` differently-seeded tuning runs.
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    pc_values: list[float] = []
+    pq_values: list[float] = []
+    candidate_counts: list[float] = []
+    for repetition in range(repetitions):
+        tuned = tune_deepblocker(
+            sources,
+            recall_target=recall_target,
+            k_ladder=k_ladder,
+            seed=base_seed + repetition,
+        )
+        pc_values.append(tuned.pair_completeness)
+        pq_values.append(tuned.pairs_quality)
+        candidate_counts.append(float(tuned.result.n_candidates))
+    return {
+        "pair_completeness": StabilitySummary("pair_completeness", tuple(pc_values)),
+        "pairs_quality": StabilitySummary("pairs_quality", tuple(pq_values)),
+        "n_candidates": StabilitySummary("n_candidates", tuple(candidate_counts)),
+    }
+
+
+def matcher_stability(
+    matcher_factory: Callable[[int], Matcher],
+    task: MatchingTask,
+    repetitions: int = 5,
+    base_seed: int = 0,
+) -> StabilitySummary:
+    """Test-F1 stability of a seeded matcher across repetitions.
+
+    ``matcher_factory`` receives a seed and returns a fresh matcher.
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    f1_values = tuple(
+        matcher_factory(base_seed + repetition).evaluate(task).f1
+        for repetition in range(repetitions)
+    )
+    return StabilitySummary("f1", f1_values)

@@ -1,0 +1,155 @@
+"""Dependency-free SVG bar charts for the paper's figures.
+
+matplotlib is unavailable in the reproduction environment, so figures are
+rendered as hand-built SVG: grouped bar charts with axes, gridlines and a
+legend — enough to eyeball Figure 1-6 shapes in a browser. The renderer is
+deliberately small and deterministic (no randomness, no system fonts
+queried) so outputs are stable across runs and testable as text.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+
+from repro.experiments.figures import FigureSeries
+
+#: Default bar fill colours, cycled per series.
+PALETTE: tuple[str, ...] = (
+    "#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4",
+    "#8c613c", "#dc7ec0", "#797979",
+)
+
+
+def _escape(text: str) -> str:
+    return html.escape(text, quote=True)
+
+
+class SvgBarChart:
+    """A grouped vertical bar chart.
+
+    ``figure`` maps group label (dataset) -> {series name -> value}; all
+    values must lie in [0, value_max]. Series order follows the first
+    group's insertion order; every group must provide the same series.
+    """
+
+    def __init__(
+        self,
+        figure: FigureSeries,
+        title: str = "",
+        value_max: float = 1.0,
+        width: int = 900,
+        height: int = 360,
+        series: tuple[str, ...] | None = None,
+    ) -> None:
+        if not figure:
+            raise ValueError("cannot chart an empty figure")
+        if value_max <= 0:
+            raise ValueError(f"value_max must be > 0, got {value_max}")
+        self.figure = figure
+        self.title = title
+        self.value_max = value_max
+        self.width = width
+        self.height = height
+        first = next(iter(figure.values()))
+        self.series = series if series is not None else tuple(first)
+        for label, values in figure.items():
+            missing = set(self.series) - set(values)
+            if missing:
+                raise ValueError(f"group {label!r} lacks series {sorted(missing)}")
+
+    def render(self) -> str:
+        """The complete SVG document as a string."""
+        margin_left, margin_right = 50, 20
+        margin_top, margin_bottom = 40, 60
+        plot_width = self.width - margin_left - margin_right
+        plot_height = self.height - margin_top - margin_bottom
+        groups = list(self.figure)
+        n_groups = len(groups)
+        n_series = len(self.series)
+        group_width = plot_width / n_groups
+        bar_width = max(1.0, group_width * 0.8 / max(1, n_series))
+
+        parts: list[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+        ]
+        if self.title:
+            parts.append(
+                f'<text x="{self.width / 2:.1f}" y="20" text-anchor="middle" '
+                f'font-size="15" font-family="sans-serif">'
+                f"{_escape(self.title)}</text>"
+            )
+
+        # Horizontal gridlines + y labels at quarter steps.
+        for step in range(5):
+            fraction = step / 4
+            y = margin_top + plot_height * (1.0 - fraction)
+            parts.append(
+                f'<line x1="{margin_left}" y1="{y:.1f}" '
+                f'x2="{self.width - margin_right}" y2="{y:.1f}" '
+                f'stroke="#dddddd" stroke-width="1"/>'
+            )
+            parts.append(
+                f'<text x="{margin_left - 6}" y="{y + 4:.1f}" text-anchor="end" '
+                f'font-size="10" font-family="sans-serif">'
+                f"{fraction * self.value_max:.2f}</text>"
+            )
+
+        # Bars.
+        for group_index, group in enumerate(groups):
+            values = self.figure[group]
+            group_x = margin_left + group_index * group_width + group_width * 0.1
+            for series_index, name in enumerate(self.series):
+                value = max(0.0, min(values[name], self.value_max))
+                bar_height = plot_height * value / self.value_max
+                x = group_x + series_index * bar_width
+                y = margin_top + plot_height - bar_height
+                colour = PALETTE[series_index % len(PALETTE)]
+                parts.append(
+                    f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_width:.1f}" '
+                    f'height="{bar_height:.1f}" fill="{colour}">'
+                    f"<title>{_escape(group)} {_escape(name)}: {values[name]:.3f}"
+                    f"</title></rect>"
+                )
+            label_x = margin_left + group_index * group_width + group_width / 2
+            parts.append(
+                f'<text x="{label_x:.1f}" y="{self.height - margin_bottom + 16}" '
+                f'text-anchor="middle" font-size="11" font-family="sans-serif">'
+                f"{_escape(group)}</text>"
+            )
+
+        # Legend.
+        legend_x = margin_left
+        legend_y = self.height - 24
+        for series_index, name in enumerate(self.series):
+            colour = PALETTE[series_index % len(PALETTE)]
+            parts.append(
+                f'<rect x="{legend_x}" y="{legend_y - 9}" width="10" height="10" '
+                f'fill="{colour}"/>'
+            )
+            parts.append(
+                f'<text x="{legend_x + 14}" y="{legend_y}" font-size="11" '
+                f'font-family="sans-serif">{_escape(name)}</text>'
+            )
+            legend_x += 14 + 8 * len(name) + 24
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path: Path | str) -> None:
+        """Write the SVG document to *path*."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.render(), encoding="utf-8")
+
+
+def save_figure_svg(
+    figure: FigureSeries,
+    path: Path | str,
+    title: str = "",
+    series: tuple[str, ...] | None = None,
+) -> None:
+    """Convenience wrapper: chart *figure* and save it."""
+    SvgBarChart(figure, title=title, series=series).save(path)

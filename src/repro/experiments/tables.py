@@ -1,0 +1,202 @@
+"""Builders for Tables III, IV, V, VI and VII.
+
+Each builder returns (headers, rows) where rows are lists of strings, ready
+for :func:`repro.experiments.report.render_table`. Data comes exclusively
+from an :class:`ExperimentRunner`, so the expensive sweeps are shared with
+the figure builders.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.registry import (
+    ESTABLISHED_DATASET_IDS,
+    NEW_BENCHMARK_LABELS,
+    SOURCE_DATASET_IDS,
+)
+from repro.experiments.matcher_suite import family_of
+from repro.experiments.runner import ExperimentRunner
+
+Table = tuple[list[str], list[list[str]]]
+
+#: Table VII's (existing, new) juxtaposition pairs: same-origin benchmarks.
+TABLE7_PAIRS: tuple[tuple[str, str], ...] = (
+    ("Dt1", "abt_buy"),
+    ("Ds1", "dblp_acm"),
+    ("Ds2", "dblp_scholar"),
+    ("Ds4", "walmart_amazon"),
+    ("Ds6", "amazon_google"),
+)
+
+
+def _fmt(value: float, digits: int = 2) -> str:
+    return f"{value:.{digits}f}"
+
+
+def table3(runner: ExperimentRunner) -> Table:
+    """Table III: characteristics of the established benchmarks."""
+    headers = [
+        "dataset", "|D1|", "|D2|", "|A|",
+        "|Itr|", "|Ptr|", "|Ntr|", "|Ite|", "|Pte|", "|Nte|", "IR",
+    ]
+    rows = []
+    for dataset_id in ESTABLISHED_DATASET_IDS:
+        stats = runner.established_task(dataset_id).statistics()
+        rows.append(
+            [
+                dataset_id,
+                str(stats.left_size),
+                str(stats.right_size),
+                str(stats.n_attributes),
+                str(stats.training_instances),
+                str(stats.training_positives),
+                str(stats.training_negatives),
+                str(stats.testing_instances),
+                str(stats.testing_positives),
+                str(stats.testing_negatives),
+                f"{100 * stats.imbalance_ratio:.1f}%",
+            ]
+        )
+    return headers, rows
+
+
+def _f1_table(runner: ExperimentRunner, dataset_ids: tuple[str, ...]) -> Table:
+    labels = [
+        NEW_BENCHMARK_LABELS.get(dataset_id, dataset_id)
+        for dataset_id in dataset_ids
+    ]
+    headers = ["matcher", "family", *labels]
+    all_results = {
+        dataset_id: runner.matcher_results(dataset_id)
+        for dataset_id in dataset_ids
+    }
+    matcher_names = list(next(iter(all_results.values())))
+    rows = []
+    for name in matcher_names:
+        row = [name, family_of(name)]
+        for dataset_id in dataset_ids:
+            result = all_results[dataset_id].get(name)
+            row.append(_fmt(result.f1_percent) if result is not None else "-")
+        rows.append(row)
+    return headers, rows
+
+
+def table4(runner: ExperimentRunner) -> Table:
+    """Table IV: F1 of every matcher on the 13 established benchmarks."""
+    return _f1_table(runner, ESTABLISHED_DATASET_IDS)
+
+
+def table5(runner: ExperimentRunner) -> Table:
+    """Table V: the new benchmarks and their tuned DeepBlocker provenance."""
+    headers = [
+        "dataset", "origin", "|D1|", "|D2|", "|M|", "|A|",
+        "PC", "PQ", "|C|", "|P|", "config",
+        "|Itr|", "|Ite|", "|Ptr|", "|Pte|", "IR",
+    ]
+    rows = []
+    for source_id in SOURCE_DATASET_IDS:
+        benchmark = runner.new_benchmark(source_id)
+        task = benchmark.task
+        stats = task.statistics()
+        rows.append(
+            [
+                benchmark.label,
+                source_id,
+                str(len(benchmark.sources.left)),
+                str(len(benchmark.sources.right)),
+                str(benchmark.sources.n_matches),
+                str(stats.n_attributes),
+                _fmt(benchmark.blocking.pair_completeness, 3),
+                _fmt(benchmark.blocking.pairs_quality, 3),
+                str(benchmark.blocking.result.n_candidates),
+                str(benchmark.blocking.result.n_matching_candidates),
+                benchmark.blocking.config.describe(),
+                str(stats.training_instances),
+                str(stats.testing_instances),
+                str(stats.training_positives),
+                str(stats.testing_positives),
+                f"{100 * benchmark.imbalance_ratio:.1f}%",
+            ]
+        )
+    return headers, rows
+
+
+def table6(runner: ExperimentRunner) -> Table:
+    """Table VI: F1 of every matcher on the 8 new benchmarks."""
+    return _f1_table(runner, SOURCE_DATASET_IDS)
+
+
+def _established_provenance(runner: ExperimentRunner, dataset_id: str) -> tuple[float, float, float]:
+    """(PC, PQ, IR) of an established benchmark from its generation metadata."""
+    task = runner.established_task(dataset_id)
+    pairs = task.all_pairs()
+    n_source_matches = task.metadata.get("n_source_matches")
+    if isinstance(n_source_matches, int) and n_source_matches > 0:
+        pair_completeness = pairs.positive_count / n_source_matches
+    else:
+        pair_completeness = float("nan")
+    imbalance = pairs.imbalance_ratio
+    # For a labeled candidate set, PQ (matches / candidates) equals IR.
+    return pair_completeness, imbalance, imbalance
+
+
+def verdict_table(
+    runner: ExperimentRunner, dataset_ids: tuple[str, ...] | None = None
+) -> Table:
+    """The paper's conclusion as a table: four gates + final verdict.
+
+    Defaults to the 13 established benchmarks; pass
+    ``SOURCE_DATASET_IDS`` for the new ones. This is the view behind
+    Section V's "only D_s4, D_s6, D_d4 and D_t1 are challenging".
+    """
+    if dataset_ids is None:
+        dataset_ids = ESTABLISHED_DATASET_IDS
+    headers = [
+        "dataset", "linearity", "complexity", "NLB", "LBM",
+        "easy:lin", "easy:cmplx", "easy:pract", "verdict",
+    ]
+    rows = []
+    for dataset_id in dataset_ids:
+        assessment = runner.assessment(dataset_id, with_practical=True)
+        practical = assessment.practical
+        assert practical is not None
+        rows.append(
+            [
+                NEW_BENCHMARK_LABELS.get(dataset_id, dataset_id),
+                _fmt(assessment.max_linearity, 3),
+                _fmt(assessment.complexity.mean, 3),
+                f"{100 * practical.non_linear_boost:+.1f}%",
+                f"{100 * practical.learning_based_margin:.1f}%",
+                "yes" if assessment.easy_by_linearity else "no",
+                "yes" if assessment.easy_by_complexity else "no",
+                "yes" if assessment.easy_by_practical else "no",
+                "CHALLENGING" if assessment.is_challenging else "easy",
+            ]
+        )
+    return headers, rows
+
+
+def table7(runner: ExperimentRunner) -> Table:
+    """Table VII: existing vs new benchmarks of the same origin."""
+    headers = [
+        "existing", "PC", "PQ", "IR",
+        "new", "PC'", "PQ'", "IR'",
+    ]
+    rows = []
+    for established_id, source_id in TABLE7_PAIRS:
+        pair_completeness, pairs_quality, imbalance = _established_provenance(
+            runner, established_id
+        )
+        benchmark = runner.new_benchmark(source_id)
+        rows.append(
+            [
+                established_id,
+                _fmt(pair_completeness, 3),
+                _fmt(pairs_quality, 3),
+                f"{100 * imbalance:.2f}%",
+                benchmark.label,
+                _fmt(benchmark.blocking.pair_completeness, 3),
+                _fmt(benchmark.blocking.pairs_quality, 3),
+                f"{100 * benchmark.imbalance_ratio:.2f}%",
+            ]
+        )
+    return headers, rows

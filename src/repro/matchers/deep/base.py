@@ -1,0 +1,99 @@
+"""Shared trunk of the deep matcher stand-ins.
+
+A deep matcher is: a *representation* (how a candidate pair becomes a dense
+vector, defined per subclass and where the taxonomy differences live) plus a
+*classification head* (an MLP with highway layers, shared). Training runs
+``epochs`` epochs of minibatch Adam and keeps the parameters of the best
+validation-F1 epoch, exactly the model-selection protocol the paper enforces
+on EMTransformer (Section V-B).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.data.pairs import LabeledPairSet, RecordPair
+from repro.data.task import MatchingTask
+from repro.matchers.base import Matcher
+from repro.ml.mlp import MLPClassifier
+
+
+class DeepMatcherBase(Matcher):
+    """Representation + highway-MLP head with validation model selection."""
+
+    def __init__(
+        self,
+        name: str,
+        epochs: int,
+        hidden_size: int = 48,
+        n_highway: int = 2,
+        learning_rate: float = 5e-3,
+        batch_size: int = 64,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(name=name)
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        self.epochs = epochs
+        self.hidden_size = hidden_size
+        self.n_highway = n_highway
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.seed = seed
+        self._head: MLPClassifier | None = None
+
+    # -- subclass hooks ------------------------------------------------------
+
+    @abc.abstractmethod
+    def _prepare(self, task: MatchingTask) -> None:
+        """Build embedders/caches for *task* before representing pairs."""
+
+    @abc.abstractmethod
+    def _represent(self, pair: RecordPair) -> np.ndarray:
+        """The dense feature vector of one candidate pair."""
+
+    def _augment(
+        self, features: np.ndarray, labels: np.ndarray, task: MatchingTask
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Optional training-set augmentation hook (DITTO overrides)."""
+        return features, labels
+
+    # -- Matcher implementation ----------------------------------------------
+
+    def representation_matrix(self, pairs: LabeledPairSet) -> np.ndarray:
+        """(n_pairs, dim) representation matrix in pair order."""
+        return np.stack([self._represent(pair) for pair, __ in pairs])
+
+    def _fit(self, task: MatchingTask) -> None:
+        self._prepare(task)
+        training = self.representation_matrix(task.training)
+        validation = self.representation_matrix(task.validation)
+        features, labels = self._augment(
+            training, task.training.labels, task
+        )
+        self._head = MLPClassifier(
+            hidden_size=self.hidden_size,
+            n_highway=self.n_highway,
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            learning_rate=self.learning_rate,
+            seed=self.seed,
+        )
+        self._head.fit(
+            features,
+            labels,
+            validation_features=validation,
+            validation_labels=task.validation.labels,
+        )
+
+    def _predict(self, pairs: LabeledPairSet) -> np.ndarray:
+        assert self._head is not None
+        return self._head.predict(self.representation_matrix(pairs))
+
+    def decision_scores(self, pairs: LabeledPairSet) -> np.ndarray:
+        """Match probabilities (used by GNEM's global propagation)."""
+        if self._head is None:
+            raise RuntimeError(f"{self.name} is not fitted; call fit() first")
+        return self._head.predict_proba(self.representation_matrix(pairs))

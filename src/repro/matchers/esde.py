@@ -1,0 +1,116 @@
+"""ESDE — Efficient Supervised Difficulty Estimation (Algorithm 2).
+
+The paper's family of linear matchers: per feature, the training set yields
+the F1-optimal threshold (lines 6-14); the validation set picks the single
+best (feature, threshold) pair (lines 15-24); the testing set is classified
+by thresholding that one feature (lines 25-30). Space and time are linear in
+the data — these matchers exist to price the *baseline* performance any
+learning-based matcher should beat.
+
+Six variants (Section IV-C), differing only in the feature extractor:
+SA / SB (tokens), SAQ / SBQ (character q-grams), SAS / SBS (sentence
+embeddings), each schema-agnostic or per-attribute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.linearity import best_threshold_f1
+from repro.data.pairs import LabeledPairSet
+from repro.data.task import MatchingTask
+from repro.matchers.base import Matcher
+from repro.matchers.features import EsdeFeatureExtractor
+from repro.ml.metrics import f1_score
+
+#: The paper's variant names in Table IV order.
+ESDE_VARIANTS: tuple[str, ...] = (
+    "SA-ESDE",
+    "SAQ-ESDE",
+    "SAS-ESDE",
+    "SB-ESDE",
+    "SBQ-ESDE",
+    "SBS-ESDE",
+)
+
+
+class EsdeMatcher(Matcher):
+    """One ESDE variant; see the module docstring for the algorithm."""
+
+    non_linear = False
+
+    def __init__(self, variant: str) -> None:
+        if variant not in EsdeFeatureExtractor.VARIANTS:
+            raise ValueError(
+                f"unknown ESDE variant {variant!r}; "
+                f"known: {EsdeFeatureExtractor.VARIANTS}"
+            )
+        super().__init__(name=f"{variant}-ESDE")
+        self.variant = variant
+        self._extractor: EsdeFeatureExtractor | None = None
+        self.best_feature_: int | None = None
+        self.best_threshold_: float = 0.0
+        self.validation_f1_: float = 0.0
+        self.training_thresholds_: np.ndarray | None = None
+        self.training_f1_: np.ndarray | None = None
+
+    def _fit(self, task: MatchingTask) -> None:
+        self._extractor = EsdeFeatureExtractor(self.variant, task)
+        training_features = self._extractor.feature_matrix(task.training)
+        training_labels = task.training.labels
+
+        # Training phase: the F1-optimal threshold per feature.
+        n_features = training_features.shape[1]
+        thresholds = np.empty(n_features)
+        training_f1 = np.empty(n_features)
+        for feature in range(n_features):
+            best_f1, threshold = best_threshold_f1(
+                training_features[:, feature], training_labels
+            )
+            thresholds[feature] = threshold
+            training_f1[feature] = best_f1
+        self.training_thresholds_ = thresholds
+        self.training_f1_ = training_f1
+
+        # Validation phase: the single best (feature, threshold).
+        validation_features = self._extractor.feature_matrix(task.validation)
+        validation_labels = task.validation.labels
+        best_feature = 0
+        best_f1 = -1.0
+        for feature in range(n_features):
+            predictions = (
+                validation_features[:, feature] >= thresholds[feature]
+            ).astype(np.int64)
+            f1 = f1_score(validation_labels, predictions)
+            if f1 > best_f1:
+                best_f1 = f1
+                best_feature = feature
+        self.best_feature_ = best_feature
+        self.best_threshold_ = float(thresholds[best_feature])
+        self.validation_f1_ = best_f1
+
+    def _predict(self, pairs: LabeledPairSet) -> np.ndarray:
+        assert self._extractor is not None and self.best_feature_ is not None
+        scores = np.asarray(
+            [
+                self._extractor.features(pair)[self.best_feature_]
+                for pair, __ in pairs
+            ]
+        )
+        return (scores >= self.best_threshold_).astype(np.int64)
+
+    @property
+    def best_feature_name(self) -> str | None:
+        """Human-readable name of the selected feature (after fitting)."""
+        if self._extractor is None or self.best_feature_ is None:
+            return None
+        return self._extractor.feature_names[self.best_feature_]
+
+
+def make_esde(variant: str) -> EsdeMatcher:
+    """Construct an ESDE matcher from a Table IV row name or a bare variant.
+
+    Accepts ``"SA"`` or ``"SA-ESDE"`` style names.
+    """
+    bare = variant.removesuffix("-ESDE")
+    return EsdeMatcher(bare)

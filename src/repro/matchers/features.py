@@ -1,0 +1,313 @@
+"""Pair feature extraction for the linear and ML-based matchers.
+
+Two families of feature vectors:
+
+* **ESDE features** (Section IV-C): schema-agnostic or per-attribute
+  [cosine, Dice, Jaccard] over tokens (SA/SB), over character q-grams with
+  q in [2, 10] (SAQ/SBQ), or [cosine, Euclidean, Wasserstein] similarity
+  over sentence embeddings (SAS/SBS).
+* **Magellan features** (Section IV-B): per attribute, a battery of
+  established similarity functions (token overlap measures, edit-based
+  measures, 3-gram Jaccard, numeric similarity) — the "automatically
+  extracted features" of the original system.
+
+All features live in [0, 1]. Extractors cache per-record token/q-gram sets
+and embeddings, because every matcher revisits the same records many times.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.data.pairs import LabeledPairSet, RecordPair
+from repro.data.records import Record
+from repro.data.task import MatchingTask
+from repro.embeddings.distances import (
+    cosine_vector_similarity,
+    euclidean_similarity,
+    wasserstein_similarity,
+)
+from repro.embeddings.provider import sentence_embedder_for_task
+from repro.text.similarity import (
+    cosine_similarity,
+    dice_similarity,
+    jaccard_similarity,
+    jaro_winkler_similarity,
+    levenshtein_similarity,
+    monge_elkan_similarity,
+    numeric_similarity,
+    overlap_coefficient,
+)
+from repro.text.tokenize import qgrams, tokenize
+
+#: q-gram lengths of the SAQ/SBQ variants (Section IV-C: q in [2, 10]).
+QGRAM_RANGE: tuple[int, ...] = tuple(range(2, 11))
+
+#: Caps that keep the edit-based Magellan features affordable on long values.
+_EDIT_MAX_CHARS = 32
+_MONGE_ELKAN_MAX_TOKENS = 6
+
+PairFeatureFn = Callable[[RecordPair], np.ndarray]
+
+
+def _set_trio(a: set[str], b: set[str]) -> tuple[float, float, float]:
+    """(cosine, dice, jaccard) of two sets."""
+    return (
+        cosine_similarity(a, b),
+        dice_similarity(a, b),
+        jaccard_similarity(a, b),
+    )
+
+
+class EsdeFeatureExtractor:
+    """Feature vectors for one ESDE variant on one task.
+
+    ``variant`` is one of ``"SA"``, ``"SB"``, ``"SAQ"``, ``"SBQ"``,
+    ``"SAS"``, ``"SBS"`` — schema-agnostic/schema-based crossed with
+    tokens / q-grams / sentence embeddings.
+    """
+
+    VARIANTS = ("SA", "SB", "SAQ", "SBQ", "SAS", "SBS")
+
+    def __init__(self, variant: str, task: MatchingTask) -> None:
+        if variant not in self.VARIANTS:
+            raise ValueError(
+                f"unknown ESDE variant {variant!r}; known: {self.VARIANTS}"
+            )
+        self.variant = variant
+        self.task = task
+        self.attributes = task.attributes
+        self._token_cache: dict[str, set[str]] = {}
+        self._qgram_cache: dict[tuple[str, int], set[str]] = {}
+        self._embedding_cache: dict[str, np.ndarray] = {}
+        self._embedder = (
+            sentence_embedder_for_task(task) if variant in ("SAS", "SBS") else None
+        )
+        self.feature_names = self._build_feature_names()
+
+    def _build_feature_names(self) -> tuple[str, ...]:
+        if self.variant == "SA":
+            return ("cs", "ds", "js")
+        if self.variant == "SB":
+            return tuple(
+                f"{attr}:{sim}" for attr in self.attributes for sim in ("cs", "ds", "js")
+            )
+        if self.variant == "SAQ":
+            return tuple(
+                f"q{q}:{sim}" for q in QGRAM_RANGE for sim in ("cs", "ds", "js")
+            )
+        if self.variant == "SBQ":
+            return tuple(
+                f"{attr}:q{q}:{sim}"
+                for attr in self.attributes
+                for q in QGRAM_RANGE
+                for sim in ("cs", "ds", "js")
+            )
+        if self.variant == "SAS":
+            return ("cs", "es", "ws")
+        return tuple(  # SBS
+            f"{attr}:{sim}" for attr in self.attributes for sim in ("cs", "es", "ws")
+        )
+
+    @property
+    def n_features(self) -> int:
+        return len(self.feature_names)
+
+    # -- cached record views -------------------------------------------------
+
+    def _record_tokens(self, record: Record, attribute: str | None) -> set[str]:
+        key = record.record_id if attribute is None else f"{record.record_id}\x00{attribute}"
+        cached = self._token_cache.get(key)
+        if cached is None:
+            cached = (
+                record.tokens() if attribute is None
+                else record.attribute_tokens(attribute)
+            )
+            self._token_cache[key] = cached
+        return cached
+
+    def _record_qgrams(
+        self, record: Record, q: int, attribute: str | None
+    ) -> set[str]:
+        suffix = "" if attribute is None else f"\x00{attribute}"
+        key = (record.record_id + suffix, q)
+        cached = self._qgram_cache.get(key)
+        if cached is None:
+            text = record.full_text() if attribute is None else record.value(attribute)
+            cached = qgrams(text, q)
+            self._qgram_cache[key] = cached
+        return cached
+
+    def _record_embedding(
+        self, record: Record, attribute: str | None
+    ) -> np.ndarray:
+        assert self._embedder is not None
+        key = record.record_id if attribute is None else f"{record.record_id}\x00{attribute}"
+        cached = self._embedding_cache.get(key)
+        if cached is None:
+            cached = (
+                self._embedder.embed_record(record)
+                if attribute is None
+                else self._embedder.embed_attribute(record, attribute)
+            )
+            self._embedding_cache[key] = cached
+        return cached
+
+    # -- feature vectors -----------------------------------------------------
+
+    def _embedding_trio(
+        self, pair: RecordPair, attribute: str | None
+    ) -> tuple[float, float, float]:
+        left = self._record_embedding(pair.left, attribute)
+        right = self._record_embedding(pair.right, attribute)
+        return (
+            cosine_vector_similarity(left, right),
+            euclidean_similarity(left, right),
+            wasserstein_similarity(left, right),
+        )
+
+    def features(self, pair: RecordPair) -> np.ndarray:
+        """The variant's feature vector for one pair."""
+        values: list[float] = []
+        if self.variant == "SA":
+            values.extend(
+                _set_trio(
+                    self._record_tokens(pair.left, None),
+                    self._record_tokens(pair.right, None),
+                )
+            )
+        elif self.variant == "SB":
+            for attribute in self.attributes:
+                values.extend(
+                    _set_trio(
+                        self._record_tokens(pair.left, attribute),
+                        self._record_tokens(pair.right, attribute),
+                    )
+                )
+        elif self.variant == "SAQ":
+            for q in QGRAM_RANGE:
+                values.extend(
+                    _set_trio(
+                        self._record_qgrams(pair.left, q, None),
+                        self._record_qgrams(pair.right, q, None),
+                    )
+                )
+        elif self.variant == "SBQ":
+            for attribute in self.attributes:
+                for q in QGRAM_RANGE:
+                    values.extend(
+                        _set_trio(
+                            self._record_qgrams(pair.left, q, attribute),
+                            self._record_qgrams(pair.right, q, attribute),
+                        )
+                    )
+        elif self.variant == "SAS":
+            values.extend(self._embedding_trio(pair, None))
+        else:  # SBS
+            for attribute in self.attributes:
+                values.extend(self._embedding_trio(pair, attribute))
+        return np.asarray(values, dtype=np.float64)
+
+    def feature_matrix(self, pairs: LabeledPairSet) -> np.ndarray:
+        """(n_pairs, n_features) matrix in the pair set's order."""
+        return np.stack([self.features(pair) for pair, __ in pairs])
+
+
+class MagellanFeatureExtractor:
+    """Magellan-style automatic feature extraction, cached per pair.
+
+    Per attribute: token cosine / Dice / Jaccard / overlap, 3-gram Jaccard,
+    Levenshtein and Jaro-Winkler similarity on (truncated) raw values,
+    Monge-Elkan on short token lists, and numeric similarity when both
+    values parse as numbers. Strings longer than the caps fall back to 0.5
+    for the edit measures (uninformative rather than misleading).
+    """
+
+    _PER_ATTRIBUTE = (
+        "cos", "dice", "jac", "overlap", "qg3_jac", "lev", "jw", "me", "num",
+    )
+
+    def __init__(self, attributes: Sequence[str]) -> None:
+        if not attributes:
+            raise ValueError("MagellanFeatureExtractor needs attributes")
+        self.attributes = tuple(attributes)
+        self.feature_names = tuple(
+            f"{attr}:{name}" for attr in self.attributes for name in self._PER_ATTRIBUTE
+        )
+        self._cache: dict[tuple[str, str], np.ndarray] = {}
+        # Attribute values repeat heavily (brands, years, genres), so the
+        # per-(value, value) similarity battery is memoized independently of
+        # which records carry the values.
+        self._value_cache: dict[tuple[str, str], list[float]] = {}
+
+    @property
+    def n_features(self) -> int:
+        return len(self.feature_names)
+
+    @staticmethod
+    def _maybe_number(value: str) -> float | None:
+        try:
+            return float(value)
+        except ValueError:
+            return None
+
+    def _attribute_features(self, left: str, right: str) -> list[float]:
+        left_tokens = tokenize(left)
+        right_tokens = tokenize(right)
+        left_set = set(left_tokens)
+        right_set = set(right_tokens)
+        features = [
+            cosine_similarity(left_set, right_set),
+            dice_similarity(left_set, right_set),
+            jaccard_similarity(left_set, right_set),
+            overlap_coefficient(left_set, right_set),
+            jaccard_similarity(qgrams(left, 3), qgrams(right, 3)),
+        ]
+        left_short = left[:_EDIT_MAX_CHARS].lower()
+        right_short = right[:_EDIT_MAX_CHARS].lower()
+        if left_short and right_short:
+            features.append(levenshtein_similarity(left_short, right_short))
+            features.append(jaro_winkler_similarity(left_short, right_short))
+        else:
+            features.extend((0.0, 0.0))
+        if (
+            0 < len(left_tokens) <= _MONGE_ELKAN_MAX_TOKENS
+            and 0 < len(right_tokens) <= _MONGE_ELKAN_MAX_TOKENS
+        ):
+            features.append(monge_elkan_similarity(left_tokens, right_tokens))
+        else:
+            features.append(0.5)
+        left_number = self._maybe_number(left)
+        right_number = self._maybe_number(right)
+        if left_number is not None and right_number is not None:
+            features.append(numeric_similarity(left_number, right_number))
+        else:
+            features.append(0.5)
+        return features
+
+    def _cached_attribute_features(self, left: str, right: str) -> list[float]:
+        key = (left, right)
+        cached = self._value_cache.get(key)
+        if cached is None:
+            cached = self._attribute_features(left, right)
+            self._value_cache[key] = cached
+        return cached
+
+    def features(self, pair: RecordPair) -> np.ndarray:
+        cached = self._cache.get(pair.key)
+        if cached is None:
+            values: list[float] = []
+            for attribute in self.attributes:
+                values.extend(
+                    self._cached_attribute_features(
+                        pair.left.value(attribute), pair.right.value(attribute)
+                    )
+                )
+            cached = np.asarray(values, dtype=np.float64)
+            self._cache[pair.key] = cached
+        return cached
+
+    def feature_matrix(self, pairs: LabeledPairSet) -> np.ndarray:
+        return np.stack([self.features(pair) for pair, __ in pairs])

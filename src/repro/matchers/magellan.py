@@ -1,0 +1,72 @@
+"""Magellan: traditional ML classifiers over automatic similarity features.
+
+Section IV-B / V-B: the blocking stage is disabled (all matchers see the
+same candidate pairs) and four classifier heads are evaluated — decision
+tree (DT), logistic regression (LR), random forest (RF) and linear SVM.
+Training uses the task's training set; the validation set is unused, as in
+the original system.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.pairs import LabeledPairSet
+from repro.data.task import MatchingTask
+from repro.matchers.base import Matcher
+from repro.matchers.features import MagellanFeatureExtractor
+from repro.ml.forest import RandomForest
+from repro.ml.logistic import LogisticRegression
+from repro.ml.svm import LinearSVM
+from repro.ml.tree import DecisionTree
+
+#: Table IV head names.
+MAGELLAN_HEADS: tuple[str, ...] = ("DT", "LR", "RF", "SVM")
+
+
+def _make_head(head: str, seed: int):
+    if head == "DT":
+        return DecisionTree(max_depth=10, min_samples_leaf=2, seed=seed)
+    if head == "LR":
+        return LogisticRegression(epochs=400, learning_rate=0.5)
+    if head == "RF":
+        return RandomForest(n_trees=40, max_depth=10, seed=seed)
+    if head == "SVM":
+        return LinearSVM(regularization=1e-3, epochs=40, seed=seed)
+    raise ValueError(f"unknown Magellan head {head!r}; known: {MAGELLAN_HEADS}")
+
+
+class MagellanMatcher(Matcher):
+    """Magellan with one of the four classifier heads.
+
+    A shared :class:`MagellanFeatureExtractor` may be passed so the four
+    heads (and ZeroER) reuse one per-pair feature cache.
+    """
+
+    def __init__(
+        self,
+        head: str = "RF",
+        extractor: MagellanFeatureExtractor | None = None,
+        seed: int = 0,
+    ) -> None:
+        if head not in MAGELLAN_HEADS:
+            raise ValueError(
+                f"unknown Magellan head {head!r}; known: {MAGELLAN_HEADS}"
+            )
+        super().__init__(name=f"Magellan-{head}")
+        self.head = head
+        self.seed = seed
+        self._extractor = extractor
+        self._model = None
+
+    def _fit(self, task: MatchingTask) -> None:
+        if self._extractor is None:
+            self._extractor = MagellanFeatureExtractor(task.attributes)
+        features = self._extractor.feature_matrix(task.training)
+        self._model = _make_head(self.head, self.seed)
+        self._model.fit(features, task.training.labels)
+
+    def _predict(self, pairs: LabeledPairSet) -> np.ndarray:
+        assert self._extractor is not None and self._model is not None
+        features = self._extractor.feature_matrix(pairs)
+        return self._model.predict(features)

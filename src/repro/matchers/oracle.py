@@ -1,0 +1,29 @@
+"""The perfect oracle: predicts the ground-truth label of every pair.
+
+Section I frames the learning-based margin as "the difference between the
+best learning-based matcher and the perfect oracle"; this matcher makes the
+oracle a first-class object (F1 = 1 by construction) so the margin can be
+computed uniformly as a difference of matcher results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.pairs import LabeledPairSet
+from repro.data.task import MatchingTask
+from repro.matchers.base import Matcher
+
+
+class OracleMatcher(Matcher):
+    """Upper reference point for every benchmark."""
+
+    def __init__(self) -> None:
+        super().__init__(name="Oracle")
+
+    def _fit(self, task: MatchingTask) -> None:
+        # Nothing to learn: the oracle reads the labels at prediction time.
+        pass
+
+    def _predict(self, pairs: LabeledPairSet) -> np.ndarray:
+        return np.asarray(pairs.labels, dtype=np.int64)

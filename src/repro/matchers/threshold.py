@@ -1,0 +1,10 @@
+"""Best-F1 threshold selection shared by Algorithm 1 and the ESDE matchers.
+
+Both sweep thresholds over [0.01, 0.99] with step 0.01 and keep the first
+threshold attaining the maximum F1. Re-exported from the linearity module so
+there is a single implementation.
+"""
+
+from repro.core.linearity import best_threshold_f1
+
+__all__ = ["best_threshold_f1"]

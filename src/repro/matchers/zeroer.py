@@ -1,0 +1,56 @@
+"""ZeroER: unsupervised matching via Gaussian-mixture EM.
+
+Section IV-B: the same feature space as Magellan, no labels. A
+two-component full-covariance Gaussian mixture is fitted to the feature
+vectors of *all* candidate pairs (training labels are ignored — the
+algorithm is unsupervised); the component with the higher mean similarity is
+the match class. Like the paper we decouple ZeroER from its hand-crafted
+per-dataset blocking, applying it to the same candidate sets as every other
+matcher.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.pairs import LabeledPairSet
+from repro.data.task import MatchingTask
+from repro.matchers.base import Matcher
+from repro.matchers.features import MagellanFeatureExtractor
+from repro.ml.gmm import GaussianMixture
+
+
+class ZeroERMatcher(Matcher):
+    """Unsupervised GMM-EM matcher on Magellan features."""
+
+    def __init__(
+        self,
+        extractor: MagellanFeatureExtractor | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(name="ZeroER")
+        self.seed = seed
+        self._extractor = extractor
+        self._mixture: GaussianMixture | None = None
+        self._match_component = 1
+
+    def _fit(self, task: MatchingTask) -> None:
+        if self._extractor is None:
+            self._extractor = MagellanFeatureExtractor(task.attributes)
+        # Unsupervised: fit the mixture on every candidate pair's features,
+        # labels unseen.
+        all_pairs = task.all_pairs()
+        features = self._extractor.feature_matrix(all_pairs)
+        self._mixture = GaussianMixture(
+            n_components=2, seed=self.seed, regularization=1e-5
+        )
+        self._mixture.fit(features)
+        self._match_component = self._mixture.match_component()
+
+    def _predict(self, pairs: LabeledPairSet) -> np.ndarray:
+        assert self._extractor is not None and self._mixture is not None
+        features = self._extractor.feature_matrix(pairs)
+        responsibilities = self._mixture.predict_proba(features)
+        return (
+            responsibilities[:, self._match_component] >= 0.5
+        ).astype(np.int64)

@@ -1,0 +1,58 @@
+"""Learning substrate: classifiers, mixture models and metrics on numpy.
+
+No third-party ML framework is available in the reproduction environment, so
+every estimator the paper relies on — the linear SVM behind the l1/l2
+complexity measures, the nearest-neighbour classifier behind n1-n4, Magellan's
+decision tree / logistic regression / random forest / SVM heads, ZeroER's
+Gaussian mixture EM, and the neural networks standing in for the deep
+matchers — is implemented here from scratch.
+
+All estimators follow a small common protocol (:class:`repro.ml.base.Estimator`):
+``fit(X, y)`` then ``predict(X)`` / ``predict_proba(X)``, with explicit seeds
+for anything stochastic.
+"""
+
+from repro.ml.base import Estimator, check_features, check_labels
+from repro.ml.forest import RandomForest
+from repro.ml.gmm import GaussianMixture
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.logistic import LogisticRegression
+from repro.ml.metrics import (
+    ConfusionCounts,
+    balanced_accuracy,
+    confusion_counts,
+    f1_score,
+    f_star_score,
+    matthews_correlation,
+    precision_recall_f1,
+    precision_score,
+    recall_score,
+)
+from repro.ml.mlp import MLPClassifier
+from repro.ml.scaling import MinMaxScaler, StandardScaler
+from repro.ml.svm import LinearSVM
+from repro.ml.tree import DecisionTree
+
+__all__ = [
+    "ConfusionCounts",
+    "DecisionTree",
+    "Estimator",
+    "GaussianMixture",
+    "KNeighborsClassifier",
+    "LinearSVM",
+    "LogisticRegression",
+    "MLPClassifier",
+    "MinMaxScaler",
+    "RandomForest",
+    "StandardScaler",
+    "balanced_accuracy",
+    "check_features",
+    "check_labels",
+    "confusion_counts",
+    "f1_score",
+    "f_star_score",
+    "matthews_correlation",
+    "precision_recall_f1",
+    "precision_score",
+    "recall_score",
+]

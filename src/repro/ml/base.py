@@ -1,0 +1,56 @@
+"""Common estimator protocol and input validation helpers."""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class Estimator(Protocol):
+    """Minimal protocol every classifier in :mod:`repro.ml` satisfies."""
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "Estimator":
+        """Train on a (n_samples, n_features) matrix and 0/1 label vector."""
+        ...
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Return 0/1 predictions for each row of *features*."""
+        ...
+
+
+def check_features(features: np.ndarray, name: str = "features") -> np.ndarray:
+    """Validate and normalize a feature matrix to 2-d float64.
+
+    Accepts 1-d input (treated as a single-feature column) for convenience.
+    Raises ``ValueError`` on empty input or non-finite values, which would
+    otherwise silently poison downstream estimators.
+    """
+    array = np.asarray(features, dtype=np.float64)
+    if array.ndim == 1:
+        array = array.reshape(-1, 1)
+    if array.ndim != 2:
+        raise ValueError(f"{name} must be 2-dimensional, got shape {array.shape}")
+    if array.shape[0] == 0:
+        raise ValueError(f"{name} must contain at least one sample")
+    if not np.all(np.isfinite(array)):
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return array
+
+
+def check_labels(
+    labels: np.ndarray, n_samples: int, name: str = "labels"
+) -> np.ndarray:
+    """Validate a 0/1 label vector of length *n_samples*."""
+    array = np.asarray(labels)
+    if array.ndim != 1:
+        raise ValueError(f"{name} must be 1-dimensional, got shape {array.shape}")
+    if array.shape[0] != n_samples:
+        raise ValueError(
+            f"{name} has {array.shape[0]} entries but there are {n_samples} samples"
+        )
+    unique = np.unique(array)
+    if not np.all(np.isin(unique, (0, 1))):
+        raise ValueError(f"{name} must be binary 0/1, got values {unique}")
+    return array.astype(np.int64)

@@ -1,0 +1,81 @@
+"""Random forest: bagged CART trees with feature subsampling.
+
+The ``Magellan-RF`` matcher head (Section IV-B).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.ml.base import check_features, check_labels
+from repro.ml.tree import DecisionTree
+
+
+class RandomForest:
+    """Bootstrap-aggregated decision trees.
+
+    Each tree is trained on a bootstrap resample and restricted to
+    ``sqrt(n_features)`` candidate features per split (the standard
+    classification default).
+    """
+
+    def __init__(
+        self,
+        n_trees: int = 30,
+        max_depth: int = 12,
+        min_samples_leaf: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if n_trees < 1:
+            raise ValueError(f"n_trees must be >= 1, got {n_trees}")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.seed = seed
+        self._trees: list[DecisionTree] = []
+        self._n_features = 0
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "RandomForest":
+        array = check_features(features)
+        target = check_labels(labels, array.shape[0])
+        self._n_features = array.shape[1]
+        max_features = max(1, int(math.sqrt(self._n_features)))
+        rng = np.random.default_rng(self.seed)
+        n_samples = array.shape[0]
+
+        self._trees = []
+        for tree_index in range(self.n_trees):
+            sample = rng.integers(0, n_samples, size=n_samples)
+            # Guarantee both classes appear in the bootstrap when possible, so
+            # no tree degenerates to a constant predictor on imbalanced data.
+            if target.sum() > 0 and len(np.unique(target[sample])) < 2:
+                minority = np.flatnonzero(target == (0 if target.mean() > 0.5 else 1))
+                sample[: len(minority)] = minority
+            tree = DecisionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                seed=self.seed + 1000 + tree_index,
+            )
+            tree.fit(array[sample], target[sample])
+            self._trees.append(tree)
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Mean leaf probability across trees."""
+        if not self._trees:
+            raise RuntimeError("RandomForest is not fitted; call fit() first")
+        array = check_features(features)
+        if array.shape[1] != self._n_features:
+            raise ValueError(
+                f"expected {self._n_features} features, got {array.shape[1]}"
+            )
+        votes = np.zeros(array.shape[0])
+        for tree in self._trees:
+            votes += tree.predict_proba(array)
+        return votes / len(self._trees)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(features) >= 0.5).astype(np.int64)

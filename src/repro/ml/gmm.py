@@ -1,0 +1,160 @@
+"""Two-component Gaussian mixture fitted by expectation-maximisation.
+
+ZeroER (Section IV-B) models the match and non-match similarity-feature
+distributions as Gaussians and assigns labels from posterior responsibility,
+with no training labels. Full covariance matrices capture the "dependencies
+between different features" the paper highlights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import check_features
+
+
+class GaussianMixture:
+    """EM for a mixture of ``n_components`` full-covariance Gaussians."""
+
+    def __init__(
+        self,
+        n_components: int = 2,
+        max_iterations: int = 200,
+        tolerance: float = 1e-6,
+        regularization: float = 1e-6,
+        seed: int = 0,
+    ) -> None:
+        if n_components < 1:
+            raise ValueError(f"n_components must be >= 1, got {n_components}")
+        self.n_components = n_components
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.regularization = regularization
+        self.seed = seed
+        self.means_: np.ndarray | None = None
+        self.covariances_: np.ndarray | None = None
+        self.weights_: np.ndarray | None = None
+        self.converged_ = False
+        self.n_iterations_ = 0
+
+    def fit(self, features: np.ndarray) -> "GaussianMixture":
+        array = check_features(features)
+        n_samples, n_features = array.shape
+        if n_samples < self.n_components:
+            raise ValueError(
+                f"need at least {self.n_components} samples, got {n_samples}"
+            )
+
+        # Initialize means by quantile-spread along the first principal
+        # direction, which for similarity features separates low-similarity
+        # (non-match) from high-similarity (match) mass deterministically.
+        projection = array @ self._principal_direction(array)
+        order = np.argsort(projection, kind="stable")
+        chunks = np.array_split(order, self.n_components)
+        means = np.stack([array[chunk].mean(axis=0) for chunk in chunks])
+        covariances = np.stack(
+            [np.cov(array.T) + self.regularization * np.eye(n_features)]
+            * self.n_components
+        ).reshape(self.n_components, n_features, n_features)
+        weights = np.full(self.n_components, 1.0 / self.n_components)
+
+        previous_log_likelihood = -np.inf
+        self.converged_ = False
+        for iteration in range(1, self.max_iterations + 1):
+            log_densities = self._log_densities(array, means, covariances, weights)
+            log_norm = _logsumexp(log_densities, axis=1)
+            responsibilities = np.exp(log_densities - log_norm[:, None])
+            log_likelihood = float(log_norm.mean())
+
+            component_mass = responsibilities.sum(axis=0)
+            component_mass = np.maximum(component_mass, 1e-12)
+            weights = component_mass / n_samples
+            means = (responsibilities.T @ array) / component_mass[:, None]
+            for k in range(self.n_components):
+                centered = array - means[k]
+                weighted = centered * responsibilities[:, k][:, None]
+                covariances[k] = (
+                    weighted.T @ centered / component_mass[k]
+                    + self.regularization * np.eye(n_features)
+                )
+
+            self.n_iterations_ = iteration
+            if abs(log_likelihood - previous_log_likelihood) < self.tolerance:
+                self.converged_ = True
+                break
+            previous_log_likelihood = log_likelihood
+
+        self.means_ = means
+        self.covariances_ = covariances
+        self.weights_ = weights
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Posterior responsibility of each component for each sample."""
+        if self.means_ is None or self.covariances_ is None or self.weights_ is None:
+            raise RuntimeError("GaussianMixture is not fitted; call fit() first")
+        array = check_features(features)
+        log_densities = self._log_densities(
+            array, self.means_, self.covariances_, self.weights_
+        )
+        log_norm = _logsumexp(log_densities, axis=1)
+        return np.exp(log_densities - log_norm[:, None])
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Hard component assignment for each sample."""
+        return np.argmax(self.predict_proba(features), axis=1)
+
+    def match_component(self) -> int:
+        """Index of the component with the largest mean feature magnitude.
+
+        On similarity features (all in [0, 1], higher = more similar) the
+        match class is the high-mean component. ZeroER uses this to orient
+        the unsupervised clustering into match / non-match labels.
+        """
+        if self.means_ is None:
+            raise RuntimeError("GaussianMixture is not fitted; call fit() first")
+        return int(np.argmax(self.means_.mean(axis=1)))
+
+    @staticmethod
+    def _principal_direction(array: np.ndarray) -> np.ndarray:
+        centered = array - array.mean(axis=0)
+        covariance = centered.T @ centered
+        eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+        return eigenvectors[:, int(np.argmax(eigenvalues))]
+
+    @staticmethod
+    def _log_densities(
+        array: np.ndarray,
+        means: np.ndarray,
+        covariances: np.ndarray,
+        weights: np.ndarray,
+    ) -> np.ndarray:
+        n_samples, n_features = array.shape
+        n_components = means.shape[0]
+        out = np.empty((n_samples, n_components))
+        constant = -0.5 * n_features * np.log(2.0 * np.pi)
+        for k in range(n_components):
+            try:
+                cholesky = np.linalg.cholesky(covariances[k])
+            except np.linalg.LinAlgError:
+                cholesky = np.linalg.cholesky(
+                    covariances[k] + 1e-6 * np.eye(n_features)
+                )
+            centered = array - means[k]
+            # Solve L z = centered^T with the general solver; the feature
+            # dimensionality is tiny (<= ~30) so this is cheap.
+            z = np.linalg.solve(cholesky, centered.T).T
+            log_det = 2.0 * np.sum(np.log(np.diag(cholesky)))
+            mahalanobis = np.sum(z * z, axis=1)
+            out[:, k] = (
+                np.log(max(weights[k], 1e-300))
+                + constant
+                - 0.5 * log_det
+                - 0.5 * mahalanobis
+            )
+        return out
+
+
+def _logsumexp(values: np.ndarray, axis: int) -> np.ndarray:
+    peak = values.max(axis=axis, keepdims=True)
+    return (peak + np.log(np.sum(np.exp(values - peak), axis=axis, keepdims=True))).squeeze(axis)

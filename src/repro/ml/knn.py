@@ -1,0 +1,75 @@
+"""k-nearest-neighbour classifier.
+
+Beyond its use as a baseline, the 1-NN variant is the engine behind the
+neighbourhood complexity measures n1-n4 (Table I), which characterize the
+decision boundary through nearest neighbours under a supplied distance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.ml.base import check_features, check_labels
+
+DistanceFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def euclidean_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise Euclidean distance matrix between row sets *a* and *b*."""
+    a2 = np.sum(a * a, axis=1)[:, None]
+    b2 = np.sum(b * b, axis=1)[None, :]
+    squared = a2 + b2 - 2.0 * (a @ b.T)
+    return np.sqrt(np.maximum(squared, 0.0))
+
+
+class KNeighborsClassifier:
+    """Majority-vote k-NN with a pluggable pairwise distance function."""
+
+    def __init__(self, k: int = 1, distance: DistanceFn = euclidean_distances) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.distance = distance
+        self._features: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "KNeighborsClassifier":
+        array = check_features(features)
+        self._labels = check_labels(labels, array.shape[0])
+        self._features = array
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Fraction of positive labels among the k nearest training points."""
+        if self._features is None or self._labels is None:
+            raise RuntimeError("KNeighborsClassifier is not fitted; call fit() first")
+        array = check_features(features)
+        if array.shape[1] != self._features.shape[1]:
+            raise ValueError(
+                f"expected {self._features.shape[1]} features, got {array.shape[1]}"
+            )
+        k = min(self.k, self._features.shape[0])
+        distances = self.distance(array, self._features)
+        neighbor_ids = np.argpartition(distances, kth=k - 1, axis=1)[:, :k]
+        return self._labels[neighbor_ids].mean(axis=1)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(features) >= 0.5).astype(np.int64)
+
+    def leave_one_out_error(self) -> float:
+        """1-NN leave-one-out error rate on the training set.
+
+        This is exactly the n3 complexity measure: each training point is
+        classified by its nearest *other* training point.
+        """
+        if self._features is None or self._labels is None:
+            raise RuntimeError("KNeighborsClassifier is not fitted; call fit() first")
+        n = self._features.shape[0]
+        if n < 2:
+            return 0.0
+        distances = self.distance(self._features, self._features)
+        np.fill_diagonal(distances, np.inf)
+        nearest = np.argmin(distances, axis=1)
+        return float(np.mean(self._labels[nearest] != self._labels))

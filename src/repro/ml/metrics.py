@@ -1,0 +1,139 @@
+"""Binary classification metrics.
+
+The paper evaluates matching exclusively with precision, recall and the
+F-measure (Section II); these functions are the single implementation used by
+every matcher, the linearity sweep of Algorithm 1 and the practical measures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """True/false positive/negative counts for a binary task."""
+
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positives
+            + self.false_positives
+            + self.true_negatives
+            + self.false_negatives
+        )
+
+    @property
+    def accuracy(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return (self.true_positives + self.true_negatives) / self.total
+
+
+def confusion_counts(
+    true_labels: np.ndarray, predicted_labels: np.ndarray
+) -> ConfusionCounts:
+    """Compute confusion counts from two 0/1 vectors of equal length."""
+    truth = np.asarray(true_labels).astype(bool)
+    predicted = np.asarray(predicted_labels).astype(bool)
+    if truth.shape != predicted.shape:
+        raise ValueError(
+            f"label vectors differ in shape: {truth.shape} vs {predicted.shape}"
+        )
+    return ConfusionCounts(
+        true_positives=int(np.sum(truth & predicted)),
+        false_positives=int(np.sum(~truth & predicted)),
+        true_negatives=int(np.sum(~truth & ~predicted)),
+        false_negatives=int(np.sum(truth & ~predicted)),
+    )
+
+
+def precision_score(true_labels: np.ndarray, predicted_labels: np.ndarray) -> float:
+    """Precision = TP / (TP + FP); 0 when nothing was predicted positive."""
+    counts = confusion_counts(true_labels, predicted_labels)
+    denominator = counts.true_positives + counts.false_positives
+    if denominator == 0:
+        return 0.0
+    return counts.true_positives / denominator
+
+
+def recall_score(true_labels: np.ndarray, predicted_labels: np.ndarray) -> float:
+    """Recall = TP / (TP + FN); 0 when there are no positives at all."""
+    counts = confusion_counts(true_labels, predicted_labels)
+    denominator = counts.true_positives + counts.false_negatives
+    if denominator == 0:
+        return 0.0
+    return counts.true_positives / denominator
+
+
+def f1_score(true_labels: np.ndarray, predicted_labels: np.ndarray) -> float:
+    """F1 = harmonic mean of precision and recall (0 when both are 0)."""
+    __, __, f1 = precision_recall_f1(true_labels, predicted_labels)
+    return f1
+
+
+def f_star_score(true_labels: np.ndarray, predicted_labels: np.ndarray) -> float:
+    """The F* measure of Hand & Christen: TP / (TP + FP + FN).
+
+    The paper's F-measure reference ([15], [17]) criticizes F1's implicit
+    precision/recall trade-off weighting; F* is the proposed alternative —
+    the Jaccard index of the predicted and true positive sets. Monotone in
+    F1 (F* = F1 / (2 - F1)) but with an interpretable absolute scale.
+    """
+    counts = confusion_counts(true_labels, predicted_labels)
+    denominator = (
+        counts.true_positives + counts.false_positives + counts.false_negatives
+    )
+    if denominator == 0:
+        return 0.0
+    return counts.true_positives / denominator
+
+
+def balanced_accuracy(
+    true_labels: np.ndarray, predicted_labels: np.ndarray
+) -> float:
+    """Mean of the per-class recalls — robust to the heavy ER imbalance."""
+    counts = confusion_counts(true_labels, predicted_labels)
+    positives = counts.true_positives + counts.false_negatives
+    negatives = counts.true_negatives + counts.false_positives
+    sensitivity = counts.true_positives / positives if positives else 0.0
+    specificity = counts.true_negatives / negatives if negatives else 0.0
+    return (sensitivity + specificity) / 2.0
+
+
+def matthews_correlation(
+    true_labels: np.ndarray, predicted_labels: np.ndarray
+) -> float:
+    """Matthews correlation coefficient in [-1, 1] (0 on degenerate splits)."""
+    counts = confusion_counts(true_labels, predicted_labels)
+    tp, fp = counts.true_positives, counts.false_positives
+    tn, fn = counts.true_negatives, counts.false_negatives
+    denominator = (tp + fp) * (tp + fn) * (tn + fp) * (tn + fn)
+    if denominator == 0:
+        return 0.0
+    return (tp * tn - fp * fn) / math.sqrt(denominator)
+
+
+def precision_recall_f1(
+    true_labels: np.ndarray, predicted_labels: np.ndarray
+) -> tuple[float, float, float]:
+    """Return (precision, recall, F1) in one pass over the labels."""
+    counts = confusion_counts(true_labels, predicted_labels)
+    predicted_positive = counts.true_positives + counts.false_positives
+    actual_positive = counts.true_positives + counts.false_negatives
+    precision = (
+        counts.true_positives / predicted_positive if predicted_positive else 0.0
+    )
+    recall = counts.true_positives / actual_positive if actual_positive else 0.0
+    if precision + recall == 0.0:
+        return precision, recall, 0.0
+    f1 = 2.0 * precision * recall / (precision + recall)
+    return precision, recall, f1

@@ -1,0 +1,44 @@
+"""Gradient-descent optimizers for the neural matchers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Adam:
+    """Adam optimizer over a list of parameter arrays (updated in place)."""
+
+    def __init__(
+        self,
+        parameters: list[np.ndarray],
+        learning_rate: float = 1e-2,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        if not parameters:
+            raise ValueError("Adam requires at least one parameter array")
+        self.parameters = parameters
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m = [np.zeros_like(p) for p in parameters]
+        self._v = [np.zeros_like(p) for p in parameters]
+        self._t = 0
+
+    def step(self, gradients: list[np.ndarray]) -> None:
+        """Apply one update; *gradients* aligns with the parameter list."""
+        if len(gradients) != len(self.parameters):
+            raise ValueError(
+                f"got {len(gradients)} gradients for {len(self.parameters)} parameters"
+            )
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for param, grad, m, v in zip(self.parameters, gradients, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            param -= self.learning_rate * (m / bias1) / (np.sqrt(v / bias2) + self.epsilon)

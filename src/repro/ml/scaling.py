@@ -1,0 +1,65 @@
+"""Feature scaling transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import check_features
+
+
+class StandardScaler:
+    """Zero-mean, unit-variance scaling; constant columns are left centred."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        array = check_features(features)
+        self.mean_ = array.mean(axis=0)
+        scale = array.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler is not fitted; call fit() first")
+        array = check_features(features)
+        if array.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"expected {self.mean_.shape[0]} features, got {array.shape[1]}"
+            )
+        return (array - self.mean_) / self.scale_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)
+
+
+class MinMaxScaler:
+    """Scale each feature into [0, 1]; constant columns map to 0."""
+
+    def __init__(self) -> None:
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray) -> "MinMaxScaler":
+        array = check_features(features)
+        self.min_ = array.min(axis=0)
+        value_range = array.max(axis=0) - self.min_
+        value_range[value_range == 0.0] = 1.0
+        self.range_ = value_range
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.min_ is None or self.range_ is None:
+            raise RuntimeError("MinMaxScaler is not fitted; call fit() first")
+        array = check_features(features)
+        if array.shape[1] != self.min_.shape[0]:
+            raise ValueError(
+                f"expected {self.min_.shape[0]} features, got {array.shape[1]}"
+            )
+        return np.clip((array - self.min_) / self.range_, 0.0, 1.0)
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)

@@ -1,0 +1,169 @@
+"""CART decision tree with Gini impurity (the ``Magellan-DT`` head)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.base import check_features, check_labels
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves have ``feature is None``."""
+
+    prediction: float  # positive-class fraction at this node
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+def _gini(positive_count: float, total: float) -> float:
+    if total == 0:
+        return 0.0
+    p = positive_count / total
+    return 2.0 * p * (1.0 - p)
+
+
+class DecisionTree:
+    """Binary CART classifier.
+
+    Splits minimize weighted Gini impurity over candidate thresholds
+    (midpoints between consecutive distinct values). Optional feature
+    subsampling (``max_features``) makes the tree usable as a random-forest
+    base learner.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_split < 2:
+            raise ValueError(
+                f"min_samples_split must be >= 2, got {min_samples_split}"
+            )
+        if min_samples_leaf < 1:
+            raise ValueError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self._root: _Node | None = None
+        self._n_features = 0
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "DecisionTree":
+        array = check_features(features)
+        target = check_labels(labels, array.shape[0]).astype(np.float64)
+        self._n_features = array.shape[1]
+        rng = np.random.default_rng(self.seed)
+        self._root = self._build(array, target, depth=0, rng=rng)
+        return self
+
+    def _build(
+        self, array: np.ndarray, target: np.ndarray, depth: int, rng: np.random.Generator
+    ) -> _Node:
+        prediction = float(target.mean()) if target.size else 0.0
+        node = _Node(prediction=prediction)
+        if (
+            depth >= self.max_depth
+            or target.size < self.min_samples_split
+            or prediction == 0.0
+            or prediction == 1.0
+        ):
+            return node
+
+        split = self._best_split(array, target, rng)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = array[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(array[mask], target[mask], depth + 1, rng)
+        node.right = self._build(array[~mask], target[~mask], depth + 1, rng)
+        return node
+
+    def _best_split(
+        self, array: np.ndarray, target: np.ndarray, rng: np.random.Generator
+    ) -> tuple[int, float] | None:
+        n_samples, n_features = array.shape
+        if self.max_features is not None and self.max_features < n_features:
+            candidates = rng.choice(n_features, size=self.max_features, replace=False)
+        else:
+            candidates = np.arange(n_features)
+
+        best_impurity = np.inf
+        best: tuple[int, float] | None = None
+        total_positive = target.sum()
+        for feature in candidates:
+            order = np.argsort(array[:, feature], kind="stable")
+            values = array[order, feature]
+            ordered_target = target[order]
+            cumulative_positive = np.cumsum(ordered_target)
+            # Candidate split after position i (1-based count of left side).
+            for i in range(self.min_samples_leaf, n_samples - self.min_samples_leaf + 1):
+                if i == n_samples or values[i - 1] == values[min(i, n_samples - 1)]:
+                    continue
+                left_total = float(i)
+                right_total = float(n_samples - i)
+                left_positive = float(cumulative_positive[i - 1])
+                right_positive = float(total_positive - left_positive)
+                impurity = (
+                    left_total * _gini(left_positive, left_total)
+                    + right_total * _gini(right_positive, right_total)
+                ) / n_samples
+                if impurity < best_impurity - 1e-12:
+                    best_impurity = impurity
+                    threshold = (values[i - 1] + values[i]) / 2.0
+                    best = (int(feature), float(threshold))
+        parent_impurity = _gini(float(total_positive), float(n_samples))
+        if best is not None and best_impurity < parent_impurity - 1e-12:
+            return best
+        return None
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Positive-class fraction at the leaf reached by each sample."""
+        if self._root is None:
+            raise RuntimeError("DecisionTree is not fitted; call fit() first")
+        array = check_features(features)
+        if array.shape[1] != self._n_features:
+            raise ValueError(
+                f"expected {self._n_features} features, got {array.shape[1]}"
+            )
+        out = np.empty(array.shape[0])
+        for index, row in enumerate(array):
+            node = self._root
+            while not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[index] = node.prediction
+        return out
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(features) >= 0.5).astype(np.int64)
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree (0 for a single leaf)."""
+        if self._root is None:
+            raise RuntimeError("DecisionTree is not fitted; call fit() first")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            assert node.left is not None and node.right is not None
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)

@@ -1,0 +1,53 @@
+"""Lexical substrate: tokenization, string similarities and TF-IDF weighting.
+
+This package provides the schema-agnostic text machinery that the paper's
+difficulty measures (Section III) and linear matchers (Section IV-C) are built
+on: whitespace tokenization, character q-grams, optional cleaning (stop-word
+removal plus stemming, as used by the DeepBlocker tuner in Section VI), token
+set similarities (cosine, Jaccard, Dice, overlap) and the classic edit-based
+measures used by Magellan-style feature extraction (Levenshtein, Jaro,
+Jaro-Winkler, Monge-Elkan).
+"""
+
+from repro.text.tokenize import (
+    STOPWORDS,
+    clean_tokens,
+    ngrams,
+    qgrams,
+    stem,
+    tokenize,
+)
+from repro.text.similarity import (
+    cosine_similarity,
+    dice_similarity,
+    jaccard_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    monge_elkan_similarity,
+    numeric_similarity,
+    overlap_coefficient,
+)
+from repro.text.vectorize import TfIdfVectorizer, Vocabulary
+
+__all__ = [
+    "STOPWORDS",
+    "TfIdfVectorizer",
+    "Vocabulary",
+    "clean_tokens",
+    "cosine_similarity",
+    "dice_similarity",
+    "jaccard_similarity",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "monge_elkan_similarity",
+    "ngrams",
+    "numeric_similarity",
+    "overlap_coefficient",
+    "qgrams",
+    "stem",
+    "tokenize",
+]

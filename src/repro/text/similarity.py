@@ -1,0 +1,164 @@
+"""String and set similarity measures.
+
+The set-based measures (cosine, Jaccard, Dice, overlap) operate on token or
+q-gram sets and are the backbone of the paper's degree-of-linearity measure
+(Section III-A) and of the ESDE linear matchers (Section IV-C). The
+edit-based measures (Levenshtein, Jaro, Jaro-Winkler, Monge-Elkan) mirror the
+similarity functions Magellan extracts features with (Section IV-B).
+
+All similarities return values in [0, 1], higher meaning more similar, and
+are symmetric in their two arguments.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence, Set
+
+
+def cosine_similarity(a: Set[str], b: Set[str]) -> float:
+    """Set cosine: ``|a & b| / sqrt(|a| * |b|)``.
+
+    This is the ``CS`` measure of Section III-A, treating each set as a
+    binary occurrence vector.
+    """
+    if not a or not b:
+        return 0.0
+    return len(a & b) / math.sqrt(len(a) * len(b))
+
+
+def jaccard_similarity(a: Set[str], b: Set[str]) -> float:
+    """Set Jaccard: ``|a & b| / |a | b|`` (the ``JS`` measure of §III-A)."""
+    if not a and not b:
+        return 0.0
+    union = len(a | b)
+    if union == 0:
+        return 0.0
+    return len(a & b) / union
+
+
+def dice_similarity(a: Set[str], b: Set[str]) -> float:
+    """Set Dice coefficient: ``2 |a & b| / (|a| + |b|)``."""
+    if not a or not b:
+        return 0.0
+    return 2.0 * len(a & b) / (len(a) + len(b))
+
+
+def overlap_coefficient(a: Set[str], b: Set[str]) -> float:
+    """Overlap coefficient: ``|a & b| / min(|a|, |b|)``."""
+    if not a or not b:
+        return 0.0
+    return len(a & b) / min(len(a), len(b))
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Edit distance (insertions, deletions, substitutions) between strings."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    # Keep the shorter string in the inner loop for memory locality.
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(
+                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            )
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """Normalized edit similarity: ``1 - distance / max(len)``."""
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein_distance(a, b) / longest
+
+
+def jaro_similarity(a: str, b: str) -> float:
+    """Jaro similarity between two strings."""
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    window = max(len(a), len(b)) // 2 - 1
+    window = max(window, 0)
+    a_flags = [False] * len(a)
+    b_flags = [False] * len(b)
+    matches = 0
+    for i, char_a in enumerate(a):
+        low = max(0, i - window)
+        high = min(len(b), i + window + 1)
+        for j in range(low, high):
+            if not b_flags[j] and b[j] == char_a:
+                a_flags[i] = True
+                b_flags[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i, flagged in enumerate(a_flags):
+        if flagged:
+            while not b_flags[j]:
+                j += 1
+            if a[i] != b[j]:
+                transpositions += 1
+            j += 1
+    transpositions //= 2
+    return (
+        matches / len(a) + matches / len(b) + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler_similarity(a: str, b: str, prefix_weight: float = 0.1) -> float:
+    """Jaro-Winkler similarity: Jaro boosted by the common prefix length."""
+    jaro = jaro_similarity(a, b)
+    prefix = 0
+    for char_a, char_b in zip(a, b):
+        if char_a != char_b or prefix == 4:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_weight * (1.0 - jaro)
+
+
+def monge_elkan_similarity(
+    tokens_a: Sequence[str], tokens_b: Sequence[str]
+) -> float:
+    """Monge-Elkan: mean best Jaro-Winkler match of each token of *a* in *b*.
+
+    Note this variant is asymmetric in general; we symmetrize by averaging
+    both directions, which keeps the measure a proper [0, 1] similarity.
+    """
+    if not tokens_a or not tokens_b:
+        return 0.0
+
+    def directed(source: Sequence[str], target: Sequence[str]) -> float:
+        total = 0.0
+        for token in source:
+            total += max(jaro_winkler_similarity(token, other) for other in target)
+        return total / len(source)
+
+    return (directed(tokens_a, tokens_b) + directed(tokens_b, tokens_a)) / 2.0
+
+
+def numeric_similarity(a: float, b: float) -> float:
+    """Similarity of two numbers: ``1 - |a-b| / max(|a|, |b|)``, clamped to 0.
+
+    Used by Magellan-style feature extraction on numeric attributes (prices,
+    years). Two zeros are identical (similarity 1).
+    """
+    if a == b:
+        return 1.0
+    denominator = max(abs(a), abs(b))
+    if denominator == 0:
+        return 1.0
+    return max(0.0, 1.0 - abs(a - b) / denominator)

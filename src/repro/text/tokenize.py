@@ -1,0 +1,100 @@
+"""Tokenization utilities used throughout the library.
+
+Everything here is deterministic and pure: the same input string always yields
+the same token sequence. Tokens are lower-cased, matching Algorithm 1 of the
+paper, which "converts all tokens to lower-case" before computing similarity.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable, Sequence
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+#: A compact English stop-word list. DeepBlocker's optional "cleaning" step
+#: (Section VI) removes stop-words and stems the remainder; this list covers
+#: the function words that occur in the synthetic vocabularies.
+STOPWORDS: frozenset[str] = frozenset(
+    """
+    a an and are as at be but by for from has have in into is it its of on or
+    that the their then there these they this to was were will with
+    """.split()
+)
+
+_SUFFIXES = (
+    "ational", "iveness", "fulness", "ization",
+    "ations", "ingly", "ments",
+    "ation", "ings", "ment", "ness", "edly",
+    "ies", "ing", "ed", "es", "ly", "s",
+)
+
+
+def tokenize(text: str) -> list[str]:
+    """Split *text* into lower-cased alphanumeric tokens.
+
+    Punctuation acts as a separator; empty strings yield an empty list.
+
+    >>> tokenize("Sony Cyber-shot DSC-W120")
+    ['sony', 'cyber', 'shot', 'dsc', 'w120']
+    """
+    return _TOKEN_RE.findall(text.lower())
+
+
+def stem(token: str) -> str:
+    """Apply a light suffix-stripping stemmer to a single token.
+
+    This is intentionally simpler than a full Porter stemmer: the synthetic
+    vocabularies only inflect with common English suffixes, and the only
+    requirement (from the DeepBlocker cleaning step) is that inflected
+    variants of the same word map to the same stem.
+    """
+    if len(token) <= 3:
+        return token
+    for suffix in _SUFFIXES:
+        if token.endswith(suffix) and len(token) - len(suffix) >= 3:
+            return token[: -len(suffix)]
+    return token
+
+
+def clean_tokens(tokens: Iterable[str]) -> list[str]:
+    """Remove stop-words and stem the remaining tokens.
+
+    Mirrors DeepBlocker's optional cleaning hyperparameter: "stop-words are
+    removed and stemming is applied to all words".
+    """
+    return [stem(token) for token in tokens if token not in STOPWORDS]
+
+
+def qgrams(text: str, q: int) -> set[str]:
+    """Return the set of character *q*-grams of *text* (lower-cased).
+
+    Whitespace is collapsed to single spaces so that formatting differences do
+    not create spurious grams. Strings shorter than *q* yield the whole
+    string as a single gram (when non-empty), so that very short values still
+    have a non-empty representation.
+
+    >>> sorted(qgrams("abcd", 3))
+    ['abc', 'bcd']
+    """
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    normalized = " ".join(text.lower().split())
+    if not normalized:
+        return set()
+    if len(normalized) < q:
+        return {normalized}
+    return {normalized[i : i + q] for i in range(len(normalized) - q + 1)}
+
+
+def ngrams(tokens: Sequence[str], n: int) -> list[tuple[str, ...]]:
+    """Return the list of token *n*-grams of a token sequence.
+
+    >>> ngrams(["a", "b", "c"], 2)
+    [('a', 'b'), ('b', 'c')]
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if len(tokens) < n:
+        return []
+    return [tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]

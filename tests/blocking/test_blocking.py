@@ -1,0 +1,176 @@
+"""Tests for the blocking substrate: token/q-gram blockers, DeepBlocker, tuning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.blocking import (
+    DeepBlocker,
+    DeepBlockerConfig,
+    LinearAutoencoder,
+    QGramBlocker,
+    TokenBlocker,
+    evaluate_blocking,
+    tune_deepblocker,
+)
+from repro.blocking.deepblocker import DeepBlockerIndex
+
+
+class TestEvaluateBlocking:
+    def test_perfect_blocking(self, small_sources):
+        result = evaluate_blocking(small_sources.matches, small_sources)
+        assert result.pair_completeness == 1.0
+        assert result.pairs_quality == 1.0
+
+    def test_empty_candidates(self, small_sources):
+        result = evaluate_blocking([], small_sources)
+        assert result.pair_completeness == 0.0
+        assert result.pairs_quality == 0.0
+        assert result.n_candidates == 0
+
+    def test_partial(self, small_sources):
+        some_matches = sorted(small_sources.matches)[:10]
+        extra = [("a0", "b999"), ("a1", "b998")]
+        result = evaluate_blocking(some_matches + extra, small_sources)
+        assert result.n_matching_candidates == 10
+        assert result.pair_completeness == pytest.approx(
+            10 / small_sources.n_matches
+        )
+        assert result.pairs_quality == pytest.approx(10 / 12)
+
+
+class TestTokenBlocker:
+    def test_finds_most_matches(self, small_sources):
+        candidates = TokenBlocker(min_common=1).candidates(small_sources)
+        result = evaluate_blocking(candidates, small_sources)
+        assert result.pair_completeness > 0.8
+
+    def test_min_common_raises_precision(self, small_sources):
+        loose = evaluate_blocking(
+            TokenBlocker(min_common=1).candidates(small_sources), small_sources
+        )
+        strict = evaluate_blocking(
+            TokenBlocker(min_common=3).candidates(small_sources), small_sources
+        )
+        assert strict.n_candidates < loose.n_candidates
+        assert strict.pairs_quality >= loose.pairs_quality
+
+    def test_invalid_min_common(self):
+        with pytest.raises(ValueError):
+            TokenBlocker(min_common=0)
+
+
+class TestQGramBlocker:
+    def test_recall_at_least_token_level(self, small_sources):
+        qgram = evaluate_blocking(
+            QGramBlocker(q=3, min_common=2, max_block_size=None).candidates(
+                small_sources
+            ),
+            small_sources,
+        )
+        assert qgram.pair_completeness > 0.85
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            QGramBlocker(q=0)
+        with pytest.raises(ValueError):
+            QGramBlocker(min_common=0)
+
+
+class TestAutoencoder:
+    def test_reconstruction_improves_over_init(self):
+        rng = np.random.default_rng(0)
+        # Low-rank data: a 32-dim encoding suffices.
+        basis = rng.normal(size=(8, 64))
+        data = rng.normal(size=(200, 8)) @ basis
+        model = LinearAutoencoder(encoding_dim=16, epochs=120, seed=0).fit(data)
+        baseline = float(np.mean(data**2))
+        assert model.reconstruction_error_ < baseline * 0.5
+
+    def test_encode_shape(self):
+        data = np.random.default_rng(1).normal(size=(50, 20))
+        model = LinearAutoencoder(encoding_dim=5, epochs=10).fit(data)
+        assert model.encode(data).shape == (50, 5)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearAutoencoder().encode(np.zeros((2, 3)))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            LinearAutoencoder(encoding_dim=0)
+
+
+class TestDeepBlocker:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DeepBlockerConfig(k=0)
+
+    def test_describe(self):
+        config = DeepBlockerConfig(k=5, attribute="name", clean=True, index_left=True)
+        assert config.describe() == "attr=name cl=yes K=5 ind=D1"
+
+    def test_candidate_count_bounded_by_k(self, small_sources):
+        config = DeepBlockerConfig(k=3)
+        candidates = DeepBlocker(config).candidates(small_sources)
+        assert len(candidates) <= 3 * len(small_sources.left)
+
+    def test_higher_k_higher_recall(self, small_sources):
+        index = DeepBlockerIndex(small_sources)
+        low = evaluate_blocking(index.candidates(1, False), small_sources)
+        high = evaluate_blocking(index.candidates(10, False), small_sources)
+        assert high.pair_completeness >= low.pair_completeness
+        assert high.n_candidates > low.n_candidates
+
+    def test_index_directions_give_same_orientation(self, small_sources):
+        index = DeepBlockerIndex(small_sources)
+        for index_left in (False, True):
+            for left_id, right_id in index.candidates(2, index_left):
+                assert left_id in small_sources.left
+                assert right_id in small_sources.right
+
+    def test_attribute_blocking(self, small_sources):
+        index = DeepBlockerIndex(small_sources, attribute="name")
+        result = evaluate_blocking(index.candidates(5, False), small_sources)
+        assert result.n_candidates > 0
+
+    def test_deterministic(self, small_sources):
+        first = DeepBlocker(DeepBlockerConfig(k=3), seed=1).candidates(small_sources)
+        second = DeepBlocker(DeepBlockerConfig(k=3), seed=1).candidates(small_sources)
+        assert first == second
+
+
+class TestTuning:
+    def test_meets_recall_target(self, small_sources):
+        tuned = tune_deepblocker(small_sources, recall_target=0.85)
+        assert tuned.pair_completeness >= 0.85
+
+    def test_minimizes_candidates_among_meeting(self, small_sources):
+        tuned = tune_deepblocker(
+            small_sources, recall_target=0.85, k_ladder=(1, 3, 10, 30)
+        )
+        # A much larger K would also meet the target but with more
+        # candidates; the tuner must not pick it.
+        index = DeepBlockerIndex(
+            small_sources,
+            attribute=tuned.config.attribute,
+            clean=tuned.config.clean,
+        )
+        bigger = evaluate_blocking(
+            index.candidates(30, tuned.config.index_left), small_sources
+        )
+        if bigger.pair_completeness >= 0.85:
+            assert tuned.result.n_candidates <= bigger.n_candidates
+
+    def test_unreachable_target_returns_best_effort(self, small_sources):
+        tuned = tune_deepblocker(
+            small_sources, recall_target=1.0, k_ladder=(1,)
+        )
+        assert 0.0 < tuned.pair_completeness <= 1.0
+
+    def test_invalid_args(self, small_sources):
+        with pytest.raises(ValueError):
+            tune_deepblocker(small_sources, recall_target=0.0)
+        with pytest.raises(ValueError):
+            tune_deepblocker(small_sources, k_ladder=())

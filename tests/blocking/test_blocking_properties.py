@@ -1,0 +1,67 @@
+"""Property-based tests for blocking evaluation invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocking.base import evaluate_blocking
+from repro.datasets.entities import product_domain
+from repro.datasets.generator import GeneratorProfile, generate_source_pair
+from repro.datasets.noise import NoiseModel
+
+
+def _sources(seed: int):
+    profile = GeneratorProfile(
+        name=f"prop{seed}",
+        domain=product_domain(f"prop{seed}"),
+        n_matches=25,
+        left_extra=10,
+        right_extra=15,
+        synonym_rate_right=0.2,
+        noise_left=NoiseModel(typo_rate=0.02),
+        noise_right=NoiseModel(typo_rate=0.03),
+        seed=seed,
+    )
+    return generate_source_pair(profile)
+
+
+class TestBlockingEvaluationProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 50), st.integers(0, 25), st.integers(0, 10))
+    def test_pc_pq_consistency(self, seed, n_matches_kept, n_noise):
+        """PC * |M| equals the matching candidates; PQ = matching / total."""
+        sources = _sources(seed % 3)
+        kept = sorted(sources.matches)[:n_matches_kept]
+        left_ids = sources.left.ids()
+        right_ids = sources.right.ids()
+        noise = {
+            (left_ids[i % len(left_ids)], right_ids[(i * 7 + 3) % len(right_ids)])
+            for i in range(n_noise)
+        } - sources.matches
+        candidates = set(kept) | noise
+        result = evaluate_blocking(candidates, sources)
+
+        assert result.n_matching_candidates == len(set(kept))
+        assert result.pair_completeness * sources.n_matches == pytest.approx(
+            result.n_matching_candidates
+        )
+        if candidates:
+            assert result.pairs_quality == pytest.approx(
+                result.n_matching_candidates / len(candidates)
+            )
+        assert 0.0 <= result.pair_completeness <= 1.0
+        assert 0.0 <= result.pairs_quality <= 1.0
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(0, 2))
+    def test_superset_never_lowers_recall(self, seed):
+        """Adding candidates can only keep or raise pair completeness."""
+        sources = _sources(seed)
+        some = set(sorted(sources.matches)[:10])
+        more = some | set(sorted(sources.matches)[10:20])
+        assert (
+            evaluate_blocking(more, sources).pair_completeness
+            >= evaluate_blocking(some, sources).pair_completeness
+        )

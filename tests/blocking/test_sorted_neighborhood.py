@@ -1,0 +1,62 @@
+"""Tests for sorted-neighborhood blocking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking.base import evaluate_blocking
+from repro.blocking.sorted_neighborhood import (
+    SortedNeighborhoodBlocker,
+    default_key,
+)
+from tests.conftest import make_record
+
+
+class TestDefaultKey:
+    def test_token_order_invariant(self):
+        a = make_record("a", "A", name="zulu alpha mike")
+        b = make_record("b", "B", name="mike zulu alpha")
+        assert default_key(a) == default_key(b)
+
+    def test_empty_record(self):
+        record = make_record("a", "A", name="")
+        assert default_key(record) == ""
+
+
+class TestSortedNeighborhood:
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            SortedNeighborhoodBlocker(window=1)
+
+    def test_finds_most_matches(self, small_sources):
+        blocker = SortedNeighborhoodBlocker(window=8)
+        result = evaluate_blocking(blocker.candidates(small_sources), small_sources)
+        assert result.pair_completeness > 0.5
+
+    def test_wider_window_more_candidates(self, small_sources):
+        narrow = SortedNeighborhoodBlocker(window=3).candidates(small_sources)
+        wide = SortedNeighborhoodBlocker(window=10).candidates(small_sources)
+        assert narrow <= wide
+        assert len(wide) > len(narrow)
+
+    def test_candidates_oriented_left_right(self, small_sources):
+        for left_id, right_id in SortedNeighborhoodBlocker(window=4).candidates(
+            small_sources
+        ):
+            assert left_id in small_sources.left
+            assert right_id in small_sources.right
+
+    def test_candidate_count_bounded_by_window(self, small_sources):
+        window = 4
+        blocker = SortedNeighborhoodBlocker(window=window)
+        candidates = blocker.candidates(small_sources)
+        total = len(small_sources.left) + len(small_sources.right)
+        assert len(candidates) <= total * (window - 1)
+
+    def test_custom_key(self, small_sources):
+        # Keying on the price attribute only: completely different blocks.
+        blocker = SortedNeighborhoodBlocker(
+            window=4, key=lambda record: record.value("price")
+        )
+        candidates = blocker.candidates(small_sources)
+        assert isinstance(candidates, set)

@@ -1,0 +1,131 @@
+"""Shared fixtures: a small deterministic matching task and helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.pairs import LabeledPairSet, RecordPair
+from repro.data.records import Record, RecordStore, Schema
+from repro.data.task import MatchingTask
+from repro.datasets.entities import product_domain
+from repro.datasets.generator import (
+    GeneratorProfile,
+    build_task_from_sources,
+    generate_source_pair,
+)
+from repro.datasets.noise import NoiseModel
+
+
+def make_record(record_id: str, source: str, **values: str) -> Record:
+    """Terse record construction for tests."""
+    return Record(record_id=record_id, source=source, values=values)
+
+
+@pytest.fixture(scope="session")
+def tiny_schema() -> Schema:
+    return Schema(("name", "description", "price"))
+
+
+@pytest.fixture(scope="session")
+def small_sources():
+    """A small generated source pair (product domain, ~160 records/side)."""
+    profile = GeneratorProfile(
+        name="test_products",
+        domain=product_domain("test_products"),
+        n_matches=80,
+        left_extra=40,
+        right_extra=60,
+        synonym_rate_right=0.3,
+        noise_left=NoiseModel(typo_rate=0.03),
+        noise_right=NoiseModel(typo_rate=0.05, drop_rate=0.03),
+        family_fraction=0.3,
+        seed=42,
+    )
+    return generate_source_pair(profile)
+
+
+@pytest.fixture(scope="session")
+def small_task(small_sources) -> MatchingTask:
+    """A small matching task built from the generated sources."""
+    return build_task_from_sources(
+        small_sources,
+        n_pairs=400,
+        positive_fraction=0.2,
+        hard_negative_fraction=0.4,
+        seed=7,
+        name="small_task",
+    )
+
+
+@pytest.fixture()
+def handmade_task(tiny_schema) -> MatchingTask:
+    """A tiny fully hand-written task with obvious matches.
+
+    Left and right records agree on matching names up to case; negatives
+    are entirely different. Useful where exact expectations matter.
+    """
+    left = RecordStore("L", tiny_schema)
+    right = RecordStore("R", tiny_schema)
+    matches = []
+    for index in range(12):
+        left_record = make_record(
+            f"a{index}", "A",
+            name=f"widget alpha {index}",
+            description=f"fine blue widget number {index}",
+            price=f"{10 + index}.99",
+        )
+        right_record = make_record(
+            f"b{index}", "B",
+            name=f"Widget Alpha {index}",
+            description=f"fine blue widget number {index}",
+            price=f"{10 + index}.99",
+        )
+        left.add(left_record)
+        right.add(right_record)
+        matches.append((left_record, right_record))
+    for index in range(12, 24):
+        left.add(
+            make_record(
+                f"a{index}", "A",
+                name=f"gadget beta {index}",
+                description=f"red gadget item {index}",
+                price=f"{50 + index}.49",
+            )
+        )
+        right.add(
+            make_record(
+                f"b{index}", "B",
+                name=f"doohickey gamma {index}",
+                description=f"green doohickey piece {index}",
+                price=f"{90 + index}.00",
+            )
+        )
+
+    rng = np.random.default_rng(3)
+    pairs = LabeledPairSet()
+    for left_record, right_record in matches:
+        pairs.add(RecordPair(left_record, right_record), 1)
+    left_ids = left.ids()
+    right_ids = right.ids()
+    while pairs.negative_count < 36:
+        key = (
+            left_ids[int(rng.integers(0, len(left_ids)))],
+            right_ids[int(rng.integers(0, len(right_ids)))],
+        )
+        pair = RecordPair(left.get(key[0]), right.get(key[1]))
+        if key in pairs or key[0].lstrip("a") == key[1].lstrip("b"):
+            continue
+        pairs.add(pair, 0)
+
+    from repro.data.splits import split_three_way
+
+    training, validation, testing = split_three_way(pairs, seed=5)
+    return MatchingTask(
+        name="handmade",
+        left=left,
+        right=right,
+        training=training,
+        validation=validation,
+        testing=testing,
+    )

@@ -1,0 +1,239 @@
+"""Tests for the 17 complexity measures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.complexity import (
+    MEASURE_GROUPS,
+    MEASURE_NAMES,
+    c1_entropy,
+    c2_imbalance,
+    complexity_profile,
+    f1_fisher,
+    f2_overlap_volume,
+    f3_feature_efficiency,
+    gower_distance_matrix,
+    l2_error_rate,
+    lsc_local_set_cardinality,
+    n1_borderline_fraction,
+    n2_intra_extra_ratio,
+    n3_nearest_neighbor_error,
+    n4_nearest_neighbor_nonlinearity,
+    prepare_inputs,
+    t1_hypersphere_fraction,
+    pair_feature_matrix,
+)
+from repro.core.complexity.base import ComplexityInputs
+from repro.core.complexity.profile import compute_profile
+
+
+def make_inputs(features, labels) -> ComplexityInputs:
+    return prepare_inputs(np.asarray(features, float), np.asarray(labels))
+
+
+@pytest.fixture(scope="module")
+def separated() -> ComplexityInputs:
+    """Two tight, well separated blobs (an easy problem)."""
+    rng = np.random.default_rng(0)
+    low = rng.normal(0.1, 0.02, size=(60, 2))
+    high = rng.normal(0.9, 0.02, size=(40, 2))
+    return make_inputs(
+        np.vstack((low, high)),
+        np.concatenate((np.zeros(60, int), np.ones(40, int))),
+    )
+
+
+@pytest.fixture(scope="module")
+def interleaved() -> ComplexityInputs:
+    """Heavily overlapping classes (a hard problem)."""
+    rng = np.random.default_rng(1)
+    features = rng.uniform(0, 1, size=(100, 2))
+    labels = rng.integers(0, 2, size=100)
+    # Ensure both classes exist.
+    labels[0], labels[1] = 0, 1
+    return make_inputs(features, labels)
+
+
+class TestGower:
+    def test_identical_points_zero(self):
+        matrix = gower_distance_matrix(np.array([[0.5, 0.5], [0.5, 0.5]]))
+        assert matrix[0, 1] == 0.0
+
+    def test_extremes_are_one(self):
+        matrix = gower_distance_matrix(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        assert matrix[0, 1] == pytest.approx(1.0)
+
+    def test_constant_feature_ignored(self):
+        matrix = gower_distance_matrix(np.array([[0.0, 5.0], [1.0, 5.0]]))
+        assert matrix[0, 1] == pytest.approx(0.5)
+
+    @given(
+        st.lists(
+            st.lists(st.floats(0, 1, allow_nan=False), min_size=2, max_size=2),
+            min_size=2,
+            max_size=15,
+        )
+    )
+    def test_symmetric_and_bounded(self, rows):
+        matrix = gower_distance_matrix(np.asarray(rows))
+        assert np.allclose(matrix, matrix.T)
+        assert np.all((matrix >= 0.0) & (matrix <= 1.0 + 1e-9))
+
+
+class TestEasyVsHard:
+    """Every measure should score the separated problem at most as complex
+    as the interleaved one (most should be far lower)."""
+
+    @pytest.mark.parametrize(
+        "measure",
+        [
+            f1_fisher,
+            f2_overlap_volume,
+            f3_feature_efficiency,
+            l2_error_rate,
+            n1_borderline_fraction,
+            n2_intra_extra_ratio,
+            n3_nearest_neighbor_error,
+            n4_nearest_neighbor_nonlinearity,
+            t1_hypersphere_fraction,
+            lsc_local_set_cardinality,
+        ],
+    )
+    def test_ordering(self, measure, separated, interleaved):
+        assert measure(separated) <= measure(interleaved) + 1e-9
+
+    def test_separated_is_nearly_zero(self, separated):
+        assert f1_fisher(separated) < 0.1
+        assert n3_nearest_neighbor_error(separated) == 0.0
+        assert l2_error_rate(separated) == 0.0
+        assert f2_overlap_volume(separated) == 0.0
+
+
+class TestClassBalance:
+    def test_balanced_scores_zero(self):
+        inputs = make_inputs(np.random.default_rng(0).normal(size=(40, 2)),
+                             [0, 1] * 20)
+        assert c1_entropy(inputs) == pytest.approx(0.0, abs=1e-9)
+        assert c2_imbalance(inputs) == pytest.approx(0.0, abs=1e-9)
+
+    def test_imbalanced_scores_high(self):
+        labels = np.zeros(100, int)
+        labels[:3] = 1
+        inputs = make_inputs(np.random.default_rng(0).normal(size=(100, 2)), labels)
+        assert c1_entropy(inputs) > 0.5
+        assert c2_imbalance(inputs) > 0.8
+
+
+class TestPrepareInputs:
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            prepare_inputs(np.zeros((10, 2)), np.zeros(10, int))
+
+    def test_subsampling_caps_size(self):
+        rng = np.random.default_rng(2)
+        features = rng.normal(size=(500, 2))
+        labels = (rng.random(500) < 0.2).astype(int)
+        inputs = prepare_inputs(features, labels, max_instances=100, seed=0)
+        assert inputs.n_samples <= 110
+        assert len(np.unique(inputs.labels)) == 2
+
+    def test_subsampling_preserves_imbalance(self):
+        rng = np.random.default_rng(3)
+        features = rng.normal(size=(1000, 2))
+        labels = (rng.random(1000) < 0.1).astype(int)
+        inputs = prepare_inputs(features, labels, max_instances=200, seed=0)
+        original = labels.mean()
+        assert inputs.labels.mean() == pytest.approx(original, abs=0.05)
+
+    def test_no_subsampling_when_under_cap(self):
+        features = np.random.default_rng(4).normal(size=(50, 2))
+        labels = np.array([0, 1] * 25)
+        inputs = prepare_inputs(features, labels, max_instances=100)
+        assert inputs.n_samples == 50
+
+
+class TestProfile:
+    def test_all_measures_present_and_bounded(self, separated):
+        profile = compute_profile(separated)
+        assert set(profile.scores) == set(MEASURE_NAMES)
+        for name in MEASURE_NAMES:
+            assert 0.0 <= profile[name] <= 1.0, name
+
+    def test_group_means(self, separated):
+        profile = compute_profile(separated)
+        groups = profile.group_means()
+        assert set(groups) == set(MEASURE_GROUPS)
+
+    def test_easy_flag(self, separated, interleaved):
+        assert compute_profile(separated).is_easy()
+        assert not compute_profile(interleaved).is_easy()
+
+    def test_on_task(self, handmade_task):
+        profile = complexity_profile(handmade_task, max_instances=200)
+        assert profile.is_easy()
+
+    def test_pair_feature_matrix_shape(self, handmade_task):
+        pairs = handmade_task.all_pairs()
+        features = pair_feature_matrix(pairs)
+        assert features.shape == (len(pairs), 2)
+        assert np.all((features >= 0.0) & (features <= 1.0))
+
+
+class TestDeterminism:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10000))
+    def test_profile_deterministic(self, seed):
+        rng = np.random.default_rng(seed)
+        features = rng.uniform(size=(60, 2))
+        labels = np.array([0, 1] * 30)
+        first = compute_profile(make_inputs(features, labels))
+        second = compute_profile(make_inputs(features, labels))
+        assert first.scores == second.scores
+
+
+class TestMeasureBoundsProperty:
+    """Every measure stays in [0, 1] on arbitrary two-class data."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(0, 100000),
+        st.integers(10, 60),
+        st.floats(0.1, 0.9),
+    )
+    def test_all_measures_bounded(self, seed, n_samples, positive_rate):
+        rng = np.random.default_rng(seed)
+        features = rng.uniform(size=(n_samples, 2))
+        labels = (rng.random(n_samples) < positive_rate).astype(int)
+        labels[0], labels[1] = 0, 1  # both classes present
+        profile = compute_profile(make_inputs(features, labels))
+        for name, value in profile.scores.items():
+            assert 0.0 <= value <= 1.0, (name, value)
+        assert 0.0 <= profile.mean <= 1.0
+
+
+class TestSchemaAwareComplexity:
+    def test_feature_matrix_dimensions(self, handmade_task):
+        from repro.core.complexity.base import schema_aware_feature_matrix
+
+        pairs = handmade_task.all_pairs()
+        features = schema_aware_feature_matrix(pairs, handmade_task.attributes)
+        assert features.shape == (len(pairs), 2 * len(handmade_task.attributes))
+        assert np.all((features >= 0.0) & (features <= 1.0))
+
+    def test_empty_attributes_raise(self, handmade_task):
+        from repro.core.complexity.base import schema_aware_feature_matrix
+
+        with pytest.raises(ValueError):
+            schema_aware_feature_matrix(handmade_task.all_pairs(), ())
+
+    def test_profile_variants_agree_on_easy_task(self, handmade_task):
+        """Section III's claim: schema-aware shows no significant difference."""
+        agnostic = complexity_profile(handmade_task, max_instances=200)
+        aware = complexity_profile(
+            handmade_task, max_instances=200, schema_aware=True
+        )
+        assert agnostic.is_easy() == aware.is_easy()

@@ -1,0 +1,61 @@
+"""Tests for the difficulty-continuum extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.continuum import ContinuumPoint, difficulty_continuum
+
+
+class TestDifficultyContinuum:
+    @pytest.fixture(scope="class")
+    def points(self, small_sources):
+        return difficulty_continuum(
+            small_sources,
+            recall_ladder=(0.5, 0.8),
+            label_prefix="cont",
+            seed=0,
+            max_complexity_instances=400,
+        )
+
+    def test_one_point_per_rung(self, points):
+        assert len(points) == 2
+        assert [point.recall_target for point in points] == [0.5, 0.8]
+
+    def test_labels_carry_rung(self, points):
+        assert points[0].benchmark.label == "cont@pc0.50"
+        assert points[1].benchmark.label == "cont@pc0.80"
+
+    def test_recall_targets_met(self, points):
+        for point in points:
+            assert point.benchmark.blocking.pair_completeness >= (
+                point.recall_target - 1e-9
+            )
+
+    def test_candidates_grow_with_recall(self, points):
+        assert (
+            points[1].benchmark.blocking.result.n_candidates
+            >= points[0].benchmark.blocking.result.n_candidates
+        )
+
+    def test_difficulty_score_bounded(self, points):
+        for point in points:
+            assert 0.0 <= point.difficulty_score <= 1.0
+
+    def test_assessments_attached(self, points):
+        for point in points:
+            assert point.assessment.task_name == point.benchmark.label
+
+    def test_invalid_ladders(self, small_sources):
+        with pytest.raises(ValueError):
+            difficulty_continuum(small_sources, recall_ladder=())
+        with pytest.raises(ValueError):
+            difficulty_continuum(small_sources, recall_ladder=(0.9, 0.5))
+        with pytest.raises(ValueError):
+            difficulty_continuum(small_sources, recall_ladder=(0.5, 0.5))
+        with pytest.raises(ValueError):
+            difficulty_continuum(small_sources, recall_ladder=(0.0, 0.5))
+
+    def test_point_is_frozen(self, points):
+        with pytest.raises(AttributeError):
+            points[0].recall_target = 0.1  # type: ignore[misc]

@@ -1,0 +1,109 @@
+"""Tests for Algorithm 1 (degree of linearity)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.linearity import (
+    best_threshold_f1,
+    degree_of_linearity,
+    linearity_profile,
+    pair_similarities,
+)
+from repro.text.similarity import cosine_similarity
+
+
+class TestBestThresholdF1:
+    def test_perfectly_separable(self):
+        scores = np.array([0.1, 0.2, 0.3, 0.8, 0.9])
+        labels = np.array([0, 0, 0, 1, 1])
+        f1, threshold = best_threshold_f1(scores, labels)
+        assert f1 == 1.0
+        assert 0.3 < threshold <= 0.8
+
+    def test_inseparable_overlap(self):
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        labels = np.array([0, 1, 0, 1])
+        f1, __ = best_threshold_f1(scores, labels)
+        assert f1 == pytest.approx(2 / 3)  # predict all positive
+
+    def test_no_positives(self):
+        f1, threshold = best_threshold_f1(
+            np.array([0.2, 0.4]), np.array([0, 0])
+        )
+        assert f1 == 0.0 and threshold == 0.0
+
+    def test_keeps_lowest_best_threshold(self):
+        scores = np.array([0.1, 0.9])
+        labels = np.array([0, 1])
+        __, threshold = best_threshold_f1(scores, labels)
+        # Any threshold in (0.1, 0.9] is perfect; the sweep keeps the first.
+        assert threshold == pytest.approx(0.11)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            best_threshold_f1(np.array([0.1]), np.array([0, 1]))
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 1, allow_nan=False), st.integers(0, 1)),
+            min_size=2,
+            max_size=40,
+        )
+    )
+    def test_matches_naive_sweep(self, pairs):
+        scores = np.array([score for score, __ in pairs])
+        labels = np.array([label for __, label in pairs])
+        fast_f1, __ = best_threshold_f1(scores, labels)
+
+        best = 0.0
+        # The same rounded grid the implementation sweeps: the raw
+        # np.arange values carry float error (0.01 * 3 != 0.03) that would
+        # flip classifications of scores sitting exactly on a grid point.
+        for threshold in np.round(np.arange(0.01, 1.0, 0.01), 2):
+            predicted = scores >= threshold
+            tp = int(np.sum(predicted & (labels == 1)))
+            if predicted.sum() == 0 or labels.sum() == 0:
+                continue
+            precision = tp / predicted.sum()
+            recall = tp / labels.sum()
+            if precision + recall:
+                best = max(best, 2 * precision * recall / (precision + recall))
+        assert fast_f1 == pytest.approx(best, abs=1e-9)
+
+
+class TestDegreeOfLinearity:
+    def test_handmade_task_is_linear(self, handmade_task):
+        result = degree_of_linearity(handmade_task, "cosine")
+        assert result.max_f1 > 0.95
+
+    def test_jaccard_variant(self, handmade_task):
+        result = degree_of_linearity(handmade_task, "jaccard")
+        assert result.similarity == "jaccard"
+        assert 0.0 <= result.best_threshold <= 1.0
+
+    def test_unknown_similarity(self, handmade_task):
+        with pytest.raises(KeyError):
+            degree_of_linearity(handmade_task, "levenshtein")
+
+    def test_profile_has_both(self, handmade_task):
+        profile = linearity_profile(handmade_task)
+        assert set(profile) == {"cosine", "jaccard"}
+
+    def test_pair_similarities_alignment(self, handmade_task):
+        merged = handmade_task.all_pairs()
+        scores = pair_similarities(merged, cosine_similarity)
+        assert scores.shape == (len(merged),)
+        assert np.all((0.0 <= scores) & (scores <= 1.0))
+
+    def test_uses_all_three_splits(self, handmade_task):
+        merged = handmade_task.all_pairs()
+        total = (
+            len(handmade_task.training)
+            + len(handmade_task.validation)
+            + len(handmade_task.testing)
+        )
+        assert len(merged) == total

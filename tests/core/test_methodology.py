@@ -1,0 +1,74 @@
+"""Tests for the Section VI benchmark-construction methodology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.methodology import candidate_pairs_to_labeled, create_benchmark
+
+
+class TestCandidateLabeling:
+    def test_labels_against_ground_truth(self, small_sources):
+        some_matches = sorted(small_sources.matches)[:5]
+        right_ids = small_sources.right.ids()
+        non_matches = [("a0", right_ids[-1]), ("a1", right_ids[-2])]
+        assert not set(non_matches) & small_sources.matches
+        labeled = candidate_pairs_to_labeled(
+            small_sources, frozenset(some_matches + non_matches)
+        )
+        assert labeled.positive_count == 5
+        assert labeled.negative_count == 2
+
+    def test_deterministic_order(self, small_sources):
+        candidates = frozenset(sorted(small_sources.matches)[:10])
+        first = candidate_pairs_to_labeled(small_sources, candidates)
+        second = candidate_pairs_to_labeled(small_sources, candidates)
+        assert [p.key for p, __ in first] == [p.key for p, __ in second]
+
+
+class TestCreateBenchmark:
+    @pytest.fixture(scope="class")
+    def built(self, small_sources):
+        return create_benchmark(
+            small_sources, label="TestBench", recall_target=0.85,
+            k_ladder=(1, 2, 5, 10), seed=0,
+        )
+
+    def test_label_and_sources(self, built, small_sources):
+        assert built.label == "TestBench"
+        assert built.task.name == "TestBench"
+        assert built.sources is small_sources
+
+    def test_recall_target_met(self, built):
+        assert built.blocking.pair_completeness >= 0.85
+
+    def test_task_covers_all_candidates(self, built):
+        assert len(built.task.all_pairs()) == (
+            built.blocking.result.n_candidates
+        )
+
+    def test_splits_ratio(self, built):
+        total = len(built.task.all_pairs())
+        assert len(built.task.training) == pytest.approx(0.6 * total, rel=0.05)
+        assert len(built.task.testing) == pytest.approx(0.2 * total, rel=0.1)
+
+    def test_imbalance_equals_pq(self, built):
+        assert built.imbalance_ratio == pytest.approx(
+            built.blocking.pairs_quality, abs=1e-9
+        )
+
+    def test_metadata_provenance(self, built):
+        metadata = built.task.metadata
+        assert "blocking_config" in metadata
+        assert metadata["pair_completeness"] == built.blocking.pair_completeness
+        assert metadata["vocabulary"] is built.sources.vocabulary
+
+    def test_deterministic(self, small_sources):
+        first = create_benchmark(
+            small_sources, label="X", recall_target=0.85, k_ladder=(1, 2, 5), seed=3
+        )
+        second = create_benchmark(
+            small_sources, label="X", recall_target=0.85, k_ladder=(1, 2, 5), seed=3
+        )
+        assert first.task.training.keys() == second.task.training.keys()
+        assert first.blocking.config == second.blocking.config

@@ -1,0 +1,141 @@
+"""Tests for the practical measures and the four-approach assessment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assessment import (
+    AssessmentThresholds,
+    BenchmarkAssessment,
+    assess_benchmark,
+)
+from repro.core.complexity.profile import MEASURE_NAMES, ComplexityProfile
+from repro.core.linearity import LinearityResult
+from repro.core.practical import (
+    PracticalMeasures,
+    learning_based_margin,
+    non_linear_boost,
+    practical_measures,
+)
+
+
+class TestPracticalMeasures:
+    def test_nlb(self):
+        assert non_linear_boost({"dl": 0.9}, {"lin": 0.7}) == pytest.approx(0.2)
+
+    def test_nlb_can_be_negative(self):
+        assert non_linear_boost({"dl": 0.6}, {"lin": 0.8}) == pytest.approx(-0.2)
+
+    def test_lbm(self):
+        assert learning_based_margin({"a": 0.85, "b": 0.6}) == pytest.approx(0.15)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            non_linear_boost({}, {"lin": 0.5})
+        with pytest.raises(ValueError):
+            learning_based_margin({})
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            non_linear_boost({"dl": 1.2}, {"lin": 0.5})
+
+    def test_combined(self):
+        measures = practical_measures({"dl": 0.85, "ml": 0.8}, {"lin": 0.7})
+        assert measures.non_linear_boost == pytest.approx(0.15)
+        assert measures.learning_based_margin == pytest.approx(0.15)
+        assert measures.best_overall_f1 == pytest.approx(0.85)
+
+    def test_is_challenging(self):
+        challenging = PracticalMeasures(0.10, 0.12, 0.88, 0.78)
+        assert challenging.is_challenging()
+        solved = PracticalMeasures(0.10, 0.02, 0.98, 0.88)
+        assert not solved.is_challenging()
+        linear = PracticalMeasures(0.01, 0.2, 0.8, 0.79)
+        assert not linear.is_challenging()
+
+
+def _make_assessment(
+    linearity: float, complexity_mean: float, practical: PracticalMeasures | None
+) -> BenchmarkAssessment:
+    scores = dict.fromkeys(MEASURE_NAMES, complexity_mean)
+    return BenchmarkAssessment(
+        task_name="test",
+        linearity={
+            "cosine": LinearityResult("cosine", linearity, 0.5),
+            "jaccard": LinearityResult("jaccard", linearity - 0.02, 0.4),
+        },
+        complexity=ComplexityProfile(scores=scores),
+        practical=practical,
+    )
+
+
+class TestAssessment:
+    def test_challenging_when_all_hard(self):
+        assessment = _make_assessment(
+            0.5, 0.5, PracticalMeasures(0.1, 0.1, 0.9, 0.8)
+        )
+        assert assessment.is_challenging
+        assert not assessment.easy_by_linearity
+        assert not assessment.easy_by_complexity
+        assert not assessment.easy_by_practical
+
+    def test_easy_by_linearity(self):
+        assessment = _make_assessment(
+            0.95, 0.5, PracticalMeasures(0.1, 0.1, 0.9, 0.8)
+        )
+        assert assessment.easy_by_linearity
+        assert not assessment.is_challenging
+
+    def test_easy_by_complexity(self):
+        assessment = _make_assessment(
+            0.5, 0.2, PracticalMeasures(0.1, 0.1, 0.9, 0.8)
+        )
+        assert assessment.easy_by_complexity
+        assert not assessment.is_challenging
+
+    def test_easy_by_practical(self):
+        assessment = _make_assessment(
+            0.5, 0.5, PracticalMeasures(0.01, 0.1, 0.9, 0.89)
+        )
+        assert assessment.easy_by_practical
+        assert not assessment.is_challenging
+
+    def test_no_practical_is_not_easy(self):
+        assessment = _make_assessment(0.5, 0.5, None)
+        assert not assessment.easy_by_practical
+        assert not assessment.has_practical
+        assert assessment.is_challenging
+
+    def test_summary_keys(self):
+        assessment = _make_assessment(
+            0.5, 0.5, PracticalMeasures(0.1, 0.1, 0.9, 0.8)
+        )
+        summary = assessment.summary()
+        assert summary["challenging"] is True
+        assert "nlb" in summary and "lbm" in summary
+
+    def test_custom_thresholds(self):
+        lenient = AssessmentThresholds(linearity_easy=0.99)
+        scores = dict.fromkeys(MEASURE_NAMES, 0.5)
+        assessment = BenchmarkAssessment(
+            task_name="t",
+            linearity={
+                "cosine": LinearityResult("cosine", 0.95, 0.5),
+                "jaccard": LinearityResult("jaccard", 0.94, 0.5),
+            },
+            complexity=ComplexityProfile(scores=scores),
+            thresholds=lenient,
+        )
+        assert not assessment.easy_by_linearity
+
+
+class TestAssessBenchmark:
+    def test_on_handmade_task(self, handmade_task):
+        assessment = assess_benchmark(handmade_task, max_complexity_instances=200)
+        # The handmade task is trivially separable: easy by linearity.
+        assert assessment.easy_by_linearity
+        assert not assessment.is_challenging
+
+    def test_complexity_profile_missing_measure_raises(self):
+        with pytest.raises(ValueError):
+            ComplexityProfile(scores={"f1": 0.5})

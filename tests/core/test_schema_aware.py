@@ -1,0 +1,35 @@
+"""Tests for the schema-aware linearity variant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.linearity import degree_of_linearity, schema_aware_linearity
+
+
+class TestSchemaAwareLinearity:
+    def test_one_result_per_attribute(self, handmade_task):
+        results = schema_aware_linearity(handmade_task, "cosine")
+        assert set(results) == set(handmade_task.attributes)
+
+    def test_result_labels(self, handmade_task):
+        results = schema_aware_linearity(handmade_task, "jaccard")
+        assert results["name"].similarity == "jaccard:name"
+
+    def test_bounds(self, handmade_task):
+        for result in schema_aware_linearity(handmade_task).values():
+            assert 0.0 <= result.max_f1 <= 1.0
+            assert 0.0 <= result.best_threshold <= 1.0
+
+    def test_unknown_similarity(self, handmade_task):
+        with pytest.raises(KeyError):
+            schema_aware_linearity(handmade_task, "dice")
+
+    def test_agrees_with_agnostic_on_easy_task(self, handmade_task):
+        """The paper's observation: both settings reach the same verdict."""
+        agnostic = degree_of_linearity(handmade_task, "cosine").max_f1
+        aware = max(
+            result.max_f1
+            for result in schema_aware_linearity(handmade_task, "cosine").values()
+        )
+        assert (agnostic > 0.8) == (aware > 0.8)

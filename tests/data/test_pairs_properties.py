@@ -1,0 +1,65 @@
+"""Property-based tests for LabeledPairSet invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.pairs import LabeledPairSet, RecordPair
+from tests.conftest import make_record
+
+labeled_specs = st.lists(
+    st.tuples(st.integers(0, 200), st.integers(0, 1)),
+    min_size=0,
+    max_size=40,
+    unique_by=lambda spec: spec[0],
+)
+
+
+def _build(specs) -> LabeledPairSet:
+    pairs = LabeledPairSet()
+    for index, label in specs:
+        pairs.add(
+            RecordPair(
+                make_record(f"a{index}", "A", name=f"left {index}"),
+                make_record(f"b{index}", "B", name=f"right {index}"),
+            ),
+            label,
+        )
+    return pairs
+
+
+class TestLabeledPairSetProperties:
+    @given(labeled_specs)
+    def test_counts_consistent(self, specs):
+        pairs = _build(specs)
+        assert pairs.positive_count + pairs.negative_count == len(pairs)
+        assert pairs.positive_count == sum(label for __, label in specs)
+        if pairs:
+            assert 0.0 <= pairs.imbalance_ratio <= 1.0
+
+    @given(labeled_specs)
+    def test_labels_align_with_iteration(self, specs):
+        pairs = _build(specs)
+        iterated = [label for __, label in pairs]
+        assert iterated == list(pairs.labels)
+
+    @given(labeled_specs)
+    def test_subset_of_everything_is_identity(self, specs):
+        pairs = _build(specs)
+        clone = pairs.subset(range(len(pairs)))
+        assert clone.keys() == pairs.keys()
+        assert (clone.labels == pairs.labels).all()
+
+    @given(labeled_specs, labeled_specs)
+    @settings(max_examples=25)
+    def test_merge_counts_add_up(self, first_specs, second_specs):
+        first = _build(first_specs)
+        # Shift ids of the second set to guarantee disjointness.
+        shifted = [(index + 1000, label) for index, label in second_specs]
+        second = _build(shifted)
+        merged = LabeledPairSet.merge([first, second])
+        assert len(merged) == len(first) + len(second)
+        assert merged.positive_count == (
+            first.positive_count + second.positive_count
+        )

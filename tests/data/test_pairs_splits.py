@@ -1,0 +1,133 @@
+"""Tests for labeled pair sets and the 3:1:1 splitter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.pairs import LabeledPairSet, RecordPair
+from repro.data.splits import split_three_way
+from tests.conftest import make_record
+
+
+def _pair(index: int, label_suffix: str = "") -> RecordPair:
+    return RecordPair(
+        make_record(f"a{index}{label_suffix}", "A", name=f"left {index}"),
+        make_record(f"b{index}{label_suffix}", "B", name=f"right {index}"),
+    )
+
+
+def _pair_set(n_positive: int, n_negative: int) -> LabeledPairSet:
+    pairs = LabeledPairSet()
+    for index in range(n_positive):
+        pairs.add(_pair(index, "p"), 1)
+    for index in range(n_negative):
+        pairs.add(_pair(index, "n"), 0)
+    return pairs
+
+
+class TestLabeledPairSet:
+    def test_counts(self):
+        pairs = _pair_set(3, 7)
+        assert len(pairs) == 10
+        assert pairs.positive_count == 3
+        assert pairs.negative_count == 7
+        assert pairs.imbalance_ratio == pytest.approx(0.3)
+
+    def test_duplicate_key_raises(self):
+        pairs = LabeledPairSet()
+        pair = _pair(1)
+        pairs.add(pair, 1)
+        with pytest.raises(ValueError):
+            pairs.add(pair, 0)
+
+    def test_bad_label_raises(self):
+        with pytest.raises(ValueError):
+            LabeledPairSet().add(_pair(1), 2)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            LabeledPairSet([_pair(1)], [1, 0])
+
+    def test_labels_aligned_with_order(self):
+        pairs = LabeledPairSet()
+        pairs.add(_pair(1), 1)
+        pairs.add(_pair(2), 0)
+        np.testing.assert_array_equal(pairs.labels, [1, 0])
+
+    def test_subset_preserves_order(self):
+        pairs = _pair_set(2, 2)
+        subset = pairs.subset([2, 0])
+        assert len(subset) == 2
+        np.testing.assert_array_equal(subset.labels, [0, 1])
+
+    def test_merge_disjoint(self):
+        merged = LabeledPairSet.merge([_pair_set(1, 1), _pair_set(0, 0)])
+        assert len(merged) == 2
+
+    def test_merge_overlapping_raises(self):
+        part = _pair_set(1, 0)
+        with pytest.raises(ValueError):
+            LabeledPairSet.merge([part, part])
+
+    def test_contains_key(self):
+        pairs = LabeledPairSet()
+        pair = _pair(5)
+        pairs.add(pair, 1)
+        assert pair.key in pairs
+
+
+class TestSplitThreeWay:
+    def test_partition_is_exact(self):
+        pairs = _pair_set(20, 80)
+        training, validation, testing = split_three_way(pairs, seed=0)
+        assert len(training) + len(validation) + len(testing) == 100
+        all_keys = training.keys() | validation.keys() | testing.keys()
+        assert len(all_keys) == 100
+
+    def test_ratio_approximate(self):
+        pairs = _pair_set(50, 250)
+        training, validation, testing = split_three_way(pairs, seed=1)
+        assert len(training) == pytest.approx(180, abs=3)
+        assert len(validation) == pytest.approx(60, abs=3)
+        assert len(testing) == pytest.approx(60, abs=3)
+
+    def test_stratification(self):
+        pairs = _pair_set(60, 240)
+        for split in split_three_way(pairs, seed=2):
+            assert split.imbalance_ratio == pytest.approx(0.2, abs=0.03)
+
+    def test_deterministic(self):
+        pairs = _pair_set(10, 40)
+        first = split_three_way(pairs, seed=3)
+        second = split_three_way(pairs, seed=3)
+        for a, b in zip(first, second):
+            assert a.keys() == b.keys()
+
+    def test_different_seeds_differ(self):
+        pairs = _pair_set(10, 40)
+        first, __, __ = split_three_way(pairs, seed=4)
+        second, __, __ = split_three_way(pairs, seed=5)
+        assert first.keys() != second.keys()
+
+    def test_invalid_ratios(self):
+        pairs = _pair_set(5, 5)
+        with pytest.raises(ValueError):
+            split_three_way(pairs, ratios=(1, 1))  # type: ignore[arg-type]
+        with pytest.raises(ValueError):
+            split_three_way(pairs, ratios=(1, 0, 1))
+
+    def test_too_few_pairs(self):
+        with pytest.raises(ValueError):
+            split_three_way(_pair_set(1, 1))
+
+    @given(st.integers(4, 30), st.integers(4, 60), st.integers(0, 5))
+    def test_property_partition(self, n_positive, n_negative, seed):
+        pairs = _pair_set(n_positive, n_negative)
+        splits = split_three_way(pairs, seed=seed)
+        total = sum(len(split) for split in splits)
+        assert total == len(pairs)
+        positives = sum(split.positive_count for split in splits)
+        assert positives == n_positive

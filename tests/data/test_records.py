@@ -1,0 +1,90 @@
+"""Tests for repro.data.records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.records import Record, RecordStore, Schema
+from tests.conftest import make_record
+
+
+class TestSchema:
+    def test_basic(self):
+        schema = Schema(("a", "b"))
+        assert len(schema) == 2
+        assert list(schema) == ["a", "b"]
+        assert "a" in schema and "c" not in schema
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Schema(())
+
+    def test_duplicates_raise(self):
+        with pytest.raises(ValueError):
+            Schema(("a", "a"))
+
+
+class TestRecord:
+    def test_value_and_missing(self):
+        record = make_record("r1", "A", name="Sony TV", price="99.99")
+        assert record.value("name") == "Sony TV"
+        assert record.value("missing") == ""
+
+    def test_full_text_skips_empty(self):
+        record = make_record("r1", "A", name="Sony", price="")
+        assert record.full_text() == "Sony"
+
+    def test_tokens_are_lowercased_and_distinct(self):
+        record = make_record("r1", "A", name="Sony Sony TV")
+        assert record.tokens() == {"sony", "tv"}
+
+    def test_attribute_tokens(self):
+        record = make_record("r1", "A", name="Sony TV", price="99.99")
+        assert record.attribute_tokens("name") == {"sony", "tv"}
+        assert record.attribute_tokens("price") == {"99", "99"} - set() == {"99"}
+
+    def test_qgrams(self):
+        record = make_record("r1", "A", name="abc")
+        assert record.qgrams(2) == {"ab", "bc"}
+
+    def test_attribute_qgrams_of_missing(self):
+        record = make_record("r1", "A", name="abc")
+        assert record.attribute_qgrams("other", 2) == set()
+
+
+class TestRecordStore:
+    @pytest.fixture()
+    def store(self, tiny_schema) -> RecordStore:
+        return RecordStore("test", tiny_schema)
+
+    def test_add_and_get(self, store):
+        record = make_record("r1", "A", name="x")
+        store.add(record)
+        assert store.get("r1") is record
+        assert "r1" in store
+        assert len(store) == 1
+
+    def test_duplicate_id_raises(self, store):
+        store.add(make_record("r1", "A", name="x"))
+        with pytest.raises(ValueError):
+            store.add(make_record("r1", "A", name="y"))
+
+    def test_unknown_attribute_raises(self, store):
+        with pytest.raises(ValueError):
+            store.add(make_record("r1", "A", bogus="x"))
+
+    def test_iteration_order(self, store):
+        for index in range(5):
+            store.add(make_record(f"r{index}", "A", name=str(index)))
+        assert store.ids() == [f"r{index}" for index in range(5)]
+
+    def test_subset(self, store):
+        for index in range(5):
+            store.add(make_record(f"r{index}", "A", name=str(index)))
+        subset = store.subset(["r3", "r1"])
+        assert subset.ids() == ["r3", "r1"]
+        assert len(subset) == 2
+
+    def test_get_missing_raises(self, store):
+        with pytest.raises(KeyError):
+            store.get("nope")

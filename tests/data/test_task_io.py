@@ -1,0 +1,132 @@
+"""Tests for MatchingTask invariants and CSV round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.io import load_record_store, load_task, save_record_store, save_task
+from repro.data.pairs import LabeledPairSet, RecordPair
+from repro.data.records import RecordStore, Schema
+from repro.data.task import MatchingTask
+from tests.conftest import make_record
+
+
+def _store(name: str, source: str, n: int, schema: Schema) -> RecordStore:
+    store = RecordStore(name, schema)
+    for index in range(n):
+        store.add(
+            make_record(
+                f"{source.lower()}{index}", source,
+                name=f"item {index}", description=f"thing {index}", price="1.00",
+            )
+        )
+    return store
+
+
+@pytest.fixture()
+def simple_parts(tiny_schema):
+    left = _store("L", "A", 6, tiny_schema)
+    right = _store("R", "B", 6, tiny_schema)
+
+    def pairs(indices, labels):
+        out = LabeledPairSet()
+        for index, label in zip(indices, labels):
+            out.add(
+                RecordPair(left.get(f"a{index}"), right.get(f"b{index}")), label
+            )
+        return out
+
+    return left, right, pairs
+
+
+class TestMatchingTask:
+    def test_valid_construction(self, simple_parts):
+        left, right, pairs = simple_parts
+        task = MatchingTask(
+            "t", left, right,
+            training=pairs([0, 1], [1, 0]),
+            validation=pairs([2, 3], [1, 0]),
+            testing=pairs([4, 5], [1, 0]),
+        )
+        assert len(task.all_pairs()) == 6
+        assert task.attributes == ("name", "description", "price")
+
+    def test_overlapping_splits_raise(self, simple_parts):
+        left, right, pairs = simple_parts
+        with pytest.raises(ValueError, match="overlap"):
+            MatchingTask(
+                "t", left, right,
+                training=pairs([0, 1], [1, 0]),
+                validation=pairs([1, 2], [0, 1]),
+                testing=pairs([3], [1]),
+            )
+
+    def test_unknown_record_raises(self, simple_parts, tiny_schema):
+        left, right, pairs = simple_parts
+        stranger = make_record("zz", "A", name="stranger")
+        bad = LabeledPairSet()
+        bad.add(RecordPair(stranger, right.get("b0")), 1)
+        with pytest.raises(ValueError, match="unknown left record"):
+            MatchingTask(
+                "t", left, right,
+                training=bad,
+                validation=pairs([2], [1]),
+                testing=pairs([3], [0]),
+            )
+
+    def test_statistics(self, simple_parts):
+        left, right, pairs = simple_parts
+        task = MatchingTask(
+            "t", left, right,
+            training=pairs([0, 1, 2], [1, 0, 0]),
+            validation=pairs([3], [1]),
+            testing=pairs([4, 5], [1, 0]),
+        )
+        stats = task.statistics()
+        assert stats.training_instances == 3
+        assert stats.training_positives == 1
+        assert stats.testing_positives == 1
+        assert stats.imbalance_ratio == pytest.approx(0.5)
+
+    def test_metadata_defaults_empty(self, simple_parts):
+        left, right, pairs = simple_parts
+        task = MatchingTask(
+            "t", left, right,
+            training=pairs([0], [1]),
+            validation=pairs([1], [0]),
+            testing=pairs([2], [1]),
+        )
+        assert task.metadata == {}
+
+
+class TestIo:
+    def test_record_store_round_trip(self, tmp_path, tiny_schema):
+        store = _store("L", "A", 4, tiny_schema)
+        save_record_store(store, tmp_path / "tableA.csv")
+        loaded = load_record_store(tmp_path / "tableA.csv", "L", "A")
+        assert loaded.ids() == store.ids()
+        assert loaded.get("a2").value("name") == "item 2"
+        assert loaded.schema.attributes == store.schema.attributes
+
+    def test_task_round_trip(self, tmp_path, small_task):
+        save_task(small_task, tmp_path / "task")
+        loaded = load_task(tmp_path / "task")
+        assert loaded.name == small_task.name
+        assert len(loaded.training) == len(small_task.training)
+        assert loaded.training.keys() == small_task.training.keys()
+        assert (loaded.training.labels == small_task.training.labels).all()
+        assert len(loaded.left) == len(small_task.left)
+
+    def test_bad_header_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("nope,name\n1,x\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_record_store(path, "L", "A")
+
+    def test_values_with_commas_survive(self, tmp_path, tiny_schema):
+        store = RecordStore("L", tiny_schema)
+        store.add(make_record("a0", "A", name="one, two", description='say "hi"'))
+        save_record_store(store, tmp_path / "t.csv")
+        loaded = load_record_store(tmp_path / "t.csv", "L", "A")
+        assert loaded.get("a0").value("name") == "one, two"
+        assert loaded.get("a0").value("description") == 'say "hi"'

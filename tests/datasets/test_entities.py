@@ -1,0 +1,117 @@
+"""Tests for domain specs and entity factories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.entities import (
+    AttributeSpec,
+    EntityFactory,
+    beer_domain,
+    bibliographic_domain,
+    company_domain,
+    movie_domain,
+    music_domain,
+    product_domain,
+    restaurant_domain,
+    rich_product_domain,
+    software_domain,
+)
+
+ALL_DOMAINS = [
+    product_domain(),
+    rich_product_domain(),
+    software_domain(),
+    bibliographic_domain(),
+    music_domain(),
+    beer_domain(),
+    restaurant_domain(),
+    movie_domain("movies", ("title", "director", "actors", "year", "genre")),
+    company_domain(),
+]
+
+
+class TestAttributeSpec:
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            AttributeSpec("x", "mystery")
+
+    def test_concepts_need_pool(self):
+        with pytest.raises(ValueError):
+            AttributeSpec("x", "concepts")
+
+    def test_bad_part_range(self):
+        with pytest.raises(ValueError):
+            AttributeSpec("x", "concepts", pool="p", min_parts=3, max_parts=2)
+
+
+class TestDomainCatalogue:
+    @pytest.mark.parametrize("domain", ALL_DOMAINS, ids=lambda d: d.name)
+    def test_title_attribute_exists(self, domain):
+        assert domain.title_attribute in domain.attribute_names()
+
+    @pytest.mark.parametrize("domain", ALL_DOMAINS, ids=lambda d: d.name)
+    def test_pools_cover_concept_attributes(self, domain):
+        for spec in domain.attributes:
+            if spec.kind in ("concepts", "text"):
+                assert spec.pool in domain.pools, spec.name
+            if spec.kind == "person":
+                assert "first_name" in domain.pools
+                assert "last_name" in domain.pools
+
+    def test_movie_domain_rejects_unknown_attributes(self):
+        with pytest.raises(ValueError):
+            movie_domain("bad", ("title", "no_such_attr"))
+
+
+class TestEntityFactoryRendering:
+    @pytest.mark.parametrize("domain", ALL_DOMAINS, ids=lambda d: d.name)
+    def test_every_attribute_has_parts(self, domain):
+        factory = EntityFactory(domain, seed=9)
+        for entity in factory.generate(10, family_fraction=0.0):
+            for spec in domain.attributes:
+                parts = entity.parts[spec.name]
+                assert parts, (domain.name, spec.name)
+                for part in parts:
+                    assert (part.concept_id is None) != (part.literal is None)
+
+    def test_code_attributes_are_literals(self):
+        factory = EntityFactory(rich_product_domain(), seed=2)
+        entity = factory.generate(1)[0]
+        (code_part,) = entity.parts["modelno"]
+        assert code_part.literal is not None
+        assert any(char.isdigit() for char in code_part.literal)
+
+    def test_with_code_appends_code(self):
+        factory = EntityFactory(product_domain(), seed=3)
+        entity = factory.generate(1)[0]
+        name_parts = entity.parts["name"]
+        assert name_parts[-1].literal is not None  # the appended code
+        assert all(part.concept_id is not None for part in name_parts[:-1])
+
+    def test_variant_changes_code_keeps_name_words(self):
+        factory = EntityFactory(product_domain(), seed=4)
+        rng = np.random.default_rng(0)
+        base = factory._fresh(0, rng)
+        variant = factory._variant_of(base, 1, rng)
+        base_name = base.parts["name"]
+        variant_name = variant.parts["name"]
+        assert [p.concept_id for p in base_name[:-1]] == [
+            p.concept_id for p in variant_name[:-1]
+        ]
+        assert base_name[-1].literal != variant_name[-1].literal
+
+    def test_invalid_generate_args(self):
+        factory = EntityFactory(beer_domain(), seed=0)
+        with pytest.raises(ValueError):
+            factory.generate(0)
+        with pytest.raises(ValueError):
+            factory.generate(5, family_fraction=1.5)
+
+    def test_year_and_price_formats(self):
+        factory = EntityFactory(bibliographic_domain(), seed=5)
+        entity = factory.generate(1)[0]
+        (year_part,) = entity.parts["year"]
+        assert year_part.literal is not None
+        assert 1950 <= int(year_part.literal) <= 2023

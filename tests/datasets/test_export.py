@@ -1,0 +1,50 @@
+"""Tests for the benchmark batch exporter."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.data.io import load_task
+from repro.datasets.export import export_benchmarks
+
+
+class TestExportBenchmarks:
+    @pytest.fixture(scope="class")
+    def exported(self, tmp_path_factory):
+        target = tmp_path_factory.mktemp("release")
+        manifest = export_benchmarks(
+            target,
+            established=("Ds5",),
+            sources=("dblp_acm",),
+            size_factor=0.5,
+        )
+        return target, manifest
+
+    def test_manifest_written(self, exported):
+        target, manifest = exported
+        on_disk = json.loads((target / "manifest.json").read_text())
+        assert set(on_disk) == set(manifest) == {"Ds5", "Dn3"}
+
+    def test_established_round_trip(self, exported):
+        target, manifest = exported
+        task = load_task(target / "Ds5")
+        assert task.name == "Ds5"
+        assert len(task.all_pairs()) == manifest["Ds5"]["pairs"]
+
+    def test_new_benchmark_round_trip(self, exported):
+        target, manifest = exported
+        task = load_task(target / "Dn3")
+        assert manifest["Dn3"]["kind"] == "new"
+        assert manifest["Dn3"]["pair_completeness"] >= 0.85
+        assert len(task.all_pairs()) == manifest["Dn3"]["pairs"]
+
+    def test_manifest_provenance_fields(self, exported):
+        __, manifest = exported
+        assert "blocking" in manifest["Dn3"]
+        assert "attributes" in manifest["Ds5"]
+
+    def test_unknown_source_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            export_benchmarks(tmp_path, established=(), sources=("nope",))

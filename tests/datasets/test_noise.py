@@ -1,0 +1,102 @@
+"""Tests for the corruption channels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datasets.noise import NoiseModel, abbreviate, typo
+
+words = st.text(alphabet="abcdefgh", min_size=1, max_size=10)
+
+
+class TestTypo:
+    @given(words, st.integers(0, 1000))
+    def test_edit_distance_at_most_one_char_class(self, word, seed):
+        rng = np.random.default_rng(seed)
+        mutated = typo(word, rng)
+        assert abs(len(mutated) - len(word)) <= 1
+
+    def test_empty_word_unchanged(self):
+        assert typo("", np.random.default_rng(0)) == ""
+
+    def test_changes_something_eventually(self):
+        rng = np.random.default_rng(1)
+        assert any(typo("widget", rng) != "widget" for __ in range(10))
+
+
+class TestAbbreviate:
+    def test_first_letter(self):
+        assert abbreviate("john") == "j"
+
+    def test_empty(self):
+        assert abbreviate("") == ""
+
+
+class TestNoiseModel:
+    def test_invalid_rates_raise(self):
+        with pytest.raises(ValueError):
+            NoiseModel(typo_rate=1.5)
+        with pytest.raises(ValueError):
+            NoiseModel(drop_rate=-0.1)
+        with pytest.raises(ValueError):
+            NoiseModel(drop_rate=0.5, drop_rate_max=0.3)
+
+    def test_zero_noise_is_identity(self):
+        model = NoiseModel()
+        tokens = ["alpha", "beta", "gamma"]
+        rng = np.random.default_rng(0)
+        assert model.corrupt_tokens(tokens, rng) == tokens
+
+    def test_never_empties_token_list(self):
+        model = NoiseModel(drop_rate=0.99)
+        rng = np.random.default_rng(1)
+        for __ in range(50):
+            assert model.corrupt_tokens(["a", "b", "c"], rng)
+
+    def test_drop_reduces_tokens(self):
+        model = NoiseModel(drop_rate=0.5)
+        rng = np.random.default_rng(2)
+        tokens = ["t"] * 100
+        assert len(model.corrupt_tokens(tokens, rng)) < 80
+
+    def test_variable_drop_varies(self):
+        model = NoiseModel(drop_rate=0.0, drop_rate_max=0.9)
+        rng = np.random.default_rng(3)
+        lengths = {
+            len(model.corrupt_tokens(["t"] * 50, rng)) for __ in range(20)
+        }
+        assert max(lengths) - min(lengths) > 10
+
+    def test_missing_rate(self):
+        model = NoiseModel(missing_rate=1.0)
+        assert model.drop_attribute(np.random.default_rng(0))
+        assert not NoiseModel().drop_attribute(np.random.default_rng(0))
+
+    def test_dirty_misplacement(self):
+        model = NoiseModel(dirty_misplacement_rate=1.0)
+        rng = np.random.default_rng(4)
+        values = {"title": "main", "brand": "acme", "price": "9.99"}
+        result = model.misplace_values(values, "title", rng)
+        assert result["brand"] == ""
+        assert result["price"] == ""
+        assert "acme" in result["title"] and "9.99" in result["title"]
+        assert result["title"].startswith("main")
+
+    def test_dirty_zero_rate_is_identity(self):
+        model = NoiseModel()
+        values = {"title": "main", "brand": "acme"}
+        result = model.misplace_values(values, "title", np.random.default_rng(0))
+        assert result == values
+
+    def test_dirty_skips_empty_values(self):
+        model = NoiseModel(dirty_misplacement_rate=1.0)
+        values = {"title": "main", "brand": ""}
+        result = model.misplace_values(values, "title", np.random.default_rng(0))
+        assert result["title"] == "main"
+
+    def test_is_dirty_flag(self):
+        assert NoiseModel(dirty_misplacement_rate=0.5).is_dirty
+        assert not NoiseModel().is_dirty

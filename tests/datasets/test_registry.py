@@ -1,0 +1,140 @@
+"""Tests for the established/source dataset registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.established import ESTABLISHED_PROFILES, build_established_task
+from repro.datasets.registry import (
+    ESTABLISHED_DATASET_IDS,
+    SOURCE_DATASET_IDS,
+    clear_cache,
+    load_established_task,
+    load_source_pair,
+)
+from repro.datasets.sources import NEW_BENCHMARK_LABELS, SOURCE_PROFILES
+
+
+class TestRegistryListing:
+    def test_thirteen_established(self):
+        assert len(ESTABLISHED_DATASET_IDS) == 13
+        assert ESTABLISHED_DATASET_IDS[0] == "Ds1"
+        assert ESTABLISHED_DATASET_IDS[-1] == "Dt2"
+
+    def test_eight_sources(self):
+        assert len(SOURCE_DATASET_IDS) == 8
+        assert NEW_BENCHMARK_LABELS["abt_buy"] == "Dn1"
+        assert NEW_BENCHMARK_LABELS["dblp_scholar"] == "Dn8"
+
+    def test_dirty_variants_mirror_structured(self):
+        for structured, dirty in (("Ds1", "Dd1"), ("Ds4", "Dd4")):
+            structured_profile = ESTABLISHED_PROFILES[structured]
+            dirty_profile = ESTABLISHED_PROFILES[dirty]
+            assert dirty_profile.dirty
+            assert not structured_profile.dirty
+            assert dirty_profile.n_pairs == structured_profile.n_pairs
+            assert dirty_profile.seed == structured_profile.seed
+
+
+class TestEstablishedBuilding:
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            build_established_task("nope")
+
+    def test_invalid_size_factor(self):
+        with pytest.raises(ValueError):
+            build_established_task("Ds1", size_factor=0.0)
+
+    def test_small_scale_build(self):
+        task = build_established_task("Ds5", size_factor=0.5)
+        stats = task.statistics()
+        assert stats.training_instances > 50
+        assert 0.05 < stats.imbalance_ratio < 0.35
+
+    def test_imbalance_matches_profile(self):
+        task = build_established_task("Ds5", size_factor=1.0)
+        profile = ESTABLISHED_PROFILES["Ds5"]
+        assert task.all_pairs().imbalance_ratio == pytest.approx(
+            profile.positive_fraction, abs=0.03
+        )
+
+    def test_dirty_variant_differs_from_structured(self):
+        structured = build_established_task("Ds3", size_factor=0.5)
+        dirty = build_established_task("Dd3", size_factor=0.5)
+        # Same pair structure, corrupted values.
+        assert len(structured.all_pairs()) == len(dirty.all_pairs())
+        structured_record = structured.left.records()[0]
+        dirty_record = dirty.left.records()[0]
+        assert structured_record.record_id == dirty_record.record_id
+        # At least some records must show misplaced values.
+        misplaced = 0
+        for s_rec, d_rec in zip(structured.left, dirty.left):
+            if s_rec.values != d_rec.values:
+                misplaced += 1
+        assert misplaced > 0
+
+    def test_attribute_counts(self):
+        expectations = {"Ds1": 4, "Ds3": 8, "Ds4": 5, "Ds6": 3, "Ds7": 6, "Dt2": 1}
+        for dataset_id, n_attributes in expectations.items():
+            task = load_established_task(dataset_id, 0.5)
+            assert len(task.attributes) == n_attributes, dataset_id
+
+
+class TestCaching:
+    def test_same_object_returned(self):
+        clear_cache()
+        first = load_established_task("Ds5", 0.5)
+        second = load_established_task("Ds5", 0.5)
+        assert first is second
+
+    def test_cache_cleared(self):
+        first = load_established_task("Ds5", 0.5)
+        clear_cache()
+        second = load_established_task("Ds5", 0.5)
+        assert first is not second
+
+    def test_source_pair_cached(self):
+        clear_cache()
+        first = load_source_pair("abt_buy", 0.5)
+        second = load_source_pair("abt_buy", 0.5)
+        assert first is second
+
+    def test_source_determinism_across_cache_clear(self):
+        clear_cache()
+        first = load_source_pair("dblp_acm", 0.5)
+        clear_cache()
+        second = load_source_pair("dblp_acm", 0.5)
+        assert first.matches == second.matches
+
+
+class TestSourceProfiles:
+    def test_all_sources_build(self):
+        for source_id in SOURCE_DATASET_IDS:
+            pair = load_source_pair(source_id, 0.25)
+            assert pair.n_matches >= 20
+            assert len(pair.left) >= pair.n_matches
+
+    def test_expected_attribute_counts(self):
+        expectations = {
+            "abt_buy": 3, "amazon_google": 3, "dblp_acm": 4,
+            "imdb_tmdb": 5, "imdb_tvdb": 4, "tmdb_tvdb": 6,
+            "walmart_amazon": 5, "dblp_scholar": 4,
+        }
+        for source_id, n_attributes in expectations.items():
+            profile = SOURCE_PROFILES[source_id]
+            assert len(profile.domain.attributes) == n_attributes, source_id
+
+
+@pytest.mark.slow
+class TestFullScaleIntegrity:
+    def test_all_established_build_at_ci_scale(self):
+        for dataset_id in ESTABLISHED_DATASET_IDS:
+            task = load_established_task(dataset_id, 1.0)
+            stats = task.statistics()
+            # Every benchmark respects Problem 1's split disjointness (the
+            # MatchingTask constructor enforces it) and has both classes in
+            # every split.
+            assert stats.training_positives > 0, dataset_id
+            assert stats.testing_positives > 0, dataset_id
+            assert stats.training_negatives > 0, dataset_id
+            assert stats.testing_negatives > 0, dataset_id

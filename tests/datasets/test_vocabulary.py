@@ -1,0 +1,113 @@
+"""Tests for concept vocabularies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.vocabulary import Concept, ConceptVocabulary, build_vocabulary
+
+
+class TestConcept:
+    def test_canonical(self):
+        concept = Concept(0, "brand", ("sony", "soni"))
+        assert concept.canonical == "sony"
+
+    def test_no_surfaces_raises(self):
+        with pytest.raises(ValueError):
+            Concept(0, "brand", ())
+
+
+class TestConceptVocabulary:
+    def test_add_and_lookup(self):
+        vocabulary = ConceptVocabulary("test")
+        vocabulary.add(Concept(0, "brand", ("sony",)))
+        assert vocabulary.get(0).canonical == "sony"
+        assert [c.concept_id for c in vocabulary.pool("brand")] == [0]
+        assert vocabulary.concepts_for_surface("sony")[0].concept_id == 0
+
+    def test_duplicate_id_raises(self):
+        vocabulary = ConceptVocabulary("test")
+        vocabulary.add(Concept(0, "brand", ("a",)))
+        with pytest.raises(ValueError):
+            vocabulary.add(Concept(0, "brand", ("b",)))
+
+    def test_replace(self):
+        vocabulary = ConceptVocabulary("test")
+        vocabulary.add(Concept(0, "brand", ("a",)))
+        vocabulary.replace(0, Concept(0, "brand", ("a", "alias")))
+        assert vocabulary.get(0).surfaces == ("a", "alias")
+        assert vocabulary.concepts_for_surface("alias")
+
+    def test_replace_wrong_id_raises(self):
+        vocabulary = ConceptVocabulary("test")
+        vocabulary.add(Concept(0, "brand", ("a",)))
+        with pytest.raises(ValueError):
+            vocabulary.replace(0, Concept(1, "brand", ("b",)))
+
+    def test_homograph_surfaces(self):
+        vocabulary = ConceptVocabulary("test")
+        vocabulary.add(Concept(0, "p", ("bank", "lender")))
+        vocabulary.add(Concept(1, "p", ("bank", "shore")))
+        assert vocabulary.homograph_surfaces() == ["bank"]
+
+    def test_sample_is_from_pool(self):
+        vocabulary = ConceptVocabulary("test")
+        for index in range(5):
+            vocabulary.add(Concept(index, "p", (f"w{index}",)))
+        rng = np.random.default_rng(0)
+        for __ in range(20):
+            assert vocabulary.sample("p", rng).pool == "p"
+
+
+class TestBuildVocabulary:
+    def test_pool_sizes(self):
+        vocabulary = build_vocabulary("d", {"a": 10, "b": 5}, seed=0)
+        assert len(vocabulary.pool("a")) == 10
+        assert len(vocabulary.pool("b")) == 5
+        assert set(vocabulary.pool_names()) == {"a", "b"}
+
+    def test_deterministic(self):
+        first = build_vocabulary("d", {"a": 20}, seed=7)
+        second = build_vocabulary("d", {"a": 20}, seed=7)
+        assert [c.surfaces for c in first.concepts] == [
+            c.surfaces for c in second.concepts
+        ]
+
+    def test_seeds_differ(self):
+        first = build_vocabulary("d", {"a": 20}, seed=1)
+        second = build_vocabulary("d", {"a": 20}, seed=2)
+        assert [c.surfaces for c in first.concepts] != [
+            c.surfaces for c in second.concepts
+        ]
+
+    def test_synonym_fraction(self):
+        vocabulary = build_vocabulary(
+            "d", {"a": 200}, synonym_fraction=0.5, homograph_fraction=0.0, seed=3
+        )
+        with_synonyms = sum(
+            1 for c in vocabulary.concepts if len(c.surfaces) > 1
+        )
+        assert 60 <= with_synonyms <= 140
+
+    def test_no_synonyms(self):
+        vocabulary = build_vocabulary(
+            "d", {"a": 50}, synonym_fraction=0.0, homograph_fraction=0.0, seed=4
+        )
+        assert all(len(c.surfaces) == 1 for c in vocabulary.concepts)
+
+    def test_homographs_created(self):
+        vocabulary = build_vocabulary(
+            "d", {"a": 100}, homograph_fraction=0.1, seed=5
+        )
+        assert vocabulary.homograph_surfaces()
+
+    def test_invalid_fractions_raise(self):
+        with pytest.raises(ValueError):
+            build_vocabulary("d", {"a": 5}, synonym_fraction=1.5)
+        with pytest.raises(ValueError):
+            build_vocabulary("d", {"a": 5}, homograph_fraction=-0.1)
+
+    def test_empty_pool_raises(self):
+        with pytest.raises(ValueError):
+            build_vocabulary("d", {"a": 0})

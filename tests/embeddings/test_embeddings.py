@@ -1,0 +1,161 @@
+"""Tests for the synthetic language model and embedders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.vocabulary import Concept, ConceptVocabulary
+from repro.embeddings.contextual import ContextualEmbedder
+from repro.embeddings.distances import cosine_vector_similarity
+from repro.embeddings.lm import SyntheticLanguageModel
+from repro.embeddings.sentence import SentenceEmbedder
+from repro.embeddings.static import StaticEmbedder
+from tests.conftest import make_record
+
+
+@pytest.fixture(scope="module")
+def vocabulary() -> ConceptVocabulary:
+    vocab = ConceptVocabulary("test")
+    vocab.add(Concept(0, "p", ("laptop", "notebook", "ultrabook")))
+    vocab.add(Concept(1, "p", ("phone", "handset")))
+    vocab.add(Concept(2, "p", ("camera",)))
+    # 'bank' is a homograph of concepts 3 and 4.
+    vocab.add(Concept(3, "q", ("institution", "bank")))
+    vocab.add(Concept(4, "q", ("riverside", "bank")))
+    vocab.add(Concept(5, "q", ("money",)))
+    vocab.add(Concept(6, "q", ("water",)))
+    return vocab
+
+
+@pytest.fixture(scope="module")
+def model(vocabulary) -> SyntheticLanguageModel:
+    return SyntheticLanguageModel(vocabulary, dimension=32, seed=5)
+
+
+class TestLanguageModel:
+    def test_synonyms_are_close(self, model):
+        a = model.token_vector("laptop")
+        b = model.token_vector("notebook")
+        c = model.token_vector("camera")
+        assert cosine_vector_similarity(a, b) > cosine_vector_similarity(a, c)
+
+    def test_typos_land_near_original(self, model):
+        original = model.token_vector("camera")
+        typoed = model.subword_vector("camerra")
+        unrelated = model.subword_vector("zzzzq")
+        assert cosine_vector_similarity(original, typoed) > cosine_vector_similarity(
+            original, unrelated
+        )
+
+    def test_oov_token_is_pure_subword(self, model):
+        oov = model.token_vector("xq42z")
+        np.testing.assert_allclose(oov, model.subword_vector("xq42z"))
+
+    def test_deterministic(self, vocabulary):
+        first = SyntheticLanguageModel(vocabulary, dimension=32, seed=5)
+        second = SyntheticLanguageModel(vocabulary, dimension=32, seed=5)
+        np.testing.assert_allclose(
+            first.token_vector("laptop"), second.token_vector("laptop")
+        )
+
+    def test_homograph_sits_between_meanings(self, model):
+        bank = model.token_vector("bank")
+        institution = model.concept_centroid(3)
+        riverside = model.concept_centroid(4)
+        sim_to_both = (
+            cosine_vector_similarity(bank, institution),
+            cosine_vector_similarity(bank, riverside),
+        )
+        assert min(sim_to_both) > 0.5
+
+    def test_disambiguation_picks_context_meaning(self, model):
+        # Context: 'money' (concept 5). The disambiguated 'bank' should be
+        # closer to the institution meaning iff that centroid is closer to
+        # the money centroid; assert consistency instead of a fixed side.
+        disambiguated = model.disambiguated_vector("bank", [5])
+        institution = model.concept_centroid(3)
+        riverside = model.concept_centroid(4)
+        money = model.concept_centroid(5)
+        expected = 3 if institution @ money > riverside @ money else 4
+        expected_centroid = model.concept_centroid(expected)
+        other_centroid = institution if expected == 4 else riverside
+        assert cosine_vector_similarity(
+            disambiguated, expected_centroid
+        ) > cosine_vector_similarity(disambiguated, other_centroid)
+
+    def test_invalid_dimension(self, vocabulary):
+        with pytest.raises(ValueError):
+            SyntheticLanguageModel(vocabulary, dimension=2)
+
+
+class TestStaticEmbedder:
+    def test_record_embedding_unit_norm(self, model):
+        embedder = StaticEmbedder(model)
+        record = make_record("r1", "A", name="laptop camera")
+        vector = embedder.embed_record(record)
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_empty_text_zero_vector(self, model):
+        embedder = StaticEmbedder(model)
+        assert np.linalg.norm(embedder.embed_text("")) == 0.0
+
+    def test_synonym_records_more_similar_than_unrelated(self, model):
+        embedder = StaticEmbedder(model)
+        base = embedder.embed_text("laptop")
+        synonym = embedder.embed_text("ultrabook")
+        unrelated = embedder.embed_text("water")
+        assert cosine_vector_similarity(base, synonym) > cosine_vector_similarity(
+            base, unrelated
+        )
+
+
+class TestContextualEmbedder:
+    def test_variants_differ_but_correlate(self, model):
+        bert = ContextualEmbedder(model, variant="B")
+        roberta = ContextualEmbedder(model, variant="R")
+        text = "laptop camera money"
+        vector_b = bert.embed_text(text)
+        vector_r = roberta.embed_text(text)
+        assert not np.allclose(vector_b, vector_r)
+        assert cosine_vector_similarity(vector_b, vector_r) > 0.8
+
+    def test_unknown_variant_raises(self, model):
+        with pytest.raises(ValueError):
+            ContextualEmbedder(model, variant="X")
+
+    def test_context_changes_homograph_encoding(self, model):
+        embedder = ContextualEmbedder(model, variant="B")
+        money_context = embedder.embed_text("bank money")
+        water_context = embedder.embed_text("bank water")
+        # The same homograph embeds differently in different contexts.
+        assert cosine_vector_similarity(money_context, water_context) < 0.999
+
+    def test_empty_sequence(self, model):
+        embedder = ContextualEmbedder(model, variant="B")
+        assert np.linalg.norm(embedder.embed_sequence([])) == 0.0
+
+
+class TestSentenceEmbedder:
+    def test_requires_fit(self, model):
+        with pytest.raises(RuntimeError):
+            SentenceEmbedder(model).embed_text("laptop")
+
+    def test_fit_on_empty_raises(self, model):
+        with pytest.raises(ValueError):
+            SentenceEmbedder(model).fit([])
+
+    def test_rare_tokens_dominate(self, model):
+        corpus = [
+            make_record(f"r{index}", "A", name=f"laptop filler{index}")
+            for index in range(10)
+        ]
+        embedder = SentenceEmbedder(model).fit(corpus)
+        # 'camera' is rare in the corpus; a camera-bearing text should be
+        # closer to pure 'camera' than to pure 'laptop' (the common token).
+        mixed = embedder.embed_text("laptop camera")
+        camera = embedder.embed_text("camera")
+        laptop_only = embedder.embed_text("laptop")
+        assert cosine_vector_similarity(mixed, camera) > cosine_vector_similarity(
+            mixed, laptop_only
+        )

@@ -1,0 +1,44 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "table4" in output
+        assert "Ds1" in output and "abt_buy" in output
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["bogus"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_audit_requires_dataset(self, capsys):
+        assert main(["audit"]) == 2
+        assert "requires a dataset" in capsys.readouterr().out
+
+    def test_table3_half_scale(self, capsys, tmp_path):
+        assert main(["table3", "--scale", "0.5", "--cache", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "Table III" in output
+        assert "Ds1" in output and "Dt2" in output
+
+    def test_fig1_half_scale(self, capsys, tmp_path):
+        assert main(["fig1", "--scale", "0.5", "--cache", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 1" in output
+        assert "f1_cosine" in output
+
+    @pytest.mark.slow
+    def test_audit_dataset(self, capsys, tmp_path):
+        assert main(
+            ["audit", "Ds5", "--scale", "0.5", "--cache", str(tmp_path)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "CHALLENGING" in output
+        assert "non-linear boost" in output

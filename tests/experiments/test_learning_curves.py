@@ -1,0 +1,39 @@
+"""Tests for the epoch learning-curve utility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.learning_curves import LearningCurve, learning_curve
+from repro.matchers.deep import DeepMatcherNet, EMTransformerNet
+
+
+class TestLearningCurveDataclass:
+    def test_best_epoch(self):
+        curve = LearningCurve("m", "t", (0.2, 0.9, 0.8), 0.85)
+        assert curve.best_epoch == 2
+
+    def test_plateau_epoch_before_best(self):
+        curve = LearningCurve("m", "t", (0.895, 0.9, 0.9), 0.85)
+        assert curve.plateau_epoch == 1
+
+    def test_plateau_never_after_best(self):
+        curve = LearningCurve("m", "t", (0.1, 0.5, 0.9), 0.85)
+        assert curve.plateau_epoch <= curve.best_epoch
+
+
+class TestLearningCurveExtraction:
+    def test_records_one_point_per_epoch(self, handmade_task):
+        curve = learning_curve(DeepMatcherNet(epochs=7), handmade_task)
+        assert len(curve.validation_f1) == 7
+        assert curve.task == "handmade"
+        assert 0.0 <= curve.test_f1 <= 1.0
+
+    def test_values_bounded(self, handmade_task):
+        curve = learning_curve(EMTransformerNet("B", epochs=5), handmade_task)
+        assert all(0.0 <= value <= 1.0 for value in curve.validation_f1)
+
+    def test_longer_training_does_not_hurt_validation_peak(self, handmade_task):
+        short = learning_curve(DeepMatcherNet(epochs=5, seed=1), handmade_task)
+        long = learning_curve(DeepMatcherNet(epochs=25, seed=1), handmade_task)
+        assert max(long.validation_f1) >= max(short.validation_f1) - 1e-9

@@ -1,0 +1,121 @@
+"""Tests for the paper-reference data and comparison machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.matcher_suite import family_of
+from repro.experiments.paper_comparison import (
+    DatasetComparison,
+    render_comparison_markdown,
+)
+from repro.experiments.paper_reference import (
+    ESTABLISHED_ORDER,
+    NEW_ORDER,
+    PAPER_CHALLENGING_ESTABLISHED,
+    PAPER_CHALLENGING_NEW,
+    PAPER_TABLE4,
+    PAPER_TABLE5,
+    PAPER_TABLE6,
+    paper_best_f1,
+)
+
+
+class TestReferenceData:
+    def test_table4_row_lengths(self):
+        for name, row in PAPER_TABLE4.items():
+            assert len(row) == len(ESTABLISHED_ORDER), name
+
+    def test_table6_row_lengths(self):
+        for name, row in PAPER_TABLE6.items():
+            assert len(row) == len(NEW_ORDER), name
+
+    def test_table5_covers_all_new(self):
+        assert set(PAPER_TABLE5) == set(NEW_ORDER)
+
+    def test_every_matcher_name_classifies(self):
+        for name in PAPER_TABLE4:
+            assert family_of(name) in ("dl", "ml", "linear"), name
+
+    def test_f1_values_in_range(self):
+        for table in (PAPER_TABLE4, PAPER_TABLE6):
+            for row in table.values():
+                for value in row:
+                    if value is not None:
+                        assert 0.0 <= value <= 100.0
+
+    def test_challenging_sets(self):
+        assert PAPER_CHALLENGING_ESTABLISHED == {"Ds4", "Ds6", "Dd4", "Dt1"}
+        assert PAPER_CHALLENGING_NEW == {"Dn1", "Dn2", "Dn6", "Dn7"}
+
+    def test_known_cells(self):
+        # Spot-checks against the paper text.
+        column = ESTABLISHED_ORDER.index("Ds7")
+        assert PAPER_TABLE4["EMTransformer-R (15)"][column] == 100.00
+        column = NEW_ORDER.index("Dn3")
+        assert PAPER_TABLE6["Magellan-RF"][column] == 99.66
+
+
+class TestPaperBestF1:
+    def test_overall_best(self):
+        best = paper_best_f1(PAPER_TABLE4, ESTABLISHED_ORDER, "Ds7")
+        assert best == 100.00
+
+    def test_family_filtered(self):
+        best_linear = paper_best_f1(
+            PAPER_TABLE4, ESTABLISHED_ORDER, "Ds6",
+            lambda name: family_of(name) == "linear",
+        )
+        assert best_linear == pytest.approx(54.13)  # SAQ-ESDE
+
+    def test_hyphens_skipped(self):
+        # On Dt2 several methods have no value; the max must still resolve.
+        best = paper_best_f1(PAPER_TABLE4, ESTABLISHED_ORDER, "Dt2")
+        assert best == 100.00
+
+    def test_no_values_raises(self):
+        table = {"only": (None,)}
+        with pytest.raises(KeyError):
+            paper_best_f1(table, ("D",), "D")
+
+
+def _comparison(paper_nlb_big: bool, measured_nlb_big: bool) -> DatasetComparison:
+    return DatasetComparison(
+        dataset="X",
+        paper_best_dl=90.0 if paper_nlb_big else 80.0,
+        paper_best_ml=70.0,
+        paper_best_linear=79.0,
+        measured_best_dl=92.0 if measured_nlb_big else 80.0,
+        measured_best_ml=70.0,
+        measured_best_linear=79.0,
+        paper_challenging=True,
+        measured_challenging=True,
+    )
+
+
+class TestDatasetComparison:
+    def test_nlb_derivation(self):
+        comparison = _comparison(True, True)
+        assert comparison.paper_nlb == pytest.approx(11.0)
+        assert comparison.measured_nlb == pytest.approx(13.0)
+
+    def test_nlb_sign_agreement(self):
+        assert _comparison(True, True).nlb_sign_agrees
+        assert not _comparison(True, False).nlb_sign_agrees
+        assert _comparison(False, False).nlb_sign_agrees
+
+    def test_verdict_agreement(self):
+        comparison = _comparison(True, True)
+        assert comparison.verdict_agrees
+
+
+class TestMarkdownRendering:
+    def test_renders_tables_and_agreement(self):
+        established = [_comparison(True, True), _comparison(False, False)]
+        new = [_comparison(True, True)]
+        markdown = render_comparison_markdown(established, new)
+        assert "Established benchmarks" in markdown
+        assert "New benchmarks" in markdown
+        assert "Verdict agreement: **2/2**" in markdown
+        assert "Verdict agreement: **1/1**" in markdown
+        assert markdown.count("| X ") == 3

@@ -1,0 +1,63 @@
+"""Tests for the seed-stability analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.stability import (
+    StabilitySummary,
+    blocking_stability,
+    matcher_stability,
+)
+from repro.matchers.deep import DeepMatcherNet
+
+
+class TestStabilitySummary:
+    def test_statistics(self):
+        summary = StabilitySummary("x", (0.8, 0.9, 1.0))
+        assert summary.mean == pytest.approx(0.9)
+        assert summary.minimum == 0.8 and summary.maximum == 1.0
+        assert summary.std > 0.0
+
+    def test_single_value_zero_std(self):
+        summary = StabilitySummary("x", (0.5,))
+        assert summary.std == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            StabilitySummary("x", ())
+
+    def test_describe(self):
+        text = StabilitySummary("pq", (0.1, 0.2)).describe()
+        assert "pq" in text and "2 runs" in text
+
+
+class TestBlockingStability:
+    def test_repetition_protocol(self, small_sources):
+        summaries = blocking_stability(
+            small_sources, repetitions=3, recall_target=0.85,
+            k_ladder=(1, 3, 10),
+        )
+        assert set(summaries) == {
+            "pair_completeness", "pairs_quality", "n_candidates"
+        }
+        assert len(summaries["pair_completeness"].values) == 3
+        # Every repetition met the target.
+        assert summaries["pair_completeness"].minimum >= 0.85
+
+    def test_invalid_repetitions(self, small_sources):
+        with pytest.raises(ValueError):
+            blocking_stability(small_sources, repetitions=0)
+
+
+class TestMatcherStability:
+    def test_f1_across_seeds(self, handmade_task):
+        summary = matcher_stability(
+            lambda seed: DeepMatcherNet(epochs=10, seed=seed),
+            handmade_task,
+            repetitions=3,
+        )
+        assert len(summary.values) == 3
+        assert all(0.0 <= value <= 1.0 for value in summary.values)
+        # Seeds wiggle the result but not catastrophically on an easy task.
+        assert summary.maximum - summary.minimum < 0.5

@@ -1,0 +1,131 @@
+"""Tests for the matcher suite, runner caching and report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.matcher_suite import (
+    build_suite,
+    evaluate_suite,
+    family_of,
+    linear_f1_scores,
+    non_linear_f1_scores,
+)
+from repro.experiments.report import render_figure, render_table
+from repro.experiments.runner import ExperimentRunner
+from repro.matchers.base import MatcherResult
+
+
+class TestFamilyOf:
+    def test_linear(self):
+        assert family_of("SA-ESDE") == "linear"
+        assert family_of("SBS-ESDE") == "linear"
+
+    def test_ml(self):
+        assert family_of("Magellan-RF") == "ml"
+        assert family_of("ZeroER") == "ml"
+
+    def test_dl(self):
+        assert family_of("DeepMatcher (15)") == "dl"
+        assert family_of("EMTransformer-R (40)") == "dl"
+        assert family_of("GNEM (10)") == "dl"
+
+
+class TestBuildSuite:
+    def test_roster_composition(self, handmade_task):
+        suite = build_suite(handmade_task)
+        names = [matcher.name for matcher in suite]
+        assert len(names) == len(set(names))
+        families = [family_of(name) for name in names]
+        assert families.count("dl") == 12   # 5 methods x 2 epochs (+EMT x2 variants)
+        assert families.count("ml") == 5    # Magellan x4 + ZeroER
+        assert families.count("linear") == 6
+
+    def test_magellan_heads_share_extractor(self, handmade_task):
+        suite = build_suite(handmade_task)
+        extractors = {
+            id(matcher._extractor)
+            for matcher in suite
+            if matcher.name.startswith(("Magellan", "ZeroER"))
+        }
+        assert len(extractors) == 1
+
+
+class TestEvaluateSuite:
+    @pytest.fixture()
+    def results(self, handmade_task):
+        return evaluate_suite(handmade_task)
+
+    def test_all_matchers_present(self, results, handmade_task):
+        assert len(results) == len(build_suite(handmade_task))
+
+    def test_scores_split(self, results):
+        linear = linear_f1_scores(results)
+        non_linear = non_linear_f1_scores(results)
+        assert len(linear) == 6
+        assert len(non_linear) == len(results) - 6
+        assert not set(linear) & set(non_linear)
+
+    def test_f1_bounds(self, results):
+        for result in results.values():
+            assert 0.0 <= result.f1 <= 1.0
+
+
+class TestRunner:
+    def test_invalid_size_factor(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(size_factor=0)
+
+    def test_unknown_dataset(self):
+        runner = ExperimentRunner()
+        with pytest.raises(KeyError):
+            runner.task_for("nope")
+
+    def test_established_task_resolution(self):
+        runner = ExperimentRunner(size_factor=0.5)
+        task = runner.task_for("Ds5")
+        assert task.name == "Ds5"
+
+    def test_disk_cache_round_trip(self, tmp_path):
+        runner = ExperimentRunner(size_factor=0.5, cache_dir=tmp_path)
+        first = runner.matcher_results("Ds5")
+        # A fresh runner with the same cache dir loads from disk.
+        clone = ExperimentRunner(size_factor=0.5, cache_dir=tmp_path)
+        second = clone.matcher_results("Ds5")
+        assert {n: r.f1 for n, r in first.items()} == {
+            n: r.f1 for n, r in second.items()
+        }
+        assert list(tmp_path.glob("suite_Ds5_*.json"))
+
+    def test_practical_from_results(self, tmp_path):
+        runner = ExperimentRunner(size_factor=0.5, cache_dir=tmp_path)
+        practical = runner.practical("Ds5")
+        assert -1.0 <= practical.non_linear_boost <= 1.0
+        assert 0.0 <= practical.learning_based_margin <= 1.0
+
+
+class TestReport:
+    def test_render_table(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_table_validates(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["1", "2"]])
+
+    def test_render_figure(self):
+        figure = {"D1": {"x": 0.5, "y": 1.0}, "D2": {"x": 0.25, "y": 0.0}}
+        text = render_figure(figure, title="F")
+        assert "0.500" in text and "0.250" in text
+
+    def test_render_empty_figure(self):
+        assert render_figure({}, title="empty") == "empty"
+
+
+class TestMatcherResult:
+    def test_f1_percent(self):
+        result = MatcherResult("m", "t", 0.5, 0.5, 0.5, 0.0, 0.0)
+        assert result.f1_percent == 50.0

@@ -1,0 +1,77 @@
+"""Tests for the SVG bar-chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.svg import PALETTE, SvgBarChart, save_figure_svg
+
+
+@pytest.fixture()
+def figure():
+    return {
+        "Ds1": {"f1_cosine": 0.91, "f1_jaccard": 0.92},
+        "Ds4": {"f1_cosine": 0.43, "f1_jaccard": 0.44},
+    }
+
+
+class TestSvgBarChart:
+    def test_renders_valid_svg_envelope(self, figure):
+        svg = SvgBarChart(figure, title="Figure 1").render()
+        assert svg.startswith("<svg ")
+        assert svg.endswith("</svg>")
+        assert 'xmlns="http://www.w3.org/2000/svg"' in svg
+
+    def test_one_bar_per_group_series(self, figure):
+        svg = SvgBarChart(figure).render()
+        # 4 data bars + background rect + 2 legend swatches.
+        assert svg.count("<rect ") == 4 + 1 + 2
+
+    def test_group_labels_present(self, figure):
+        svg = SvgBarChart(figure, title="T").render()
+        assert ">Ds1<" in svg and ">Ds4<" in svg
+
+    def test_title_escaped(self, figure):
+        svg = SvgBarChart(figure, title="a < b & c").render()
+        assert "a &lt; b &amp; c" in svg
+
+    def test_tooltips_carry_values(self, figure):
+        svg = SvgBarChart(figure).render()
+        assert "Ds1 f1_cosine: 0.910" in svg
+
+    def test_values_clamped_to_max(self):
+        chart = SvgBarChart({"D": {"x": 5.0}}, value_max=1.0)
+        svg = chart.render()
+        assert "<svg" in svg  # renders without error; bar clamped
+
+    def test_empty_figure_raises(self):
+        with pytest.raises(ValueError):
+            SvgBarChart({})
+
+    def test_missing_series_raises(self):
+        with pytest.raises(ValueError):
+            SvgBarChart({"A": {"x": 1.0}, "B": {"y": 1.0}})
+
+    def test_invalid_value_max(self, figure):
+        with pytest.raises(ValueError):
+            SvgBarChart(figure, value_max=0.0)
+
+    def test_series_subset_selection(self, figure):
+        svg = SvgBarChart(figure, series=("f1_cosine",)).render()
+        assert "f1_jaccard" not in svg
+        assert svg.count("<rect ") == 2 + 1 + 1
+
+    def test_deterministic(self, figure):
+        first = SvgBarChart(figure, title="T").render()
+        second = SvgBarChart(figure, title="T").render()
+        assert first == second
+
+    def test_palette_cycles(self):
+        many = {"G": {f"s{i}": 0.5 for i in range(len(PALETTE) + 2)}}
+        svg = SvgBarChart(many).render()
+        assert PALETTE[0] in svg
+
+    def test_save(self, figure, tmp_path):
+        save_figure_svg(figure, tmp_path / "fig1.svg", title="Figure 1")
+        content = (tmp_path / "fig1.svg").read_text()
+        assert content.startswith("<svg ")

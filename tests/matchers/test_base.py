@@ -1,0 +1,72 @@
+"""Tests for the Matcher base-class contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.pairs import LabeledPairSet
+from repro.data.task import MatchingTask
+from repro.matchers.base import Matcher
+
+
+class _ConstantMatcher(Matcher):
+    """Predicts a constant label; used to probe the base-class plumbing."""
+
+    def __init__(self, label: int = 1) -> None:
+        super().__init__(name=f"Constant({label})")
+        self.label = label
+        self.fit_calls = 0
+
+    def _fit(self, task: MatchingTask) -> None:
+        self.fit_calls += 1
+
+    def _predict(self, pairs: LabeledPairSet) -> np.ndarray:
+        return np.full(len(pairs), self.label, dtype=np.int64)
+
+
+class _BrokenMatcher(Matcher):
+    """Returns the wrong number of predictions."""
+
+    def __init__(self) -> None:
+        super().__init__(name="Broken")
+
+    def _fit(self, task: MatchingTask) -> None:
+        pass
+
+    def _predict(self, pairs: LabeledPairSet) -> np.ndarray:
+        return np.zeros(max(0, len(pairs) - 1), dtype=np.int64)
+
+
+class TestMatcherContract:
+    def test_predict_before_fit_raises(self, handmade_task):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            _ConstantMatcher().predict(handmade_task.testing)
+
+    def test_evaluate_fits_then_scores(self, handmade_task):
+        matcher = _ConstantMatcher(label=1)
+        result = matcher.evaluate(handmade_task)
+        assert matcher.fit_calls == 1
+        # Predicting all-positive: recall 1, precision = positive rate.
+        assert result.recall == 1.0
+        assert result.precision == pytest.approx(
+            handmade_task.testing.imbalance_ratio
+        )
+
+    def test_all_negative_scores_zero(self, handmade_task):
+        result = _ConstantMatcher(label=0).evaluate(handmade_task)
+        assert result.f1 == 0.0
+        assert result.precision == 0.0
+
+    def test_prediction_shape_enforced(self, handmade_task):
+        matcher = _BrokenMatcher().fit(handmade_task)
+        with pytest.raises(RuntimeError, match="predictions"):
+            matcher.predict(handmade_task.testing)
+
+    def test_timings_recorded(self, handmade_task):
+        result = _ConstantMatcher().evaluate(handmade_task)
+        assert result.fit_seconds >= 0.0
+        assert result.predict_seconds >= 0.0
+
+    def test_repr(self):
+        assert "Constant(1)" in repr(_ConstantMatcher())

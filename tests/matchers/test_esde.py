@@ -1,0 +1,99 @@
+"""Tests for the ESDE linear matchers (Algorithm 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.matchers.esde import ESDE_VARIANTS, EsdeMatcher, make_esde
+from repro.matchers.features import EsdeFeatureExtractor
+
+
+class TestConstruction:
+    def test_all_variants_construct(self):
+        for variant in EsdeFeatureExtractor.VARIANTS:
+            matcher = EsdeMatcher(variant)
+            assert matcher.name == f"{variant}-ESDE"
+            assert not matcher.non_linear
+
+    def test_make_esde_accepts_table_names(self):
+        for name in ESDE_VARIANTS:
+            assert make_esde(name).name == name
+
+    def test_unknown_variant_raises(self):
+        with pytest.raises(ValueError):
+            EsdeMatcher("XX")
+
+
+class TestFeatureExtraction:
+    def test_sa_dimensions(self, handmade_task):
+        extractor = EsdeFeatureExtractor("SA", handmade_task)
+        assert extractor.n_features == 3
+
+    def test_sb_dimensions(self, handmade_task):
+        extractor = EsdeFeatureExtractor("SB", handmade_task)
+        assert extractor.n_features == 3 * len(handmade_task.attributes)
+
+    def test_saq_dimensions(self, handmade_task):
+        extractor = EsdeFeatureExtractor("SAQ", handmade_task)
+        assert extractor.n_features == 27  # q in [2, 10] x {cs, ds, js}
+
+    def test_sbq_dimensions(self, handmade_task):
+        extractor = EsdeFeatureExtractor("SBQ", handmade_task)
+        assert extractor.n_features == 27 * len(handmade_task.attributes)
+
+    def test_sas_dimensions(self, handmade_task):
+        extractor = EsdeFeatureExtractor("SAS", handmade_task)
+        assert extractor.n_features == 3
+
+    def test_features_in_unit_interval(self, handmade_task):
+        for variant in ("SA", "SB", "SAQ", "SAS"):
+            extractor = EsdeFeatureExtractor(variant, handmade_task)
+            matrix = extractor.feature_matrix(handmade_task.training)
+            assert np.all((matrix >= 0.0) & (matrix <= 1.0)), variant
+
+    def test_feature_names_match_count(self, handmade_task):
+        for variant in EsdeFeatureExtractor.VARIANTS:
+            extractor = EsdeFeatureExtractor(variant, handmade_task)
+            assert len(extractor.feature_names) == extractor.n_features
+
+
+class TestFitPredict:
+    @pytest.mark.parametrize("variant", ["SA", "SB", "SAQ"])
+    def test_high_f1_on_easy_task(self, variant, handmade_task):
+        result = EsdeMatcher(variant).evaluate(handmade_task)
+        assert result.f1 > 0.9
+
+    def test_unfitted_predict_raises(self, handmade_task):
+        with pytest.raises(RuntimeError):
+            EsdeMatcher("SA").predict(handmade_task.testing)
+
+    def test_selected_feature_exposed(self, handmade_task):
+        matcher = EsdeMatcher("SA")
+        assert matcher.best_feature_name is None
+        matcher.fit(handmade_task)
+        assert matcher.best_feature_name in ("cs", "ds", "js")
+        assert 0.0 <= matcher.best_threshold_ <= 1.0
+
+    def test_training_thresholds_per_feature(self, handmade_task):
+        matcher = EsdeMatcher("SB").fit(handmade_task)
+        assert matcher.training_thresholds_ is not None
+        assert matcher.training_thresholds_.shape == (
+            3 * len(handmade_task.attributes),
+        )
+
+    def test_deterministic(self, handmade_task):
+        first = EsdeMatcher("SA").evaluate(handmade_task)
+        second = EsdeMatcher("SA").evaluate(handmade_task)
+        assert first.f1 == second.f1
+
+    def test_result_fields(self, handmade_task):
+        result = EsdeMatcher("SA").evaluate(handmade_task)
+        assert result.task == "handmade"
+        assert result.matcher == "SA-ESDE"
+        assert result.fit_seconds >= 0.0
+        assert result.f1_percent == pytest.approx(100 * result.f1)
+
+    def test_on_generated_task(self, small_task):
+        result = EsdeMatcher("SA").evaluate(small_task)
+        assert 0.3 < result.f1 <= 1.0

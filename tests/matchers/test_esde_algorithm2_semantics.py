@@ -1,0 +1,129 @@
+"""Algorithm 2 semantics: where each decision of ESDE is made.
+
+The paper is specific: per-feature thresholds come from the *training* set
+(lines 6-14), the single best feature is chosen on the *validation* set
+(lines 15-24), and the testing set only ever sees that one feature at that
+one threshold (lines 25-30). These tests build tasks where the sets
+disagree, to pin each decision to the right split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.pairs import LabeledPairSet, RecordPair
+from repro.data.records import Record, RecordStore, Schema
+from repro.data.task import MatchingTask
+from repro.matchers.esde import EsdeMatcher
+
+
+def _record(record_id: str, source: str, name: str, brand: str) -> Record:
+    return Record(
+        record_id=record_id, source=source, values={"name": name, "brand": brand}
+    )
+
+
+def _build_task(
+    training_rows, validation_rows, testing_rows
+) -> MatchingTask:
+    """Rows are (name_left, brand_left, name_right, brand_right, label)."""
+    schema = Schema(("name", "brand"))
+    left = RecordStore("L", schema)
+    right = RecordStore("R", schema)
+    splits = []
+    counter = 0
+    for rows in (training_rows, validation_rows, testing_rows):
+        pairs = LabeledPairSet()
+        for name_l, brand_l, name_r, brand_r, label in rows:
+            counter += 1
+            a = _record(f"a{counter}", "A", name_l, brand_l)
+            b = _record(f"b{counter}", "B", name_r, brand_r)
+            left.add(a)
+            right.add(b)
+            pairs.add(RecordPair(a, b), label)
+        splits.append(pairs)
+    return MatchingTask("alg2", left, right, *splits)
+
+
+class TestAlgorithm2Decisions:
+    def test_feature_selected_on_validation_not_training(self):
+        """Training favours the name feature; validation reverses it.
+
+        In training, matches agree on name and disagree on brand. In
+        validation, matches agree on brand and disagree on name — so the
+        brand feature wins validation and must be the one applied to the
+        testing set.
+        """
+        train = [
+            ("alpha beta", "acme", "alpha beta", "zorg", 1),
+            ("gamma delta", "acme", "gamma delta", "bolt", 1),
+            ("epsilon zeta", "bolt", "iota kappa", "bolt", 0),
+            ("lambda mu", "cog", "nu xi", "cog", 0),
+        ] * 3
+        valid = [
+            ("one two", "acme", "three four", "acme", 1),
+            ("five six", "bolt", "seven eight", "bolt", 1),
+            ("nine ten", "cog", "nine ten", "zorg", 0),
+            ("eleven twelve", "dax", "eleven twelve", "erg", 0),
+        ]
+        test = [
+            # Matching by the brand rule, non-matching by the name rule.
+            ("aaa bbb", "acme", "ccc ddd", "acme", 1),
+            ("eee fff", "bolt", "ggg hhh", "bolt", 1),
+            ("iii jjj", "cog", "iii jjj", "dax", 0),
+        ]
+        matcher = EsdeMatcher("SB").fit(_build_task(train, valid, test))
+        assert matcher.best_feature_name is not None
+        assert matcher.best_feature_name.startswith("brand:")
+
+    def test_threshold_comes_from_training(self):
+        """The applied threshold is the training-optimal one for the
+        selected feature, recorded in ``training_thresholds_``."""
+        train = [
+            ("alpha beta", "x", "alpha beta", "x", 1),
+            ("gamma delta", "x", "gamma delta", "x", 1),
+            ("one two", "x", "three four", "x", 0),
+            ("five six", "x", "seven eight", "x", 0),
+        ] * 2
+        valid = train[:4]
+        test = train[:4]
+        matcher = EsdeMatcher("SA").fit(_build_task(train, valid, test))
+        assert matcher.best_feature_ is not None
+        assert matcher.training_thresholds_ is not None
+        assert matcher.best_threshold_ == pytest.approx(
+            matcher.training_thresholds_[matcher.best_feature_]
+        )
+
+    def test_testing_set_never_influences_fit(self):
+        """Two tasks differing only in their testing labels produce the
+        same fitted decision rule."""
+        train = [
+            ("alpha beta", "x", "alpha beta", "x", 1),
+            ("one two", "x", "three four", "x", 0),
+        ] * 4
+        valid = train[:4]
+        test_a = [("alpha beta", "x", "alpha beta", "x", 1)]
+        test_b = [("alpha beta", "x", "alpha beta", "x", 0)]
+        matcher_a = EsdeMatcher("SA").fit(_build_task(train, valid, test_a))
+        matcher_b = EsdeMatcher("SA").fit(_build_task(train, valid, test_b))
+        assert matcher_a.best_feature_ == matcher_b.best_feature_
+        assert matcher_a.best_threshold_ == matcher_b.best_threshold_
+
+    def test_prediction_is_pure_threshold_rule(self):
+        """Predictions equal (selected feature >= threshold) exactly."""
+        train = [
+            ("alpha beta", "x", "alpha beta", "x", 1),
+            ("one two", "x", "three four", "x", 0),
+        ] * 4
+        task = _build_task(train, train[:4], train[:4])
+        matcher = EsdeMatcher("SA").fit(task)
+        assert matcher._extractor is not None
+        scores = np.asarray(
+            [
+                matcher._extractor.features(pair)[matcher.best_feature_]
+                for pair, __ in task.testing
+            ]
+        )
+        expected = (scores >= matcher.best_threshold_).astype(int)
+        np.testing.assert_array_equal(matcher.predict(task.testing), expected)

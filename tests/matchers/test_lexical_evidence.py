@@ -1,0 +1,89 @@
+"""Tests for the shared lexical-evidence features of the deep matchers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.pairs import RecordPair
+from repro.matchers.deep.lexical import LexicalEvidence, digit_tokens
+from repro.text.vectorize import TfIdfVectorizer
+from tests.conftest import make_record
+
+
+@pytest.fixture()
+def evidence() -> LexicalEvidence:
+    corpus = [
+        ["sony", "turntable", "pslx350h"],
+        ["sony", "camera", "dscw120"],
+        ["acme", "widget", "500"],
+        ["sony", "phone"],
+    ]
+    return LexicalEvidence(TfIdfVectorizer().fit(corpus))
+
+
+_pair_counter = 0
+
+
+def _pair(left_text: str, right_text: str) -> RecordPair:
+    """Build a pair with unique record ids (the evidence caches by id)."""
+    global _pair_counter
+    _pair_counter += 1
+    return RecordPair(
+        make_record(f"a{_pair_counter}", "A", name=left_text),
+        make_record(f"b{_pair_counter}", "B", name=right_text),
+    )
+
+
+class TestDigitTokens:
+    def test_extracts_alphanumerics(self):
+        record = make_record("r", "A", name="sony pslx350h price 99")
+        assert digit_tokens(record) == {"pslx350h", "99"}
+
+    def test_empty(self):
+        record = make_record("r", "A", name="sony camera")
+        assert digit_tokens(record) == set()
+
+
+class TestLexicalEvidence:
+    def test_feature_vector_shape(self, evidence):
+        features = evidence.features(_pair("sony turntable", "sony camera"))
+        assert features.shape == (len(LexicalEvidence.FEATURE_NAMES),)
+        assert np.all((features >= 0.0) & (features <= 1.0))
+
+    def test_identical_records_max_overlap(self, evidence):
+        features = evidence.features(
+            _pair("sony pslx350h", "sony pslx350h")
+        )
+        token_jaccard, idf_jaccard, qg3, digit_overlap = features
+        assert token_jaccard == 1.0
+        assert idf_jaccard == pytest.approx(1.0)
+        assert qg3 == 1.0
+        assert digit_overlap == 1.0
+
+    def test_digit_overlap_distinguishes_family_variants(self, evidence):
+        same_code = evidence.features(
+            _pair("sony turntable pslx350h", "soni turntable pslx350h")
+        )
+        different_code = evidence.features(
+            _pair("sony turntable pslx350h", "sony turntable pslx999z")
+        )
+        assert same_code[3] == 1.0
+        assert different_code[3] == 0.0
+
+    def test_no_digits_neutral(self, evidence):
+        features = evidence.features(_pair("sony camera", "sony phone"))
+        assert features[3] == 0.5
+
+    def test_idf_jaccard_weights_rare_tokens(self, evidence):
+        # Sharing the rare token 'turntable' counts more than sharing the
+        # common token 'sony'.
+        rare_shared = evidence.features(_pair("turntable alpha", "turntable beta"))
+        common_shared = evidence.features(_pair("sony alpha", "sony beta"))
+        assert rare_shared[1] > common_shared[1]
+
+    def test_record_caching(self, evidence):
+        pair = _pair("sony camera", "sony phone")
+        evidence.features(pair)
+        assert pair.left.record_id in evidence._token_cache
+        assert pair.right.record_id in evidence._token_cache

@@ -1,0 +1,82 @@
+"""Tests for Magellan, ZeroER and the oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.matchers.features import MagellanFeatureExtractor
+from repro.matchers.magellan import MAGELLAN_HEADS, MagellanMatcher
+from repro.matchers.oracle import OracleMatcher
+from repro.matchers.zeroer import ZeroERMatcher
+
+
+class TestMagellanFeatures:
+    def test_dimensions(self, handmade_task):
+        extractor = MagellanFeatureExtractor(handmade_task.attributes)
+        assert extractor.n_features == 9 * len(handmade_task.attributes)
+        matrix = extractor.feature_matrix(handmade_task.training)
+        assert matrix.shape == (
+            len(handmade_task.training),
+            extractor.n_features,
+        )
+
+    def test_features_bounded(self, handmade_task):
+        extractor = MagellanFeatureExtractor(handmade_task.attributes)
+        matrix = extractor.feature_matrix(handmade_task.training)
+        assert np.all((matrix >= 0.0) & (matrix <= 1.0))
+
+    def test_cache_hits(self, handmade_task):
+        extractor = MagellanFeatureExtractor(handmade_task.attributes)
+        pair = handmade_task.training.pairs[0]
+        first = extractor.features(pair)
+        second = extractor.features(pair)
+        assert first is second
+
+    def test_empty_attributes_raise(self):
+        with pytest.raises(ValueError):
+            MagellanFeatureExtractor(())
+
+
+class TestMagellanMatcher:
+    @pytest.mark.parametrize("head", MAGELLAN_HEADS)
+    def test_all_heads_learn_easy_task(self, head, handmade_task):
+        result = MagellanMatcher(head=head).evaluate(handmade_task)
+        assert result.f1 > 0.8, head
+
+    def test_unknown_head_raises(self):
+        with pytest.raises(ValueError):
+            MagellanMatcher(head="XGB")
+
+    def test_shared_extractor_reused(self, handmade_task):
+        shared = MagellanFeatureExtractor(handmade_task.attributes)
+        first = MagellanMatcher("DT", extractor=shared)
+        second = MagellanMatcher("LR", extractor=shared)
+        first.evaluate(handmade_task)
+        second.evaluate(handmade_task)
+        assert first._extractor is shared and second._extractor is shared
+
+    def test_non_linear_flag(self):
+        assert MagellanMatcher("RF").non_linear
+
+
+class TestZeroER:
+    def test_unsupervised_on_easy_task(self, handmade_task):
+        result = ZeroERMatcher().evaluate(handmade_task)
+        # Unsupervised matching on clearly bimodal similarities; the tiny
+        # task (60 pairs, 36-d features) caps what EM can do, so the bar is
+        # modest — ZeroER without custom blocking is weak in the paper too.
+        assert result.f1 > 0.6
+        assert result.recall == 1.0
+
+    def test_is_non_linear_family(self):
+        assert ZeroERMatcher().non_linear
+
+
+class TestOracle:
+    def test_perfect_on_any_task(self, handmade_task, small_task):
+        for task in (handmade_task, small_task):
+            result = OracleMatcher().evaluate(task)
+            assert result.f1 == 1.0
+            assert result.precision == 1.0
+            assert result.recall == 1.0

@@ -1,0 +1,109 @@
+"""Taxonomy-conformance tests: each deep matcher honours its Table II row.
+
+* heterogeneous methods (EMTransformer, DITTO) concatenate all attribute
+  values into one sequence, so misplacing a value into another attribute
+  (the dirty corruption) must not change the record representation;
+* homogeneous methods (DeepMatcher) compare attributes positionally, so the
+  same misplacement must change their representation;
+* static embedders give a token one vector regardless of context; dynamic
+  ones disambiguate homographs by context.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.pairs import RecordPair
+from repro.data.records import Record, RecordStore, Schema
+from repro.data.task import MatchingTask
+from repro.data.pairs import LabeledPairSet
+from repro.matchers.deep import DeepMatcherNet, DittoNet, EMTransformerNet
+
+
+def _record(record_id: str, source: str, title: str, brand: str, price: str) -> Record:
+    return Record(
+        record_id=record_id,
+        source=source,
+        values={"title": title, "brand": brand, "price": price},
+    )
+
+
+@pytest.fixture()
+def misplacement_task() -> tuple[MatchingTask, Record, Record]:
+    """A tiny task plus two versions of the same record: clean and with the
+    brand value misplaced into the title (the dirty corruption)."""
+    schema = Schema(("title", "brand", "price"))
+    left = RecordStore("L", schema)
+    right = RecordStore("R", schema)
+    pairs = LabeledPairSet()
+    for index in range(10):
+        a = _record(f"a{index}", "A", f"gadget model {index}", "acme", "9.99")
+        b = _record(f"b{index}", "B", f"gadget model {index}", "acme", "9.99")
+        left.add(a)
+        right.add(b)
+        pairs.add(RecordPair(a, b), 1)
+    for index in range(10, 20):
+        a = _record(f"a{index}", "A", f"widget item {index}", "bolt", "5.00")
+        b = _record(f"b{index}", "B", f"doohickey part {index}", "cog", "7.00")
+        left.add(a)
+        right.add(b)
+        pairs.add(RecordPair(a, b), 0)
+
+    from repro.data.splits import split_three_way
+
+    training, validation, testing = split_three_way(pairs, seed=0)
+    task = MatchingTask("tax", left, right, training, validation, testing)
+
+    clean = left.get("a0")
+    misplaced = Record(
+        record_id="a0",
+        source="A",
+        values={"title": "gadget model 0 acme", "brand": "", "price": "9.99"},
+    )
+    return task, clean, misplaced
+
+
+class TestHeterogeneousInvariance:
+    @pytest.mark.parametrize(
+        "factory",
+        [lambda: EMTransformerNet("B", epochs=2), lambda: DittoNet(epochs=2)],
+    )
+    def test_misplacement_invariant(self, factory, misplacement_task):
+        task, clean, misplaced = misplacement_task
+        matcher = factory()
+        matcher._prepare(task)
+        partner = task.right.get("b0")
+        clean_rep = matcher._represent(RecordPair(clean, partner))
+        # Fresh caches: the misplaced version reuses the same record id.
+        matcher._prepare(task)
+        misplaced_rep = matcher._represent(RecordPair(misplaced, partner))
+        np.testing.assert_allclose(clean_rep, misplaced_rep, atol=1e-12)
+
+
+class TestHomogeneousSensitivity:
+    def test_deepmatcher_changes_under_misplacement(self, misplacement_task):
+        task, clean, misplaced = misplacement_task
+        matcher = DeepMatcherNet(epochs=2)
+        matcher._prepare(task)
+        partner = task.right.get("b0")
+        clean_rep = matcher._represent(RecordPair(clean, partner))
+        matcher._prepare(task)
+        misplaced_rep = matcher._represent(RecordPair(misplaced, partner))
+        assert not np.allclose(clean_rep, misplaced_rep)
+
+
+class TestLocalityOfRepresentation:
+    def test_representation_independent_of_other_pairs(self, misplacement_task):
+        """Local methods encode each pair in isolation: representing the
+        same pair is identical whether or not other pairs were seen."""
+        task, __, __ = misplacement_task
+        pair = task.testing.pairs[0]
+        matcher = EMTransformerNet("B", epochs=2)
+        matcher._prepare(task)
+        alone = matcher._represent(pair)
+        matcher._prepare(task)
+        for other in task.training.pairs:
+            matcher._represent(other)
+        after_others = matcher._represent(pair)
+        np.testing.assert_allclose(alone, after_others)

@@ -1,0 +1,65 @@
+"""Tests for the shared input-validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.base import Estimator, check_features, check_labels
+from repro.ml.logistic import LogisticRegression
+
+
+class TestCheckFeatures:
+    def test_passes_through_2d(self):
+        array = check_features(np.zeros((3, 2)))
+        assert array.shape == (3, 2)
+        assert array.dtype == np.float64
+
+    def test_promotes_1d_to_column(self):
+        array = check_features(np.zeros(5))
+        assert array.shape == (5, 1)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_features(np.zeros((2, 2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one sample"):
+            check_features(np.zeros((0, 3)))
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            check_features(np.array([[np.nan]]))
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            check_features(np.array([[np.inf]]))
+
+    def test_converts_lists(self):
+        array = check_features([[1, 2], [3, 4]])
+        assert array.dtype == np.float64
+
+
+class TestCheckLabels:
+    def test_valid(self):
+        labels = check_labels(np.array([0, 1, 1]), 3)
+        assert labels.dtype == np.int64
+
+    def test_wrong_length(self):
+        with pytest.raises(ValueError, match="entries"):
+            check_labels(np.array([0, 1]), 3)
+
+    def test_wrong_dimension(self):
+        with pytest.raises(ValueError, match="1-dimensional"):
+            check_labels(np.zeros((2, 2)), 2)
+
+    def test_non_binary(self):
+        with pytest.raises(ValueError, match="binary"):
+            check_labels(np.array([0, 2]), 2)
+
+    def test_accepts_bool(self):
+        labels = check_labels(np.array([True, False]), 2)
+        assert set(labels) == {0, 1}
+
+
+class TestEstimatorProtocol:
+    def test_classifiers_satisfy_protocol(self):
+        assert isinstance(LogisticRegression(), Estimator)

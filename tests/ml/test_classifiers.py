@@ -1,0 +1,178 @@
+"""Tests for the from-scratch classifiers (logistic, SVM, tree, forest, kNN)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTree,
+    KNeighborsClassifier,
+    LinearSVM,
+    LogisticRegression,
+    RandomForest,
+    f1_score,
+)
+
+
+@pytest.fixture(scope="module")
+def linear_data():
+    """A linearly separable 2-d problem."""
+    rng = np.random.default_rng(0)
+    features = rng.normal(size=(300, 2))
+    labels = (features[:, 0] + features[:, 1] > 0).astype(int)
+    return features, labels
+
+
+@pytest.fixture(scope="module")
+def xor_data():
+    """The XOR problem: not linearly separable."""
+    rng = np.random.default_rng(1)
+    features = rng.uniform(-1, 1, size=(400, 2))
+    labels = ((features[:, 0] > 0) ^ (features[:, 1] > 0)).astype(int)
+    return features, labels
+
+
+@pytest.fixture(scope="module")
+def imbalanced_data():
+    """95/5 imbalance, separable."""
+    rng = np.random.default_rng(2)
+    negatives = rng.normal(loc=-1.0, scale=0.4, size=(380, 2))
+    positives = rng.normal(loc=1.0, scale=0.4, size=(20, 2))
+    features = np.vstack((negatives, positives))
+    labels = np.concatenate((np.zeros(380, int), np.ones(20, int)))
+    return features, labels
+
+
+LINEAR_MODELS = [
+    lambda: LogisticRegression(),
+    lambda: LinearSVM(),
+]
+ALL_MODELS = LINEAR_MODELS + [
+    lambda: DecisionTree(),
+    lambda: RandomForest(n_trees=15),
+    lambda: KNeighborsClassifier(k=3),
+]
+
+
+class TestOnLinearData:
+    @pytest.mark.parametrize("factory", ALL_MODELS)
+    def test_high_f1(self, factory, linear_data):
+        features, labels = linear_data
+        model = factory().fit(features, labels)
+        assert f1_score(labels, model.predict(features)) > 0.9
+
+
+class TestOnXor:
+    @pytest.mark.parametrize(
+        "factory", [lambda: DecisionTree(), lambda: RandomForest(n_trees=15),
+                    lambda: KNeighborsClassifier(k=3)]
+    )
+    def test_non_linear_models_solve_xor(self, factory, xor_data):
+        features, labels = xor_data
+        model = factory().fit(features, labels)
+        assert f1_score(labels, model.predict(features)) > 0.9
+
+    @pytest.mark.parametrize("factory", LINEAR_MODELS)
+    def test_linear_models_fail_xor(self, factory, xor_data):
+        features, labels = xor_data
+        model = factory().fit(features, labels)
+        assert f1_score(labels, model.predict(features)) < 0.8
+
+
+class TestImbalance:
+    @pytest.mark.parametrize("factory", LINEAR_MODELS)
+    def test_balanced_weighting_finds_minority(self, factory, imbalanced_data):
+        features, labels = imbalanced_data
+        model = factory().fit(features, labels)
+        predictions = model.predict(features)
+        assert f1_score(labels, predictions) > 0.75
+
+
+class TestValidation:
+    def test_unfitted_predict_raises(self):
+        for model in (
+            LogisticRegression(),
+            LinearSVM(),
+            DecisionTree(),
+            RandomForest(),
+            KNeighborsClassifier(),
+        ):
+            with pytest.raises(RuntimeError):
+                model.predict(np.zeros((2, 2)))
+
+    def test_bad_labels_raise(self):
+        features = np.zeros((4, 2))
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(features, np.array([0, 1, 2, 1]))
+
+    def test_nan_features_raise(self):
+        features = np.full((4, 2), np.nan)
+        with pytest.raises(ValueError):
+            DecisionTree().fit(features, np.array([0, 1, 0, 1]))
+
+    def test_feature_count_mismatch_raises(self, linear_data):
+        features, labels = linear_data
+        model = LogisticRegression().fit(features, labels)
+        with pytest.raises(ValueError):
+            model.predict(np.zeros((2, 5)))
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ValueError):
+            DecisionTree(max_depth=0)
+        with pytest.raises(ValueError):
+            RandomForest(n_trees=0)
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(k=0)
+        with pytest.raises(ValueError):
+            LinearSVM(regularization=0.0)
+        with pytest.raises(ValueError):
+            LogisticRegression(epochs=0)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [lambda: LinearSVM(seed=3), lambda: DecisionTree(seed=3),
+         lambda: RandomForest(n_trees=8, seed=3)],
+    )
+    def test_same_seed_same_predictions(self, factory, linear_data):
+        features, labels = linear_data
+        first = factory().fit(features, labels).predict(features)
+        second = factory().fit(features, labels).predict(features)
+        np.testing.assert_array_equal(first, second)
+
+
+class TestTreeSpecifics:
+    def test_single_class_gives_leaf(self):
+        features = np.random.default_rng(0).normal(size=(10, 2))
+        labels = np.zeros(10, int)
+        tree = DecisionTree().fit(features, labels)
+        assert tree.depth() == 0
+        assert np.all(tree.predict(features) == 0)
+
+    def test_max_depth_respected(self, xor_data):
+        features, labels = xor_data
+        tree = DecisionTree(max_depth=2).fit(features, labels)
+        assert tree.depth() <= 2
+
+    def test_predict_proba_in_bounds(self, xor_data):
+        features, labels = xor_data
+        tree = DecisionTree().fit(features, labels)
+        probabilities = tree.predict_proba(features)
+        assert np.all((0.0 <= probabilities) & (probabilities <= 1.0))
+
+
+class TestKnnSpecifics:
+    def test_leave_one_out_error_zero_on_separated(self):
+        features = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0], [5.1, 5.0]])
+        labels = np.array([0, 0, 1, 1])
+        knn = KNeighborsClassifier(k=1).fit(features, labels)
+        assert knn.leave_one_out_error() == 0.0
+
+    def test_leave_one_out_error_one_on_interleaved(self):
+        # Nearest neighbour of every point belongs to the other class.
+        features = np.array([[0.0], [1.0], [2.0], [3.0]])
+        labels = np.array([0, 1, 0, 1])
+        knn = KNeighborsClassifier(k=1).fit(features, labels)
+        assert knn.leave_one_out_error() == 1.0

@@ -1,0 +1,145 @@
+"""Tests for repro.ml.metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    confusion_counts,
+    f1_score,
+    precision_recall_f1,
+    precision_score,
+    recall_score,
+)
+
+label_vectors = st.lists(st.integers(0, 1), min_size=1, max_size=40)
+
+
+class TestConfusionCounts:
+    def test_all_correct(self):
+        counts = confusion_counts([1, 0, 1], [1, 0, 1])
+        assert counts.true_positives == 2
+        assert counts.true_negatives == 1
+        assert counts.false_positives == 0
+        assert counts.false_negatives == 0
+        assert counts.accuracy == 1.0
+
+    def test_all_wrong(self):
+        counts = confusion_counts([1, 0], [0, 1])
+        assert counts.false_negatives == 1
+        assert counts.false_positives == 1
+        assert counts.accuracy == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            confusion_counts([1, 0], [1])
+
+    @given(label_vectors)
+    def test_counts_sum_to_total(self, labels):
+        predictions = labels[::-1]
+        counts = confusion_counts(labels, predictions)
+        assert counts.total == len(labels)
+
+
+class TestScores:
+    def test_perfect(self):
+        truth = np.array([1, 1, 0, 0])
+        assert precision_score(truth, truth) == 1.0
+        assert recall_score(truth, truth) == 1.0
+        assert f1_score(truth, truth) == 1.0
+
+    def test_no_predictions(self):
+        truth = np.array([1, 1, 0])
+        predicted = np.zeros(3)
+        assert precision_score(truth, predicted) == 0.0
+        assert recall_score(truth, predicted) == 0.0
+        assert f1_score(truth, predicted) == 0.0
+
+    def test_no_positives_in_truth(self):
+        truth = np.zeros(3)
+        predicted = np.array([1, 0, 0])
+        assert recall_score(truth, predicted) == 0.0
+        assert f1_score(truth, predicted) == 0.0
+
+    def test_known_values(self):
+        truth = np.array([1, 1, 1, 0, 0])
+        predicted = np.array([1, 1, 0, 1, 0])
+        precision, recall, f1 = precision_recall_f1(truth, predicted)
+        assert precision == pytest.approx(2 / 3)
+        assert recall == pytest.approx(2 / 3)
+        assert f1 == pytest.approx(2 / 3)
+
+    @given(label_vectors, st.randoms(use_true_random=False))
+    def test_f1_is_harmonic_mean(self, labels, rng):
+        predictions = [rng.randint(0, 1) for __ in labels]
+        precision, recall, f1 = precision_recall_f1(
+            np.asarray(labels), np.asarray(predictions)
+        )
+        if precision + recall > 0:
+            assert f1 == pytest.approx(
+                2 * precision * recall / (precision + recall)
+            )
+        else:
+            assert f1 == 0.0
+
+    @given(label_vectors)
+    def test_f1_bounds(self, labels):
+        truth = np.asarray(labels)
+        assert 0.0 <= f1_score(truth, 1 - truth) <= 1.0
+
+
+class TestAlternativeMetrics:
+    """The F-measure alternatives of Hand & Christen (paper refs [15]/[17])."""
+
+    def test_f_star_monotone_in_f1(self):
+        from repro.ml.metrics import f_star_score
+
+        truth = np.array([1, 1, 1, 0, 0, 0])
+        good = np.array([1, 1, 1, 0, 0, 1])
+        bad = np.array([1, 0, 0, 1, 1, 0])
+        assert f_star_score(truth, good) > f_star_score(truth, bad)
+
+    def test_f_star_equals_f1_transform(self):
+        from repro.ml.metrics import f_star_score
+
+        truth = np.array([1, 1, 0, 0, 1])
+        predicted = np.array([1, 0, 0, 1, 1])
+        f1 = f1_score(truth, predicted)
+        assert f_star_score(truth, predicted) == pytest.approx(f1 / (2 - f1))
+
+    def test_f_star_degenerate(self):
+        from repro.ml.metrics import f_star_score
+
+        assert f_star_score(np.zeros(3), np.zeros(3)) == 0.0
+
+    def test_balanced_accuracy_on_perfect(self):
+        from repro.ml.metrics import balanced_accuracy
+
+        truth = np.array([1, 0, 1, 0])
+        assert balanced_accuracy(truth, truth) == 1.0
+
+    def test_balanced_accuracy_ignores_imbalance(self):
+        from repro.ml.metrics import balanced_accuracy
+
+        truth = np.concatenate((np.ones(2), np.zeros(98)))
+        predicted = np.concatenate((np.ones(2), np.zeros(98)))
+        predicted[50] = 1  # one false positive among many negatives
+        assert balanced_accuracy(truth, predicted) == pytest.approx(
+            (1.0 + 97 / 98) / 2
+        )
+
+    def test_matthews_perfect_and_inverted(self):
+        from repro.ml.metrics import matthews_correlation
+
+        truth = np.array([1, 1, 0, 0])
+        assert matthews_correlation(truth, truth) == pytest.approx(1.0)
+        assert matthews_correlation(truth, 1 - truth) == pytest.approx(-1.0)
+
+    def test_matthews_degenerate_zero(self):
+        from repro.ml.metrics import matthews_correlation
+
+        truth = np.array([1, 1, 0, 0])
+        assert matthews_correlation(truth, np.ones(4)) == 0.0

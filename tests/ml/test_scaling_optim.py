@@ -1,0 +1,100 @@
+"""Tests for feature scaling and the Adam optimizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.optim import Adam
+from repro.ml.scaling import MinMaxScaler, StandardScaler
+
+matrices = st.lists(
+    st.lists(st.floats(-100, 100, allow_nan=False), min_size=3, max_size=3),
+    min_size=2,
+    max_size=20,
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(loc=5.0, scale=3.0, size=(200, 4))
+        scaled = StandardScaler().fit_transform(data)
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_centred(self):
+        data = np.array([[1.0, 7.0], [2.0, 7.0], [3.0, 7.0]])
+        scaled = StandardScaler().fit_transform(data)
+        np.testing.assert_allclose(scaled[:, 1], 0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_dimension_mismatch_raises(self):
+        scaler = StandardScaler().fit(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            scaler.transform(np.zeros((3, 4)))
+
+    @given(matrices)
+    def test_transform_is_affine_invertible(self, rows):
+        data = np.asarray(rows)
+        scaler = StandardScaler().fit(data)
+        scaled = scaler.transform(data)
+        recovered = scaled * scaler.scale_ + scaler.mean_
+        np.testing.assert_allclose(recovered, data, atol=1e-6)
+
+
+class TestMinMaxScaler:
+    def test_range(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(100, 3)) * 10
+        scaled = MinMaxScaler().fit_transform(data)
+        assert scaled.min() >= 0.0 and scaled.max() <= 1.0
+        np.testing.assert_allclose(scaled.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(scaled.max(axis=0), 1.0, atol=1e-12)
+
+    def test_out_of_range_clipped(self):
+        scaler = MinMaxScaler().fit(np.array([[0.0], [10.0]]))
+        scaled = scaler.transform(np.array([[-5.0], [15.0]]))
+        assert scaled[0, 0] == 0.0 and scaled[1, 0] == 1.0
+
+    def test_constant_column_zero(self):
+        data = np.full((4, 1), 3.0)
+        scaled = MinMaxScaler().fit_transform(data)
+        np.testing.assert_allclose(scaled, 0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.zeros((2, 2)))
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        # Minimize f(x) = ||x - target||^2 from zero.
+        target = np.array([3.0, -2.0])
+        x = np.zeros(2)
+        optimizer = Adam([x], learning_rate=0.1)
+        for __ in range(500):
+            optimizer.step([2.0 * (x - target)])
+        np.testing.assert_allclose(x, target, atol=1e-2)
+
+    def test_gradient_count_mismatch_raises(self):
+        x = np.zeros(2)
+        optimizer = Adam([x])
+        with pytest.raises(ValueError):
+            optimizer.step([np.zeros(2), np.zeros(2)])
+
+    def test_empty_parameters_raise(self):
+        with pytest.raises(ValueError):
+            Adam([])
+
+    def test_updates_in_place(self):
+        x = np.ones(3)
+        original = x
+        Adam([x], learning_rate=0.5).step([np.ones(3)])
+        assert x is original
+        assert not np.allclose(x, 1.0)

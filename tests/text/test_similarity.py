@@ -1,0 +1,160 @@
+"""Tests for repro.text.similarity."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.similarity import (
+    cosine_similarity,
+    dice_similarity,
+    jaccard_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    monge_elkan_similarity,
+    numeric_similarity,
+    overlap_coefficient,
+)
+
+token_sets = st.sets(
+    st.text(alphabet="abcde", min_size=1, max_size=4), min_size=0, max_size=8
+)
+words = st.text(alphabet="abcdefghij", min_size=0, max_size=12)
+
+
+class TestSetSimilarities:
+    def test_identical_sets(self):
+        s = {"a", "b", "c"}
+        assert cosine_similarity(s, s) == 1.0
+        assert jaccard_similarity(s, s) == 1.0
+        assert dice_similarity(s, s) == 1.0
+        assert overlap_coefficient(s, s) == 1.0
+
+    def test_disjoint_sets(self):
+        a, b = {"a"}, {"b"}
+        assert cosine_similarity(a, b) == 0.0
+        assert jaccard_similarity(a, b) == 0.0
+        assert dice_similarity(a, b) == 0.0
+        assert overlap_coefficient(a, b) == 0.0
+
+    def test_empty_sets(self):
+        assert cosine_similarity(set(), {"a"}) == 0.0
+        assert jaccard_similarity(set(), set()) == 0.0
+        assert dice_similarity(set(), set()) == 0.0
+        assert overlap_coefficient(set(), set()) == 0.0
+
+    def test_known_values(self):
+        a, b = {"x", "y"}, {"y", "z"}
+        assert cosine_similarity(a, b) == pytest.approx(1 / 2)
+        assert jaccard_similarity(a, b) == pytest.approx(1 / 3)
+        assert dice_similarity(a, b) == pytest.approx(1 / 2)
+        assert overlap_coefficient(a, b) == pytest.approx(1 / 2)
+
+    @given(token_sets, token_sets)
+    def test_bounds_and_symmetry(self, a, b):
+        for fn in (
+            cosine_similarity,
+            jaccard_similarity,
+            dice_similarity,
+            overlap_coefficient,
+        ):
+            value = fn(a, b)
+            assert 0.0 <= value <= 1.0
+            assert value == pytest.approx(fn(b, a))
+
+    @given(token_sets, token_sets)
+    def test_jaccard_le_dice_le_overlap(self, a, b):
+        """For non-empty sets: Jaccard <= Dice <= overlap coefficient."""
+        if a and b:
+            assert (
+                jaccard_similarity(a, b)
+                <= dice_similarity(a, b) + 1e-12
+            )
+            assert dice_similarity(a, b) <= overlap_coefficient(a, b) + 1e-12
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein_distance("abc", "abc") == 0
+
+    def test_known(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+
+    def test_empty(self):
+        assert levenshtein_distance("", "abc") == 3
+
+    def test_similarity_bounds(self):
+        assert levenshtein_similarity("", "") == 1.0
+        assert levenshtein_similarity("abc", "xyz") == 0.0
+
+    @given(words, words)
+    def test_triangle_inequality_via_symmetry(self, a, b):
+        assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+        assert levenshtein_distance(a, b) <= max(len(a), len(b))
+
+    @given(words)
+    def test_single_insert_distance_one(self, word):
+        assert levenshtein_distance(word, word + "x") == 1
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro_similarity("martha", "martha") == 1.0
+
+    def test_classic_example(self):
+        assert jaro_similarity("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_empty(self):
+        assert jaro_similarity("", "abc") == 0.0
+
+    def test_winkler_boosts_prefix(self):
+        plain = jaro_similarity("prefixes", "prefixed")
+        boosted = jaro_winkler_similarity("prefixes", "prefixed")
+        assert boosted >= plain
+
+    @given(words, words)
+    def test_bounds(self, a, b):
+        assert 0.0 <= jaro_similarity(a, b) <= 1.0
+        assert 0.0 <= jaro_winkler_similarity(a, b) <= 1.0 + 1e-12
+
+
+class TestMongeElkan:
+    def test_identical_token_lists(self):
+        assert monge_elkan_similarity(["abc", "def"], ["abc", "def"]) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert monge_elkan_similarity([], ["a"]) == 0.0
+
+    def test_symmetric(self):
+        a, b = ["alpha", "beta"], ["beta", "gamma"]
+        assert monge_elkan_similarity(a, b) == pytest.approx(
+            monge_elkan_similarity(b, a)
+        )
+
+
+class TestNumericSimilarity:
+    def test_equal(self):
+        assert numeric_similarity(5.0, 5.0) == 1.0
+
+    def test_zeros(self):
+        assert numeric_similarity(0.0, 0.0) == 1.0
+
+    def test_double_is_zero(self):
+        assert numeric_similarity(1.0, 2.0) == pytest.approx(0.5)
+
+    def test_clamped(self):
+        assert numeric_similarity(-1.0, 1.0) == 0.0
+
+    @given(
+        st.floats(-1e6, 1e6, allow_nan=False),
+        st.floats(-1e6, 1e6, allow_nan=False),
+    )
+    def test_bounds_and_symmetry(self, a, b):
+        value = numeric_similarity(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == pytest.approx(numeric_similarity(b, a))

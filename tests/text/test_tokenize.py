@@ -1,0 +1,112 @@
+"""Tests for repro.text.tokenize."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.tokenize import (
+    STOPWORDS,
+    clean_tokens,
+    ngrams,
+    qgrams,
+    stem,
+    tokenize,
+)
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Sony XBR") == ["sony", "xbr"]
+
+    def test_punctuation_separates(self):
+        assert tokenize("cyber-shot dsc/w120") == ["cyber", "shot", "dsc", "w120"]
+
+    def test_numbers_kept(self):
+        assert tokenize("model 42b") == ["model", "42b"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_only_punctuation(self):
+        assert tokenize("!!! --- ???") == []
+
+    @given(st.text(max_size=80))
+    def test_tokens_are_lowercase_alnum(self, text):
+        for token in tokenize(text):
+            assert token == token.lower()
+            assert token.isalnum()
+
+    @given(st.text(max_size=80))
+    def test_idempotent_on_joined_output(self, text):
+        tokens = tokenize(text)
+        assert tokenize(" ".join(tokens)) == tokens
+
+
+class TestStem:
+    def test_strips_plural(self):
+        assert stem("widgets") == "widget"
+
+    def test_strips_ing(self):
+        assert stem("matching") == "match"
+
+    def test_short_tokens_untouched(self):
+        assert stem("its") == "its"
+
+    def test_does_not_over_strip(self):
+        # Stripping would leave fewer than 3 characters.
+        assert stem("ring") == "ring"
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=20))
+    def test_stem_is_prefix(self, token):
+        assert token.startswith(stem(token))
+
+
+class TestCleanTokens:
+    def test_removes_stopwords(self):
+        assert clean_tokens(["the", "widget", "and", "gadget"]) == ["widget", "gadget"]
+
+    def test_stems_survivors(self):
+        assert clean_tokens(["widgets"]) == ["widget"]
+
+    def test_stopword_list_is_lowercase(self):
+        assert all(word == word.lower() for word in STOPWORDS)
+
+
+class TestQgrams:
+    def test_basic(self):
+        assert qgrams("abcd", 3) == {"abc", "bcd"}
+
+    def test_short_string_single_gram(self):
+        assert qgrams("ab", 3) == {"ab"}
+
+    def test_empty(self):
+        assert qgrams("", 3) == set()
+
+    def test_whitespace_collapsed(self):
+        assert qgrams("a  b", 3) == qgrams("a b", 3)
+
+    def test_lowercased(self):
+        assert qgrams("ABC", 2) == {"ab", "bc"}
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            qgrams("abc", 0)
+
+    @given(st.text(min_size=0, max_size=50), st.integers(min_value=1, max_value=6))
+    def test_gram_lengths(self, text, q):
+        for gram in qgrams(text, q):
+            assert len(gram) <= q
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        assert ngrams(["a", "b", "c"], 2) == [("a", "b"), ("b", "c")]
+
+    def test_too_short(self):
+        assert ngrams(["a"], 2) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)
