@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repository verification: byte-compile everything, run the tier-1 test
+# suite (ROADMAP.md), then the fast fault-injection smoke set.
+#
+# Usage: scripts/verify.sh [--smoke-only]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== compileall =="
+python -m compileall -q src
+
+if [[ "${1:-}" != "--smoke-only" ]]; then
+    echo "== tier-1 tests =="
+    python -m pytest -x -q
+fi
+
+echo "== fault-injection smoke =="
+python -m pytest -x -q -m fault_smoke
+
+echo "verify: OK"

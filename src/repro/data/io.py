@@ -3,6 +3,10 @@
 The public ER benchmarks ship as CSV files (tableA.csv / tableB.csv plus
 train/valid/test pair lists); this module mirrors that layout so generated
 benchmarks can be exported, inspected and re-loaded.
+
+All writes are atomic (tmp file + ``os.replace`` via
+:func:`repro.runtime.atomic_writer`): an interrupted export never leaves a
+half-written table or pair list behind.
 """
 
 from __future__ import annotations
@@ -13,13 +17,12 @@ from pathlib import Path
 from repro.data.pairs import LabeledPairSet, RecordPair
 from repro.data.records import Record, RecordStore, Schema
 from repro.data.task import MatchingTask
+from repro.runtime import atomic_write_text, atomic_writer
 
 
 def save_record_store(store: RecordStore, path: Path | str) -> None:
     """Write a store to CSV with an ``id`` column plus one per attribute."""
-    target = Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
-    with target.open("w", newline="", encoding="utf-8") as handle:
+    with atomic_writer(Path(path), newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(["id", *store.schema.attributes])
         for record in store:
@@ -50,7 +53,7 @@ def load_record_store(path: Path | str, name: str, source: str) -> RecordStore:
 
 
 def _save_pairs(pairs: LabeledPairSet, path: Path) -> None:
-    with path.open("w", newline="", encoding="utf-8") as handle:
+    with atomic_writer(path, newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(["ltable_id", "rtable_id", "label"])
         for pair, label in pairs:
@@ -82,7 +85,7 @@ def save_task(task: MatchingTask, directory: Path | str) -> None:
     _save_pairs(task.training, target / "train.csv")
     _save_pairs(task.validation, target / "valid.csv")
     _save_pairs(task.testing, target / "test.csv")
-    (target / "NAME").write_text(task.name + "\n", encoding="utf-8")
+    atomic_write_text(target / "NAME", task.name + "\n")
 
 
 def load_task(directory: Path | str) -> MatchingTask:

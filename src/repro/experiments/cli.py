@@ -6,10 +6,16 @@ Usage (after ``pip install -e .``)::
     python -m repro table4 --scale 0.5    # half-scale matcher sweep
     python -m repro fig1                  # Figure 1 series
     python -m repro audit Ds4             # four-measure audit of one dataset
+    python -m repro snapshot --out s.json # every table+figure as one JSON
     python -m repro list                  # list datasets and experiments
 
 Heavy sweeps honour ``--cache DIR`` (default ``.benchcache``), sharing the
-cache with the pytest-benchmark harness.
+cache with the pytest-benchmark harness. Long runs are fault tolerant:
+``--retries``/``--timeout`` configure the execution policy, interrupted
+runs resume from the cache directory's checkpoint journal, and
+``--inject SITE=KIND[:TIMES]`` arms deterministic faults (see
+:mod:`repro.runtime.faults`) to rehearse the degradation paths. Any unit
+that failed is listed after the output instead of aborting the run.
 """
 
 from __future__ import annotations
@@ -19,8 +25,9 @@ from pathlib import Path
 
 from repro.datasets.registry import ESTABLISHED_DATASET_IDS, SOURCE_DATASET_IDS
 from repro.experiments import figures, tables
-from repro.experiments.report import render_figure, render_table
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.report import render_failures, render_figure, render_table
+from repro.experiments.runner import ExperimentRunner, check_cache_dir_writable
+from repro.runtime import ExecutionPolicy, faults
 
 _TABLES = {
     "table3": (tables.table3, "Table III — established benchmarks"),
@@ -40,6 +47,38 @@ _FIGURES = {
 }
 
 
+def _positive_float(text: str) -> float:
+    """Argparse type for ``--scale``: actionable message, no traceback."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number, got {text!r} (try --scale 0.5)"
+        ) from None
+    if not value > 0:
+        raise argparse.ArgumentTypeError(
+            f"size factor must be > 0, got {value} (1.0 = CI scale)"
+        )
+    return value
+
+
+def _integer(text: str) -> int:
+    """Argparse type for ``--seed``: actionable message, no traceback."""
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer seed, got {text!r} (e.g. --seed 7)"
+        ) from None
+
+
+def _positive_int(text: str) -> int:
+    value = _integer(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected an integer >= 1, got {value}")
+    return value
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -47,7 +86,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="table3..table7, fig1..fig6, audit, or list",
+        help="table3..table7, fig1..fig6, audit, snapshot, or list",
     )
     parser.add_argument(
         "dataset",
@@ -57,7 +96,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--scale",
-        type=float,
+        type=_positive_float,
         default=1.0,
         help="dataset size factor (1.0 = CI scale)",
     )
@@ -68,7 +107,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="matcher-sweep cache directory ('' to disable)",
     )
     parser.add_argument(
-        "--seed", type=int, default=0, help="global experiment seed"
+        "--seed", type=_integer, default=0, help="global experiment seed"
+    )
+    parser.add_argument(
+        "--retries",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="attempts per unit of work (retry with backoff after failures)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="per-unit wall-clock deadline (default: none)",
+    )
+    parser.add_argument(
+        "--inject",
+        action="append",
+        default=[],
+        metavar="SITE=KIND[:TIMES]",
+        help="arm a deterministic fault, e.g. 'matcher:DITTO (15)=error' "
+        "or 'cache:read=corrupt' (repeatable; KIND: error|hang|corrupt)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("snapshot.json"),
+        help="output path for the 'snapshot' experiment",
     )
     return parser
 
@@ -92,15 +159,49 @@ def _audit(runner: ExperimentRunner, dataset_id: str) -> str:
     return "\n".join(lines)
 
 
+def _print_failures(runner: ExperimentRunner) -> None:
+    report = render_failures(runner.failure_records())
+    if report:
+        print()
+        print(report)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+
+    for spec in args.inject:
+        try:
+            faults.arm_from_spec(spec)
+        except ValueError as error:
+            print(f"--inject: {error}")
+            return 2
+
     cache_dir = args.cache if str(args.cache) else None
+    if cache_dir is not None and args.experiment not in ("list",):
+        problem = check_cache_dir_writable(cache_dir)
+        if problem is not None:
+            print(f"error: {problem}")
+            print("hint: pass --cache '' to run without an on-disk cache, "
+                  "or point --cache at a writable directory")
+            return 2
+
+    policy = ExecutionPolicy(
+        max_attempts=args.retries,
+        deadline_seconds=args.timeout,
+        seed=args.seed,
+    )
     runner = ExperimentRunner(
-        size_factor=args.scale, seed=args.seed, cache_dir=cache_dir
+        size_factor=args.scale,
+        seed=args.seed,
+        cache_dir=cache_dir,
+        policy=policy,
     )
 
     if args.experiment == "list":
-        print("experiments:", ", ".join([*_TABLES, *_FIGURES, "verdicts", "audit"]))
+        print(
+            "experiments:",
+            ", ".join([*_TABLES, *_FIGURES, "verdicts", "audit", "snapshot"]),
+        )
         print("established datasets:", ", ".join(ESTABLISHED_DATASET_IDS))
         print("source datasets:", ", ".join(SOURCE_DATASET_IDS))
         return 0
@@ -110,6 +211,7 @@ def main(argv: list[str] | None = None) -> int:
             print("audit requires a dataset id (see 'repro list')")
             return 2
         print(_audit(runner, args.dataset))
+        _print_failures(runner)
         return 0
 
     if args.experiment == "verdicts":
@@ -121,17 +223,29 @@ def main(argv: list[str] | None = None) -> int:
         headers, rows = verdict_table(runner, _SOURCES)
         print()
         print(render_table(headers, rows, title="Verdicts — new benchmarks"))
+        _print_failures(runner)
+        return 0
+
+    if args.experiment == "snapshot":
+        from repro.experiments.snapshot import save_snapshot
+
+        snapshot = save_snapshot(runner, args.out)
+        n_failures = len(snapshot["failures"])  # type: ignore[arg-type]
+        print(f"snapshot written to {args.out} ({n_failures} degraded unit(s))")
+        _print_failures(runner)
         return 0
 
     if args.experiment in _TABLES:
         builder, title = _TABLES[args.experiment]
         headers, rows = builder(runner)
         print(render_table(headers, rows, title=title))
+        _print_failures(runner)
         return 0
 
     if args.experiment in _FIGURES:
         builder, title = _FIGURES[args.experiment]
         print(render_figure(builder(runner), title=title))
+        _print_failures(runner)
         return 0
 
     print(f"unknown experiment {args.experiment!r}; try 'repro list'")

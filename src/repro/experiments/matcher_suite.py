@@ -31,6 +31,8 @@ from repro.matchers.esde import EsdeMatcher
 from repro.matchers.features import MagellanFeatureExtractor
 from repro.matchers.magellan import MAGELLAN_HEADS, MagellanMatcher
 from repro.matchers.zeroer import ZeroERMatcher
+from repro.runtime import ExecutionPolicy, FailureRecord
+from repro.runtime import faults
 
 #: Default epoch budget per DL method (the "(n)" of the paper's tables).
 DEFAULT_EPOCHS: dict[str, int] = {
@@ -79,39 +81,76 @@ def family_of(matcher_name: str) -> str:
     return "dl"
 
 
+#: Exceptions a matcher may legitimately raise on a degenerate task (e.g.
+#: a single-class training split); the policy retries/records these.
+MATCHER_ERRORS: tuple[type[BaseException], ...] = (
+    ValueError,
+    RuntimeError,
+    LinAlgError,
+)
+
+
+def degraded_result(matcher_name: str, task_name: str) -> MatcherResult:
+    """The zero-scored placeholder recorded for a failed matcher."""
+    return MatcherResult(
+        matcher=matcher_name,
+        task=task_name,
+        precision=0.0,
+        recall=0.0,
+        f1=0.0,
+        fit_seconds=0.0,
+        predict_seconds=0.0,
+        degraded=True,
+    )
+
+
 def evaluate_suite(
-    task: MatchingTask, seed: int = 0
+    task: MatchingTask,
+    seed: int = 0,
+    policy: ExecutionPolicy | None = None,
+    failures: list[FailureRecord] | None = None,
 ) -> dict[str, MatcherResult]:
     """Evaluate the whole roster on one task (name -> result).
 
-    A matcher that fails (e.g. a degenerate single-class training split)
-    is recorded with F1 = 0 rather than aborting the sweep — the analogue of
-    the paper's "insufficient memory" hyphens.
+    Each matcher runs under *policy* (retries / backoff / deadline;
+    defaults to a single attempt). A matcher that still fails — a
+    degenerate single-class training split, an injected fault, a tripped
+    deadline — is recorded as a :func:`degraded_result` rather than
+    aborting the sweep: the analogue of the paper's "insufficient memory"
+    hyphens, but with the cause preserved as a :class:`FailureRecord`
+    appended to *failures* (and to the process-wide registry).
     """
+    if policy is None:
+        policy = ExecutionPolicy(
+            max_attempts=1, backoff_base=0.0, retry_on=MATCHER_ERRORS
+        )
     results: dict[str, MatcherResult] = {}
     for matcher in build_suite(task, seed=seed):
-        try:
-            results[matcher.name] = matcher.evaluate(task)
-        except (ValueError, RuntimeError, LinAlgError) as error:
-            results[matcher.name] = MatcherResult(
-                matcher=matcher.name,
-                task=task.name,
-                precision=0.0,
-                recall=0.0,
-                f1=0.0,
-                fit_seconds=0.0,
-                predict_seconds=0.0,
-            )
-            _failures.append((task.name, matcher.name, repr(error)))
+
+        def unit(matcher: Matcher = matcher) -> MatcherResult:
+            faults.fire(f"matcher:{matcher.name}")
+            return matcher.evaluate(task)
+
+        outcome = policy.execute(
+            unit, unit_id=f"{task.name}/{matcher.name}", phase="matcher"
+        )
+        if outcome.ok:
+            results[matcher.name] = outcome.value
+        else:
+            results[matcher.name] = degraded_result(matcher.name, task.name)
+            assert outcome.failure is not None
+            _failures.append(outcome.failure)
+            if failures is not None:
+                failures.append(outcome.failure)
     return results
 
 
-#: Failed (task, matcher, error) triples of the current process — the
-#: harness surfaces them instead of silently reporting zeros.
-_failures: list[tuple[str, str, str]] = []
+#: Matcher failures of the current process — the harness surfaces them
+#: instead of silently reporting zeros.
+_failures: list[FailureRecord] = []
 
 
-def recorded_failures() -> list[tuple[str, str, str]]:
+def recorded_failures() -> list[FailureRecord]:
     """Matcher failures recorded by :func:`evaluate_suite` so far."""
     return list(_failures)
 

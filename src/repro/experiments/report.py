@@ -1,8 +1,11 @@
-"""Plain-text rendering of tables and figure series."""
+"""Plain-text rendering of tables, figure series and failure reports."""
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.experiments.figures import FigureSeries
+from repro.runtime import FailureRecord
 
 
 def render_table(
@@ -29,6 +32,29 @@ def render_table(
             "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
         )
     return "\n".join(lines)
+
+
+def render_failures(
+    failures: Sequence[FailureRecord], title: str = "Degraded units"
+) -> str:
+    """Render the run's :class:`FailureRecord` list as an aligned table.
+
+    Returns ``""`` for a clean run so callers can print unconditionally.
+    """
+    if not failures:
+        return ""
+    headers = ["unit", "phase", "attempts", "error", "elapsed"]
+    rows = [
+        [
+            failure.unit_id,
+            failure.phase,
+            str(failure.attempts),
+            f"{failure.exception_type}: {failure.message}"[:72],
+            f"{failure.elapsed_seconds:.2f}s",
+        ]
+        for failure in failures
+    ]
+    return render_table(headers, rows, title=title)
 
 
 def render_figure(figure: FigureSeries, title: str | None = None) -> str:

@@ -9,12 +9,23 @@ one sweep of each kind.
 An optional on-disk cache (JSON, keyed by a fingerprint of the dataset
 profiles) makes repeated benchmark runs cheap; pass ``cache_dir=None`` to
 disable.
+
+Persistence is fault tolerant (see :mod:`repro.runtime`): every cache
+entry is a versioned, checksummed envelope written atomically; corrupt or
+stale entries are quarantined and recomputed instead of aborting the run;
+a checkpoint journal (``checkpoint.journal`` in the cache directory)
+records completed units so an interrupted full-suite regeneration resumes
+where it stopped. Expensive units run under an :class:`ExecutionPolicy`
+(retries, backoff, deadlines) and failures surface as
+:class:`FailureRecord` data through :meth:`ExperimentRunner.failure_records`.
 """
 
 from __future__ import annotations
 
 import hashlib
-import json
+import math
+import os
+from dataclasses import replace
 from pathlib import Path
 
 from repro.core.assessment import BenchmarkAssessment, assess_benchmark
@@ -31,40 +42,102 @@ from repro.datasets.registry import (
     load_source_pair,
 )
 from repro.experiments.matcher_suite import (
+    MATCHER_ERRORS,
     evaluate_suite,
     linear_f1_scores,
     non_linear_f1_scores,
 )
 from repro.matchers.base import MatcherResult
+from repro.runtime import (
+    CheckpointJournal,
+    ExecutionPolicy,
+    FailureRecord,
+    faults,
+    read_cached_payload,
+    write_envelope,
+)
+
+#: Journal file name inside the cache directory.
+JOURNAL_NAME = "checkpoint.journal"
 
 
 class ExperimentRunner:
-    """Cached orchestration of all experiments at one scale."""
+    """Cached orchestration of all experiments at one scale.
+
+    *policy* governs every expensive unit (matcher evaluations, sweeps,
+    assessments); the default performs a single attempt with no deadline,
+    so behaviour matches the pre-runtime runner unless a caller opts into
+    retries/timeouts. All failures the runner absorbed while degrading
+    gracefully are available via :meth:`failure_records`.
+    """
 
     def __init__(
         self,
         size_factor: float = 1.0,
         seed: int = 0,
         cache_dir: Path | str | None = None,
+        policy: ExecutionPolicy | None = None,
     ) -> None:
-        if size_factor <= 0:
+        if isinstance(size_factor, bool) or not isinstance(
+            size_factor, (int, float)
+        ):
+            raise TypeError(
+                f"size_factor must be a number, got {type(size_factor).__name__}"
+            )
+        if not math.isfinite(size_factor) or size_factor <= 0:
             raise ValueError(f"size_factor must be > 0, got {size_factor}")
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise TypeError(
+                f"seed must be an integer, got {type(seed).__name__}"
+            )
         self.size_factor = size_factor
         self.seed = seed
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.policy = policy or ExecutionPolicy(
+            max_attempts=1, backoff_base=0.0, seed=seed, retry_on=MATCHER_ERRORS
+        )
+        self.journal: CheckpointJournal | None = (
+            CheckpointJournal(self.cache_dir / JOURNAL_NAME)
+            if self.cache_dir is not None
+            else None
+        )
+        self._failures: list[FailureRecord] = []
         self._matcher_results: dict[str, dict[str, MatcherResult]] = {}
         self._new_benchmarks: dict[str, NewBenchmark] = {}
         self._assessments: dict[str, BenchmarkAssessment] = {}
+
+    # -- failure accounting ----------------------------------------------------
+
+    def failure_records(self) -> list[FailureRecord]:
+        """Every failure absorbed so far (matchers, cache, sweeps)."""
+        return list(self._failures)
+
+    def record_failure(self, failure: FailureRecord) -> None:
+        self._failures.append(failure)
+
+    def _record_cache_failure(self, unit_id: str, error: str) -> None:
+        self._failures.append(
+            FailureRecord(
+                unit_id=unit_id,
+                phase="cache",
+                attempts=1,
+                exception_type="CacheCorruption",
+                message=error,
+                elapsed_seconds=0.0,
+            )
+        )
 
     # -- datasets -------------------------------------------------------------
 
     def established_task(self, dataset_id: str) -> MatchingTask:
         """One of the 13 established benchmarks (registry-cached)."""
+        faults.fire(f"dataset:{dataset_id}")
         return load_established_task(dataset_id, self.size_factor)
 
     def new_benchmark(self, source_id: str) -> NewBenchmark:
         """One of the methodology-built benchmarks D_n1..D_n8."""
         if source_id not in self._new_benchmarks:
+            faults.fire(f"dataset:{source_id}")
             sources = load_source_pair(source_id, self.size_factor)
             self._new_benchmarks[source_id] = create_benchmark(
                 sources,
@@ -101,26 +174,79 @@ class ExperimentRunner:
         return self.cache_dir / f"suite_{dataset_id}_{fingerprint}.json"
 
     def matcher_results(self, dataset_id: str) -> dict[str, MatcherResult]:
-        """The full matcher sweep on one dataset (Table IV / VI columns)."""
+        """The full matcher sweep on one dataset (Table IV / VI columns).
+
+        Resolution order: in-memory memo, then the on-disk envelope cache
+        (corrupt entries quarantined and recomputed), then a fresh sweep
+        under the runner's policy. If the *whole* sweep fails — e.g. the
+        dataset cannot be generated — the failure is recorded and an empty
+        result set is returned so dependent tables render hyphens instead
+        of crashing.
+        """
         if dataset_id in self._matcher_results:
             return self._matcher_results[dataset_id]
 
+        unit_id = f"sweep:{dataset_id}"
         cache_path = self._cache_path(dataset_id)
-        if cache_path is not None and cache_path.exists():
-            results = _results_from_json(cache_path)
-        else:
-            results = evaluate_suite(self.task_for(dataset_id), seed=self.seed)
+        if cache_path is not None:
+            read = read_cached_payload(cache_path)
+            if read.hit:
+                results = _results_from_payload(read.payload)
+                self._matcher_results[dataset_id] = results
+                self._mark_done(unit_id, cache=cache_path.name)
+                return results
+            if read.error is not None:
+                self._record_cache_failure(unit_id, read.error)
+
+        def sweep() -> dict[str, MatcherResult]:
+            faults.fire(unit_id)
+            return evaluate_suite(
+                self.task_for(dataset_id),
+                seed=self.seed,
+                policy=self.policy,
+                failures=self._failures,
+            )
+
+        # The sweep unit aggregates ~23 deadline-guarded matcher units; a
+        # per-unit deadline must not also cap their sum, so the enclosing
+        # execution drops it (retries/backoff still apply).
+        sweep_policy = replace(self.policy, deadline_seconds=None)
+        outcome = sweep_policy.execute(sweep, unit_id=unit_id, phase="sweep")
+        if outcome.ok:
+            results = outcome.value
             if cache_path is not None:
-                _results_to_json(results, cache_path)
+                write_envelope(cache_path, _results_to_payload(results))
+            self._mark_done(unit_id, cache=getattr(cache_path, "name", None))
+        else:
+            assert outcome.failure is not None
+            self._failures.append(outcome.failure)
+            results = {}
         self._matcher_results[dataset_id] = results
         return results
 
     def practical(self, dataset_id: str) -> PracticalMeasures:
-        """NLB and LBM for one dataset (Figure 3 / 6 bars)."""
+        """NLB and LBM for one dataset (Figure 3 / 6 bars).
+
+        If the sweep failed entirely (no scores at all) the measures
+        degrade to NaN instead of raising, so figure/verdict builders can
+        still render the remaining datasets.
+        """
         results = self.matcher_results(dataset_id)
+        if not results:
+            nan = float("nan")
+            return PracticalMeasures(
+                non_linear_boost=nan,
+                learning_based_margin=nan,
+                best_non_linear_f1=nan,
+                best_linear_f1=nan,
+            )
         return practical_measures(
             non_linear_f1_scores(results), linear_f1_scores(results)
         )
+
+    def _mark_done(self, unit_id: str, **info: object) -> None:
+        if self.journal is not None:
+            self.journal.mark_done(unit_id, **info)
 
     # -- assessments --------------------------------------------------------------
 
@@ -142,6 +268,7 @@ class ExperimentRunner:
                         self.task_for(dataset_id), practical=None
                     )
                     self._store_assessment(dataset_id, cached)
+                self._mark_done(f"assess:{dataset_id}")
                 self._assessments[base_key] = cached
             if with_practical:
                 base = self._assessments[base_key]
@@ -184,14 +311,19 @@ class ExperimentRunner:
             },
             "complexity": assessment.complexity.scores,
         }
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(payload, indent=1), encoding="utf-8")
+        write_envelope(path, payload)
 
     def _load_assessment(self, dataset_id: str) -> BenchmarkAssessment | None:
         path = self._assessment_path(dataset_id)
-        if path is None or not path.exists():
+        if path is None:
             return None
-        payload = json.loads(path.read_text(encoding="utf-8"))
+        read = read_cached_payload(path)
+        if read.error is not None:
+            self._record_cache_failure(f"assess:{dataset_id}", read.error)
+        if not read.hit:
+            return None
+        payload = read.payload
+        assert isinstance(payload, dict)
         return BenchmarkAssessment(
             task_name=payload["task_name"],
             linearity={
@@ -206,6 +338,19 @@ class ExperimentRunner:
         )
 
 
+def check_cache_dir_writable(cache_dir: Path | str) -> str | None:
+    """Probe a cache directory; returns an error message or ``None`` if ok."""
+    target = Path(cache_dir)
+    try:
+        target.mkdir(parents=True, exist_ok=True)
+        probe = target / f".write_probe_{os.getpid()}"
+        probe.write_text("", encoding="utf-8")
+        probe.unlink()
+    except OSError as exc:
+        return f"cache directory {target} is not writable: {exc}"
+    return None
+
+
 _default_runner: ExperimentRunner | None = None
 
 
@@ -217,9 +362,8 @@ def default_runner() -> ExperimentRunner:
     return _default_runner
 
 
-def _results_to_json(results: dict[str, MatcherResult], path: Path) -> None:
-    path.parent.mkdir(parents=True, exist_ok=True)
-    payload = {
+def _results_to_payload(results: dict[str, MatcherResult]) -> dict[str, object]:
+    return {
         name: {
             "task": result.task,
             "precision": result.precision,
@@ -227,14 +371,15 @@ def _results_to_json(results: dict[str, MatcherResult], path: Path) -> None:
             "f1": result.f1,
             "fit_seconds": result.fit_seconds,
             "predict_seconds": result.predict_seconds,
+            "degraded": result.degraded,
         }
         for name, result in results.items()
     }
-    path.write_text(json.dumps(payload, indent=1), encoding="utf-8")
 
 
-def _results_from_json(path: Path) -> dict[str, MatcherResult]:
-    payload = json.loads(path.read_text(encoding="utf-8"))
+def _results_from_payload(payload: object) -> dict[str, MatcherResult]:
+    if not isinstance(payload, dict):
+        raise TypeError(f"suite cache payload must be a dict, got {type(payload)}")
     return {
         name: MatcherResult(
             matcher=name,
@@ -244,6 +389,7 @@ def _results_from_json(path: Path) -> dict[str, MatcherResult]:
             f1=entry["f1"],
             fit_seconds=entry["fit_seconds"],
             predict_seconds=entry["predict_seconds"],
+            degraded=bool(entry.get("degraded", False)),
         )
         for name, entry in payload.items()
     }

@@ -5,6 +5,13 @@ reproduction — Tables III-VII, Figures 1-6, and the paper-vs-measured
 comparison — and returns them as a JSON-serializable dict. This is what
 EXPERIMENTS.md records and what downstream tooling (plots, CI dashboards)
 can consume without re-running anything.
+
+The snapshot document also carries the run's ``failures`` (every
+:class:`~repro.runtime.FailureRecord` the runner absorbed while degrading
+gracefully), and ``save_snapshot`` writes atomically. Because the runner
+journals and disk-caches every per-dataset unit, a snapshot interrupted
+by a kill resumes from completed units when rerun with the same cache
+directory.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from pathlib import Path
 from repro.experiments import figures, tables
 from repro.experiments.paper_comparison import compare_all
 from repro.experiments.runner import ExperimentRunner
+from repro.runtime import atomic_write_text
 
 
 def take_snapshot(runner: ExperimentRunner) -> dict[str, object]:
@@ -71,13 +79,14 @@ def take_snapshot(runner: ExperimentRunner) -> dict[str, object]:
         "figures": figure_entries,
         "comparisons": comparisons,
         "verdicts_established": verdicts,
+        "failures": [
+            failure.to_dict() for failure in runner.failure_records()
+        ],
     }
 
 
 def save_snapshot(runner: ExperimentRunner, path: Path | str) -> dict[str, object]:
-    """Take a snapshot and write it as JSON; returns the snapshot."""
+    """Take a snapshot and atomically write it as JSON; returns the snapshot."""
     snapshot = take_snapshot(runner)
-    target = Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(json.dumps(snapshot, indent=1), encoding="utf-8")
+    atomic_write_text(Path(path), json.dumps(snapshot, indent=1))
     return snapshot

@@ -28,8 +28,24 @@ TABLE7_PAIRS: tuple[tuple[str, str], ...] = (
 )
 
 
+#: Cell text for a matcher that failed and was degraded (see
+#: ``MatcherResult.degraded``): explicitly marked, never a silent zero.
+DEGRADED_CELL = "FAIL"
+
+#: Cell text for a matcher with no result at all (sweep-level failure).
+MISSING_CELL = "-"
+
+
 def _fmt(value: float, digits: int = 2) -> str:
     return f"{value:.{digits}f}"
+
+
+def _f1_cell(result) -> str:
+    if result is None:
+        return MISSING_CELL
+    if result.degraded:
+        return DEGRADED_CELL
+    return _fmt(result.f1_percent)
 
 
 def table3(runner: ExperimentRunner) -> Table:
@@ -69,13 +85,18 @@ def _f1_table(runner: ExperimentRunner, dataset_ids: tuple[str, ...]) -> Table:
         dataset_id: runner.matcher_results(dataset_id)
         for dataset_id in dataset_ids
     }
-    matcher_names = list(next(iter(all_results.values())))
+    # A sweep that failed entirely yields an empty dict; take the roster
+    # from the first dataset that has one so the table still renders.
+    matcher_names: list[str] = []
+    for results in all_results.values():
+        if results:
+            matcher_names = list(results)
+            break
     rows = []
     for name in matcher_names:
         row = [name, family_of(name)]
         for dataset_id in dataset_ids:
-            result = all_results[dataset_id].get(name)
-            row.append(_fmt(result.f1_percent) if result is not None else "-")
+            row.append(_f1_cell(all_results[dataset_id].get(name)))
         rows.append(row)
     return headers, rows
 

@@ -15,7 +15,12 @@ from repro.ml.metrics import precision_recall_f1
 
 @dataclass(frozen=True)
 class MatcherResult:
-    """Evaluation of one matcher on one task's testing set."""
+    """Evaluation of one matcher on one task's testing set.
+
+    ``degraded`` marks a placeholder produced because the matcher failed
+    (scores forced to zero); tables render such cells explicitly instead
+    of passing the zeros off as measurements.
+    """
 
     matcher: str
     task: str
@@ -24,6 +29,7 @@ class MatcherResult:
     f1: float
     fit_seconds: float
     predict_seconds: float
+    degraded: bool = False
 
     @property
     def f1_percent(self) -> float:

@@ -1,0 +1,62 @@
+"""Fault-tolerant execution layer for long experiment sweeps.
+
+A full-suite regeneration is 13+ datasets x dozens of matchers; at that
+scale failures must be data, not crashes. This package provides the four
+pieces the experiment layer builds on:
+
+* :mod:`repro.runtime.policy` — :class:`ExecutionPolicy` wraps an expensive
+  unit of work with retries, exponential backoff (seeded deterministic
+  jitter) and a per-unit wall-clock deadline; failures come back as
+  structured :class:`FailureRecord` objects instead of exceptions.
+* :mod:`repro.runtime.faults` — a seeded fault-injection registry; tests,
+  benchmarks and the CLI arm faults (errors, hangs, cache corruption) at
+  named sites to exercise the degradation paths deterministically.
+* :mod:`repro.runtime.cache` — atomic writes (tmp file + ``os.replace``)
+  and a versioned, checksummed envelope around every cache entry; corrupt
+  or stale entries are quarantined and treated as misses.
+* :mod:`repro.runtime.journal` — an append-only checkpoint journal so an
+  interrupted run resumes from completed units.
+
+The package is dependency-free (stdlib only) so every layer of the
+repository may import it.
+"""
+
+from repro.runtime.cache import (
+    CACHE_SCHEMA_VERSION,
+    CacheCorruption,
+    CacheError,
+    CacheReadResult,
+    CacheVersionMismatch,
+    atomic_write_text,
+    atomic_writer,
+    quarantine,
+    read_cached_payload,
+    read_envelope,
+    write_envelope,
+)
+from repro.runtime.journal import CheckpointJournal
+from repro.runtime.policy import (
+    DeadlineExceeded,
+    ExecutionOutcome,
+    ExecutionPolicy,
+    FailureRecord,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheCorruption",
+    "CacheError",
+    "CacheReadResult",
+    "CacheVersionMismatch",
+    "CheckpointJournal",
+    "DeadlineExceeded",
+    "ExecutionOutcome",
+    "ExecutionPolicy",
+    "FailureRecord",
+    "atomic_write_text",
+    "atomic_writer",
+    "quarantine",
+    "read_cached_payload",
+    "read_envelope",
+    "write_envelope",
+]

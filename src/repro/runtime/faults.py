@@ -1,0 +1,182 @@
+"""Seeded fault injection: deterministic chaos for the experiment layer.
+
+Production code calls :func:`fire` (and cache readers :func:`corrupt_text`)
+at named *sites*; nothing happens unless a test, benchmark or the CLI has
+armed a fault there. Three kinds are supported:
+
+* ``"error"``   — raise an exception (default :class:`InjectedFault`),
+* ``"hang"``    — sleep ``hang_seconds`` to trip an execution deadline,
+* ``"corrupt"`` — make a cache reader see garbled bytes, exercising the
+  real checksum/quarantine path.
+
+Sites are plain strings. The experiment layer uses ``"matcher:<name>"``,
+``"sweep:<dataset>"``, ``"dataset:<dataset>"``, ``"cache:read"``,
+``"cache:write"``. Arming accepts ``times`` (fire the first N passes,
+``None`` = every pass) and a seeded ``probability`` so soak tests can
+inject rare faults reproducibly: the decision for pass *k* at a site is a
+pure function of ``(seed, site, k)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+KINDS = ("error", "hang", "corrupt")
+
+
+class InjectedFault(RuntimeError):
+    """The default exception raised by an armed ``"error"`` fault."""
+
+
+@dataclass
+class _ArmedFault:
+    site: str
+    kind: str
+    times: int | None
+    exception: type[BaseException]
+    hang_seconds: float
+    probability: float
+    seed: int
+    fired: int = 0
+    passes: int = 0
+    trigger_log: list[int] = field(default_factory=list)
+
+    def should_fire(self) -> bool:
+        self.passes += 1
+        if self.times is not None and self.fired >= self.times:
+            return False
+        if self.probability < 1.0:
+            digest = hashlib.blake2b(
+                f"{self.seed}:{self.site}:{self.passes}".encode(),
+                digest_size=8,
+            ).digest()
+            if int.from_bytes(digest, "big") / 2**64 >= self.probability:
+                return False
+        self.fired += 1
+        self.trigger_log.append(self.passes)
+        return True
+
+
+_ARMED: dict[str, _ArmedFault] = {}
+
+
+def arm(
+    site: str,
+    kind: str = "error",
+    *,
+    times: int | None = 1,
+    exception: type[BaseException] = InjectedFault,
+    hang_seconds: float = 30.0,
+    probability: float = 1.0,
+    seed: int = 0,
+) -> None:
+    """Arm a fault at ``site``; re-arming a site replaces its fault."""
+    if kind not in KINDS:
+        raise ValueError(f"unknown fault kind {kind!r}; expected one of {KINDS}")
+    if not 0.0 < probability <= 1.0:
+        raise ValueError(f"probability must be in (0, 1], got {probability}")
+    _ARMED[site] = _ArmedFault(
+        site=site,
+        kind=kind,
+        times=times,
+        exception=exception,
+        hang_seconds=hang_seconds,
+        probability=probability,
+        seed=seed,
+    )
+
+
+def disarm(site: str) -> None:
+    """Remove the fault armed at ``site`` (no-op if none)."""
+    _ARMED.pop(site, None)
+
+
+def reset() -> None:
+    """Disarm every fault (test teardown)."""
+    _ARMED.clear()
+
+
+def armed_sites() -> list[str]:
+    """The currently armed sites (CLI summary / debugging)."""
+    return sorted(_ARMED)
+
+
+def fire(site: str) -> None:
+    """Injection point: raise/hang if an ``error``/``hang`` fault is armed.
+
+    ``corrupt`` faults do not trigger here — they only affect
+    :func:`corrupt_text` at cache-read sites.
+    """
+    fault = _ARMED.get(site)
+    if fault is None or fault.kind == "corrupt" or not fault.should_fire():
+        return
+    if fault.kind == "hang":
+        time.sleep(fault.hang_seconds)
+        return
+    raise fault.exception(f"injected fault at {site!r}")
+
+
+def corrupt_text(site: str, text: str) -> str:
+    """Injection point for cache readers: garble ``text`` if armed.
+
+    Truncates to half length and flips the head so both JSON parsing and
+    checksum verification are guaranteed to notice.
+    """
+    fault = _ARMED.get(site)
+    if fault is None or fault.kind != "corrupt" or not fault.should_fire():
+        return text
+    return "\x00corrupt\x00" + text[: max(0, len(text) // 2)]
+
+
+@contextmanager
+def injected(site: str, kind: str = "error", **kwargs: object) -> Iterator[None]:
+    """Arm a fault for the duration of a ``with`` block, then disarm it."""
+    arm(site, kind, **kwargs)  # type: ignore[arg-type]
+    try:
+        yield
+    finally:
+        disarm(site)
+
+
+def parse_spec(spec: str) -> tuple[str, str, int | None]:
+    """Parse a CLI fault spec ``SITE=KIND[:TIMES]``.
+
+    Examples: ``"matcher:DITTO (15)=error"``, ``"cache:read=corrupt:2"``,
+    ``"sweep:Ds4=hang"``. TIMES defaults to 1; ``*`` means every pass.
+    """
+    site, separator, rest = spec.rpartition("=")
+    if not separator or not site:
+        raise ValueError(
+            f"bad fault spec {spec!r}; expected SITE=KIND[:TIMES], "
+            f"e.g. 'matcher:DITTO (15)=error'"
+        )
+    kind, _, times_text = rest.partition(":")
+    if kind not in KINDS:
+        raise ValueError(
+            f"bad fault kind {kind!r} in {spec!r}; expected one of {KINDS}"
+        )
+    if not times_text:
+        times: int | None = 1
+    elif times_text == "*":
+        times = None
+    else:
+        try:
+            times = int(times_text)
+        except ValueError:
+            raise ValueError(
+                f"bad TIMES {times_text!r} in {spec!r}; expected an integer or '*'"
+            ) from None
+        if times < 1:
+            raise ValueError(f"TIMES must be >= 1 in {spec!r}")
+    return site, kind, times
+
+
+def arm_from_spec(spec: str) -> str:
+    """Arm a fault from a CLI spec; returns the site armed."""
+    site, kind, times = parse_spec(spec)
+    arm(site, kind, times=times)
+    return site

@@ -1,0 +1,93 @@
+"""Append-only checkpoint journal: resume interrupted runs.
+
+One JSON line per completed unit of work::
+
+    {"unit": "sweep:Ds4", "info": {"cache": "suite_Ds4_ab12.json"}}
+
+Appends are flushed and fsynced, so a kill leaves at worst one truncated
+final line — which the loader tolerates and drops. A restarted run asks
+:meth:`CheckpointJournal.is_done` before recomputing a unit, turning a
+killed full-suite regeneration into a warm resume.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from pathlib import Path
+
+logger = logging.getLogger("repro.runtime.journal")
+
+
+class CheckpointJournal:
+    """Durable set of completed unit ids, backed by a JSONL file."""
+
+    def __init__(self, path: Path | str) -> None:
+        self.path = Path(path)
+        self._entries: dict[str, dict] = {}
+        # True when the file ends mid-line (kill during append): the next
+        # append must start on a fresh line or it merges with the stub.
+        self._needs_newline = False
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError as exc:
+            logger.warning("unreadable journal %s: %s", self.path, exc)
+            return
+        self._needs_newline = bool(text) and not text.endswith("\n")
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                # A crash mid-append leaves one truncated line; drop it.
+                logger.warning(
+                    "dropping truncated journal line in %s", self.path
+                )
+                continue
+            if isinstance(entry, dict) and isinstance(entry.get("unit"), str):
+                self._entries[entry["unit"]] = entry.get("info") or {}
+
+    @property
+    def completed(self) -> frozenset[str]:
+        return frozenset(self._entries)
+
+    def is_done(self, unit_id: str) -> bool:
+        return unit_id in self._entries
+
+    def info(self, unit_id: str) -> dict | None:
+        """The info dict recorded with a completed unit (None if absent)."""
+        return self._entries.get(unit_id)
+
+    def mark_done(self, unit_id: str, **info: object) -> None:
+        """Durably record a completed unit (idempotent)."""
+        if self.is_done(unit_id) and self._entries[unit_id] == info:
+            return
+        self._entries[unit_id] = dict(info)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps({"unit": unit_id, "info": info}, sort_keys=True)
+        if self._needs_newline:
+            line = "\n" + line
+            self._needs_newline = False
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def clear(self) -> None:
+        """Forget all checkpoints (start a fresh run)."""
+        self._entries.clear()
+        self.path.unlink(missing_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"CheckpointJournal({str(self.path)!r}, {len(self)} done)"

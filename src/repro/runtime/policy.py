@@ -1,0 +1,193 @@
+"""Execution policies: retries, backoff, deadlines, structured failures.
+
+An :class:`ExecutionPolicy` turns ``fn()`` into an :class:`ExecutionOutcome`
+that either carries the value or a :class:`FailureRecord` — never an
+exception. Backoff jitter is derived from ``(seed, unit_id, attempt)`` so a
+rerun of the same sweep waits exactly the same amount of time, and the
+sleep function is injectable so tests never actually wait.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class DeadlineExceeded(RuntimeError):
+    """A unit of work exceeded its per-attempt wall-clock deadline."""
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One failed unit of work, as data.
+
+    ``unit_id`` names the unit (``"sweep:Ds4"``, ``"Ds4/DITTO (15)"``),
+    ``phase`` the pipeline stage (``"matcher"``, ``"sweep"``, ``"cache"``,
+    ``"assessment"``), and ``attempts`` how many tries the policy spent.
+    """
+
+    unit_id: str
+    phase: str
+    attempts: int
+    exception_type: str
+    message: str
+    elapsed_seconds: float
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready form (snapshot / report serialization)."""
+        return {
+            "unit_id": self.unit_id,
+            "phase": self.phase,
+            "attempts": self.attempts,
+            "exception_type": self.exception_type,
+            "message": self.message,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "FailureRecord":
+        return cls(
+            unit_id=str(payload["unit_id"]),
+            phase=str(payload["phase"]),
+            attempts=int(payload["attempts"]),
+            exception_type=str(payload["exception_type"]),
+            message=str(payload["message"]),
+            elapsed_seconds=float(payload["elapsed_seconds"]),
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.unit_id} [{self.phase}] failed after "
+            f"{self.attempts} attempt(s): {self.exception_type}: {self.message}"
+        )
+
+
+@dataclass(frozen=True)
+class ExecutionOutcome:
+    """Result of running one unit under a policy: a value XOR a failure."""
+
+    value: Any = None
+    failure: FailureRecord | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+def _deterministic_fraction(seed: int, unit_id: str, attempt: int) -> float:
+    """A stable pseudo-random fraction in [0, 1) for backoff jitter."""
+    digest = hashlib.blake2b(
+        f"{seed}:{unit_id}:{attempt}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / 2**64
+
+
+def _call_with_deadline(fn: Callable[[], Any], deadline_seconds: float) -> Any:
+    """Run ``fn`` in a worker thread, raising if it outlives the deadline.
+
+    The timed-out worker cannot be killed from Python; it is left running
+    as a daemon thread and its eventual result is discarded. That trades a
+    leaked thread for the sweep making progress — acceptable for the
+    CPU-bound, side-effect-free units the experiment layer runs.
+    """
+    box: list[Any] = []
+    error: list[BaseException] = []
+
+    def worker() -> None:
+        try:
+            box.append(fn())
+        except BaseException as exc:  # transported to the calling thread
+            error.append(exc)
+
+    thread = threading.Thread(target=worker, daemon=True)
+    thread.start()
+    thread.join(timeout=deadline_seconds)
+    if thread.is_alive():
+        raise DeadlineExceeded(
+            f"unit still running after {deadline_seconds:.3f}s deadline"
+        )
+    if error:
+        raise error[0]
+    return box[0]
+
+
+@dataclass
+class ExecutionPolicy:
+    """Configurable retry/backoff/deadline discipline for units of work.
+
+    ``max_attempts`` counts the first try; ``backoff_base`` seconds grow by
+    ``backoff_factor`` per retry, scaled by ``1 ± jitter`` with a fraction
+    derived deterministically from ``(seed, unit_id, attempt)``.
+    ``deadline_seconds`` bounds each attempt's wall clock (``None`` = no
+    deadline). ``retry_on`` is the exception allow-list; anything outside
+    it fails immediately without retry.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    jitter: float = 0.5
+    deadline_seconds: float | None = None
+    seed: int = 0
+    retry_on: tuple[type[BaseException], ...] = (Exception,)
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0 or self.backoff_factor < 0:
+            raise ValueError("backoff_base/backoff_factor must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError(
+                f"deadline_seconds must be > 0, got {self.deadline_seconds}"
+            )
+
+    def backoff_delay(self, unit_id: str, attempt: int) -> float:
+        """Seconds to wait after failed ``attempt`` (1-based) of a unit."""
+        base = self.backoff_base * self.backoff_factor ** (attempt - 1)
+        fraction = _deterministic_fraction(self.seed, unit_id, attempt)
+        return base * (1.0 + self.jitter * (2.0 * fraction - 1.0))
+
+    def execute(
+        self,
+        fn: Callable[[], Any],
+        *,
+        unit_id: str,
+        phase: str,
+    ) -> ExecutionOutcome:
+        """Run ``fn`` under this policy; failures become data."""
+        start = time.perf_counter()
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                if self.deadline_seconds is not None:
+                    value = _call_with_deadline(fn, self.deadline_seconds)
+                else:
+                    value = fn()
+                return ExecutionOutcome(value=value)
+            except (*self.retry_on, DeadlineExceeded) as exc:
+                if attempt >= self.max_attempts:
+                    return ExecutionOutcome(
+                        failure=FailureRecord(
+                            unit_id=unit_id,
+                            phase=phase,
+                            attempts=attempt,
+                            exception_type=type(exc).__name__,
+                            message=str(exc),
+                            elapsed_seconds=time.perf_counter() - start,
+                        )
+                    )
+                self.sleep(self.backoff_delay(unit_id, attempt))
+
+
+#: Policy used when a caller passes ``policy=None``: one attempt, no
+#: deadline — the pre-runtime behaviour, with failures still structured.
+PASSTHROUGH_POLICY = ExecutionPolicy(max_attempts=1, backoff_base=0.0)

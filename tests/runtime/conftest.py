@@ -1,0 +1,14 @@
+"""Runtime-test fixtures: leave no fault armed behind."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import faults
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    faults.reset()
+    yield
+    faults.reset()

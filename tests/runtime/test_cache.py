@@ -1,0 +1,142 @@
+"""Tests for atomic writes, the cache envelope, and quarantine."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runtime import (
+    CACHE_SCHEMA_VERSION,
+    CacheCorruption,
+    CacheVersionMismatch,
+    atomic_write_text,
+    atomic_writer,
+    quarantine,
+    read_cached_payload,
+    read_envelope,
+    write_envelope,
+)
+from repro.runtime import faults
+
+
+class TestAtomicWrite:
+    def test_writes_and_replaces(self, tmp_path):
+        target = tmp_path / "sub" / "file.txt"
+        atomic_write_text(target, "one")
+        atomic_write_text(target, "two")
+        assert target.read_text() == "two"
+
+    def test_no_tmp_litter_on_success(self, tmp_path):
+        atomic_write_text(tmp_path / "file.txt", "data")
+        assert [p.name for p in tmp_path.iterdir()] == ["file.txt"]
+
+    def test_failure_leaves_target_untouched(self, tmp_path):
+        target = tmp_path / "file.txt"
+        atomic_write_text(target, "original")
+        with pytest.raises(RuntimeError):
+            with atomic_writer(target) as handle:
+                handle.write("partial")
+                raise RuntimeError("interrupted mid-write")
+        assert target.read_text() == "original"
+        assert [p.name for p in tmp_path.iterdir()] == ["file.txt"]
+
+    def test_injected_write_fault(self, tmp_path):
+        target = tmp_path / "file.txt"
+        with faults.injected("io:write"):
+            with pytest.raises(faults.InjectedFault):
+                atomic_write_text(target, "data")
+        assert not target.exists()
+
+
+class TestEnvelope:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "entry.json"
+        write_envelope(path, {"scores": [1, 2, 3]})
+        assert read_envelope(path) == {"scores": [1, 2, 3]}
+
+    def test_envelope_layout(self, tmp_path):
+        path = tmp_path / "entry.json"
+        write_envelope(path, {"a": 1})
+        raw = json.loads(path.read_text())
+        assert raw["cache_schema_version"] == CACHE_SCHEMA_VERSION
+        assert set(raw) == {"cache_schema_version", "checksum", "payload"}
+
+    def test_checksum_detects_tampering(self, tmp_path):
+        path = tmp_path / "entry.json"
+        write_envelope(path, {"f1": 0.5})
+        raw = json.loads(path.read_text())
+        raw["payload"]["f1"] = 0.99  # bit-flip the payload, keep the envelope
+        path.write_text(json.dumps(raw))
+        with pytest.raises(CacheCorruption, match="checksum"):
+            read_envelope(path)
+
+    def test_version_mismatch(self, tmp_path):
+        path = tmp_path / "entry.json"
+        write_envelope(path, {"a": 1}, schema_version=CACHE_SCHEMA_VERSION + 1)
+        with pytest.raises(CacheVersionMismatch):
+            read_envelope(path)
+
+    def test_legacy_bare_payload_is_corrupt(self, tmp_path):
+        path = tmp_path / "entry.json"
+        path.write_text('{"old-style": "payload"}')
+        with pytest.raises(CacheCorruption, match="envelope"):
+            read_envelope(path)
+
+    def test_invalid_json_is_corrupt(self, tmp_path):
+        path = tmp_path / "entry.json"
+        path.write_text("{ truncated")
+        with pytest.raises(CacheCorruption, match="JSON"):
+            read_envelope(path)
+
+
+class TestGuardedRead:
+    def test_missing_file_is_a_miss(self, tmp_path):
+        result = read_cached_payload(tmp_path / "absent.json")
+        assert not result.hit and result.quarantined is None
+
+    def test_hit(self, tmp_path):
+        path = tmp_path / "entry.json"
+        write_envelope(path, {"a": 1})
+        result = read_cached_payload(path)
+        assert result.hit and result.payload == {"a": 1}
+
+    def test_corrupt_entry_quarantined_as_miss(self, tmp_path):
+        path = tmp_path / "entry.json"
+        path.write_text("garbage")
+        result = read_cached_payload(path)
+        assert not result.hit
+        assert result.quarantined is not None
+        assert result.quarantined.name == "entry.json.quarantined"
+        assert not path.exists()
+        assert result.error is not None
+
+    def test_stale_version_quarantined_as_miss(self, tmp_path):
+        path = tmp_path / "entry.json"
+        write_envelope(path, {"a": 1}, schema_version=99)
+        result = read_cached_payload(path)
+        assert not result.hit and result.quarantined is not None
+
+    def test_injected_corruption_hits_quarantine_path(self, tmp_path):
+        path = tmp_path / "entry.json"
+        write_envelope(path, {"a": 1})
+        with faults.injected("cache:read", "corrupt"):
+            result = read_cached_payload(path)
+        assert not result.hit and result.quarantined is not None
+        # The entry is quarantined on disk; a later clean read is a miss.
+        assert not read_cached_payload(path).hit
+
+
+class TestQuarantine:
+    def test_moves_file_aside(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("x")
+        moved = quarantine(path)
+        assert moved.exists() and not path.exists()
+
+    def test_overwrites_previous_quarantine(self, tmp_path):
+        path = tmp_path / "bad.json"
+        (tmp_path / "bad.json.quarantined").write_text("older")
+        path.write_text("newer")
+        moved = quarantine(path)
+        assert moved.read_text() == "newer"

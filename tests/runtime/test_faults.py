@@ -1,0 +1,113 @@
+"""Tests for the seeded fault-injection registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import faults
+
+
+class TestArmFire:
+    def test_unarmed_site_is_a_no_op(self):
+        faults.fire("nothing:here")  # must not raise
+
+    def test_armed_error_raises(self):
+        faults.arm("matcher:X")
+        with pytest.raises(faults.InjectedFault, match="matcher:X"):
+            faults.fire("matcher:X")
+
+    def test_times_budget(self):
+        faults.arm("site", times=2)
+        for _ in range(2):
+            with pytest.raises(faults.InjectedFault):
+                faults.fire("site")
+        faults.fire("site")  # budget exhausted -> no-op
+
+    def test_always_firing(self):
+        faults.arm("site", times=None)
+        for _ in range(5):
+            with pytest.raises(faults.InjectedFault):
+                faults.fire("site")
+
+    def test_custom_exception(self):
+        faults.arm("site", exception=TimeoutError)
+        with pytest.raises(TimeoutError):
+            faults.fire("site")
+
+    def test_disarm_and_reset(self):
+        faults.arm("a")
+        faults.arm("b")
+        assert faults.armed_sites() == ["a", "b"]
+        faults.disarm("a")
+        assert faults.armed_sites() == ["b"]
+        faults.reset()
+        assert faults.armed_sites() == []
+
+    def test_injected_context_manager(self):
+        with faults.injected("site"):
+            with pytest.raises(faults.InjectedFault):
+                faults.fire("site")
+        faults.fire("site")  # disarmed on exit
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            faults.arm("site", "explode")
+
+
+class TestSeededProbability:
+    def test_same_seed_same_trigger_pattern(self):
+        def pattern(seed: int) -> list[int]:
+            faults.reset()
+            faults.arm("site", times=None, probability=0.3, seed=seed)
+            fired = []
+            for k in range(50):
+                try:
+                    faults.fire("site")
+                except faults.InjectedFault:
+                    fired.append(k)
+            return fired
+
+        first = pattern(11)
+        assert pattern(11) == first
+        assert pattern(12) != first
+        assert 0 < len(first) < 50  # rare but not never/always
+
+
+class TestCorruptText:
+    def test_untouched_without_fault(self):
+        assert faults.corrupt_text("cache:read", "payload") == "payload"
+
+    def test_corrupts_when_armed(self):
+        faults.arm("cache:read", "corrupt")
+        garbled = faults.corrupt_text("cache:read", '{"a": 1}')
+        assert garbled != '{"a": 1}'
+
+    def test_corrupt_kind_does_not_raise_at_fire(self):
+        faults.arm("cache:read", "corrupt")
+        faults.fire("cache:read")  # corrupt faults only affect corrupt_text
+
+
+class TestSpecParsing:
+    def test_basic_spec(self):
+        assert faults.parse_spec("matcher:DITTO (15)=error") == (
+            "matcher:DITTO (15)",
+            "error",
+            1,
+        )
+
+    def test_times_and_star(self):
+        assert faults.parse_spec("cache:read=corrupt:3")[2] == 3
+        assert faults.parse_spec("sweep:Ds4=hang:*")[2] is None
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["no-equals", "=error", "site=explode", "site=error:0", "site=error:x"],
+    )
+    def test_bad_specs(self, bad):
+        with pytest.raises(ValueError):
+            faults.parse_spec(bad)
+
+    def test_arm_from_spec(self):
+        site = faults.arm_from_spec("matcher:Y=error:2")
+        assert site == "matcher:Y"
+        assert "matcher:Y" in faults.armed_sites()

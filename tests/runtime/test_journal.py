@@ -1,0 +1,63 @@
+"""Tests for the checkpoint journal."""
+
+from __future__ import annotations
+
+from repro.runtime import CheckpointJournal
+
+
+class TestJournal:
+    def test_starts_empty(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "checkpoint.journal")
+        assert len(journal) == 0
+        assert not journal.is_done("sweep:Ds1")
+
+    def test_mark_and_query(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "checkpoint.journal")
+        journal.mark_done("sweep:Ds1", cache="suite_Ds1.json")
+        assert journal.is_done("sweep:Ds1")
+        assert journal.info("sweep:Ds1") == {"cache": "suite_Ds1.json"}
+        assert journal.completed == frozenset({"sweep:Ds1"})
+
+    def test_survives_restart(self, tmp_path):
+        path = tmp_path / "checkpoint.journal"
+        first = CheckpointJournal(path)
+        first.mark_done("sweep:Ds1")
+        first.mark_done("assess:Ds1")
+        reopened = CheckpointJournal(path)
+        assert reopened.completed == {"sweep:Ds1", "assess:Ds1"}
+
+    def test_idempotent_mark(self, tmp_path):
+        path = tmp_path / "checkpoint.journal"
+        journal = CheckpointJournal(path)
+        journal.mark_done("unit", k=1)
+        journal.mark_done("unit", k=1)
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_tolerates_truncated_final_line(self, tmp_path):
+        path = tmp_path / "checkpoint.journal"
+        journal = CheckpointJournal(path)
+        journal.mark_done("sweep:Ds1")
+        journal.mark_done("sweep:Ds2")
+        # Simulate a kill mid-append: chop the last line in half.
+        text = path.read_text()
+        path.write_text(text[: len(text) - 12])
+        reopened = CheckpointJournal(path)
+        assert reopened.is_done("sweep:Ds1")
+        assert not reopened.is_done("sweep:Ds2")
+        # The journal stays appendable after recovery.
+        reopened.mark_done("sweep:Ds2")
+        assert CheckpointJournal(path).completed == {"sweep:Ds1", "sweep:Ds2"}
+
+    def test_tolerates_junk_lines(self, tmp_path):
+        path = tmp_path / "checkpoint.journal"
+        path.write_text('not json\n{"unit": "ok:1", "info": {}}\n[1, 2]\n')
+        journal = CheckpointJournal(path)
+        assert journal.completed == frozenset({"ok:1"})
+
+    def test_clear(self, tmp_path):
+        path = tmp_path / "checkpoint.journal"
+        journal = CheckpointJournal(path)
+        journal.mark_done("unit")
+        journal.clear()
+        assert len(journal) == 0 and not path.exists()
+        assert not CheckpointJournal(path).is_done("unit")

@@ -1,0 +1,166 @@
+"""Tests for ExecutionPolicy: retries, backoff, deadlines, failure records."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.runtime import (
+    DeadlineExceeded,
+    ExecutionOutcome,
+    ExecutionPolicy,
+    FailureRecord,
+)
+
+
+def no_sleep_policy(**kwargs) -> tuple[ExecutionPolicy, list[float]]:
+    """A policy whose sleeps are recorded instead of performed."""
+    slept: list[float] = []
+    policy = ExecutionPolicy(sleep=slept.append, **kwargs)
+    return policy, slept
+
+
+class TestValidation:
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            ExecutionPolicy(max_attempts=0)
+
+    def test_rejects_bad_jitter(self):
+        with pytest.raises(ValueError, match="jitter"):
+            ExecutionPolicy(jitter=1.5)
+
+    def test_rejects_non_positive_deadline(self):
+        with pytest.raises(ValueError, match="deadline"):
+            ExecutionPolicy(deadline_seconds=0)
+
+
+class TestExecute:
+    def test_success_returns_value(self):
+        policy, _ = no_sleep_policy(max_attempts=1)
+        outcome = policy.execute(lambda: 42, unit_id="u", phase="p")
+        assert outcome.ok and outcome.value == 42 and outcome.failure is None
+
+    def test_retries_until_success(self):
+        policy, slept = no_sleep_policy(max_attempts=3)
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise ValueError("transient")
+            return "done"
+
+        outcome = policy.execute(flaky, unit_id="u", phase="p")
+        assert outcome.ok and outcome.value == "done"
+        assert len(calls) == 3
+        assert len(slept) == 2  # one backoff per failed attempt
+
+    def test_exhausted_attempts_become_failure_record(self):
+        policy, _ = no_sleep_policy(max_attempts=2)
+
+        def always():
+            raise ValueError("boom")
+
+        outcome = policy.execute(always, unit_id="sweep:Ds4", phase="sweep")
+        assert not outcome.ok
+        failure = outcome.failure
+        assert isinstance(failure, FailureRecord)
+        assert failure.unit_id == "sweep:Ds4"
+        assert failure.phase == "sweep"
+        assert failure.attempts == 2
+        assert failure.exception_type == "ValueError"
+        assert "boom" in failure.message
+        assert failure.elapsed_seconds >= 0.0
+
+    def test_non_retryable_exception_propagates(self):
+        policy, _ = no_sleep_policy(max_attempts=3, retry_on=(ValueError,))
+
+        def wrong_kind():
+            raise KeyError("not on the allow-list")
+
+        with pytest.raises(KeyError):
+            policy.execute(wrong_kind, unit_id="u", phase="p")
+
+
+class TestBackoff:
+    def test_deterministic_jitter(self):
+        a = ExecutionPolicy(seed=7)
+        b = ExecutionPolicy(seed=7)
+        assert a.backoff_delay("unit", 1) == b.backoff_delay("unit", 1)
+        assert a.backoff_delay("unit", 2) == b.backoff_delay("unit", 2)
+
+    def test_seed_and_unit_change_jitter(self):
+        base = ExecutionPolicy(seed=0).backoff_delay("unit", 1)
+        assert ExecutionPolicy(seed=1).backoff_delay("unit", 1) != base
+        assert ExecutionPolicy(seed=0).backoff_delay("other", 1) != base
+
+    def test_exponential_growth(self):
+        policy = ExecutionPolicy(jitter=0.0, backoff_base=0.1, backoff_factor=2.0)
+        assert policy.backoff_delay("u", 1) == pytest.approx(0.1)
+        assert policy.backoff_delay("u", 2) == pytest.approx(0.2)
+        assert policy.backoff_delay("u", 3) == pytest.approx(0.4)
+
+    def test_jitter_bounds(self):
+        policy = ExecutionPolicy(jitter=0.5, backoff_base=1.0, backoff_factor=1.0)
+        for attempt in range(1, 20):
+            delay = policy.backoff_delay("u", attempt)
+            assert 0.5 <= delay <= 1.5
+
+
+class TestDeadline:
+    def test_deadline_trips_on_hang(self):
+        policy = ExecutionPolicy(max_attempts=1, deadline_seconds=0.05)
+        outcome = policy.execute(
+            lambda: time.sleep(2.0), unit_id="slow", phase="p"
+        )
+        assert not outcome.ok
+        assert outcome.failure.exception_type == "DeadlineExceeded"
+
+    def test_deadline_captured_even_with_narrow_retry_on(self):
+        policy = ExecutionPolicy(
+            max_attempts=1, deadline_seconds=0.05, retry_on=(ValueError,)
+        )
+        outcome = policy.execute(
+            lambda: time.sleep(2.0), unit_id="slow", phase="p"
+        )
+        assert not outcome.ok
+        assert outcome.failure.exception_type == "DeadlineExceeded"
+
+    def test_fast_unit_passes_deadline(self):
+        policy = ExecutionPolicy(max_attempts=1, deadline_seconds=5.0)
+        outcome = policy.execute(lambda: "quick", unit_id="u", phase="p")
+        assert outcome.ok and outcome.value == "quick"
+
+    def test_worker_exception_transported(self):
+        policy, _ = no_sleep_policy(max_attempts=1, deadline_seconds=5.0)
+
+        def failing():
+            raise ValueError("from the worker thread")
+
+        outcome = policy.execute(failing, unit_id="u", phase="p")
+        assert not outcome.ok
+        assert outcome.failure.exception_type == "ValueError"
+
+
+class TestFailureRecord:
+    def test_round_trip(self):
+        record = FailureRecord(
+            unit_id="sweep:Ds4",
+            phase="sweep",
+            attempts=3,
+            exception_type="ValueError",
+            message="boom",
+            elapsed_seconds=1.25,
+        )
+        assert FailureRecord.from_dict(record.to_dict()) == record
+
+    def test_describe_mentions_everything(self):
+        record = FailureRecord("u", "matcher", 2, "KeyError", "x", 0.1)
+        text = record.describe()
+        assert "u" in text and "matcher" in text and "KeyError" in text
+
+    def test_outcome_ok_property(self):
+        assert ExecutionOutcome(value=1).ok
+        record = FailureRecord("u", "p", 1, "E", "m", 0.0)
+        assert not ExecutionOutcome(failure=record).ok
