@@ -1,0 +1,76 @@
+"""Sequential vs parallel wall time for the CI-scale matcher sweeps.
+
+Times a full established-benchmark regeneration with ``workers=1`` and
+``workers=4`` on fresh caches, asserts the results are identical (the
+scheduler's determinism guarantee), and writes the measurements to
+``BENCH_parallel.json`` in the repository root.
+
+The speedup is recorded, not asserted: on a single-core machine (such as
+most CI containers; see the ``cpu_count`` field of the record) forked
+workers time-slice one core and no wall-time win is physically possible.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks.conftest import BENCH_SIZE_FACTOR
+from repro.datasets.registry import ESTABLISHED_DATASET_IDS
+from repro.experiments.runner import ExperimentRunner
+
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+PARALLEL_WORKERS = 4
+
+
+def _timed_sweep(cache_dir, workers: int):
+    runner = ExperimentRunner(
+        size_factor=BENCH_SIZE_FACTOR,
+        seed=0,
+        cache_dir=cache_dir,
+        workers=workers,
+    )
+    start = time.perf_counter()
+    results = runner.sweep_all(ESTABLISHED_DATASET_IDS)
+    elapsed = time.perf_counter() - start
+    scores = {
+        dataset_id: {
+            name: (r.precision, r.recall, r.f1, r.degraded)
+            for name, r in dataset_results.items()
+        }
+        for dataset_id, dataset_results in results.items()
+    }
+    return scores, elapsed, runner
+
+
+def test_parallel_speedup(tmp_path):
+    sequential_scores, sequential_seconds, _ = _timed_sweep(
+        tmp_path / "seq", workers=1
+    )
+    parallel_scores, parallel_seconds, parallel_runner = _timed_sweep(
+        tmp_path / "par", workers=PARALLEL_WORKERS
+    )
+
+    identical = parallel_scores == sequential_scores
+    record = {
+        "workers": PARALLEL_WORKERS,
+        "cpu_count": os.cpu_count(),
+        "scale": BENCH_SIZE_FACTOR,
+        "datasets": list(ESTABLISHED_DATASET_IDS),
+        "sequential_seconds": round(sequential_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(sequential_seconds / parallel_seconds, 3),
+        "identical": identical,
+        "failures": len(parallel_runner.failure_records()),
+    }
+    RECORD_PATH.write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+    )
+    print()
+    print(json.dumps(record, indent=2))
+
+    # Determinism is the hard guarantee; the speedup is hardware-bound.
+    assert identical
+    assert parallel_runner.failure_records() == []

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Repository verification: byte-compile everything, run the tier-1 test
-# suite (ROADMAP.md), then the fast fault-injection smoke set.
+# suite (ROADMAP.md), the fast fault-injection smoke set, then a
+# two-worker parallel regeneration of Figure 3 on a fresh cache.
 #
 # Usage: scripts/verify.sh [--smoke-only]
 set -euo pipefail
@@ -18,5 +19,8 @@ fi
 
 echo "== fault-injection smoke =="
 python -m pytest -x -q -m fault_smoke
+
+echo "== parallel scheduler smoke (--workers 2) =="
+python -m repro fig3 --workers 2 --cache "$(mktemp -d)"
 
 echo "verify: OK"

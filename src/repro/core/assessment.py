@@ -59,18 +59,22 @@ class BenchmarkAssessment:
     def easy_by_practical(self) -> bool:
         """Easy when either practical measure fails the 5% bar.
 
-        With no matcher results available the flag is False (unknown is not
-        evidence of easiness); use :attr:`has_practical` to distinguish.
+        With no matcher results available — ``practical`` absent, or the
+        all-NaN placeholder of a failed sweep — the flag is False: unknown
+        is not evidence of easiness. Use :attr:`has_practical` to tell
+        "measured and not easy" apart from "never measured".
         """
-        if self.practical is None:
+        if not self.has_practical:
             return False
+        assert self.practical is not None
         return not self.practical.is_challenging(
             self.thresholds.practical_challenging
         )
 
     @property
     def has_practical(self) -> bool:
-        return self.practical is not None
+        """True when real (non-NaN) practical measures are attached."""
+        return self.practical is not None and self.practical.is_measured
 
     @property
     def is_challenging(self) -> bool:
@@ -90,6 +94,7 @@ class BenchmarkAssessment:
             "complexity_mean": self.complexity.mean,
             "easy_by_linearity": self.easy_by_linearity,
             "easy_by_complexity": self.easy_by_complexity,
+            "has_practical": self.has_practical,
             "challenging": self.is_challenging,
         }
         if self.practical is not None:

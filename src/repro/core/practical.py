@@ -14,6 +14,7 @@ The paper's rule of thumb: a challenging benchmark needs both measures above
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 #: The paper's minimum for a benchmark to count as challenging.
@@ -22,7 +23,13 @@ CHALLENGING_THRESHOLD = 0.05
 
 @dataclass(frozen=True)
 class PracticalMeasures:
-    """NLB and LBM for one benchmark, with the contributing maxima."""
+    """NLB and LBM for one benchmark, with the contributing maxima.
+
+    A sweep that failed (entirely, or for a whole matcher family) yields
+    the all-NaN :func:`unmeasured_practical` instance: ``is_measured`` is
+    False and neither ``is_challenging`` nor the assessment layer may
+    read anything into the values — unknown is not evidence.
+    """
 
     non_linear_boost: float
     learning_based_margin: float
@@ -30,15 +37,46 @@ class PracticalMeasures:
     best_linear_f1: float
 
     @property
+    def is_measured(self) -> bool:
+        """True when the measures come from real scores (no NaN/inf)."""
+        return all(
+            math.isfinite(value)
+            for value in (
+                self.non_linear_boost,
+                self.learning_based_margin,
+                self.best_non_linear_f1,
+                self.best_linear_f1,
+            )
+        )
+
+    @property
     def best_overall_f1(self) -> float:
         return max(self.best_non_linear_f1, self.best_linear_f1)
 
     def is_challenging(self, threshold: float = CHALLENGING_THRESHOLD) -> bool:
-        """True when both measures exceed *threshold* (paper: 5%)."""
+        """True when both measures exceed *threshold* (paper: 5%).
+
+        Unmeasured (NaN) instances return False here, but callers judging
+        easiness must check :attr:`is_measured` first — "not challenging"
+        for lack of data is not the same claim as "easy".
+        """
+        if not self.is_measured:
+            return False
         return (
             self.non_linear_boost > threshold
             and self.learning_based_margin > threshold
         )
+
+
+def unmeasured_practical() -> PracticalMeasures:
+    """The all-NaN placeholder for a sweep that produced no usable scores."""
+    nan = float("nan")
+    return PracticalMeasures(
+        non_linear_boost=nan,
+        learning_based_margin=nan,
+        best_non_linear_f1=nan,
+        best_linear_f1=nan,
+    )
 
 
 def _validate_scores(scores: dict[str, float], label: str) -> None:

@@ -16,6 +16,11 @@ runs resume from the cache directory's checkpoint journal, and
 ``--inject SITE=KIND[:TIMES]`` arms deterministic faults (see
 :mod:`repro.runtime.faults`) to rehearse the degradation paths. Any unit
 that failed is listed after the output instead of aborting the run.
+
+``--workers N`` fans the per-dataset sweeps (and single-dataset matcher
+rosters) across N ``fork`` worker processes via
+:mod:`repro.runtime.parallel`; results are identical to the sequential
+run and a per-worker timing table is printed after the output.
 """
 
 from __future__ import annotations
@@ -25,7 +30,13 @@ from pathlib import Path
 
 from repro.datasets.registry import ESTABLISHED_DATASET_IDS, SOURCE_DATASET_IDS
 from repro.experiments import figures, tables
-from repro.experiments.report import render_failures, render_figure, render_table
+from repro.experiments.matcher_suite import clear_recorded_failures
+from repro.experiments.report import (
+    render_failures,
+    render_figure,
+    render_table,
+    render_worker_report,
+)
 from repro.experiments.runner import ExperimentRunner, check_cache_dir_writable
 from repro.runtime import ExecutionPolicy, faults
 
@@ -124,6 +135,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-unit wall-clock deadline (default: none)",
     )
     parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="fan sweeps across N worker processes (default 1: sequential, "
+        "results are identical either way)",
+    )
+    parser.add_argument(
         "--inject",
         action="append",
         default=[],
@@ -164,10 +183,18 @@ def _print_failures(runner: ExperimentRunner) -> None:
     if report:
         print()
         print(report)
+    if runner.workers > 1:
+        timing = render_worker_report(runner.worker_reports())
+        if timing:
+            print()
+            print(timing)
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    # The runner collects failures itself; start the process-wide fallback
+    # registry empty so repeated in-process invocations don't accumulate.
+    clear_recorded_failures()
 
     for spec in args.inject:
         try:
@@ -195,6 +222,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         cache_dir=cache_dir,
         policy=policy,
+        workers=args.workers,
     )
 
     if args.experiment == "list":

@@ -16,8 +16,15 @@ Per dataset the suite evaluates:
 
 from __future__ import annotations
 
+from functools import partial
+
 from numpy.linalg import LinAlgError
 
+from repro.core.practical import (
+    PracticalMeasures,
+    practical_measures,
+    unmeasured_practical,
+)
 from repro.data.task import MatchingTask
 from repro.matchers.base import Matcher, MatcherResult
 from repro.matchers.deep import (
@@ -31,8 +38,9 @@ from repro.matchers.esde import EsdeMatcher
 from repro.matchers.features import MagellanFeatureExtractor
 from repro.matchers.magellan import MAGELLAN_HEADS, MagellanMatcher
 from repro.matchers.zeroer import ZeroERMatcher
-from repro.runtime import ExecutionPolicy, FailureRecord
+from repro.runtime import ExecutionOutcome, ExecutionPolicy, FailureRecord
 from repro.runtime import faults
+from repro.runtime.parallel import ParallelScheduler, WorkUnit
 
 #: Default epoch budget per DL method (the "(n)" of the paper's tables).
 DEFAULT_EPOCHS: dict[str, int] = {
@@ -104,11 +112,61 @@ def degraded_result(matcher_name: str, task_name: str) -> MatcherResult:
     )
 
 
+def build_matcher(task: MatchingTask, matcher_spec: str, seed: int = 0) -> Matcher:
+    """One fresh matcher of the roster by table name (e.g. ``"DITTO (15)"``)."""
+    for matcher in build_suite(task, seed=seed):
+        if matcher.name == matcher_spec:
+            return matcher
+    raise KeyError(f"unknown matcher spec {matcher_spec!r}")
+
+
+def _evaluate_matcher(matcher: Matcher, task: MatchingTask) -> MatcherResult:
+    """Fire the matcher's fault site, then evaluate (policy-wrapped unit)."""
+    faults.fire(f"matcher:{matcher.name}")
+    return matcher.evaluate(task)
+
+
+def _evaluate_matcher_spec(
+    task: MatchingTask, matcher_spec: str, seed: int
+) -> MatcherResult:
+    """Worker-side unit: rebuild one matcher from its spec and evaluate.
+
+    Top-level so a process-pool scheduler can pickle it; the sequential
+    path uses pre-built matcher instances instead (shared Magellan
+    feature extractor), which produces identical scores.
+    """
+    return _evaluate_matcher(build_matcher(task, matcher_spec, seed), task)
+
+
+def run_one_matcher(
+    task: MatchingTask,
+    matcher_spec: str,
+    seed: int = 0,
+    policy: ExecutionPolicy | None = None,
+) -> ExecutionOutcome:
+    """Evaluate one matcher of the roster under *policy*, as an outcome.
+
+    The per-matcher unit of work behind both the sequential sweep and the
+    parallel scheduler: picklable, seeded only by ``(seed, unit_id)``, and
+    never raising — failures come back as :class:`FailureRecord` data.
+    """
+    if policy is None:
+        policy = ExecutionPolicy(
+            max_attempts=1, backoff_base=0.0, retry_on=MATCHER_ERRORS
+        )
+    return policy.execute(
+        partial(_evaluate_matcher_spec, task, matcher_spec, seed),
+        unit_id=f"{task.name}/{matcher_spec}",
+        phase="matcher",
+    )
+
+
 def evaluate_suite(
     task: MatchingTask,
     seed: int = 0,
     policy: ExecutionPolicy | None = None,
     failures: list[FailureRecord] | None = None,
+    scheduler: ParallelScheduler | None = None,
 ) -> dict[str, MatcherResult]:
     """Evaluate the whole roster on one task (name -> result).
 
@@ -118,56 +176,103 @@ def evaluate_suite(
     deadline — is recorded as a :func:`degraded_result` rather than
     aborting the sweep: the analogue of the paper's "insufficient memory"
     hyphens, but with the cause preserved as a :class:`FailureRecord`
-    appended to *failures* (and to the process-wide registry).
+    appended to *failures* (or, when no caller list is given, to the
+    process-wide registry behind :func:`recorded_failures`).
+
+    With a *scheduler* of ``workers > 1`` the per-matcher units fan out
+    across processes; results are merged in roster order and each unit
+    still runs under *policy* inside its worker, so scores and failure
+    records are identical to the sequential path.
     """
     if policy is None:
         policy = ExecutionPolicy(
             max_attempts=1, backoff_base=0.0, retry_on=MATCHER_ERRORS
         )
-    results: dict[str, MatcherResult] = {}
-    for matcher in build_suite(task, seed=seed):
 
-        def unit(matcher: Matcher = matcher) -> MatcherResult:
-            faults.fire(f"matcher:{matcher.name}")
-            return matcher.evaluate(task)
-
-        outcome = policy.execute(
-            unit, unit_id=f"{task.name}/{matcher.name}", phase="matcher"
+    matchers = build_suite(task, seed=seed)
+    if scheduler is not None and scheduler.workers > 1:
+        units = [
+            WorkUnit(
+                unit_id=f"{task.name}/{matcher.name}",
+                fn=_evaluate_matcher_spec,
+                args=(task, matcher.name, seed),
+                phase="matcher",
+            )
+            for matcher in matchers
+        ]
+        outcomes = scheduler.run(units, policy=policy).outcomes
+    else:
+        outcomes = tuple(
+            policy.execute(
+                partial(_evaluate_matcher, matcher, task),
+                unit_id=f"{task.name}/{matcher.name}",
+                phase="matcher",
+            )
+            for matcher in matchers
         )
+
+    results: dict[str, MatcherResult] = {}
+    for matcher, outcome in zip(matchers, outcomes):
         if outcome.ok:
             results[matcher.name] = outcome.value
         else:
             results[matcher.name] = degraded_result(matcher.name, task.name)
             assert outcome.failure is not None
-            _failures.append(outcome.failure)
             if failures is not None:
                 failures.append(outcome.failure)
+            else:
+                _failures.append(outcome.failure)
     return results
 
 
-#: Matcher failures of the current process — the harness surfaces them
-#: instead of silently reporting zeros.
+#: Fallback registry for matcher failures when a caller does not collect
+#: them itself (bare :func:`evaluate_suite` calls). Callers that pass a
+#: ``failures`` list — the runner, the CLI — own their records and do not
+#: touch this registry, so long-lived processes don't leak across runs.
 _failures: list[FailureRecord] = []
 
 
 def recorded_failures() -> list[FailureRecord]:
-    """Matcher failures recorded by :func:`evaluate_suite` so far."""
+    """Matcher failures recorded in the process-wide fallback registry."""
     return list(_failures)
 
 
+def clear_recorded_failures() -> None:
+    """Empty the fallback registry (run/test boundary hygiene)."""
+    _failures.clear()
+
+
 def linear_f1_scores(results: dict[str, MatcherResult]) -> dict[str, float]:
-    """F1 of the linear matchers only."""
+    """F1 of the linear matchers only (degraded placeholders excluded)."""
     return {
         name: result.f1
         for name, result in results.items()
-        if family_of(name) == "linear"
+        if family_of(name) == "linear" and not result.degraded
     }
 
 
 def non_linear_f1_scores(results: dict[str, MatcherResult]) -> dict[str, float]:
-    """F1 of the ML- and DL-based (non-linear) matchers."""
+    """F1 of the non-linear (ML + DL) matchers, degraded ones excluded."""
     return {
         name: result.f1
         for name, result in results.items()
-        if family_of(name) != "linear"
+        if family_of(name) != "linear" and not result.degraded
     }
+
+
+def practical_from_results(
+    results: dict[str, MatcherResult],
+) -> PracticalMeasures:
+    """NLB and LBM for one sweep, robust to degraded results.
+
+    Degraded placeholders are failures, not measurements: their forced
+    0.0 must neither win nor lose a family, so they are excluded. If an
+    entire family is degraded (or the sweep produced nothing at all) the
+    measures come back as NaN — :func:`unmeasured_practical` — which the
+    assessment layer treats as *unknown*, never as evidence of easiness.
+    """
+    linear = linear_f1_scores(results)
+    non_linear = non_linear_f1_scores(results)
+    if not linear or not non_linear:
+        return unmeasured_practical()
+    return practical_measures(non_linear, linear)

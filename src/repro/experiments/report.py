@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.experiments.figures import FigureSeries
-from repro.runtime import FailureRecord
+from repro.runtime import FailureRecord, WorkerReport
 
 
 def render_table(
@@ -53,6 +53,29 @@ def render_failures(
             f"{failure.elapsed_seconds:.2f}s",
         ]
         for failure in failures
+    ]
+    return render_table(headers, rows, title=title)
+
+
+def render_worker_report(
+    reports: Sequence[WorkerReport], title: str = "Per-worker timing"
+) -> str:
+    """Render the scheduler's per-worker utilisation as an aligned table.
+
+    Returns ``""`` when nothing was scheduled (sequential runs), so
+    callers can print unconditionally.
+    """
+    if not reports:
+        return ""
+    headers = ["worker", "pid", "units", "busy"]
+    rows = [
+        [
+            f"w{index}",
+            str(report.worker_pid),
+            str(report.units),
+            f"{report.busy_seconds:.2f}s",
+        ]
+        for index, report in enumerate(reports)
     ]
     return render_table(headers, rows, title=title)
 

@@ -15,9 +15,17 @@ entry is a versioned, checksummed envelope written atomically; corrupt or
 stale entries are quarantined and recomputed instead of aborting the run;
 a checkpoint journal (``checkpoint.journal`` in the cache directory)
 records completed units so an interrupted full-suite regeneration resumes
-where it stopped. Expensive units run under an :class:`ExecutionPolicy`
+where it stopped — the runner consults ``is_done`` before recomputing and
+surfaces journal/cache divergence as a failure instead of silently
+recomputing. Expensive units run under an :class:`ExecutionPolicy`
 (retries, backoff, deadlines) and failures surface as
 :class:`FailureRecord` data through :meth:`ExperimentRunner.failure_records`.
+
+With ``workers > 1`` (or an injected :class:`ParallelScheduler`) the
+per-dataset sweeps of a full regeneration — and the per-matcher units of
+a single sweep — fan out across ``fork`` worker processes with results
+identical to the sequential run (same seeds, deterministic merge order);
+see :meth:`ExperimentRunner.sweep_all`.
 """
 
 from __future__ import annotations
@@ -32,7 +40,7 @@ from repro.core.assessment import BenchmarkAssessment, assess_benchmark
 from repro.core.complexity.profile import ComplexityProfile
 from repro.core.linearity import LinearityResult
 from repro.core.methodology import NewBenchmark, create_benchmark
-from repro.core.practical import PracticalMeasures, practical_measures
+from repro.core.practical import PracticalMeasures
 from repro.data.task import MatchingTask
 from repro.datasets.registry import (
     ESTABLISHED_DATASET_IDS,
@@ -44,14 +52,16 @@ from repro.datasets.registry import (
 from repro.experiments.matcher_suite import (
     MATCHER_ERRORS,
     evaluate_suite,
-    linear_f1_scores,
-    non_linear_f1_scores,
+    practical_from_results,
 )
 from repro.matchers.base import MatcherResult
 from repro.runtime import (
     CheckpointJournal,
     ExecutionPolicy,
     FailureRecord,
+    ParallelScheduler,
+    WorkUnit,
+    WorkerReport,
     faults,
     read_cached_payload,
     write_envelope,
@@ -69,6 +79,12 @@ class ExperimentRunner:
     so behaviour matches the pre-runtime runner unless a caller opts into
     retries/timeouts. All failures the runner absorbed while degrading
     gracefully are available via :meth:`failure_records`.
+
+    *workers* (or an injected *scheduler*) parallelizes the heavy units:
+    :meth:`sweep_all` fans per-dataset sweeps — and :meth:`matcher_results`
+    the per-matcher units of a single sweep — across a ``fork`` process
+    pool, with results identical to ``workers=1`` and per-worker timing
+    available via :meth:`worker_reports`.
     """
 
     def __init__(
@@ -77,6 +93,8 @@ class ExperimentRunner:
         seed: int = 0,
         cache_dir: Path | str | None = None,
         policy: ExecutionPolicy | None = None,
+        workers: int = 1,
+        scheduler: ParallelScheduler | None = None,
     ) -> None:
         if isinstance(size_factor, bool) or not isinstance(
             size_factor, (int, float)
@@ -96,6 +114,14 @@ class ExperimentRunner:
         self.policy = policy or ExecutionPolicy(
             max_attempts=1, backoff_base=0.0, seed=seed, retry_on=MATCHER_ERRORS
         )
+        # Scheduler injection: an explicit scheduler wins; otherwise one is
+        # built from `workers` (1 = run inline, the exact sequential path).
+        self.scheduler = (
+            scheduler
+            if scheduler is not None
+            else ParallelScheduler(workers=workers, policy=self.policy)
+        )
+        self.workers = self.scheduler.workers
         self.journal: CheckpointJournal | None = (
             CheckpointJournal(self.cache_dir / JOURNAL_NAME)
             if self.cache_dir is not None
@@ -126,6 +152,26 @@ class ExperimentRunner:
                 elapsed_seconds=0.0,
             )
         )
+
+    def _record_journal_divergence(self, unit_id: str) -> None:
+        """The journal marks a unit done but its cache entry is unusable."""
+        self._failures.append(
+            FailureRecord(
+                unit_id=unit_id,
+                phase="journal",
+                attempts=1,
+                exception_type="JournalDivergence",
+                message=(
+                    "checkpoint journal marks the unit complete but no "
+                    "usable cache envelope was found; recomputing"
+                ),
+                elapsed_seconds=0.0,
+            )
+        )
+
+    def worker_reports(self) -> list[WorkerReport]:
+        """Per-worker utilisation of every scheduled unit so far."""
+        return self.scheduler.worker_reports()
 
     # -- datasets -------------------------------------------------------------
 
@@ -173,30 +219,53 @@ class ExperimentRunner:
         ).hexdigest()
         return self.cache_dir / f"suite_{dataset_id}_{fingerprint}.json"
 
+    def _load_cached_sweep(
+        self, dataset_id: str, unit_id: str
+    ) -> dict[str, MatcherResult] | None:
+        """Journal-and-envelope consult for one sweep unit.
+
+        Returns the cached results on a hit (journaling the unit done).
+        On a miss, records corruption (quarantined entry) or — when the
+        checkpoint journal claims the unit complete with no corruption
+        evidence — a journal/cache divergence, so resume never *silently*
+        recomputes a unit the journal says is finished.
+        """
+        cache_path = self._cache_path(dataset_id)
+        if cache_path is None:
+            return None
+        read = read_cached_payload(cache_path)
+        if read.hit:
+            results = _results_from_payload(read.payload)
+            self._mark_done(unit_id, cache=cache_path.name)
+            return results
+        if read.error is not None:
+            # Corruption is its own record; the quarantine explains the
+            # recompute, so no divergence is stacked on top of it.
+            self._record_cache_failure(unit_id, read.error)
+        elif self.journal is not None and self.journal.is_done(unit_id):
+            self._record_journal_divergence(unit_id)
+        return None
+
     def matcher_results(self, dataset_id: str) -> dict[str, MatcherResult]:
         """The full matcher sweep on one dataset (Table IV / VI columns).
 
-        Resolution order: in-memory memo, then the on-disk envelope cache
-        (corrupt entries quarantined and recomputed), then a fresh sweep
-        under the runner's policy. If the *whole* sweep fails — e.g. the
-        dataset cannot be generated — the failure is recorded and an empty
-        result set is returned so dependent tables render hyphens instead
-        of crashing.
+        Resolution order: in-memory memo, then the checkpoint journal and
+        on-disk envelope cache (corrupt entries quarantined and
+        recomputed), then a fresh sweep under the runner's policy — with
+        the per-matcher units fanned across the scheduler's workers when
+        ``workers > 1``. If the *whole* sweep fails — e.g. the dataset
+        cannot be generated — the failure is recorded and an empty result
+        set is returned so dependent tables render hyphens instead of
+        crashing.
         """
         if dataset_id in self._matcher_results:
             return self._matcher_results[dataset_id]
 
         unit_id = f"sweep:{dataset_id}"
-        cache_path = self._cache_path(dataset_id)
-        if cache_path is not None:
-            read = read_cached_payload(cache_path)
-            if read.hit:
-                results = _results_from_payload(read.payload)
-                self._matcher_results[dataset_id] = results
-                self._mark_done(unit_id, cache=cache_path.name)
-                return results
-            if read.error is not None:
-                self._record_cache_failure(unit_id, read.error)
+        cached = self._load_cached_sweep(dataset_id, unit_id)
+        if cached is not None:
+            self._matcher_results[dataset_id] = cached
+            return cached
 
         def sweep() -> dict[str, MatcherResult]:
             faults.fire(unit_id)
@@ -205,6 +274,7 @@ class ExperimentRunner:
                 seed=self.seed,
                 policy=self.policy,
                 failures=self._failures,
+                scheduler=self.scheduler if self.workers > 1 else None,
             )
 
         # The sweep unit aggregates ~23 deadline-guarded matcher units; a
@@ -214,6 +284,7 @@ class ExperimentRunner:
         outcome = sweep_policy.execute(sweep, unit_id=unit_id, phase="sweep")
         if outcome.ok:
             results = outcome.value
+            cache_path = self._cache_path(dataset_id)
             if cache_path is not None:
                 write_envelope(cache_path, _results_to_payload(results))
             self._mark_done(unit_id, cache=getattr(cache_path, "name", None))
@@ -224,25 +295,87 @@ class ExperimentRunner:
         self._matcher_results[dataset_id] = results
         return results
 
+    def sweep_all(
+        self, dataset_ids: tuple[str, ...] | None = None
+    ) -> dict[str, dict[str, MatcherResult]]:
+        """Matcher sweeps for many datasets, fanned across the workers.
+
+        The parallel analogue of calling :meth:`matcher_results` in a
+        loop, with identical results (same seeds; merge order is the
+        *dataset_ids* order). The work queue consults the in-memory memo,
+        the checkpoint journal and the envelope cache, so completed units
+        are loaded in the parent and never dispatched — this is what makes
+        kill/resume real under ``--workers N``. With ``workers=1`` it *is*
+        the sequential loop.
+        """
+        ids = tuple(dataset_ids) if dataset_ids is not None else ESTABLISHED_DATASET_IDS
+        if self.workers <= 1:
+            return {d: self.matcher_results(d) for d in ids}
+
+        pending: list[str] = []
+        for dataset_id in ids:
+            if dataset_id in self._matcher_results:
+                continue
+            cached = self._load_cached_sweep(dataset_id, f"sweep:{dataset_id}")
+            if cached is not None:
+                self._matcher_results[dataset_id] = cached
+            else:
+                pending.append(dataset_id)
+
+        if pending:
+            units = [
+                WorkUnit(
+                    unit_id=f"sweep:{dataset_id}",
+                    fn=_sweep_job,
+                    args=(dataset_id, self.size_factor, self.seed, self.policy),
+                    phase="sweep",
+                )
+                for dataset_id in pending
+            ]
+
+            def persist(index: int, outcome) -> None:
+                # Runs in the parent as each sweep finishes (completion
+                # order), so a kill mid-batch loses only in-flight units —
+                # completed ones resume from envelope + journal.
+                if not outcome.ok:
+                    return
+                dataset_id = pending[index]
+                results, _ = outcome.value
+                cache_path = self._cache_path(dataset_id)
+                if cache_path is not None:
+                    write_envelope(cache_path, _results_to_payload(results))
+                self._mark_done(
+                    f"sweep:{dataset_id}", cache=getattr(cache_path, "name", None)
+                )
+
+            sweep_policy = replace(self.policy, deadline_seconds=None)
+            schedule = self.scheduler.run(
+                units, policy=sweep_policy, on_result=persist
+            )
+            # Failure accounting and memoization stay in submission order
+            # so the record list is deterministic for any worker count.
+            for dataset_id, outcome in zip(pending, schedule.outcomes):
+                if outcome.ok:
+                    results, failures = outcome.value
+                    self._failures.extend(failures)
+                else:
+                    assert outcome.failure is not None
+                    self._failures.append(outcome.failure)
+                    results = {}
+                self._matcher_results[dataset_id] = results
+
+        return {d: self._matcher_results[d] for d in ids}
+
     def practical(self, dataset_id: str) -> PracticalMeasures:
         """NLB and LBM for one dataset (Figure 3 / 6 bars).
 
-        If the sweep failed entirely (no scores at all) the measures
-        degrade to NaN instead of raising, so figure/verdict builders can
-        still render the remaining datasets.
+        Degraded matcher results are excluded; if the sweep failed
+        entirely — or left a whole family degraded — the measures come
+        back as the NaN :func:`~repro.core.practical.unmeasured_practical`
+        placeholder instead of a fabricated verdict, so figure/verdict
+        builders can still render the remaining datasets.
         """
-        results = self.matcher_results(dataset_id)
-        if not results:
-            nan = float("nan")
-            return PracticalMeasures(
-                non_linear_boost=nan,
-                learning_based_margin=nan,
-                best_non_linear_f1=nan,
-                best_linear_f1=nan,
-            )
-        return practical_measures(
-            non_linear_f1_scores(results), linear_f1_scores(results)
-        )
+        return practical_from_results(self.matcher_results(dataset_id))
 
     def _mark_done(self, unit_id: str, **info: object) -> None:
         if self.journal is not None:
@@ -262,13 +395,20 @@ class ExperimentRunner:
         if key not in self._assessments:
             base_key = f"{dataset_id}:False"
             if base_key not in self._assessments:
+                assess_unit = f"assess:{dataset_id}"
                 cached = self._load_assessment(dataset_id)
                 if cached is None:
+                    # Journal consult: recomputing a unit the journal
+                    # claims complete is a divergence worth surfacing.
+                    if self.journal is not None and self.journal.is_done(
+                        assess_unit
+                    ):
+                        self._record_journal_divergence(assess_unit)
                     cached = assess_benchmark(
                         self.task_for(dataset_id), practical=None
                     )
                     self._store_assessment(dataset_id, cached)
-                self._mark_done(f"assess:{dataset_id}")
+                self._mark_done(assess_unit)
                 self._assessments[base_key] = cached
             if with_practical:
                 base = self._assessments[base_key]
@@ -349,6 +489,35 @@ def check_cache_dir_writable(cache_dir: Path | str) -> str | None:
     except OSError as exc:
         return f"cache directory {target} is not writable: {exc}"
     return None
+
+
+def _sweep_job(
+    dataset_id: str,
+    size_factor: float,
+    seed: int,
+    policy: ExecutionPolicy,
+) -> tuple[dict[str, MatcherResult], list[FailureRecord]]:
+    """Worker-side unit of :meth:`ExperimentRunner.sweep_all`.
+
+    Top-level (picklable). Resolves the task and runs the roster
+    sequentially inside the worker — no nested pools — with every matcher
+    under *policy*, and returns ``(results, failures)`` so degraded
+    placeholders and their :class:`FailureRecord`\\ s marshal back to the
+    parent. Cache and journal writes stay in the parent, keeping the
+    journal single-writer.
+    """
+    faults.fire(f"sweep:{dataset_id}")
+    resolver = ExperimentRunner(
+        size_factor=size_factor, seed=seed, cache_dir=None, policy=policy
+    )
+    failures: list[FailureRecord] = []
+    results = evaluate_suite(
+        resolver.task_for(dataset_id),
+        seed=seed,
+        policy=policy,
+        failures=failures,
+    )
+    return results, failures
 
 
 _default_runner: ExperimentRunner | None = None

@@ -81,6 +81,10 @@ def _f1_table(runner: ExperimentRunner, dataset_ids: tuple[str, ...]) -> Table:
         for dataset_id in dataset_ids
     ]
     headers = ["matcher", "family", *labels]
+    # Parallel runners fan the per-dataset sweeps out in one batch; the
+    # sequential path is untouched (sweep_all then degenerates to a loop).
+    if getattr(runner, "workers", 1) > 1:
+        runner.sweep_all(dataset_ids)
     all_results = {
         dataset_id: runner.matcher_results(dataset_id)
         for dataset_id in dataset_ids
@@ -175,21 +179,25 @@ def verdict_table(
         "dataset", "linearity", "complexity", "NLB", "LBM",
         "easy:lin", "easy:cmplx", "easy:pract", "verdict",
     ]
+    if getattr(runner, "workers", 1) > 1:
+        runner.sweep_all(dataset_ids)
     rows = []
     for dataset_id in dataset_ids:
         assessment = runner.assessment(dataset_id, with_practical=True)
         practical = assessment.practical
-        assert practical is not None
+        # A failed sweep yields unmeasured (NaN) practical measures: the
+        # gate renders as unknown ("-"/"?"), never as a fabricated "yes".
+        measured = assessment.has_practical
         rows.append(
             [
                 NEW_BENCHMARK_LABELS.get(dataset_id, dataset_id),
                 _fmt(assessment.max_linearity, 3),
                 _fmt(assessment.complexity.mean, 3),
-                f"{100 * practical.non_linear_boost:+.1f}%",
-                f"{100 * practical.learning_based_margin:.1f}%",
+                f"{100 * practical.non_linear_boost:+.1f}%" if measured else MISSING_CELL,
+                f"{100 * practical.learning_based_margin:.1f}%" if measured else MISSING_CELL,
                 "yes" if assessment.easy_by_linearity else "no",
                 "yes" if assessment.easy_by_complexity else "no",
-                "yes" if assessment.easy_by_practical else "no",
+                ("yes" if assessment.easy_by_practical else "no") if measured else "?",
                 "CHALLENGING" if assessment.is_challenging else "easy",
             ]
         )

@@ -16,6 +16,10 @@ pieces the experiment layer builds on:
   or stale entries are quarantined and treated as misses.
 * :mod:`repro.runtime.journal` — an append-only checkpoint journal so an
   interrupted run resumes from completed units.
+* :mod:`repro.runtime.parallel` — a process-pool scheduler
+  (:class:`ParallelScheduler`) that fans independent units across
+  ``fork`` workers with deterministic merge order and the same
+  policy/failure semantics as the sequential path.
 
 The package is dependency-free (stdlib only) so every layer of the
 repository may import it.
@@ -35,6 +39,13 @@ from repro.runtime.cache import (
     write_envelope,
 )
 from repro.runtime.journal import CheckpointJournal
+from repro.runtime.parallel import (
+    ParallelScheduler,
+    ScheduleResult,
+    UnitReport,
+    WorkUnit,
+    WorkerReport,
+)
 from repro.runtime.policy import (
     DeadlineExceeded,
     ExecutionOutcome,
@@ -53,6 +64,11 @@ __all__ = [
     "ExecutionOutcome",
     "ExecutionPolicy",
     "FailureRecord",
+    "ParallelScheduler",
+    "ScheduleResult",
+    "UnitReport",
+    "WorkUnit",
+    "WorkerReport",
     "atomic_write_text",
     "atomic_writer",
     "quarantine",

@@ -1,0 +1,255 @@
+"""Process-pool scheduling: fan experiment units across workers.
+
+A full regeneration is ~23 matchers x 21 datasets of independent,
+CPU-bound units; this module fans them across ``workers`` processes while
+keeping the results indistinguishable from a sequential run:
+
+* **deterministic merge** — outcomes come back in submission order, never
+  completion order, so downstream dict construction is order-stable;
+* **same seeds** — a unit's behaviour depends only on its own
+  ``(seed, unit_id)``-derived randomness, never on worker identity;
+* **same fault-tolerance** — every unit runs under an
+  :class:`~repro.runtime.policy.ExecutionPolicy` *inside the worker*
+  (retries, backoff, deadlines), and failures come back as picklable
+  :class:`~repro.runtime.policy.FailureRecord` data, exactly like the
+  sequential path;
+* **exact back-compat** — ``workers=1`` (the default everywhere) executes
+  inline in the calling process: no pool, no pickling, no fork.
+
+The pool uses the ``fork`` start method so armed faults
+(:mod:`repro.runtime.faults`) and memoized datasets are inherited by the
+children. Where ``fork`` is unavailable (non-POSIX platforms) the
+scheduler silently degrades to the sequential path rather than changing
+semantics. Work-unit functions must be top-level (picklable) callables
+with picklable arguments; closures cannot cross the process boundary.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any, Callable, Sequence
+
+from repro.runtime.policy import ExecutionOutcome, ExecutionPolicy, FailureRecord
+
+logger = logging.getLogger("repro.runtime.parallel")
+
+#: Start method used for worker pools; ``fork`` keeps armed faults and
+#: in-process dataset memos visible to the children.
+DEFAULT_START_METHOD = "fork"
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One schedulable unit: a picklable callable plus its identity.
+
+    ``fn`` must be a module-level function (closures and bound methods do
+    not survive pickling); ``unit_id``/``phase`` feed the
+    :class:`FailureRecord` when the unit exhausts its policy.
+    """
+
+    unit_id: str
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    phase: str = "unit"
+
+
+@dataclass(frozen=True)
+class UnitReport:
+    """Where and for how long one unit actually ran."""
+
+    unit_id: str
+    worker_pid: int
+    elapsed_seconds: float
+    ok: bool
+
+
+@dataclass(frozen=True)
+class WorkerReport:
+    """Aggregate utilisation of one worker process across a schedule."""
+
+    worker_pid: int
+    units: int
+    busy_seconds: float
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of one :meth:`ParallelScheduler.run` call.
+
+    ``outcomes`` is aligned with the submitted units (submission order,
+    regardless of completion order), so ``zip(units, outcomes)`` is the
+    canonical way to merge.
+    """
+
+    outcomes: tuple[ExecutionOutcome, ...]
+    unit_reports: tuple[UnitReport, ...]
+    elapsed_seconds: float
+    workers: int
+
+    def failures(self) -> list[FailureRecord]:
+        """The failed units' records, in submission order."""
+        return [
+            outcome.failure
+            for outcome in self.outcomes
+            if outcome.failure is not None
+        ]
+
+
+def _execute_unit(
+    payload: tuple[int, WorkUnit, ExecutionPolicy],
+) -> tuple[int, ExecutionOutcome, int, float]:
+    """Worker-side entry point: run one unit under its policy.
+
+    Top-level so the pool can import it by reference; the returned tuple
+    (index, outcome, pid, elapsed) is what crosses back to the parent.
+    """
+    index, unit, policy = payload
+    start = time.perf_counter()
+    outcome = policy.execute(
+        partial(unit.fn, *unit.args, **unit.kwargs),
+        unit_id=unit.unit_id,
+        phase=unit.phase,
+    )
+    return index, outcome, os.getpid(), time.perf_counter() - start
+
+
+class ParallelScheduler:
+    """Fan work units across a process pool with deterministic merging.
+
+    ``workers=1`` (default) runs inline — bit-for-bit the sequential
+    path. ``workers=N`` forks a pool of N processes per :meth:`run` call
+    and distributes units one at a time (``chunksize=1``) so a slow unit
+    never holds a batch hostage. Per-unit and per-worker timing is
+    accumulated across runs (see :meth:`worker_reports`) for the CLI's
+    utilisation report.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        policy: ExecutionPolicy | None = None,
+        start_method: str = DEFAULT_START_METHOD,
+    ) -> None:
+        if isinstance(workers, bool) or not isinstance(workers, int):
+            raise TypeError(
+                f"workers must be an integer, got {type(workers).__name__}"
+            )
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.policy = policy or ExecutionPolicy(
+            max_attempts=1, backoff_base=0.0
+        )
+        self.start_method = start_method
+        self._unit_reports: list[UnitReport] = []
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def unit_reports(self) -> tuple[UnitReport, ...]:
+        """Every unit executed through this scheduler so far."""
+        return tuple(self._unit_reports)
+
+    def worker_reports(self) -> list[WorkerReport]:
+        """Per-worker utilisation aggregated over all runs so far."""
+        by_pid: dict[int, list[UnitReport]] = {}
+        for report in self._unit_reports:
+            by_pid.setdefault(report.worker_pid, []).append(report)
+        return [
+            WorkerReport(
+                worker_pid=pid,
+                units=len(reports),
+                busy_seconds=sum(r.elapsed_seconds for r in reports),
+            )
+            for pid, reports in sorted(by_pid.items())
+        ]
+
+    def reset_reports(self) -> None:
+        """Drop accumulated timing (start a fresh measurement window)."""
+        self._unit_reports.clear()
+
+    # -- execution ---------------------------------------------------------
+
+    def _effective_workers(self, n_units: int) -> int:
+        if self.workers <= 1 or n_units <= 1:
+            return 1
+        if self.start_method not in multiprocessing.get_all_start_methods():
+            logger.warning(
+                "start method %r unavailable; running sequentially",
+                self.start_method,
+            )
+            return 1
+        return min(self.workers, n_units)
+
+    def run(
+        self,
+        units: Sequence[WorkUnit],
+        policy: ExecutionPolicy | None = None,
+        on_result: Callable[[int, ExecutionOutcome], None] | None = None,
+    ) -> ScheduleResult:
+        """Execute *units* and return outcomes in submission order.
+
+        *policy* overrides the scheduler's default for this run; it (and
+        every unit) must be picklable when ``workers > 1``. Failures
+        never raise — they come back inside the outcomes — but an
+        exception outside the policy's ``retry_on`` allow-list propagates,
+        matching the sequential contract of ``ExecutionPolicy.execute``.
+
+        *on_result* is invoked in the parent as ``(index, outcome)`` the
+        moment each unit's result arrives — completion order, not
+        submission order — so callers can checkpoint finished work while
+        the batch is still running (a kill then loses only in-flight
+        units). The merged ``outcomes`` stay submission-ordered.
+        """
+        active_policy = policy if policy is not None else self.policy
+        start = time.perf_counter()
+        n_workers = self._effective_workers(len(units))
+        payloads = [
+            (index, unit, active_policy) for index, unit in enumerate(units)
+        ]
+        raw = []
+        if n_workers == 1:
+            for payload in payloads:
+                item = _execute_unit(payload)
+                if on_result is not None:
+                    on_result(item[0], item[1])
+                raw.append(item)
+        else:
+            context = multiprocessing.get_context(self.start_method)
+            with context.Pool(processes=n_workers) as pool:
+                for item in pool.imap_unordered(
+                    _execute_unit, payloads, chunksize=1
+                ):
+                    if on_result is not None:
+                        on_result(item[0], item[1])
+                    raw.append(item)
+        raw.sort(key=lambda item: item[0])
+        outcomes = tuple(item[1] for item in raw)
+        unit_reports = tuple(
+            UnitReport(
+                unit_id=units[index].unit_id,
+                worker_pid=pid,
+                elapsed_seconds=elapsed,
+                ok=outcome.ok,
+            )
+            for index, outcome, pid, elapsed in raw
+        )
+        self._unit_reports.extend(unit_reports)
+        return ScheduleResult(
+            outcomes=outcomes,
+            unit_reports=unit_reports,
+            elapsed_seconds=time.perf_counter() - start,
+            workers=n_workers,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelScheduler(workers={self.workers}, "
+            f"start_method={self.start_method!r})"
+        )

@@ -16,6 +16,7 @@ from repro.core.practical import (
     learning_based_margin,
     non_linear_boost,
     practical_measures,
+    unmeasured_practical,
 )
 
 
@@ -52,6 +53,20 @@ class TestPracticalMeasures:
         assert not solved.is_challenging()
         linear = PracticalMeasures(0.01, 0.2, 0.8, 0.79)
         assert not linear.is_challenging()
+
+
+class TestUnmeasuredPractical:
+    """Regression: NaN measures must read as *unknown*, never as easy."""
+
+    def test_is_not_measured(self):
+        assert not unmeasured_practical().is_measured
+        assert PracticalMeasures(0.1, 0.1, 0.9, 0.8).is_measured
+
+    def test_partial_nan_is_not_measured(self):
+        assert not PracticalMeasures(float("nan"), 0.1, 0.9, 0.8).is_measured
+
+    def test_is_not_challenging(self):
+        assert not unmeasured_practical().is_challenging()
 
 
 def _make_assessment(
@@ -105,6 +120,23 @@ class TestAssessment:
         assert not assessment.easy_by_practical
         assert not assessment.has_practical
         assert assessment.is_challenging
+
+    def test_unmeasured_practical_is_not_easy(self):
+        # Regression: a failed sweep used to make its dataset "easy by
+        # practical" because NaN comparisons silently evaluated falsy in
+        # one branch and truthy in another. Unknown is not evidence.
+        assessment = _make_assessment(0.5, 0.5, unmeasured_practical())
+        assert not assessment.has_practical
+        assert not assessment.easy_by_practical
+        assert assessment.is_challenging  # a-priori gates still apply
+        assert assessment.summary()["has_practical"] is False
+
+    def test_measured_practical_sets_summary_flag(self):
+        assessment = _make_assessment(
+            0.5, 0.5, PracticalMeasures(0.1, 0.1, 0.9, 0.8)
+        )
+        assert assessment.has_practical
+        assert assessment.summary()["has_practical"] is True
 
     def test_summary_keys(self):
         assessment = _make_assessment(

@@ -1,0 +1,163 @@
+"""Integration tests for parallel sweeps (--workers N).
+
+The acceptance scenario of the parallel scheduler: fanning the
+per-matcher units of one sweep — or the per-dataset sweeps of a full
+regeneration — across worker processes must yield results identical to
+the sequential run, marshal degraded results and failure records back to
+the parent, skip journal-complete units on resume, and keep shared cache
+directories valid under concurrent writers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+from repro.runtime import faults
+
+SCALE = 0.3
+DATASET = "Ds5"
+DATASETS = ("Ds5", "Ds7")
+FAILING_MATCHER = "DITTO (15)"
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def make_runner(cache_dir, workers: int = 1) -> ExperimentRunner:
+    return ExperimentRunner(
+        size_factor=SCALE, seed=0, cache_dir=cache_dir, workers=workers
+    )
+
+
+def scores(results) -> dict[str, tuple[float, float, float, bool]]:
+    """The deterministic slice of a sweep (timings vary run to run)."""
+    return {
+        name: (r.precision, r.recall, r.f1, r.degraded)
+        for name, r in results.items()
+    }
+
+
+class TestParallelEqualsSequential:
+    def test_single_sweep_fanned_over_matchers(self):
+        sequential = make_runner(None).matcher_results(DATASET)
+        parallel_runner = make_runner(None, workers=2)
+        parallel = parallel_runner.matcher_results(DATASET)
+        assert scores(parallel) == scores(sequential)
+        assert list(parallel) == list(sequential)  # deterministic order
+        assert parallel_runner.failure_records() == []
+        assert parallel_runner.worker_reports() != []
+
+    def test_sweep_all_fanned_over_datasets(self, tmp_path):
+        sequential = {
+            d: scores(make_runner(None).matcher_results(d)) for d in DATASETS
+        }
+        runner = make_runner(tmp_path, workers=2)
+        parallel = runner.sweep_all(DATASETS)
+        assert {d: scores(r) for d, r in parallel.items()} == sequential
+        assert runner.failure_records() == []
+        # Parent journals every unit and writes the envelopes.
+        for dataset_id in DATASETS:
+            assert runner.journal.is_done(f"sweep:{dataset_id}")
+            assert list(tmp_path.glob(f"suite_{dataset_id}_*.json"))
+
+    def test_sweep_all_with_one_worker_is_the_sequential_loop(self):
+        runner = make_runner(None)
+        results = runner.sweep_all((DATASET,))
+        assert scores(results[DATASET]) == scores(
+            runner.matcher_results(DATASET)
+        )
+        assert runner.worker_reports() == []
+
+
+class TestParallelDegradation:
+    def test_degraded_matcher_marshalled_from_worker(self):
+        # Faults armed before the pool forks are inherited by workers.
+        runner = make_runner(None, workers=2)
+        with faults.injected(f"matcher:{FAILING_MATCHER}", times=None):
+            results = runner.matcher_results(DATASET)
+        assert results[FAILING_MATCHER].degraded
+        healthy = [r for r in results.values() if not r.degraded]
+        assert len(healthy) == len(results) - 1
+        failures = runner.failure_records()
+        assert [f.unit_id for f in failures] == [f"{DATASET}/{FAILING_MATCHER}"]
+        assert failures[0].phase == "matcher"
+
+    def test_failed_sweep_degrades_one_dataset_not_the_batch(self, tmp_path):
+        runner = make_runner(tmp_path, workers=2)
+        with faults.injected(f"sweep:{DATASET}", times=None):
+            results = runner.sweep_all(DATASETS)
+        assert results[DATASET] == {}
+        assert len(results["Ds7"]) > 20
+        failures = runner.failure_records()
+        assert [f.unit_id for f in failures] == [f"sweep:{DATASET}"]
+        assert not runner.journal.is_done(f"sweep:{DATASET}")
+        assert runner.journal.is_done("sweep:Ds7")
+
+
+class TestJournalResume:
+    def test_journal_complete_units_are_not_dispatched(self, tmp_path):
+        first = make_runner(tmp_path, workers=2)
+        baseline = {d: scores(r) for d, r in first.sweep_all(DATASETS).items()}
+
+        # "Restart": a fresh parallel runner over the same cache dir. If
+        # any completed unit were dispatched again, the armed sweep fault
+        # would blow it up and the dataset would come back empty.
+        resumed = make_runner(tmp_path, workers=2)
+        with faults.injected("sweep:Ds5", times=None), faults.injected(
+            "sweep:Ds7", times=None
+        ):
+            results = resumed.sweep_all(DATASETS)
+        assert {d: scores(r) for d, r in results.items()} == baseline
+        assert resumed.failure_records() == []
+
+    def test_journal_cache_divergence_is_surfaced(self, tmp_path):
+        first = make_runner(tmp_path)
+        first.matcher_results(DATASET)
+        # Simulate losing the envelope while the journal survives.
+        for cache_file in tmp_path.glob(f"suite_{DATASET}_*.json"):
+            cache_file.unlink()
+
+        resumed = make_runner(tmp_path)
+        results = resumed.matcher_results(DATASET)
+        assert len(results) > 20  # recomputed, not crashed
+        divergences = [
+            f for f in resumed.failure_records() if f.phase == "journal"
+        ]
+        assert [f.unit_id for f in divergences] == [f"sweep:{DATASET}"]
+        assert divergences[0].exception_type == "JournalDivergence"
+
+
+def _sweep_into_queue(cache_dir: str, queue) -> None:
+    runner = ExperimentRunner(size_factor=SCALE, seed=0, cache_dir=cache_dir)
+    queue.put(scores(runner.matcher_results(DATASET)))
+
+
+class TestConcurrentCacheSharing:
+    def test_two_processes_sharing_one_cache_dir(self, tmp_path):
+        context = multiprocessing.get_context("fork")
+        queue = context.Queue()
+        procs = [
+            context.Process(target=_sweep_into_queue, args=(str(tmp_path), queue))
+            for _ in range(2)
+        ]
+        for proc in procs:
+            proc.start()
+        first, second = queue.get(timeout=120), queue.get(timeout=120)
+        for proc in procs:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+
+        # Both writers saw identical results and left a valid cache:
+        # no quarantined envelopes, and a fresh runner gets a clean hit.
+        assert first == second
+        assert not list(tmp_path.glob("*.quarantined"))
+        reader = make_runner(tmp_path)
+        assert scores(reader.matcher_results(DATASET)) == first
+        assert reader.failure_records() == []

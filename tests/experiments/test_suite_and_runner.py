@@ -6,14 +6,19 @@ import pytest
 
 from repro.experiments.matcher_suite import (
     build_suite,
+    clear_recorded_failures,
+    degraded_result,
     evaluate_suite,
     family_of,
     linear_f1_scores,
     non_linear_f1_scores,
+    practical_from_results,
+    recorded_failures,
 )
 from repro.experiments.report import render_figure, render_table
 from repro.experiments.runner import ExperimentRunner
 from repro.matchers.base import MatcherResult
+from repro.runtime import faults
 
 
 class TestFamilyOf:
@@ -69,6 +74,81 @@ class TestEvaluateSuite:
     def test_f1_bounds(self, results):
         for result in results.values():
             assert 0.0 <= result.f1 <= 1.0
+
+
+def _result(name: str, f1: float) -> MatcherResult:
+    return MatcherResult(name, "t", f1, f1, f1, 0.0, 0.0)
+
+
+class TestDegradedExclusion:
+    """Regression: degraded placeholders used to pollute NLB/LBM.
+
+    A matcher that failed gets an F1-0.0 placeholder; counting it as a
+    real score dragged best-family F1 down (or anchored LBM at 1.0),
+    fabricating verdicts from failures.
+    """
+
+    def test_degraded_results_excluded_from_scores(self):
+        results = {
+            "SA-ESDE": _result("SA-ESDE", 0.7),
+            "ZeroER": _result("ZeroER", 0.8),
+            "DITTO (15)": degraded_result("DITTO (15)", "t"),
+        }
+        assert "DITTO (15)" not in non_linear_f1_scores(results)
+        assert non_linear_f1_scores(results) == {"ZeroER": 0.8}
+        assert linear_f1_scores(results) == {"SA-ESDE": 0.7}
+
+    def test_whole_family_degraded_yields_unmeasured(self):
+        results = {
+            "SA-ESDE": degraded_result("SA-ESDE", "t"),
+            "ZeroER": _result("ZeroER", 0.8),
+        }
+        practical = practical_from_results(results)
+        assert not practical.is_measured
+
+    def test_healthy_results_yield_measured(self):
+        results = {
+            "SA-ESDE": _result("SA-ESDE", 0.7),
+            "ZeroER": _result("ZeroER", 0.8),
+        }
+        practical = practical_from_results(results)
+        assert practical.is_measured
+        assert practical.non_linear_boost == pytest.approx(0.1)
+
+
+class TestFailureRegistryScoping:
+    """Regression: the module-global failure registry grew without bound
+    and double-recorded when a caller also collected failures."""
+
+    @pytest.fixture(autouse=True)
+    def clean(self):
+        clear_recorded_failures()
+        faults.reset()
+        yield
+        clear_recorded_failures()
+        faults.reset()
+
+    def test_caller_supplied_list_suppresses_global_registry(
+        self, handmade_task
+    ):
+        collected = []
+        with faults.injected("matcher:SA-ESDE"):
+            results = evaluate_suite(handmade_task, failures=collected)
+        assert results["SA-ESDE"].degraded
+        assert [f.unit_id for f in collected] == [
+            f"{handmade_task.name}/SA-ESDE"
+        ]
+        # Exactly once, and only in the caller's list.
+        assert recorded_failures() == []
+
+    def test_global_registry_still_records_and_clears(self, handmade_task):
+        with faults.injected("matcher:SA-ESDE"):
+            evaluate_suite(handmade_task)
+        assert [f.unit_id for f in recorded_failures()] == [
+            f"{handmade_task.name}/SA-ESDE"
+        ]
+        clear_recorded_failures()
+        assert recorded_failures() == []
 
 
 class TestRunner:

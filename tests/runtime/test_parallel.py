@@ -1,0 +1,173 @@
+"""Tests for the process-pool scheduler (repro.runtime.parallel)."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.runtime import ExecutionPolicy
+from repro.runtime.parallel import ParallelScheduler, WorkUnit
+
+
+# Unit functions must be top-level so the pool can pickle them.
+def _double(value: int) -> int:
+    return 2 * value
+
+
+def _double_after(value: int, delay: float) -> int:
+    time.sleep(delay)
+    return 2 * value
+
+
+def _boom(value: int) -> int:
+    raise ValueError(f"boom {value}")
+
+
+def _fail_once_then(value: int, marker_dir: str) -> int:
+    """Raises on the first call (per marker file), succeeds after."""
+    marker = os.path.join(marker_dir, "attempted")
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8"):
+            pass
+        raise ValueError("transient")
+    return value
+
+
+def _units(fn, values, **extra):
+    return [
+        WorkUnit(unit_id=f"unit:{value}", fn=fn, args=(value, *extra.values()))
+        for value in values
+    ]
+
+
+NO_RETRY = ExecutionPolicy(max_attempts=1, backoff_base=0.0)
+
+
+class TestValidation:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelScheduler(workers=0)
+
+    def test_bool_workers_rejected(self):
+        with pytest.raises(TypeError):
+            ParallelScheduler(workers=True)
+
+    def test_repr(self):
+        assert "workers=2" in repr(ParallelScheduler(workers=2))
+
+
+class TestSequentialPath:
+    def test_runs_inline_in_order(self):
+        scheduler = ParallelScheduler(workers=1)
+        result = scheduler.run(_units(_double, [3, 1, 2]), policy=NO_RETRY)
+        assert [o.value for o in result.outcomes] == [6, 2, 4]
+        assert result.workers == 1
+        # Inline means this very process did the work.
+        assert {r.worker_pid for r in result.unit_reports} == {os.getpid()}
+
+    def test_single_unit_stays_inline_even_with_workers(self):
+        scheduler = ParallelScheduler(workers=4)
+        result = scheduler.run(_units(_double, [5]), policy=NO_RETRY)
+        assert result.workers == 1
+        assert result.outcomes[0].value == 10
+
+
+class TestParallelPath:
+    def test_merge_is_submission_order_not_completion_order(self):
+        # The first unit sleeps; a completion-order merge would invert it.
+        scheduler = ParallelScheduler(workers=2)
+        units = [
+            WorkUnit("slow", _double_after, args=(1, 0.3)),
+            WorkUnit("fast", _double_after, args=(2, 0.0)),
+        ]
+        result = scheduler.run(units, policy=NO_RETRY)
+        assert [o.value for o in result.outcomes] == [2, 4]
+
+    def test_work_happens_in_child_processes(self):
+        scheduler = ParallelScheduler(workers=2)
+        result = scheduler.run(_units(_double, [1, 2, 3, 4]), policy=NO_RETRY)
+        assert all(r.worker_pid != os.getpid() for r in result.unit_reports)
+        assert result.workers == 2
+
+    def test_failures_marshalled_as_records(self):
+        scheduler = ParallelScheduler(workers=2)
+        units = [
+            WorkUnit("ok", _double, args=(1,), phase="matcher"),
+            WorkUnit("bad", _boom, args=(7,), phase="matcher"),
+        ]
+        result = scheduler.run(units, policy=NO_RETRY)
+        ok, bad = result.outcomes
+        assert ok.ok and ok.value == 2
+        assert not bad.ok
+        assert bad.failure.unit_id == "bad"
+        assert bad.failure.phase == "matcher"
+        assert bad.failure.exception_type == "ValueError"
+        assert result.failures() == [bad.failure]
+
+    def test_on_result_streams_in_completion_order(self):
+        # The slow unit is submitted first; the callback must see the
+        # fast one before it, while the merged outcomes stay
+        # submission-ordered. This is what lets callers checkpoint
+        # completed units before the batch finishes.
+        scheduler = ParallelScheduler(workers=2)
+        units = [
+            WorkUnit("slow", _double_after, args=(1, 0.4)),
+            WorkUnit("fast", _double_after, args=(2, 0.0)),
+        ]
+        seen = []
+        result = scheduler.run(
+            units,
+            policy=NO_RETRY,
+            on_result=lambda index, outcome: seen.append(
+                (index, outcome.value)
+            ),
+        )
+        assert sorted(seen) == [(0, 2), (1, 4)]
+        assert seen[0] == (1, 4)  # fast unit arrived first
+        assert [o.value for o in result.outcomes] == [2, 4]
+
+    def test_on_result_fires_on_inline_path(self):
+        scheduler = ParallelScheduler(workers=1)
+        seen = []
+        scheduler.run(
+            _units(_double, [1, 2]),
+            policy=NO_RETRY,
+            on_result=lambda index, outcome: seen.append(index),
+        )
+        assert seen == [0, 1]
+
+    def test_policy_retries_inside_worker(self, tmp_path):
+        # chunksize=1 and a shared marker file: the retry happens in the
+        # same worker, driven by the policy that crossed the fork.
+        policy = ExecutionPolicy(max_attempts=2, backoff_base=0.0)
+        scheduler = ParallelScheduler(workers=2)
+        result = scheduler.run(
+            [WorkUnit("retry", _fail_once_then, args=(9, str(tmp_path)))],
+            policy=policy,
+        )
+        assert result.outcomes[0].ok
+        assert result.outcomes[0].value == 9
+
+
+class TestReports:
+    def test_worker_reports_aggregate_across_runs(self):
+        scheduler = ParallelScheduler(workers=1)
+        scheduler.run(_units(_double, [1, 2]), policy=NO_RETRY)
+        scheduler.run(_units(_double, [3]), policy=NO_RETRY)
+        reports = scheduler.worker_reports()
+        assert sum(report.units for report in reports) == 3
+        assert all(report.busy_seconds >= 0.0 for report in reports)
+        scheduler.reset_reports()
+        assert scheduler.worker_reports() == []
+
+    def test_unit_reports_carry_outcome_flag(self):
+        scheduler = ParallelScheduler(workers=1)
+        units = [
+            WorkUnit("good", _double, args=(1,)),
+            WorkUnit("bad", _boom, args=(1,)),
+        ]
+        result = scheduler.run(units, policy=NO_RETRY)
+        assert [r.ok for r in result.unit_reports] == [True, False]
+        assert [r.unit_id for r in result.unit_reports] == ["good", "bad"]
