@@ -10,13 +10,13 @@ from __future__ import annotations
 
 from benchmarks.conftest import run_once
 from repro.experiments.figures import figure1
-from repro.experiments.report import render_figure
+from repro.experiments.report import render
 
 
 def test_figure1(runner, benchmark):
     figure = run_once(benchmark, figure1, runner)
     print()
-    print(render_figure(figure, title="Figure 1 — degree of linearity (established)"))
+    print(render(figure, title="Figure 1 — degree of linearity (established)"))
 
     def linearity(dataset_id: str) -> float:
         series = figure[dataset_id]

@@ -9,13 +9,13 @@ from __future__ import annotations
 
 from benchmarks.conftest import run_once
 from repro.experiments.figures import figure2
-from repro.experiments.report import render_figure
+from repro.experiments.report import render
 
 
 def test_figure2(runner, benchmark):
     figure = run_once(benchmark, figure2, runner)
     print()
-    print(render_figure(figure, title="Figure 2 — complexity measures (established)"))
+    print(render(figure, title="Figure 2 — complexity measures (established)"))
 
     means = {dataset_id: series["mean"] for dataset_id, series in figure.items()}
     # D_s7 is the simplest dataset of all.

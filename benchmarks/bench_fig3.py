@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from benchmarks.conftest import run_once
 from repro.experiments.figures import figure3
-from repro.experiments.report import render_figure
+from repro.experiments.report import render
 
 CHALLENGING = ("Ds4", "Ds6", "Dd4", "Dt1")
 
@@ -18,7 +18,7 @@ CHALLENGING = ("Ds4", "Ds6", "Dd4", "Dt1")
 def test_figure3(runner, benchmark):
     figure = run_once(benchmark, figure3, runner)
     print()
-    print(render_figure(figure, title="Figure 3 — NLB and LBM (established)"))
+    print(render(figure, title="Figure 3 — NLB and LBM (established)"))
 
     # The challenging quartet clears both 5% bars.
     for dataset in CHALLENGING:

@@ -10,13 +10,13 @@ from __future__ import annotations
 
 from benchmarks.conftest import run_once
 from repro.experiments.figures import figure4
-from repro.experiments.report import render_figure
+from repro.experiments.report import render
 
 
 def test_figure4(runner, benchmark):
     figure = run_once(benchmark, figure4, runner)
     print()
-    print(render_figure(figure, title="Figure 4 — degree of linearity (new)"))
+    print(render(figure, title="Figure 4 — degree of linearity (new)"))
 
     def linearity(label: str) -> float:
         series = figure[label]

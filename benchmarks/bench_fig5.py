@@ -9,13 +9,13 @@ from __future__ import annotations
 
 from benchmarks.conftest import run_once
 from repro.experiments.figures import figure5
-from repro.experiments.report import render_figure
+from repro.experiments.report import render
 
 
 def test_figure5(runner, benchmark):
     figure = run_once(benchmark, figure5, runner)
     print()
-    print(render_figure(figure, title="Figure 5 — complexity measures (new)"))
+    print(render(figure, title="Figure 5 — complexity measures (new)"))
 
     means = {label: series["mean"] for label, series in figure.items()}
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from benchmarks.conftest import run_once
 from repro.experiments.figures import figure6
-from repro.experiments.report import render_figure
+from repro.experiments.report import render
 
 CHALLENGING_NEW = ("Dn1", "Dn2", "Dn6", "Dn7")
 
@@ -18,7 +18,7 @@ CHALLENGING_NEW = ("Dn1", "Dn2", "Dn6", "Dn7")
 def test_figure6(runner, benchmark):
     figure = run_once(benchmark, figure6, runner)
     print()
-    print(render_figure(figure, title="Figure 6 — NLB and LBM (new benchmarks)"))
+    print(render(figure, title="Figure 6 — NLB and LBM (new benchmarks)"))
 
     # D_n3 is solved by everyone: both measures near zero.
     assert figure["Dn3"]["nlb"] < 0.04

@@ -1,0 +1,85 @@
+"""Observability overhead: traced+metered sweeps vs disabled, ≤2% budget.
+
+Times the same fresh matcher sweep with the active
+:class:`~repro.obs.Observability` enabled and disabled (best-of-N to
+filter scheduler noise on shared machines) and writes the measurements to
+``BENCH_obs.json`` in the repository root. DESIGN.md §8 budgets the
+enabled path at ≤2% overhead; the assertion carries a small absolute
+guard so sub-100ms timing jitter cannot fail a run that is within noise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import obs as obs_module
+from repro.experiments.runner import ExperimentRunner, RunnerConfig
+from repro.obs import Observability
+
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+SCALE = 0.3
+DATASETS = ("Ds5", "Ds7")
+REPS = 3
+OVERHEAD_BUDGET_PCT = 2.0
+#: Absolute slack: differences below this are timing noise, not overhead.
+NOISE_FLOOR_SECONDS = 0.1
+
+
+def _one_sweep() -> float:
+    """Wall seconds of fresh, uncached sweeps under the active obs."""
+    runner = ExperimentRunner(config=RunnerConfig(scale=SCALE))
+    start = time.perf_counter()
+    runner.sweep_all(DATASETS)
+    return time.perf_counter() - start
+
+
+def _timed(enabled: bool) -> float:
+    previous = obs_module.activate(Observability(enabled=enabled))
+    try:
+        return _one_sweep()
+    finally:
+        obs_module.activate(previous)
+
+
+def test_observability_overhead():
+    # Warm-up: the first sweep pays dataset generation and allocator
+    # warm-up that would otherwise be billed to whichever mode runs first.
+    _timed(enabled=False)
+    # Interleave the modes so slow drift (thermal, co-tenants) hits both.
+    disabled_seconds = float("inf")
+    enabled_seconds = float("inf")
+    for _ in range(REPS):
+        disabled_seconds = min(disabled_seconds, _timed(enabled=False))
+        enabled_seconds = min(enabled_seconds, _timed(enabled=True))
+    delta = enabled_seconds - disabled_seconds
+    overhead_pct = 100.0 * delta / disabled_seconds
+    within_budget = (
+        overhead_pct <= OVERHEAD_BUDGET_PCT or delta <= NOISE_FLOOR_SECONDS
+    )
+
+    record = {
+        "scale": SCALE,
+        "datasets": list(DATASETS),
+        "reps": REPS,
+        "cpu_count": os.cpu_count(),
+        "disabled_seconds": round(disabled_seconds, 4),
+        "enabled_seconds": round(enabled_seconds, 4),
+        "delta_seconds": round(delta, 4),
+        "overhead_pct": round(overhead_pct, 3),
+        "budget_pct": OVERHEAD_BUDGET_PCT,
+        "noise_floor_seconds": NOISE_FLOOR_SECONDS,
+        "within_budget": within_budget,
+    }
+    RECORD_PATH.write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+    )
+    print()
+    print(json.dumps(record, indent=2))
+
+    assert within_budget, (
+        f"observability overhead {overhead_pct:.2f}% "
+        f"({delta:.3f}s) exceeds the 2% budget"
+    )

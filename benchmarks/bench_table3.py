@@ -9,14 +9,14 @@ balanced, Walmart-Amazon around 9%).
 from __future__ import annotations
 
 from benchmarks.conftest import run_once
-from repro.experiments.report import render_table
+from repro.experiments.report import render
 from repro.experiments.tables import table3
 
 
 def test_table3(runner, benchmark):
     headers, rows = run_once(benchmark, table3, runner)
     print()
-    print(render_table(headers, rows, title="Table III — established benchmarks"))
+    print(render((headers, rows), title="Table III — established benchmarks"))
 
     assert len(rows) == 13
     by_id = {row[0]: row for row in rows}

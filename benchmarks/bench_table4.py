@@ -14,7 +14,7 @@ from __future__ import annotations
 from benchmarks.conftest import run_once
 from repro.datasets.registry import ESTABLISHED_DATASET_IDS
 from repro.experiments.matcher_suite import family_of
-from repro.experiments.report import render_table
+from repro.experiments.report import render
 from repro.experiments.tables import table4
 
 
@@ -25,7 +25,7 @@ def _collect(runner):
 def test_table4(runner, benchmark):
     headers, rows = run_once(benchmark, _collect, runner)
     print()
-    print(render_table(headers, rows, title="Table IV — F1 per matcher and dataset"))
+    print(render((headers, rows), title="Table IV — F1 per matcher and dataset"))
 
     columns = {dataset: index + 2 for index, dataset in enumerate(ESTABLISHED_DATASET_IDS)}
 

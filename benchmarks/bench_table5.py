@@ -10,14 +10,14 @@ from __future__ import annotations
 
 from benchmarks.conftest import run_once
 from repro.datasets.registry import SOURCE_DATASET_IDS
-from repro.experiments.report import render_table
+from repro.experiments.report import render
 from repro.experiments.tables import table5
 
 
 def test_table5(runner, benchmark):
     headers, rows = run_once(benchmark, table5, runner)
     print()
-    print(render_table(headers, rows, title="Table V — new benchmarks (DeepBlocker)"))
+    print(render((headers, rows), title="Table V — new benchmarks (DeepBlocker)"))
 
     assert len(rows) == len(SOURCE_DATASET_IDS)
     by_label = {row[0]: row for row in rows}

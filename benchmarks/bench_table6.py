@@ -11,14 +11,14 @@ from __future__ import annotations
 from benchmarks.conftest import run_once
 from repro.datasets.registry import SOURCE_DATASET_IDS
 from repro.experiments.matcher_suite import family_of
-from repro.experiments.report import render_table
+from repro.experiments.report import render
 from repro.experiments.tables import table6
 
 
 def test_table6(runner, benchmark):
     headers, rows = run_once(benchmark, table6, runner)
     print()
-    print(render_table(headers, rows, title="Table VI — F1 per matcher (new benchmarks)"))
+    print(render((headers, rows), title="Table VI — F1 per matcher (new benchmarks)"))
 
     labels = headers[2:]
     columns = {label: index + 2 for index, label in enumerate(labels)}

@@ -11,14 +11,14 @@ inserted in an undocumented way.
 from __future__ import annotations
 
 from benchmarks.conftest import run_once
-from repro.experiments.report import render_table
+from repro.experiments.report import render
 from repro.experiments.tables import table7
 
 
 def test_table7(runner, benchmark):
     headers, rows = run_once(benchmark, table7, runner)
     print()
-    print(render_table(headers, rows, title="Table VII — existing vs new benchmarks"))
+    print(render((headers, rows), title="Table VII — existing vs new benchmarks"))
 
     assert len(rows) == 5
     by_existing = {row[0]: row for row in rows}

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from benchmarks.conftest import run_once
 from repro.datasets.registry import SOURCE_DATASET_IDS
-from repro.experiments.report import render_table
+from repro.experiments.report import render
 from repro.experiments.tables import verdict_table
 
 CHALLENGING_ESTABLISHED = {"Ds4", "Ds6", "Dd4", "Dt1"}
@@ -21,7 +21,7 @@ CHALLENGING_NEW = {"Dn1", "Dn2", "Dn6", "Dn7"}
 def test_established_verdicts(runner, benchmark):
     headers, rows = run_once(benchmark, verdict_table, runner)
     print()
-    print(render_table(headers, rows, title="Verdicts — established benchmarks"))
+    print(render((headers, rows), title="Verdicts — established benchmarks"))
     challenging = {row[0] for row in rows if row[-1] == "CHALLENGING"}
     assert challenging == CHALLENGING_ESTABLISHED
 
@@ -31,6 +31,6 @@ def test_new_verdicts(runner, benchmark):
         benchmark, verdict_table, runner, SOURCE_DATASET_IDS
     )
     print()
-    print(render_table(headers, rows, title="Verdicts — new benchmarks"))
+    print(render((headers, rows), title="Verdicts — new benchmarks"))
     challenging = {row[0] for row in rows if row[-1] == "CHALLENGING"}
     assert challenging == CHALLENGING_NEW

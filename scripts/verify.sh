@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Repository verification: byte-compile everything, run the tier-1 test
 # suite (ROADMAP.md), the fast fault-injection smoke set, then a
-# two-worker parallel regeneration of Figure 3 on a fresh cache.
+# two-worker parallel regeneration of Table IV with metrics/trace
+# observability on a fresh cache, plus the observability overhead bench.
 #
 # Usage: scripts/verify.sh [--smoke-only]
 set -euo pipefail
@@ -20,7 +21,12 @@ fi
 echo "== fault-injection smoke =="
 python -m pytest -x -q -m fault_smoke
 
-echo "== parallel scheduler smoke (--workers 2) =="
-python -m repro fig3 --workers 2 --cache "$(mktemp -d)"
+echo "== parallel scheduler + observability smoke (--workers 2 --metrics) =="
+SMOKE_CACHE="$(mktemp -d)"
+python -m repro table4 --workers 2 --metrics --cache "$SMOKE_CACHE"
+python -m repro trace --last --cache "$SMOKE_CACHE"
+
+echo "== observability overhead bench =="
+python -m pytest -x -q benchmarks/bench_obs.py
 
 echo "verify: OK"

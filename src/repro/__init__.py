@@ -20,13 +20,52 @@ The package implements the paper's full apparatus:
 * :mod:`repro.experiments` — the table/figure harness, paper comparison,
   SVG rendering and the ``python -m repro`` CLI.
 
+* :mod:`repro.obs` — zero-dependency observability: trace spans, a
+  metrics registry and profiling hooks, shared by every layer above;
+* :mod:`repro.runtime` — fault-tolerant execution (policies, cache
+  envelopes, checkpoint journal, process-pool scheduling).
+
 Quickstart::
+
+    from repro import default_runner, render
+    from repro.experiments.tables import table3
+
+    print(render(table3(default_runner()), title="Table III"))
+
+or, assessing one dataset directly::
 
     from repro.datasets import load_established_task
     from repro.core import assess_benchmark
 
     task = load_established_task("Ds4")
     print(assess_benchmark(task).summary())
+
+The facade below re-exports the runner/reporting surface so common use
+needs only ``from repro import ...``.
 """
 
 __version__ = "1.0.0"
+
+# The obs package is stdlib-only and imported by low-level modules
+# (runtime.cache, matchers.base); importing it first keeps the facade's
+# heavier imports below free of partially-initialised-package surprises.
+from repro import obs
+from repro.obs import Observability
+from repro.experiments.report import render
+from repro.experiments.runner import (
+    ExperimentRunner,
+    RunnerConfig,
+    default_runner,
+)
+from repro.runtime import ExecutionPolicy
+
+__all__ = [
+    "ExecutionPolicy",
+    "ExperimentRunner",
+    "Observability",
+    "RunnerConfig",
+    "__version__",
+    "default_runner",
+    "obs",
+    "render",
+]

@@ -8,10 +8,40 @@ definitions.
 
 from __future__ import annotations
 
+import functools
+import time
 from collections.abc import Iterable
 from dataclasses import dataclass
+from typing import Callable, TypeVar
 
+from repro import obs
 from repro.datasets.generator import SourcePair
+
+_C = TypeVar("_C", bound=Callable)
+
+
+def observed_candidates(method: _C) -> _C:
+    """Instrument a blocker's ``candidates(self, sources)`` method.
+
+    Wraps candidate generation with the blocking metrics — candidate
+    count, block wall time, derived pairs/sec throughput — plus a phase
+    probe notification keyed by the blocker's class name. A decorator so
+    each blocker keeps its own generation logic untouched.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, sources: SourcePair):  # type: ignore[no-untyped-def]
+        start = time.perf_counter()
+        result = method(self, sources)
+        seconds = time.perf_counter() - start
+        obs.observe("blocking.block_seconds", seconds)
+        obs.inc("blocking.candidates", len(result))
+        if seconds > 0:
+            obs.gauge("blocking.pairs_per_sec", len(result) / seconds)
+        obs.phase(type(self).__name__, "block", seconds)
+        return result
+
+    return wrapper  # type: ignore[return-value]
 
 
 @dataclass(frozen=True)
@@ -33,6 +63,7 @@ def evaluate_blocking(
 ) -> BlockingResult:
     """Score a candidate key set against the source pair's ground truth."""
     candidate_set = frozenset(candidates)
+    obs.inc("blocking.evaluations")
     matching = len(candidate_set & sources.matches)
     pair_completeness = (
         matching / sources.n_matches if sources.n_matches else 0.0

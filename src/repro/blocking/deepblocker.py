@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.blocking.autoencoder import LinearAutoencoder
+from repro.blocking.base import observed_candidates
 from repro.data.records import Record, RecordStore
 from repro.datasets.generator import SourcePair
 from repro.datasets.vocabulary import ConceptVocabulary
@@ -164,6 +165,7 @@ class DeepBlocker:
         self.config = config
         self.seed = seed
 
+    @observed_candidates
     def candidates(self, sources: SourcePair) -> set[tuple[str, str]]:
         """The candidate (left_id, right_id) pairs of this configuration."""
         index = DeepBlockerIndex(

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.blocking.base import observed_candidates
 from repro.data.records import RecordStore
 from repro.datasets.generator import SourcePair
 
@@ -38,6 +39,7 @@ class QGramBlocker:
             }
         return index
 
+    @observed_candidates
     def candidates(self, sources: SourcePair) -> set[tuple[str, str]]:
         """All candidate (left_id, right_id) pairs."""
         right_index = self._index(sources.right)

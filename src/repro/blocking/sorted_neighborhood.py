@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
+from repro.blocking.base import observed_candidates
 from repro.data.records import Record
 from repro.datasets.generator import SourcePair
 from repro.text.tokenize import tokenize
@@ -38,6 +39,7 @@ class SortedNeighborhoodBlocker:
         self.window = window
         self.key = key
 
+    @observed_candidates
     def candidates(self, sources: SourcePair) -> set[tuple[str, str]]:
         """All cross-source pairs co-occurring in a window."""
         entries: list[tuple[str, str, str]] = []  # (key, side, record_id)

@@ -21,6 +21,13 @@ that failed is listed after the output instead of aborting the run.
 rosters) across N ``fork`` worker processes via
 :mod:`repro.runtime.parallel`; results are identical to the sequential
 run and a per-worker timing table is printed after the output.
+
+Observability (:mod:`repro.obs`): every run traces its sweeps, matcher
+evaluations and assessments into ``<cache>/trace.jsonl`` —
+``python -m repro trace --last`` renders the most recent run as a tree.
+``--metrics`` appends the run's counters/gauges/timers after the output
+(never altering the output itself) and ``--profile`` samples the hottest
+units while the run executes.
 """
 
 from __future__ import annotations
@@ -28,17 +35,17 @@ from __future__ import annotations
 import argparse
 from pathlib import Path
 
+from repro import obs
 from repro.datasets.registry import ESTABLISHED_DATASET_IDS, SOURCE_DATASET_IDS
 from repro.experiments import figures, tables
-from repro.experiments.matcher_suite import clear_recorded_failures
-from repro.experiments.report import (
-    render_failures,
-    render_figure,
-    render_table,
-    render_worker_report,
+from repro.experiments.report import render
+from repro.experiments.runner import (
+    ExperimentRunner,
+    RunnerConfig,
+    check_cache_dir_writable,
 )
-from repro.experiments.runner import ExperimentRunner, check_cache_dir_writable
-from repro.runtime import ExecutionPolicy, faults
+from repro.obs import read_trace
+from repro.runtime import ExecutionPolicy, clear_recorded_failures, faults
 
 _TABLES = {
     "table3": (tables.table3, "Table III — established benchmarks"),
@@ -90,6 +97,15 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _cache_dir(text: str) -> Path | None:
+    """Argparse type for ``--cache``: the advertised '' really disables.
+
+    ``Path("")`` normalises to ``Path(".")``, so a plain ``type=Path``
+    would silently cache into the working directory instead.
+    """
+    return Path(text) if text else None
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -97,7 +113,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="table3..table7, fig1..fig6, audit, snapshot, or list",
+        help="table3..table7, fig1..fig6, audit, snapshot, trace, or list",
     )
     parser.add_argument(
         "dataset",
@@ -113,7 +129,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--cache",
-        type=Path,
+        type=_cache_dir,
         default=Path(".benchcache"),
         help="matcher-sweep cache directory ('' to disable)",
     )
@@ -156,6 +172,23 @@ def _build_parser() -> argparse.ArgumentParser:
         default=Path("snapshot.json"),
         help="output path for the 'snapshot' experiment",
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the run's metrics (counters/gauges/timers) after the "
+        "output; never changes the output itself",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="sample the active spans while the run executes and print the "
+        "hottest units afterwards (opt-in; adds sampling overhead)",
+    )
+    parser.add_argument(
+        "--last",
+        action="store_true",
+        help="for 'trace': show only the most recent run in the trace file",
+    )
     return parser
 
 
@@ -179,15 +212,55 @@ def _audit(runner: ExperimentRunner, dataset_id: str) -> str:
 
 
 def _print_failures(runner: ExperimentRunner) -> None:
-    report = render_failures(runner.failure_records())
+    report = render(runner.failure_records())
     if report:
         print()
         print(report)
     if runner.workers > 1:
-        timing = render_worker_report(runner.worker_reports())
+        timing = render(runner.worker_reports())
         if timing:
             print()
             print(timing)
+
+
+def _print_observability(runner: ExperimentRunner, args) -> None:
+    """The opt-in ``--metrics`` / ``--profile`` epilogue, after the output."""
+    if args.metrics:
+        print()
+        print(render(runner.obs.snapshot(), title="Metrics"))
+    if args.profile:
+        runner.obs.profiler.stop()
+        rows = [
+            [label, str(samples), f"{seconds:.2f}s"]
+            for label, samples, seconds in runner.obs.profiler.summary(10)
+        ]
+        print()
+        if rows:
+            print(render((["unit", "samples", "~seconds"], rows),
+                         title="Hottest units (sampled)"))
+        else:
+            print("Hottest units (sampled): no samples collected")
+
+
+def _trace_command(cache_dir: Path | None, last: bool) -> int:
+    """``python -m repro trace [--last]``: render the trace file as trees."""
+    if cache_dir is None:
+        print("trace requires a cache directory (--cache DIR)")
+        return 2
+    trace_path = cache_dir / obs.TRACE_FILE_NAME
+    runs = read_trace(trace_path)
+    if not runs:
+        print(f"no trace runs found in {trace_path}")
+        return 1
+    run_ids = list(runs)
+    if last:
+        run_ids = run_ids[-1:]
+    for index, run_id in enumerate(run_ids):
+        if index:
+            print()
+        spans = runs[run_id]
+        print(render(spans, title=f"Trace {run_id} ({len(spans)} span(s))"))
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -203,7 +276,11 @@ def main(argv: list[str] | None = None) -> int:
             print(f"--inject: {error}")
             return 2
 
-    cache_dir = args.cache if str(args.cache) else None
+    cache_dir = args.cache
+
+    if args.experiment == "trace":
+        return _trace_command(cache_dir, args.last)
+
     if cache_dir is not None and args.experiment not in ("list",):
         problem = check_cache_dir_writable(cache_dir)
         if problem is not None:
@@ -218,17 +295,23 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
     )
     runner = ExperimentRunner(
-        size_factor=args.scale,
-        seed=args.seed,
-        cache_dir=cache_dir,
-        policy=policy,
-        workers=args.workers,
+        config=RunnerConfig(
+            scale=args.scale,
+            seed=args.seed,
+            cache_dir=cache_dir,
+            policy=policy,
+            workers=args.workers,
+        )
     )
+    if args.profile:
+        runner.obs.profiler.start()
 
     if args.experiment == "list":
         print(
             "experiments:",
-            ", ".join([*_TABLES, *_FIGURES, "verdicts", "audit", "snapshot"]),
+            ", ".join(
+                [*_TABLES, *_FIGURES, "verdicts", "audit", "snapshot", "trace"]
+            ),
         )
         print("established datasets:", ", ".join(ESTABLISHED_DATASET_IDS))
         print("source datasets:", ", ".join(SOURCE_DATASET_IDS))
@@ -240,18 +323,19 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         print(_audit(runner, args.dataset))
         _print_failures(runner)
+        _print_observability(runner, args)
         return 0
 
     if args.experiment == "verdicts":
         from repro.datasets.registry import SOURCE_DATASET_IDS as _SOURCES
         from repro.experiments.tables import verdict_table
 
-        headers, rows = verdict_table(runner)
-        print(render_table(headers, rows, title="Verdicts — established"))
-        headers, rows = verdict_table(runner, _SOURCES)
+        print(render(verdict_table(runner), title="Verdicts — established"))
         print()
-        print(render_table(headers, rows, title="Verdicts — new benchmarks"))
+        print(render(verdict_table(runner, _SOURCES),
+                     title="Verdicts — new benchmarks"))
         _print_failures(runner)
+        _print_observability(runner, args)
         return 0
 
     if args.experiment == "snapshot":
@@ -261,19 +345,21 @@ def main(argv: list[str] | None = None) -> int:
         n_failures = len(snapshot["failures"])  # type: ignore[arg-type]
         print(f"snapshot written to {args.out} ({n_failures} degraded unit(s))")
         _print_failures(runner)
+        _print_observability(runner, args)
         return 0
 
     if args.experiment in _TABLES:
         builder, title = _TABLES[args.experiment]
-        headers, rows = builder(runner)
-        print(render_table(headers, rows, title=title))
+        print(render(builder(runner), title=title))
         _print_failures(runner)
+        _print_observability(runner, args)
         return 0
 
     if args.experiment in _FIGURES:
         builder, title = _FIGURES[args.experiment]
-        print(render_figure(builder(runner), title=title))
+        print(render(builder(runner), title=title))
         _print_failures(runner)
+        _print_observability(runner, args)
         return 0
 
     print(f"unknown experiment {args.experiment!r}; try 'repro list'")

@@ -38,9 +38,15 @@ from repro.matchers.esde import EsdeMatcher
 from repro.matchers.features import MagellanFeatureExtractor
 from repro.matchers.magellan import MAGELLAN_HEADS, MagellanMatcher
 from repro.matchers.zeroer import ZeroERMatcher
+from repro import obs
 from repro.runtime import ExecutionOutcome, ExecutionPolicy, FailureRecord
 from repro.runtime import faults
 from repro.runtime.parallel import ParallelScheduler, WorkUnit
+from repro.runtime.registry import (  # re-exported for back-compat
+    clear_recorded_failures,
+    record_failure,
+    recorded_failures,
+)
 
 #: Default epoch budget per DL method (the "(n)" of the paper's tables).
 DEFAULT_EPOCHS: dict[str, int] = {
@@ -121,9 +127,15 @@ def build_matcher(task: MatchingTask, matcher_spec: str, seed: int = 0) -> Match
 
 
 def _evaluate_matcher(matcher: Matcher, task: MatchingTask) -> MatcherResult:
-    """Fire the matcher's fault site, then evaluate (policy-wrapped unit)."""
-    faults.fire(f"matcher:{matcher.name}")
-    return matcher.evaluate(task)
+    """Fire the matcher's fault site, then evaluate (policy-wrapped unit).
+
+    Shared by the sequential and the pooled path, so every matcher
+    evaluation opens exactly one ``matcher`` trace span regardless of the
+    worker count (the span of a pooled unit marshals back to the parent).
+    """
+    with obs.span("matcher", matcher=matcher.name, dataset=task.name):
+        faults.fire(f"matcher:{matcher.name}")
+        return matcher.evaluate(task)
 
 
 def _evaluate_matcher_spec(
@@ -221,25 +233,12 @@ def evaluate_suite(
             if failures is not None:
                 failures.append(outcome.failure)
             else:
-                _failures.append(outcome.failure)
+                # Fallback: the process-wide registry in
+                # :mod:`repro.runtime.registry` (its lifecycle —
+                # ``clear_recorded_failures`` — lives there too; the names
+                # stay importable from this module for back-compat).
+                record_failure(outcome.failure)
     return results
-
-
-#: Fallback registry for matcher failures when a caller does not collect
-#: them itself (bare :func:`evaluate_suite` calls). Callers that pass a
-#: ``failures`` list — the runner, the CLI — own their records and do not
-#: touch this registry, so long-lived processes don't leak across runs.
-_failures: list[FailureRecord] = []
-
-
-def recorded_failures() -> list[FailureRecord]:
-    """Matcher failures recorded in the process-wide fallback registry."""
-    return list(_failures)
-
-
-def clear_recorded_failures() -> None:
-    """Empty the fallback registry (run/test boundary hygiene)."""
-    _failures.clear()
 
 
 def linear_f1_scores(results: dict[str, MatcherResult]) -> dict[str, float]:

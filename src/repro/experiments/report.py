@@ -1,14 +1,67 @@
-"""Plain-text rendering of tables, figure series and failure reports."""
+"""Plain-text rendering of every reportable artefact, behind one entry point.
+
+:func:`render` dispatches on the artefact's shape — ``(headers, rows)``
+tables, figure series, failure/worker-report sequences, metrics snapshots
+(:func:`repro.obs.metrics.is_metrics_snapshot`) and trace span sequences —
+so the CLI and the snapshot path share a single formatting surface. The
+historical per-type functions (``render_table`` & co.) remain as thin
+deprecated aliases.
+"""
 
 from __future__ import annotations
 
-from typing import Sequence
+import warnings
+from typing import Mapping, Sequence
 
 from repro.experiments.figures import FigureSeries
+from repro.obs.metrics import is_metrics_snapshot
+from repro.obs.spans import Span
 from repro.runtime import FailureRecord, WorkerReport
 
 
-def render_table(
+def render(artifact: object, *, title: str | None = None) -> str:
+    """Render any reportable artefact as aligned monospaced text.
+
+    Dispatch, by shape:
+
+    * ``(headers, rows)`` 2-tuple — an aligned table;
+    * a metrics snapshot (mapping with exactly the
+      ``counters``/``gauges``/``timers`` keys) — a metrics table;
+    * any other mapping — a :data:`FigureSeries` (label -> series);
+    * a sequence of :class:`FailureRecord` — the degraded-units table;
+    * a sequence of :class:`WorkerReport` — the per-worker timing table;
+    * a sequence of :class:`~repro.obs.spans.Span` — an indented trace
+      tree;
+    * an empty sequence — ``""`` (so callers can print unconditionally).
+    """
+    if isinstance(artifact, tuple) and len(artifact) == 2:
+        headers, rows = artifact
+        return _table(list(headers), [list(row) for row in rows], title=title)
+    if isinstance(artifact, Mapping):
+        if is_metrics_snapshot(artifact):
+            return _metrics(artifact, title=title)
+        return _figure(artifact, title=title)
+    if isinstance(artifact, Sequence) and not isinstance(artifact, (str, bytes)):
+        if not artifact:
+            return ""
+        first = artifact[0]
+        if isinstance(first, FailureRecord):
+            return _failures(artifact, title=title or "Degraded units")
+        if isinstance(first, WorkerReport):
+            return _workers(artifact, title=title or "Per-worker timing")
+        if isinstance(first, Span):
+            return _trace(artifact, title=title or "Trace")
+    raise TypeError(
+        f"render() cannot dispatch on {type(artifact).__name__}; expected a "
+        "(headers, rows) tuple, a figure/metrics mapping, or a sequence of "
+        "FailureRecord / WorkerReport / Span"
+    )
+
+
+# -- per-shape renderers (internal; reach them through render()) -----------
+
+
+def _table(
     headers: list[str], rows: list[list[str]], title: str | None = None
 ) -> str:
     """Align a (headers, rows) table into monospaced text."""
@@ -34,13 +87,10 @@ def render_table(
     return "\n".join(lines)
 
 
-def render_failures(
-    failures: Sequence[FailureRecord], title: str = "Degraded units"
+def _failures(
+    failures: Sequence[FailureRecord], title: str | None = "Degraded units"
 ) -> str:
-    """Render the run's :class:`FailureRecord` list as an aligned table.
-
-    Returns ``""`` for a clean run so callers can print unconditionally.
-    """
+    """The run's :class:`FailureRecord` list as an aligned table."""
     if not failures:
         return ""
     headers = ["unit", "phase", "attempts", "error", "elapsed"]
@@ -54,17 +104,13 @@ def render_failures(
         ]
         for failure in failures
     ]
-    return render_table(headers, rows, title=title)
+    return _table(headers, rows, title=title)
 
 
-def render_worker_report(
-    reports: Sequence[WorkerReport], title: str = "Per-worker timing"
+def _workers(
+    reports: Sequence[WorkerReport], title: str | None = "Per-worker timing"
 ) -> str:
-    """Render the scheduler's per-worker utilisation as an aligned table.
-
-    Returns ``""`` when nothing was scheduled (sequential runs), so
-    callers can print unconditionally.
-    """
+    """The scheduler's per-worker utilisation as an aligned table."""
     if not reports:
         return ""
     headers = ["worker", "pid", "units", "busy"]
@@ -77,11 +123,11 @@ def render_worker_report(
         ]
         for index, report in enumerate(reports)
     ]
-    return render_table(headers, rows, title=title)
+    return _table(headers, rows, title=title)
 
 
-def render_figure(figure: FigureSeries, title: str | None = None) -> str:
-    """Render a figure's series as an aligned dataset x value table."""
+def _figure(figure: FigureSeries, title: str | None = None) -> str:
+    """A figure's series as an aligned dataset x value table."""
     if not figure:
         return title or ""
     value_names = list(next(iter(figure.values())))
@@ -90,4 +136,112 @@ def render_figure(figure: FigureSeries, title: str | None = None) -> str:
         [label, *(f"{series[name]:.3f}" for name in value_names)]
         for label, series in figure.items()
     ]
-    return render_table(headers, rows, title=title)
+    return _table(headers, rows, title=title)
+
+
+def _metrics(snapshot: Mapping, title: str | None = None) -> str:
+    """A metrics snapshot as one aligned name/kind/value table.
+
+    Counters show their count, gauges their last value, timers a compact
+    ``n=... total=... mean=...`` summary — one row per metric, sorted by
+    name within each kind (the snapshot is already sorted).
+    """
+    rows: list[list[str]] = []
+    for name, value in snapshot["counters"].items():
+        rows.append([name, "counter", _number(value)])
+    for name, value in snapshot["gauges"].items():
+        rows.append([name, "gauge", _number(value)])
+    for name, stat in snapshot["timers"].items():
+        rows.append(
+            [
+                name,
+                "timer",
+                (
+                    f"n={stat['count']:.0f} total={stat['total']:.3f}s "
+                    f"mean={stat['mean']:.3f}s"
+                ),
+            ]
+        )
+    if not rows:
+        return title or "Metrics"
+    return _table(["metric", "kind", "value"], rows, title=title or "Metrics")
+
+
+def _number(value: float) -> str:
+    """``3`` for whole numbers, ``0.123`` otherwise (stable table cells)."""
+    if float(value).is_integer():
+        return f"{value:.0f}"
+    return f"{value:.3f}"
+
+
+def _trace(spans: Sequence[Span], title: str | None = "Trace") -> str:
+    """A span sequence as an indented parent/child tree.
+
+    Spans whose parent is outside the sequence render as roots; children
+    are ordered by start time under each parent.
+    """
+    if not spans:
+        return ""
+    by_id = {span.span_id: span for span in spans}
+    children: dict[str | None, list[Span]] = {}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in by_id else None
+        children.setdefault(parent, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda span: span.start_time)
+
+    lines = [title] if title else []
+
+    def walk(span: Span, depth: int) -> None:
+        attrs = " ".join(f"{k}={v}" for k, v in sorted(span.attributes.items()))
+        label = f"{span.name} {attrs}".rstrip()
+        lines.append(
+            f"{'  ' * depth}{label} [{span.status}] {span.wall_seconds:.3f}s"
+        )
+        for child in children.get(span.span_id, ()):
+            walk(child, depth + 1)
+
+    for root in children.get(None, ()):
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+# -- deprecated aliases ----------------------------------------------------
+
+
+def _deprecated(old_name: str) -> None:
+    warnings.warn(
+        f"{old_name}() is deprecated; use repro.experiments.report.render()",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def render_table(
+    headers: list[str], rows: list[list[str]], title: str | None = None
+) -> str:
+    """Deprecated alias of ``render((headers, rows), title=...)``."""
+    _deprecated("render_table")
+    return _table(headers, rows, title=title)
+
+
+def render_failures(
+    failures: Sequence[FailureRecord], title: str = "Degraded units"
+) -> str:
+    """Deprecated alias of ``render(failures, title=...)``."""
+    _deprecated("render_failures")
+    return _failures(failures, title=title)
+
+
+def render_worker_report(
+    reports: Sequence[WorkerReport], title: str = "Per-worker timing"
+) -> str:
+    """Deprecated alias of ``render(reports, title=...)``."""
+    _deprecated("render_worker_report")
+    return _workers(reports, title=title)
+
+
+def render_figure(figure: FigureSeries, title: str | None = None) -> str:
+    """Deprecated alias of ``render(figure, title=...)``."""
+    _deprecated("render_figure")
+    return _figure(figure, title=title)

@@ -26,6 +26,14 @@ per-dataset sweeps of a full regeneration — and the per-matcher units of
 a single sweep — fan out across ``fork`` worker processes with results
 identical to the sequential run (same seeds, deterministic merge order);
 see :meth:`ExperimentRunner.sweep_all`.
+
+The runner is configured by a frozen :class:`RunnerConfig` (legacy
+positional arguments still work behind a deprecation shim) and is wired
+into :mod:`repro.obs`: every sweep/assessment opens a trace span, cache
+and journal events increment metrics, and — when a cache directory is
+set — closed spans append to ``<cache_dir>/trace.jsonl``. Worker spans
+and metric deltas marshal back to the parent, so traces and counters are
+identical for any worker count (DESIGN.md §8).
 """
 
 from __future__ import annotations
@@ -33,9 +41,11 @@ from __future__ import annotations
 import hashlib
 import math
 import os
-from dataclasses import replace
+import warnings
+from dataclasses import dataclass, replace
 from pathlib import Path
 
+from repro import obs as obs_module
 from repro.core.assessment import BenchmarkAssessment, assess_benchmark
 from repro.core.complexity.profile import ComplexityProfile
 from repro.core.linearity import LinearityResult
@@ -55,6 +65,7 @@ from repro.experiments.matcher_suite import (
     practical_from_results,
 )
 from repro.matchers.base import MatcherResult
+from repro.obs import Observability
 from repro.runtime import (
     CheckpointJournal,
     ExecutionPolicy,
@@ -69,6 +80,122 @@ from repro.runtime import (
 
 #: Journal file name inside the cache directory.
 JOURNAL_NAME = "checkpoint.journal"
+
+
+@dataclass(frozen=True, kw_only=True)
+class RunnerConfig:
+    """The complete configuration of an :class:`ExperimentRunner`.
+
+    A frozen keyword-only dataclass replacing the runner's historically
+    growing positional argument list — one value object to validate, log,
+    and pass around:
+
+    * ``scale`` — dataset size factor (the legacy ``size_factor``);
+    * ``seed`` — the global experiment seed;
+    * ``cache_dir`` — on-disk envelope cache + checkpoint journal + trace
+      file location (``None`` disables persistence);
+    * ``policy`` — the :class:`ExecutionPolicy` for every expensive unit;
+    * ``workers`` — fan heavy units across this many ``fork`` processes;
+    * ``scheduler`` — an injected :class:`ParallelScheduler` (overrides
+      ``workers``);
+    * ``obs`` — the :class:`~repro.obs.Observability` instance the runner
+      reports spans/metrics to; defaults to the process-wide active one
+      (:func:`repro.obs.active`).
+    """
+
+    scale: float = 1.0
+    seed: int = 0
+    cache_dir: Path | str | None = None
+    policy: ExecutionPolicy | None = None
+    workers: int = 1
+    scheduler: ParallelScheduler | None = None
+    obs: Observability | None = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.scale, bool) or not isinstance(
+            self.scale, (int, float)
+        ):
+            raise TypeError(
+                f"size_factor must be a number, got {type(self.scale).__name__}"
+            )
+        if not math.isfinite(self.scale) or self.scale <= 0:
+            raise ValueError(f"size_factor must be > 0, got {self.scale}")
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+            raise TypeError(
+                f"seed must be an integer, got {type(self.seed).__name__}"
+            )
+
+
+#: Legacy positional order of ``ExperimentRunner.__init__`` (pre-config).
+_LEGACY_POSITIONAL = (
+    "size_factor", "seed", "cache_dir", "policy", "workers", "scheduler",
+)
+
+#: Keyword arguments the deprecation shim accepts (config fields plus the
+#: legacy ``size_factor`` spelling of ``scale``).
+_SHIM_KEYWORDS = frozenset(
+    ("scale", "seed", "cache_dir", "policy", "workers", "scheduler", "obs",
+     "size_factor")
+)
+
+
+def _resolve_config(
+    args: tuple, config: RunnerConfig | None, kwargs: dict
+) -> RunnerConfig:
+    """Map every supported ``ExperimentRunner(...)`` form to one config.
+
+    Supported forms: ``ExperimentRunner(RunnerConfig(...))`` and
+    ``ExperimentRunner(config=...)`` (canonical), bare keyword arguments
+    (``size_factor=``/``scale=`` etc., mapped silently), and the legacy
+    positional form, which still works but emits a
+    :class:`DeprecationWarning`.
+    """
+    if args and isinstance(args[0], RunnerConfig):
+        if config is not None or len(args) > 1 or kwargs:
+            raise TypeError(
+                "a positional RunnerConfig cannot be combined with other "
+                "ExperimentRunner arguments"
+            )
+        return args[0]
+    if config is not None:
+        if args or kwargs:
+            raise TypeError(
+                "config= cannot be combined with other ExperimentRunner "
+                "arguments"
+            )
+        return config
+    legacy = dict(kwargs)
+    if args:
+        if len(args) > len(_LEGACY_POSITIONAL):
+            raise TypeError(
+                f"ExperimentRunner takes at most {len(_LEGACY_POSITIONAL)} "
+                f"positional arguments ({len(args)} given)"
+            )
+        warnings.warn(
+            "positional ExperimentRunner(...) arguments are deprecated; "
+            "pass a RunnerConfig (ExperimentRunner(RunnerConfig(scale=...)))"
+            " or keyword arguments instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        for name, value in zip(_LEGACY_POSITIONAL, args):
+            if name in legacy:
+                raise TypeError(
+                    f"ExperimentRunner got multiple values for {name!r}"
+                )
+            legacy[name] = value
+    unknown = set(legacy) - _SHIM_KEYWORDS
+    if unknown:
+        raise TypeError(
+            f"unknown ExperimentRunner argument(s): {sorted(unknown)}"
+        )
+    if "size_factor" in legacy:
+        if "scale" in legacy:
+            raise TypeError(
+                "pass either scale= or the legacy size_factor=, not both"
+            )
+        legacy["scale"] = legacy.pop("size_factor")
+    return RunnerConfig(**legacy)
 
 
 class ExperimentRunner:
@@ -89,39 +216,41 @@ class ExperimentRunner:
 
     def __init__(
         self,
-        size_factor: float = 1.0,
-        seed: int = 0,
-        cache_dir: Path | str | None = None,
-        policy: ExecutionPolicy | None = None,
-        workers: int = 1,
-        scheduler: ParallelScheduler | None = None,
+        *args: object,
+        config: RunnerConfig | None = None,
+        **kwargs: object,
     ) -> None:
-        if isinstance(size_factor, bool) or not isinstance(
-            size_factor, (int, float)
-        ):
-            raise TypeError(
-                f"size_factor must be a number, got {type(size_factor).__name__}"
-            )
-        if not math.isfinite(size_factor) or size_factor <= 0:
-            raise ValueError(f"size_factor must be > 0, got {size_factor}")
-        if isinstance(seed, bool) or not isinstance(seed, int):
-            raise TypeError(
-                f"seed must be an integer, got {type(seed).__name__}"
-            )
-        self.size_factor = size_factor
-        self.seed = seed
+        self.config = _resolve_config(args, config, kwargs)
+        self.size_factor = self.config.scale
+        self.seed = self.config.seed
+        cache_dir = self.config.cache_dir
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
-        self.policy = policy or ExecutionPolicy(
-            max_attempts=1, backoff_base=0.0, seed=seed, retry_on=MATCHER_ERRORS
+        self.policy = self.config.policy or ExecutionPolicy(
+            max_attempts=1,
+            backoff_base=0.0,
+            seed=self.seed,
+            retry_on=MATCHER_ERRORS,
         )
         # Scheduler injection: an explicit scheduler wins; otherwise one is
         # built from `workers` (1 = run inline, the exact sequential path).
         self.scheduler = (
-            scheduler
-            if scheduler is not None
-            else ParallelScheduler(workers=workers, policy=self.policy)
+            self.config.scheduler
+            if self.config.scheduler is not None
+            else ParallelScheduler(workers=self.config.workers, policy=self.policy)
         )
         self.workers = self.scheduler.workers
+        self.obs = (
+            self.config.obs
+            if self.config.obs is not None
+            else obs_module.active()
+        )
+        if self.cache_dir is not None and self.obs.enabled:
+            # Every span of this run lands in <cache_dir>/trace.jsonl,
+            # tagged with a fresh run id (`python -m repro trace --last`).
+            self.obs.trace.attach_file(
+                self.cache_dir / obs_module.TRACE_FILE_NAME,
+                run_id=obs_module.new_run_id(),
+            )
         self.journal: CheckpointJournal | None = (
             CheckpointJournal(self.cache_dir / JOURNAL_NAME)
             if self.cache_dir is not None
@@ -131,6 +260,11 @@ class ExperimentRunner:
         self._matcher_results: dict[str, dict[str, MatcherResult]] = {}
         self._new_benchmarks: dict[str, NewBenchmark] = {}
         self._assessments: dict[str, BenchmarkAssessment] = {}
+
+    @property
+    def scale(self) -> float:
+        """Canonical name of the legacy ``size_factor`` attribute."""
+        return self.size_factor
 
     # -- failure accounting ----------------------------------------------------
 
@@ -235,7 +369,12 @@ class ExperimentRunner:
             return None
         read = read_cached_payload(cache_path)
         if read.hit:
-            results = _results_from_payload(read.payload)
+            # The skipped sweep still appears in the trace (cache="hit")
+            # so the span *set* of a resumed run matches a fresh one.
+            with self.obs.span("sweep", dataset=dataset_id, cache="hit"):
+                if self.journal is not None and self.journal.is_done(unit_id):
+                    self.obs.inc("journal.skip")
+                results = _results_from_payload(read.payload)
             self._mark_done(unit_id, cache=cache_path.name)
             return results
         if read.error is not None:
@@ -268,14 +407,21 @@ class ExperimentRunner:
             return cached
 
         def sweep() -> dict[str, MatcherResult]:
-            faults.fire(unit_id)
-            return evaluate_suite(
-                self.task_for(dataset_id),
-                seed=self.seed,
-                policy=self.policy,
-                failures=self._failures,
-                scheduler=self.scheduler if self.workers > 1 else None,
-            )
+            # Span per *attempt*: a retried sweep shows up once per try,
+            # with the failed attempts marked as such.
+            with self.obs.span("sweep", dataset=dataset_id) as span:
+                with self.obs.timed("sweep.seconds"):
+                    faults.fire(unit_id)
+                    results = evaluate_suite(
+                        self.task_for(dataset_id),
+                        seed=self.seed,
+                        policy=self.policy,
+                        failures=self._failures,
+                        scheduler=self.scheduler if self.workers > 1 else None,
+                    )
+                if any(result.degraded for result in results.values()):
+                    span.mark_degraded()
+                return results
 
         # The sweep unit aggregates ~23 deadline-guarded matcher units; a
         # per-unit deadline must not also cap their sum, so the enclosing
@@ -404,9 +550,10 @@ class ExperimentRunner:
                         assess_unit
                     ):
                         self._record_journal_divergence(assess_unit)
-                    cached = assess_benchmark(
-                        self.task_for(dataset_id), practical=None
-                    )
+                    with self.obs.span("assessment", dataset=dataset_id):
+                        cached = assess_benchmark(
+                            self.task_for(dataset_id), practical=None
+                        )
                     self._store_assessment(dataset_id, cached)
                 self._mark_done(assess_unit)
                 self._assessments[base_key] = cached
@@ -506,18 +653,24 @@ def _sweep_job(
     parent. Cache and journal writes stay in the parent, keeping the
     journal single-writer.
     """
-    faults.fire(f"sweep:{dataset_id}")
-    resolver = ExperimentRunner(
-        size_factor=size_factor, seed=seed, cache_dir=None, policy=policy
-    )
-    failures: list[FailureRecord] = []
-    results = evaluate_suite(
-        resolver.task_for(dataset_id),
-        seed=seed,
-        policy=policy,
-        failures=failures,
-    )
-    return results, failures
+    # Mirror of the sequential sweep closure so the span set (and the
+    # sweep.seconds timer) is identical for any worker count.
+    with obs_module.span("sweep", dataset=dataset_id) as span:
+        with obs_module.timed("sweep.seconds"):
+            faults.fire(f"sweep:{dataset_id}")
+            resolver = ExperimentRunner(
+                size_factor=size_factor, seed=seed, cache_dir=None, policy=policy
+            )
+            failures: list[FailureRecord] = []
+            results = evaluate_suite(
+                resolver.task_for(dataset_id),
+                seed=seed,
+                policy=policy,
+                failures=failures,
+            )
+        if any(result.degraded for result in results.values()):
+            span.mark_degraded()
+        return results, failures
 
 
 _default_runner: ExperimentRunner | None = None

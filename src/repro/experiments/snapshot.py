@@ -82,6 +82,10 @@ def take_snapshot(runner: ExperimentRunner) -> dict[str, object]:
         "failures": [
             failure.to_dict() for failure in runner.failure_records()
         ],
+        # Counters/gauges/timers accumulated while producing the snapshot
+        # (cache hits, matcher timings, ...) — dashboards read them from
+        # here instead of re-running anything.
+        "metrics": runner.obs.snapshot(),
     }
 
 

@@ -8,6 +8,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.data.pairs import LabeledPairSet
 from repro.data.task import MatchingTask
 from repro.ml.metrics import precision_recall_f1
@@ -80,6 +81,12 @@ class Matcher(abc.ABC):
         start = time.perf_counter()
         predictions = self.predict(task.testing)
         predict_seconds = time.perf_counter() - start
+
+        obs.inc("matcher.evaluations")
+        obs.observe("matcher.fit_seconds", fit_seconds)
+        obs.observe("matcher.predict_seconds", predict_seconds)
+        obs.phase(self.name, "fit", fit_seconds)
+        obs.phase(self.name, "predict", predict_seconds)
 
         precision, recall, f1 = precision_recall_f1(
             task.testing.labels, predictions

@@ -1,0 +1,227 @@
+"""Zero-dependency observability: trace spans, metrics, profiling hooks.
+
+The paper's verdicts hinge on a handful of expensive matcher sweeps;
+this package makes a regeneration *legible* — where the wall-clock goes
+(:mod:`~repro.obs.spans`), how much of what happened
+(:mod:`~repro.obs.metrics`), and which units are hottest
+(:mod:`~repro.obs.probe`) — without adding a dependency or measurable
+overhead (DESIGN.md §8 budgets ≤2%, enforced by
+``benchmarks/bench_obs.py``).
+
+One :class:`Observability` instance bundles a trace collector, a metrics
+registry and the probe list. A process-wide instance is active by
+default, mirroring how :mod:`repro.runtime.faults` works: low-level code
+(cache readers, execution policies, matchers, blockers) calls the
+module-level helpers —
+
+    from repro import obs
+
+    obs.inc("cache.hit")
+    with obs.span("sweep", dataset="Ds4") as sweep_span:
+        ...
+    obs.observe("matcher.fit_seconds", dt)
+
+— and everything lands in the active instance. Tests and embedders swap
+in their own via :func:`activate` (restore the previous one afterwards).
+Fork workers of :mod:`repro.runtime.parallel` capture their spans and
+metric deltas and marshal them back to the parent collector, so a
+``--workers N`` run produces the same span set and counter values as a
+sequential one.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+from uuid import uuid4
+
+from repro.obs.metrics import (
+    SNAPSHOT_KEYS,
+    MetricsRegistry,
+    TimerStat,
+    is_metrics_snapshot,
+)
+from repro.obs.probe import PhaseAccumulator, Probe, SamplingProfiler
+from repro.obs.spans import STATUSES, Span, TraceCollector, read_trace
+
+__all__ = [
+    "STATUSES",
+    "SNAPSHOT_KEYS",
+    "MetricsRegistry",
+    "Observability",
+    "PhaseAccumulator",
+    "Probe",
+    "SamplingProfiler",
+    "Span",
+    "TimerStat",
+    "TraceCollector",
+    "activate",
+    "active",
+    "gauge",
+    "inc",
+    "is_metrics_snapshot",
+    "new_run_id",
+    "observe",
+    "phase",
+    "read_trace",
+    "snapshot",
+    "span",
+    "timed",
+]
+
+#: File name of the append-only trace inside a cache directory.
+TRACE_FILE_NAME = "trace.jsonl"
+
+
+def new_run_id() -> str:
+    """A fresh opaque run id for tagging trace-file lines."""
+    return uuid4().hex[:12]
+
+
+class Observability:
+    """One coherent observability surface: spans + metrics + probes."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.trace = TraceCollector(enabled=enabled)
+        self.metrics = MetricsRegistry(enabled=enabled)
+        self.probes: list[Probe] = []
+        self.profiler = SamplingProfiler(self.trace)
+
+    # -- enablement --------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self.trace.enabled
+
+    def enable(self) -> None:
+        self.trace.enabled = True
+        self.metrics.enabled = True
+
+    def disable(self) -> None:
+        self.trace.enabled = False
+        self.metrics.enabled = False
+
+    # -- span / metric shorthands -----------------------------------------
+
+    def span(self, name: str, **attributes: Any):
+        return self.trace.span(name, **attributes)
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        self.metrics.inc(name, value)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.metrics.gauge(name, value)
+
+    def observe(self, name: str, seconds: float) -> None:
+        self.metrics.observe(name, seconds)
+
+    def timed(self, name: str):
+        return self.metrics.time(name)
+
+    def snapshot(self) -> dict[str, dict]:
+        return self.metrics.snapshot()
+
+    # -- probes ------------------------------------------------------------
+
+    def add_probe(self, probe: Probe) -> None:
+        self.probes.append(probe)
+
+    def remove_probe(self, probe: Probe) -> None:
+        if probe in self.probes:
+            self.probes.remove(probe)
+
+    def phase(self, unit: str, phase_name: str, seconds: float) -> None:
+        """Phase-boundary hook: notify probes and feed the phase timer."""
+        if not self.enabled:
+            return
+        self.metrics.observe(f"phase.{phase_name}", seconds)
+        for probe in self.probes:
+            probe.on_phase(unit, phase_name, seconds)
+
+    # -- fork marshalling --------------------------------------------------
+
+    def begin_worker_capture(self) -> None:
+        """Called inside a fork worker before a unit: capture only its own."""
+        self.trace.begin_capture()
+        self.metrics.reset()
+
+    def export_worker_capture(self) -> dict[str, Any] | None:
+        """The worker's spans and metric deltas, picklable (worker → parent)."""
+        if not self.enabled:
+            return None
+        return {"spans": self.trace.export(), "metrics": self.metrics.export()}
+
+    def ingest_worker_capture(self, exported: dict[str, Any] | None) -> None:
+        """Fold a worker's capture into this (parent) instance."""
+        if exported is None or not self.enabled:
+            return
+        self.trace.ingest(exported.get("spans") or [])
+        self.metrics.merge(exported.get("metrics") or {})
+
+    def reset(self) -> None:
+        """Clear spans, metrics and probe/profiler state (test hygiene)."""
+        self.trace.reset()
+        self.trace.detach_file()
+        self.metrics.reset()
+        self.probes.clear()
+        self.profiler.stop()
+        self.profiler.reset()
+
+
+_ACTIVE = Observability()
+
+
+def active() -> Observability:
+    """The process-wide instance every module-level helper routes to."""
+    return _ACTIVE
+
+
+def activate(observability: Observability) -> Observability:
+    """Install ``observability`` as the active instance; returns the old one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = observability
+    return previous
+
+
+@contextmanager
+def use(observability: Observability) -> Iterator[Observability]:
+    """Activate an instance for a ``with`` block, then restore the old one."""
+    previous = activate(observability)
+    try:
+        yield observability
+    finally:
+        activate(previous)
+
+
+# -- module-level helpers (the API low-level code calls) -------------------
+
+
+def span(name: str, **attributes: Any):
+    """Open a span on the active instance (context manager)."""
+    return _ACTIVE.span(name, **attributes)
+
+
+def inc(name: str, value: float = 1.0) -> None:
+    _ACTIVE.inc(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    _ACTIVE.gauge(name, value)
+
+
+def observe(name: str, seconds: float) -> None:
+    _ACTIVE.observe(name, seconds)
+
+
+def timed(name: str):
+    """Time a ``with`` block into the active registry's timer ``name``."""
+    return _ACTIVE.timed(name)
+
+
+def phase(unit: str, phase_name: str, seconds: float) -> None:
+    _ACTIVE.phase(unit, phase_name, seconds)
+
+
+def snapshot() -> dict[str, dict]:
+    return _ACTIVE.snapshot()

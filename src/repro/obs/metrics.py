@@ -1,0 +1,197 @@
+"""Metrics registry: counters, gauges and histogram timers.
+
+The registry is the quantitative half of :mod:`repro.obs` — spans say
+*where* a run spent its time, metrics say *how much of what happened*:
+cache hits and misses, journal skips, policy retries, injected faults,
+per-matcher fit/predict seconds, blocking throughput. Everything is
+stdlib-only and cheap enough to stay on in production runs.
+
+Three instrument kinds:
+
+* **counter** — monotonically increasing float/int (``inc``);
+* **gauge** — last-write-wins value (``gauge``);
+* **timer** — a histogram summary of observed durations: count, total,
+  min, max (``observe`` / ``time``).
+
+``snapshot()`` returns a plain, JSON-ready dict with sorted keys, so two
+runs that did the same work produce byte-identical snapshots (timer
+*totals* aside — wall clock is never deterministic). ``export`` /
+``merge`` marshal a registry across the :mod:`repro.runtime.parallel`
+fork boundary: counters and timers add, gauges last-write-win.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+#: The exact top-level keys of a metrics snapshot dict.  The unified
+#: :func:`repro.experiments.report.render` dispatcher uses this to tell a
+#: metrics snapshot apart from a figure series (both are dicts of dicts).
+SNAPSHOT_KEYS = ("counters", "gauges", "timers")
+
+
+@dataclass
+class TimerStat:
+    """Histogram summary of one timer: count/total/min/max seconds."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        self.minimum = min(self.minimum, seconds)
+        self.maximum = max(self.maximum, seconds)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total": round(self.total, 6),
+            "mean": round(self.mean, 6),
+            "min": round(self.minimum, 6) if self.count else 0.0,
+            "max": round(self.maximum, 6),
+        }
+
+    def merge(self, other: "TimerStat") -> None:
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+
+class MetricsRegistry:
+    """Thread-safe registry of named counters, gauges and timers.
+
+    All mutators are no-ops while ``enabled`` is ``False``, so a disabled
+    registry costs one attribute check per call — the overhead budget of
+    DESIGN.md §8 depends on that.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._timers: dict[str, TimerStat] = {}
+
+    # -- instruments -------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` (default 1) to the counter ``name``."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to ``value`` (last write wins)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one duration in the timer histogram ``name``."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._timers.setdefault(name, TimerStat()).observe(seconds)
+
+    @contextmanager
+    def time(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block into the timer ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - start)
+
+    # -- accessors ---------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-ready dict of every instrument, keys sorted (see module doc)."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: self._counters[name] for name in sorted(self._counters)
+                },
+                "gauges": {
+                    name: round(self._gauges[name], 6)
+                    for name in sorted(self._gauges)
+                },
+                "timers": {
+                    name: self._timers[name].to_dict()
+                    for name in sorted(self._timers)
+                },
+            }
+
+    # -- fork marshalling --------------------------------------------------
+
+    def export(self) -> dict[str, dict]:
+        """Picklable form for crossing the worker/parent boundary."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "timers": {
+                    name: (stat.count, stat.total, stat.minimum, stat.maximum)
+                    for name, stat in self._timers.items()
+                },
+            }
+
+    def merge(self, exported: dict[str, dict]) -> None:
+        """Fold a worker's :meth:`export` into this registry.
+
+        Counters and timers add; gauges last-write-win (the merge order is
+        the workers' completion order, matching what a sequential run
+        would have left behind only approximately — gauges are point-in-
+        time readings, not accumulations, so this is the honest choice).
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            for name, value in exported.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0.0) + value
+            for name, value in exported.get("gauges", {}).items():
+                self._gauges[name] = value
+            for name, packed in exported.get("timers", {}).items():
+                count, total, minimum, maximum = packed
+                self._timers.setdefault(name, TimerStat()).merge(
+                    TimerStat(
+                        count=count,
+                        total=total,
+                        minimum=minimum,
+                        maximum=maximum,
+                    )
+                )
+
+    def reset(self) -> None:
+        """Drop every instrument (run/test boundary hygiene)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+
+
+def is_metrics_snapshot(artifact: object) -> bool:
+    """True when ``artifact`` looks like a :meth:`MetricsRegistry.snapshot`."""
+    return (
+        isinstance(artifact, dict)
+        and set(artifact) == set(SNAPSHOT_KEYS)
+        and all(isinstance(artifact[key], dict) for key in SNAPSHOT_KEYS)
+    )

@@ -1,0 +1,130 @@
+"""Profiling hooks: the ``Probe`` protocol and a sampling profiler.
+
+Two complementary ways to see *inside* a unit of work:
+
+* **Probes** — matchers and blockers report phase boundaries
+  (``fit``/``predict``/``block``) with their duration; any object with an
+  ``on_phase(unit, phase, seconds)`` method can subscribe via
+  :meth:`repro.obs.Observability.add_probe` and aggregate however it
+  likes. :class:`PhaseAccumulator` is the built-in aggregator behind the
+  "hottest units" summary.
+* **Sampling profiler** — an opt-in daemon thread that samples the
+  active-span stack of a :class:`~repro.obs.spans.TraceCollector` at a
+  fixed interval and counts which leaf spans it caught running. Top-N by
+  samples approximates top-N by self-time without instrumenting anything.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from contextlib import contextmanager
+from typing import Iterator, Protocol, runtime_checkable
+
+from repro.obs.spans import TraceCollector
+
+
+@runtime_checkable
+class Probe(Protocol):
+    """Anything that wants phase-boundary notifications."""
+
+    def on_phase(self, unit: str, phase: str, seconds: float) -> None:
+        """Called once per completed phase of ``unit`` with its duration."""
+        ...
+
+
+class PhaseAccumulator:
+    """A probe that totals seconds per ``(unit, phase)`` pair."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._seconds: dict[tuple[str, str], float] = {}
+        self._calls: dict[tuple[str, str], int] = {}
+
+    def on_phase(self, unit: str, phase: str, seconds: float) -> None:
+        key = (unit, phase)
+        with self._lock:
+            self._seconds[key] = self._seconds.get(key, 0.0) + seconds
+            self._calls[key] = self._calls.get(key, 0) + 1
+
+    def hottest(self, top_n: int = 10) -> list[tuple[str, str, int, float]]:
+        """Top-N ``(unit, phase, calls, seconds)`` by total seconds."""
+        with self._lock:
+            ranked = sorted(
+                self._seconds.items(), key=lambda item: (-item[1], item[0])
+            )
+            return [
+                (unit, phase, self._calls[(unit, phase)], seconds)
+                for (unit, phase), seconds in ranked[:top_n]
+            ]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._seconds.clear()
+            self._calls.clear()
+
+
+class SamplingProfiler:
+    """Periodically sample a collector's active leaf spans (opt-in).
+
+    The profiler thread only reads the collector's lock-protected active
+    map, so arming it changes nothing about the run's behaviour; the cost
+    is one dict scan per ``interval``. Samples are attributed to *leaf*
+    spans (active spans with no active child), which approximates
+    self-time per unit.
+    """
+
+    def __init__(
+        self, collector: TraceCollector, interval: float = 0.005
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self.collector = collector
+        self.interval = interval
+        self.samples: Counter[str] = Counter()
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._sample_loop, name="repro-obs-profiler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=1.0)
+            self._thread = None
+
+    def _sample_loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            for label in self.collector.active_leaf_labels():
+                self.samples[label] += 1
+
+    @contextmanager
+    def profile(self) -> Iterator["SamplingProfiler"]:
+        """Profile a ``with`` block (start fresh, stop on exit)."""
+        self.samples.clear()
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+    def summary(self, top_n: int = 10) -> list[tuple[str, int, float]]:
+        """Top-N hottest units as ``(label, samples, approx_seconds)``."""
+        return [
+            (label, count, count * self.interval)
+            for label, count in self.samples.most_common(top_n)
+        ]
+
+    def reset(self) -> None:
+        self.samples.clear()

@@ -19,7 +19,12 @@ pieces the experiment layer builds on:
 * :mod:`repro.runtime.parallel` — a process-pool scheduler
   (:class:`ParallelScheduler`) that fans independent units across
   ``fork`` workers with deterministic merge order and the same
-  policy/failure semantics as the sequential path.
+  policy/failure semantics as the sequential path (worker spans and
+  metrics marshal back to the parent :mod:`repro.obs` collector).
+* :mod:`repro.runtime.registry` — the process-wide fallback registry for
+  absorbed :class:`FailureRecord` data and its lifecycle
+  (:func:`clear_recorded_failures`), so run boundaries are managed here
+  rather than in an experiments-internal module.
 
 The package is dependency-free (stdlib only) so every layer of the
 repository may import it.
@@ -52,6 +57,11 @@ from repro.runtime.policy import (
     ExecutionPolicy,
     FailureRecord,
 )
+from repro.runtime.registry import (
+    clear_recorded_failures,
+    record_failure,
+    recorded_failures,
+)
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -71,8 +81,11 @@ __all__ = [
     "WorkerReport",
     "atomic_write_text",
     "atomic_writer",
+    "clear_recorded_failures",
     "quarantine",
     "read_cached_payload",
     "read_envelope",
+    "record_failure",
+    "recorded_failures",
     "write_envelope",
 ]

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import IO, Iterator
 
+from repro import obs
 from repro.runtime import faults
 
 logger = logging.getLogger("repro.runtime.cache")
@@ -93,6 +94,7 @@ def write_envelope(
 ) -> None:
     """Atomically write ``payload`` wrapped in a checksummed envelope."""
     faults.fire("cache:write")
+    obs.inc("cache.write")
     envelope = {
         "cache_schema_version": schema_version,
         "checksum": _checksum(_canonical(payload)),
@@ -169,11 +171,14 @@ def read_cached_payload(
     """Read an envelope, quarantining corrupt/stale entries as misses."""
     source = Path(path)
     if not source.exists():
+        obs.inc("cache.miss")
         return CacheReadResult()
     try:
         payload = read_envelope(source, expected_version=expected_version)
     except CacheError as exc:
         moved = quarantine(source)
         logger.warning("quarantined cache entry %s: %s", moved, exc)
+        obs.inc("cache.quarantined")
         return CacheReadResult(quarantined=moved, error=str(exc))
+    obs.inc("cache.hit")
     return CacheReadResult(payload=payload)

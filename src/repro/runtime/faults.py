@@ -25,6 +25,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro import obs
+
 KINDS = ("error", "hang", "corrupt")
 
 
@@ -114,6 +116,7 @@ def fire(site: str) -> None:
     fault = _ARMED.get(site)
     if fault is None or fault.kind == "corrupt" or not fault.should_fire():
         return
+    obs.inc("faults.injected")
     if fault.kind == "hang":
         time.sleep(fault.hang_seconds)
         return
@@ -129,6 +132,7 @@ def corrupt_text(site: str, text: str) -> str:
     fault = _ARMED.get(site)
     if fault is None or fault.kind != "corrupt" or not fault.should_fire():
         return text
+    obs.inc("faults.injected")
     return "\x00corrupt\x00" + text[: max(0, len(text) // 2)]
 
 

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import Any, Callable, Sequence
 
+from repro import obs
 from repro.runtime.policy import ExecutionOutcome, ExecutionPolicy, FailureRecord
 
 logger = logging.getLogger("repro.runtime.parallel")
@@ -117,6 +118,23 @@ def _execute_unit(
         phase=unit.phase,
     )
     return index, outcome, os.getpid(), time.perf_counter() - start
+
+
+def _execute_unit_captured(
+    payload: tuple[int, WorkUnit, ExecutionPolicy],
+) -> tuple[int, ExecutionOutcome, int, float, dict | None]:
+    """Pool-side wrapper: run one unit with observability capture.
+
+    Only used in real fork workers (never inline): it resets the child's
+    inherited span buffer and metrics so the export carries exactly this
+    unit's spans and metric deltas, which the parent folds back into its
+    own collector — the trace of a parallel run re-assembles into the
+    same tree a sequential run would have produced.
+    """
+    handle = obs.active()
+    handle.begin_worker_capture()
+    index, outcome, pid, elapsed = _execute_unit(payload)
+    return index, outcome, pid, elapsed, handle.export_worker_capture()
 
 
 class ParallelScheduler:
@@ -215,6 +233,8 @@ class ParallelScheduler:
         ]
         raw = []
         if n_workers == 1:
+            # Inline path: spans/metrics are recorded directly into the
+            # live collector, no capture round-trip needed.
             for payload in payloads:
                 item = _execute_unit(payload)
                 if on_result is not None:
@@ -224,11 +244,15 @@ class ParallelScheduler:
             context = multiprocessing.get_context(self.start_method)
             with context.Pool(processes=n_workers) as pool:
                 for item in pool.imap_unordered(
-                    _execute_unit, payloads, chunksize=1
+                    _execute_unit_captured, payloads, chunksize=1
                 ):
+                    # Merge the worker's spans/metrics before the caller's
+                    # checkpoint hook sees the result, so persisted state
+                    # and observability stay ordered consistently.
+                    obs.active().ingest_worker_capture(item[4])
                     if on_result is not None:
                         on_result(item[0], item[1])
-                    raw.append(item)
+                    raw.append(item[:4])
         raw.sort(key=lambda item: item[0])
         outcomes = tuple(item[1] for item in raw)
         unit_reports = tuple(

@@ -9,11 +9,14 @@ sleep function is injectable so tests never actually wait.
 
 from __future__ import annotations
 
+import contextvars
 import hashlib
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
+
+from repro import obs
 
 
 class DeadlineExceeded(RuntimeError):
@@ -95,10 +98,14 @@ def _call_with_deadline(fn: Callable[[], Any], deadline_seconds: float) -> Any:
     """
     box: list[Any] = []
     error: list[BaseException] = []
+    # Run under a copy of the caller's context so contextvar-based state
+    # (the repro.obs span stack above all) survives the thread hop and
+    # spans opened inside the unit keep their parent.
+    context = contextvars.copy_context()
 
     def worker() -> None:
         try:
-            box.append(fn())
+            box.append(context.run(fn))
         except BaseException as exc:  # transported to the calling thread
             error.append(exc)
 
@@ -175,6 +182,7 @@ class ExecutionPolicy:
                 return ExecutionOutcome(value=value)
             except (*self.retry_on, DeadlineExceeded) as exc:
                 if attempt >= self.max_attempts:
+                    obs.inc("policy.failure")
                     return ExecutionOutcome(
                         failure=FailureRecord(
                             unit_id=unit_id,
@@ -185,6 +193,7 @@ class ExecutionPolicy:
                             elapsed_seconds=time.perf_counter() - start,
                         )
                     )
+                obs.inc("policy.retry")
                 self.sleep(self.backoff_delay(unit_id, attempt))
 
 

@@ -1,0 +1,33 @@
+"""Process-wide fallback registry for :class:`FailureRecord` data.
+
+Callers that own their failures — the experiment runner, the CLI — pass
+an explicit list around and never touch this module. Bare calls (e.g.
+``evaluate_suite(task)`` in a notebook) still need somewhere for absorbed
+failures to land, and that somewhere must have a lifecycle: the registry
+lives here, in :mod:`repro.runtime` next to the policy machinery that
+produces the records, so the CLI and tests manage run boundaries through
+the runtime layer instead of reaching into an experiments-internal
+module. (:mod:`repro.experiments.matcher_suite` re-exports the accessors
+for backwards compatibility.)
+"""
+
+from __future__ import annotations
+
+from repro.runtime.policy import FailureRecord
+
+_failures: list[FailureRecord] = []
+
+
+def record_failure(failure: FailureRecord) -> None:
+    """Append one absorbed failure to the process-wide registry."""
+    _failures.append(failure)
+
+
+def recorded_failures() -> list[FailureRecord]:
+    """Every failure recorded in the process-wide fallback registry."""
+    return list(_failures)
+
+
+def clear_recorded_failures() -> None:
+    """Empty the fallback registry (run/test boundary hygiene)."""
+    _failures.clear()

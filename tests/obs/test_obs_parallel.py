@@ -1,0 +1,135 @@
+"""Observability acceptance: identical traces/metrics for any worker count.
+
+Mirrors the :mod:`tests.experiments.test_parallel` harness (same scale,
+same datasets): a ``--workers 2`` run must marshal every worker span and
+metric delta back to the parent, producing the same span *set* (ids
+aside) and the same counters as the sequential run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs as obs_module
+from repro.obs import Observability
+from repro.experiments.runner import ExperimentRunner, RunnerConfig
+from repro.runtime import faults
+
+SCALE = 0.3
+DATASET = "Ds5"
+DATASETS = ("Ds5", "Ds7")
+FAILING_MATCHER = "DITTO (15)"
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def observed_run(workers: int, datasets=DATASETS, cache_dir=None) -> Observability:
+    """One sweep_all under a fresh active Observability; returns it."""
+    handle = Observability()
+    previous = obs_module.activate(handle)
+    try:
+        runner = ExperimentRunner(
+            config=RunnerConfig(scale=SCALE, workers=workers, cache_dir=cache_dir)
+        )
+        runner.sweep_all(datasets)
+    finally:
+        obs_module.activate(previous)
+    return handle
+
+
+def span_identities(handle: Observability) -> list[tuple]:
+    return sorted(span.identity() for span in handle.trace.spans())
+
+
+class TestSpanParity:
+    def test_same_span_set_for_one_and_two_workers(self):
+        sequential = observed_run(workers=1)
+        parallel = observed_run(workers=2)
+        assert span_identities(parallel) == span_identities(sequential)
+
+    def test_one_sweep_span_per_dataset_with_matcher_children(self):
+        handle = observed_run(workers=2)
+        spans = handle.trace.spans()
+        sweeps = [span for span in spans if span.name == "sweep"]
+        assert sorted(span.attributes["dataset"] for span in sweeps) == sorted(
+            DATASETS
+        )
+        sweep_ids = {span.span_id for span in sweeps}
+        matchers = [span for span in spans if span.name == "matcher"]
+        assert matchers, "expected matcher child spans"
+        assert all(span.parent_id in sweep_ids for span in matchers)
+
+    def test_single_dataset_fanout_keeps_sweep_parentage(self):
+        # workers=2 on ONE dataset fans the matcher units (not the sweeps);
+        # worker matcher spans must still attach under the parent's sweep
+        # span via the fork-inherited contextvar stack.
+        handle = Observability()
+        previous = obs_module.activate(handle)
+        try:
+            runner = ExperimentRunner(config=RunnerConfig(scale=SCALE, workers=2))
+            runner.matcher_results(DATASET)
+        finally:
+            obs_module.activate(previous)
+        spans = handle.trace.spans()
+        (sweep,) = [span for span in spans if span.name == "sweep"]
+        matchers = [span for span in spans if span.name == "matcher"]
+        assert matchers
+        assert all(span.parent_id == sweep.span_id for span in matchers)
+
+
+class TestMetricsParity:
+    def test_same_counters_for_one_and_two_workers(self):
+        sequential = observed_run(workers=1).snapshot()
+        parallel = observed_run(workers=2).snapshot()
+        assert parallel["counters"] == sequential["counters"]
+        # Timer durations differ run to run, but the event counts do not.
+        assert {
+            name: stat["count"] for name, stat in parallel["timers"].items()
+        } == {
+            name: stat["count"] for name, stat in sequential["timers"].items()
+        }
+
+
+class TestDegradedAndCached:
+    def test_injected_failure_shows_up_in_worker_spans(self):
+        faults.arm(f"matcher:{FAILING_MATCHER}", "error")
+        handle = observed_run(workers=2, datasets=(DATASET,))
+        failed = [
+            span
+            for span in handle.trace.spans()
+            if span.name == "matcher" and span.status == "failed"
+        ]
+        assert [span.attributes["matcher"] for span in failed] == [
+            FAILING_MATCHER
+        ]
+        sweeps = [
+            span for span in handle.trace.spans() if span.name == "sweep"
+        ]
+        assert [span.status for span in sweeps] == ["degraded"]
+
+    def test_cache_hit_resume_emits_parent_side_sweep_spans(self, tmp_path):
+        observed_run(workers=1, datasets=(DATASET,), cache_dir=tmp_path)
+        resumed = observed_run(workers=2, datasets=(DATASET,), cache_dir=tmp_path)
+        spans = resumed.trace.spans()
+        (sweep,) = [span for span in spans if span.name == "sweep"]
+        assert sweep.attributes == {"dataset": DATASET, "cache": "hit"}
+        assert [span for span in spans if span.name == "matcher"] == []
+        assert resumed.metrics.counter("cache.hit") == 1.0
+        assert resumed.metrics.counter("journal.skip") == 1.0
+
+
+class TestTraceFileSingleWriter:
+    def test_parallel_run_writes_every_span_once(self, tmp_path):
+        from repro.obs import TRACE_FILE_NAME, read_trace
+
+        handle = observed_run(workers=2, cache_dir=tmp_path)
+        runs = read_trace(tmp_path / TRACE_FILE_NAME)
+        (file_spans,) = runs.values()
+        assert sorted(s.identity() for s in file_spans) == span_identities(
+            handle
+        )

@@ -1,0 +1,71 @@
+"""Tests for the probe protocol and the sampling profiler."""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs import Observability, PhaseAccumulator, Probe
+from repro.obs.probe import SamplingProfiler
+from repro.obs.spans import TraceCollector
+
+
+class TestProbes:
+    def test_phase_accumulator_satisfies_the_protocol(self):
+        assert isinstance(PhaseAccumulator(), Probe)
+
+    def test_phase_notifies_probes_and_feeds_the_timer(self):
+        handle = Observability()
+        accumulator = PhaseAccumulator()
+        handle.add_probe(accumulator)
+        handle.phase("DITTO (15)", "fit", 0.5)
+        handle.phase("DITTO (15)", "fit", 0.25)
+        handle.phase("DITTO (15)", "predict", 0.1)
+        assert accumulator.hottest(1) == [("DITTO (15)", "fit", 2, 0.75)]
+        assert handle.snapshot()["timers"]["phase.fit"]["count"] == 2
+
+    def test_remove_probe_stops_notifications(self):
+        handle = Observability()
+        accumulator = PhaseAccumulator()
+        handle.add_probe(accumulator)
+        handle.remove_probe(accumulator)
+        handle.phase("u", "fit", 1.0)
+        assert accumulator.hottest() == []
+
+    def test_disabled_observability_skips_probes(self):
+        handle = Observability(enabled=False)
+        accumulator = PhaseAccumulator()
+        handle.add_probe(accumulator)
+        handle.phase("u", "fit", 1.0)
+        assert accumulator.hottest() == []
+
+
+class TestSamplingProfiler:
+    def test_profile_block_attributes_samples_to_the_leaf_span(self):
+        collector = TraceCollector()
+        profiler = SamplingProfiler(collector, interval=0.001)
+        with profiler.profile():
+            with collector.span("sweep", dataset="Ds4"):
+                with collector.span("matcher", matcher="slow"):
+                    time.sleep(0.05)
+        assert not profiler.running
+        summary = profiler.summary(5)
+        assert summary, "expected at least one sample in 50ms at 1ms interval"
+        labels = [label for label, _, _ in summary]
+        assert any("matcher" in label and "slow" in label for label in labels)
+        # Samples go to the leaf, not its enclosing sweep.
+        assert not any(label.startswith("sweep") for label in labels)
+
+    def test_summary_scales_samples_to_seconds(self):
+        collector = TraceCollector()
+        profiler = SamplingProfiler(collector, interval=0.01)
+        profiler.samples["unit"] = 7
+        assert profiler.summary(1) == [("unit", 7, 0.07)]
+
+    def test_start_stop_idempotent(self):
+        profiler = SamplingProfiler(TraceCollector(), interval=0.001)
+        profiler.start()
+        profiler.start()
+        assert profiler.running
+        profiler.stop()
+        profiler.stop()
+        assert not profiler.running

@@ -41,6 +41,12 @@ class TestPackageSurface:
             "repro.experiments.stability",
             "repro.experiments.learning_curves",
             "repro.experiments.svg",
+            "repro.obs",
+            "repro.obs.metrics",
+            "repro.obs.probe",
+            "repro.obs.spans",
+            "repro.runtime",
+            "repro.runtime.registry",
         ],
     )
     def test_module_imports(self, module):
@@ -57,6 +63,8 @@ class TestPackageSurface:
             "repro.ml",
             "repro.matchers",
             "repro.blocking",
+            "repro",
+            "repro.obs",
         ],
     )
     def test_dunder_all_is_accurate(self, module):
