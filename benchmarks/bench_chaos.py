@@ -1,0 +1,77 @@
+"""Circuit-breaker overhead: breakered sweeps vs plain policy, ≤2% budget.
+
+Times the same fresh matcher sweep with the execution policy's circuit
+breakers attached and without (best-of-N to filter scheduler noise) and
+writes the measurements to ``BENCH_chaos.json`` in the repository root.
+On the healthy path a breaker costs one registry lookup plus one success
+record per unit, so DESIGN.md §7 budgets it at ≤2%; a small absolute
+guard keeps sub-100ms timing jitter from failing a run within noise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments.runner import ExperimentRunner, RunnerConfig
+
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_chaos.json"
+SCALE = 0.3
+DATASETS = ("Ds5", "Ds7")
+REPS = 3
+OVERHEAD_BUDGET_PCT = 2.0
+#: Absolute slack: differences below this are timing noise, not overhead.
+NOISE_FLOOR_SECONDS = 0.1
+
+
+def _timed(breaker_threshold: int | None) -> float:
+    """Wall seconds of fresh, uncached sweeps under the given breakers."""
+    runner = ExperimentRunner(
+        config=RunnerConfig(scale=SCALE, breaker_threshold=breaker_threshold)
+    )
+    start = time.perf_counter()
+    runner.sweep_all(DATASETS)
+    return time.perf_counter() - start
+
+
+def test_breaker_overhead():
+    # Warm-up: the first sweep pays dataset generation and allocator
+    # warm-up that would otherwise be billed to whichever mode runs first.
+    _timed(None)
+    # Interleave the modes so slow drift (thermal, co-tenants) hits both.
+    plain_seconds = float("inf")
+    breakered_seconds = float("inf")
+    for _ in range(REPS):
+        plain_seconds = min(plain_seconds, _timed(None))
+        breakered_seconds = min(breakered_seconds, _timed(5))
+    delta = breakered_seconds - plain_seconds
+    overhead_pct = 100.0 * delta / plain_seconds
+    within_budget = (
+        overhead_pct <= OVERHEAD_BUDGET_PCT or delta <= NOISE_FLOOR_SECONDS
+    )
+
+    record = {
+        "scale": SCALE,
+        "datasets": list(DATASETS),
+        "reps": REPS,
+        "cpu_count": os.cpu_count(),
+        "plain_seconds": round(plain_seconds, 4),
+        "breakered_seconds": round(breakered_seconds, 4),
+        "delta_seconds": round(delta, 4),
+        "overhead_pct": round(overhead_pct, 3),
+        "budget_pct": OVERHEAD_BUDGET_PCT,
+        "noise_floor_seconds": NOISE_FLOOR_SECONDS,
+        "within_budget": within_budget,
+    }
+    RECORD_PATH.write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+    )
+    print()
+    print(json.dumps(record, indent=2))
+
+    assert within_budget, (
+        f"circuit-breaker overhead {overhead_pct:.2f}% "
+        f"({delta:.3f}s) exceeds the 2% budget"
+    )

@@ -2,7 +2,8 @@
 # Repository verification: byte-compile everything, run the tier-1 test
 # suite (ROADMAP.md), the fast fault-injection smoke set, then a
 # two-worker parallel regeneration of Table IV with metrics/trace
-# observability on a fresh cache, plus the observability overhead bench.
+# observability on a fresh cache, a seeded chaos smoke campaign with a
+# doctor audit of the surviving cache, and the overhead benches.
 #
 # Usage: scripts/verify.sh [--smoke-only]
 set -euo pipefail
@@ -26,7 +27,15 @@ SMOKE_CACHE="$(mktemp -d)"
 python -m repro table4 --workers 2 --metrics --cache "$SMOKE_CACHE"
 python -m repro trace --last --cache "$SMOKE_CACHE"
 
-echo "== observability overhead bench =="
-python -m pytest -x -q benchmarks/bench_obs.py
+echo "== chaos smoke campaign (3 seeded plans) + doctor repair/audit =="
+CHAOS_CACHE="$(mktemp -d)"
+python -m repro chaos --plans 3 --scale 0.3 --datasets Ds5 --cache "$CHAOS_CACHE"
+# Repair whatever the faults left behind (torn journal tails stay on disk
+# until compacted), then a clean audit must pass: repair is idempotent.
+python -m repro doctor --cache "$CHAOS_CACHE"
+python -m repro doctor --check --cache "$CHAOS_CACHE"
+
+echo "== observability + circuit-breaker overhead benches =="
+python -m pytest -x -q benchmarks/bench_obs.py benchmarks/bench_chaos.py
 
 echo "verify: OK"

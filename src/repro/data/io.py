@@ -5,8 +5,10 @@ train/valid/test pair lists); this module mirrors that layout so generated
 benchmarks can be exported, inspected and re-loaded.
 
 All writes are atomic (tmp file + ``os.replace`` via
-:func:`repro.runtime.atomic_writer`): an interrupted export never leaves a
-half-written table or pair list behind.
+:func:`repro.runtime.atomic_writer`, which also fsyncs the directory so
+the rename survives a power cut): an interrupted export never leaves a
+half-written table or pair list behind. Readers pass the ``io:read``
+fault site, so chaos campaigns can rehearse unreadable exports too.
 """
 
 from __future__ import annotations
@@ -17,7 +19,7 @@ from pathlib import Path
 from repro.data.pairs import LabeledPairSet, RecordPair
 from repro.data.records import Record, RecordStore, Schema
 from repro.data.task import MatchingTask
-from repro.runtime import atomic_write_text, atomic_writer
+from repro.runtime import atomic_write_text, atomic_writer, faults
 
 
 def save_record_store(store: RecordStore, path: Path | str) -> None:
@@ -35,6 +37,7 @@ def save_record_store(store: RecordStore, path: Path | str) -> None:
 def load_record_store(path: Path | str, name: str, source: str) -> RecordStore:
     """Load a store written by :func:`save_record_store`."""
     source_path = Path(path)
+    faults.fire("io:read")
     with source_path.open("r", newline="", encoding="utf-8") as handle:
         reader = csv.reader(handle)
         header = next(reader, None)
@@ -64,6 +67,7 @@ def _load_pairs(
     path: Path, left: RecordStore, right: RecordStore
 ) -> LabeledPairSet:
     pairs = LabeledPairSet()
+    faults.fire("io:read")
     with path.open("r", newline="", encoding="utf-8") as handle:
         reader = csv.reader(handle)
         header = next(reader, None)

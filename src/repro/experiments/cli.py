@@ -7,6 +7,8 @@ Usage (after ``pip install -e .``)::
     python -m repro fig1                  # Figure 1 series
     python -m repro audit Ds4             # four-measure audit of one dataset
     python -m repro snapshot --out s.json # every table+figure as one JSON
+    python -m repro doctor --check        # audit cache/journal state
+    python -m repro chaos --plans 5       # seeded chaos campaign
     python -m repro list                  # list datasets and experiments
 
 Heavy sweeps honour ``--cache DIR`` (default ``.benchcache``), sharing the
@@ -21,6 +23,15 @@ that failed is listed after the output instead of aborting the run.
 rosters) across N ``fork`` worker processes via
 :mod:`repro.runtime.parallel`; results are identical to the sequential
 run and a per-worker timing table is printed after the output.
+
+Self-healing state: ``repro doctor`` audits and repairs a cache
+directory (torn journal tails, corrupt envelopes, quarantine retention,
+stale temp files; ``--check`` reports without repairing and exits 1 on
+findings). ``repro chaos`` runs a seeded campaign of randomized fault
+plans against real sweeps and asserts the surviving verdicts equal a
+fault-free baseline (see :mod:`repro.runtime.chaos`).
+``--breaker-threshold K`` arms circuit breakers: a unit failing K
+consecutive times short-circuits instead of burning retries.
 
 Observability (:mod:`repro.obs`): every run traces its sweeps, matcher
 evaluations and assessments into ``<cache>/trace.jsonl`` —
@@ -113,7 +124,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="table3..table7, fig1..fig6, audit, snapshot, trace, or list",
+        help="table3..table7, fig1..fig6, audit, snapshot, trace, doctor, "
+        "chaos, or list",
     )
     parser.add_argument(
         "dataset",
@@ -189,7 +201,58 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="for 'trace': show only the most recent run in the trace file",
     )
+    parser.add_argument(
+        "--datasets",
+        default=None,
+        metavar="IDS",
+        help="comma-separated dataset ids restricting table4/verdicts/chaos "
+        "(e.g. --datasets Ds5,Ds7)",
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=_positive_int,
+        default=None,
+        metavar="K",
+        help="open a unit's circuit breaker after K consecutive failures "
+        "(default: breakers disabled)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="for 'doctor': audit only, repair nothing, exit 1 on findings",
+    )
+    parser.add_argument(
+        "--retention-days",
+        type=_positive_float,
+        default=None,
+        metavar="DAYS",
+        help="for 'doctor': delete quarantined entries older than this "
+        "(default 7)",
+    )
+    parser.add_argument(
+        "--plans",
+        type=_positive_int,
+        default=20,
+        metavar="N",
+        help="for 'chaos': number of seeded fault plans (default 20)",
+    )
     return parser
+
+
+def _parse_datasets(text: str | None) -> tuple[str, ...] | None:
+    """Validate a ``--datasets`` list against the known dataset ids."""
+    if text is None:
+        return None
+    ids = tuple(part.strip() for part in text.split(",") if part.strip())
+    if not ids:
+        raise ValueError("expected at least one dataset id")
+    known = set(ESTABLISHED_DATASET_IDS) | set(SOURCE_DATASET_IDS)
+    unknown = [dataset_id for dataset_id in ids if dataset_id not in known]
+    if unknown:
+        raise ValueError(
+            f"unknown dataset id(s) {', '.join(unknown)} (see 'repro list')"
+        )
+    return ids
 
 
 def _audit(runner: ExperimentRunner, dataset_id: str) -> str:
@@ -263,6 +326,71 @@ def _trace_command(cache_dir: Path | None, last: bool) -> int:
     return 0
 
 
+def _doctor_command(cache_dir: Path | None, args) -> int:
+    """``python -m repro doctor [--check] [--retention-days D]``."""
+    from repro.runtime.doctor import DEFAULT_RETENTION_DAYS, run_doctor
+
+    if cache_dir is None:
+        print("doctor requires a cache directory (--cache DIR)")
+        return 2
+    report = run_doctor(
+        cache_dir,
+        check=args.check,
+        retention_days=(
+            args.retention_days
+            if args.retention_days is not None
+            else DEFAULT_RETENTION_DAYS
+        ),
+    )
+    if report.findings:
+        print(render(report.to_table(), title="Doctor findings"))
+        print()
+    print(report.summary())
+    # --check is an audit: findings mean the state needs repair.
+    return 1 if (args.check and not report.clean) else 0
+
+
+def _chaos_command(
+    dataset_ids: tuple[str, ...] | None, cache_dir: Path | None, args
+) -> int:
+    """``python -m repro chaos [--plans N] [--datasets IDS] ...``."""
+    from repro.runtime.chaos import DEFAULT_DATASETS, ChaosCampaign
+
+    options = {}
+    if args.breaker_threshold is not None:
+        options["breaker_threshold"] = args.breaker_threshold
+    if cache_dir is not None:
+        # An explicit --cache pins the campaign's scratch space and keeps
+        # it around afterwards — ``repro doctor`` can then audit what the
+        # faults left behind (scripts/verify.sh does exactly this).
+        options["workdir"] = cache_dir
+    campaign = ChaosCampaign(
+        datasets=dataset_ids if dataset_ids is not None else DEFAULT_DATASETS,
+        scale=args.scale,
+        seed=args.seed,
+        n_plans=args.plans,
+        # Kill-resume plans spawn three child runs each; only include
+        # them once the campaign is big enough to amortize that.
+        n_kill_plans=2 if args.plans >= 5 else 0,
+        retries=max(args.retries, 2),
+        **options,
+    )
+    report = campaign.run()
+    print(render(report.to_table(),
+                 title=f"Chaos campaign (seed {report.seed}, "
+                       f"{len(report.results)} plan(s))"))
+    if report.ok:
+        print()
+        print("all surviving verdicts match the fault-free baseline")
+        return 0
+    print()
+    for result in report.divergent:
+        print(f"DIVERGED: {result.plan.describe()}")
+        for text in result.divergences:
+            print(f"  - {text}")
+    return 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     # The runner collects failures itself; start the process-wide fallback
@@ -277,9 +405,20 @@ def main(argv: list[str] | None = None) -> int:
             return 2
 
     cache_dir = args.cache
+    try:
+        dataset_ids = _parse_datasets(args.datasets)
+    except ValueError as error:
+        print(f"--datasets: {error}")
+        return 2
 
     if args.experiment == "trace":
         return _trace_command(cache_dir, args.last)
+
+    if args.experiment == "doctor":
+        return _doctor_command(cache_dir, args)
+
+    if args.experiment == "chaos":
+        return _chaos_command(dataset_ids, cache_dir, args)
 
     if cache_dir is not None and args.experiment not in ("list",):
         problem = check_cache_dir_writable(cache_dir)
@@ -301,6 +440,7 @@ def main(argv: list[str] | None = None) -> int:
             cache_dir=cache_dir,
             policy=policy,
             workers=args.workers,
+            breaker_threshold=args.breaker_threshold,
         )
     )
     if args.profile:
@@ -330,10 +470,13 @@ def main(argv: list[str] | None = None) -> int:
         from repro.datasets.registry import SOURCE_DATASET_IDS as _SOURCES
         from repro.experiments.tables import verdict_table
 
-        print(render(verdict_table(runner), title="Verdicts — established"))
-        print()
-        print(render(verdict_table(runner, _SOURCES),
-                     title="Verdicts — new benchmarks"))
+        if dataset_ids is not None:
+            print(render(verdict_table(runner, dataset_ids), title="Verdicts"))
+        else:
+            print(render(verdict_table(runner), title="Verdicts — established"))
+            print()
+            print(render(verdict_table(runner, _SOURCES),
+                         title="Verdicts — new benchmarks"))
         _print_failures(runner)
         _print_observability(runner, args)
         return 0
@@ -350,7 +493,10 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.experiment in _TABLES:
         builder, title = _TABLES[args.experiment]
-        print(render(builder(runner), title=title))
+        if args.experiment == "table4" and dataset_ids is not None:
+            print(render(tables.table4(runner, dataset_ids), title=title))
+        else:
+            print(render(builder(runner), title=title))
         _print_failures(runner)
         _print_observability(runner, args)
         return 0

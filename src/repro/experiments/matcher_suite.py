@@ -16,6 +16,7 @@ Per dataset the suite evaluates:
 
 from __future__ import annotations
 
+from dataclasses import replace as dataclass_replace
 from functools import partial
 
 from numpy.linalg import LinAlgError
@@ -39,7 +40,12 @@ from repro.matchers.features import MagellanFeatureExtractor
 from repro.matchers.magellan import MAGELLAN_HEADS, MagellanMatcher
 from repro.matchers.zeroer import ZeroERMatcher
 from repro import obs
-from repro.runtime import ExecutionOutcome, ExecutionPolicy, FailureRecord
+from repro.runtime import (
+    BreakerRegistry,
+    ExecutionOutcome,
+    ExecutionPolicy,
+    FailureRecord,
+)
 from repro.runtime import faults
 from repro.runtime.parallel import ParallelScheduler, WorkUnit
 from repro.runtime.registry import (  # re-exported for back-compat
@@ -150,22 +156,36 @@ def _evaluate_matcher_spec(
     return _evaluate_matcher(build_matcher(task, matcher_spec, seed), task)
 
 
+def _with_breakers(
+    policy: ExecutionPolicy, breakers: BreakerRegistry | None
+) -> ExecutionPolicy:
+    """Attach *breakers* to *policy* unless it already carries a registry."""
+    if breakers is None or policy.breakers is not None:
+        return policy
+    return dataclass_replace(policy, breakers=breakers)
+
+
 def run_one_matcher(
     task: MatchingTask,
     matcher_spec: str,
     seed: int = 0,
     policy: ExecutionPolicy | None = None,
+    breakers: BreakerRegistry | None = None,
 ) -> ExecutionOutcome:
     """Evaluate one matcher of the roster under *policy*, as an outcome.
 
     The per-matcher unit of work behind both the sequential sweep and the
     parallel scheduler: picklable, seeded only by ``(seed, unit_id)``, and
     never raising — failures come back as :class:`FailureRecord` data.
+    With *breakers*, the unit's circuit breaker (keyed by
+    ``"<task>/<matcher>"``) is consulted first: an open breaker
+    short-circuits to a ``CircuitOpen`` failure without evaluating.
     """
     if policy is None:
         policy = ExecutionPolicy(
             max_attempts=1, backoff_base=0.0, retry_on=MATCHER_ERRORS
         )
+    policy = _with_breakers(policy, breakers)
     return policy.execute(
         partial(_evaluate_matcher_spec, task, matcher_spec, seed),
         unit_id=f"{task.name}/{matcher_spec}",
@@ -179,6 +199,7 @@ def evaluate_suite(
     policy: ExecutionPolicy | None = None,
     failures: list[FailureRecord] | None = None,
     scheduler: ParallelScheduler | None = None,
+    breakers: BreakerRegistry | None = None,
 ) -> dict[str, MatcherResult]:
     """Evaluate the whole roster on one task (name -> result).
 
@@ -195,11 +216,18 @@ def evaluate_suite(
     across processes; results are merged in roster order and each unit
     still runs under *policy* inside its worker, so scores and failure
     records are identical to the sequential path.
+
+    *breakers* (or a registry already on *policy*) arms per-unit circuit
+    breakers: a ``(dataset, matcher)`` unit that has failed K consecutive
+    times short-circuits to its degraded placeholder with a
+    ``CircuitOpen`` failure record instead of burning retries. Breaker
+    state is per-process; pooled workers each keep their own counts.
     """
     if policy is None:
         policy = ExecutionPolicy(
             max_attempts=1, backoff_base=0.0, retry_on=MATCHER_ERRORS
         )
+    policy = _with_breakers(policy, breakers)
 
     matchers = build_suite(task, seed=seed)
     if scheduler is not None and scheduler.workers > 1:

@@ -67,6 +67,7 @@ from repro.experiments.matcher_suite import (
 from repro.matchers.base import MatcherResult
 from repro.obs import Observability
 from repro.runtime import (
+    BreakerRegistry,
     CheckpointJournal,
     ExecutionPolicy,
     FailureRecord,
@@ -100,7 +101,12 @@ class RunnerConfig:
       ``workers``);
     * ``obs`` — the :class:`~repro.obs.Observability` instance the runner
       reports spans/metrics to; defaults to the process-wide active one
-      (:func:`repro.obs.active`).
+      (:func:`repro.obs.active`);
+    * ``breaker_threshold`` — arm per-unit circuit breakers on the
+      policy: a unit that fails this many consecutive times
+      short-circuits to a ``CircuitOpen`` failure instead of burning its
+      retry budget (``None`` disables; ignored when the policy already
+      carries a registry).
     """
 
     scale: float = 1.0
@@ -110,8 +116,13 @@ class RunnerConfig:
     workers: int = 1
     scheduler: ParallelScheduler | None = None
     obs: Observability | None = None
+    breaker_threshold: int | None = None
 
     def __post_init__(self) -> None:
+        if self.breaker_threshold is not None and self.breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
         if isinstance(self.scale, bool) or not isinstance(
             self.scale, (int, float)
         ):
@@ -135,7 +146,7 @@ _LEGACY_POSITIONAL = (
 #: legacy ``size_factor`` spelling of ``scale``).
 _SHIM_KEYWORDS = frozenset(
     ("scale", "seed", "cache_dir", "policy", "workers", "scheduler", "obs",
-     "size_factor")
+     "breaker_threshold", "size_factor")
 )
 
 
@@ -231,6 +242,16 @@ class ExperimentRunner:
             seed=self.seed,
             retry_on=MATCHER_ERRORS,
         )
+        if (
+            self.config.breaker_threshold is not None
+            and self.policy.breakers is None
+        ):
+            self.policy = replace(
+                self.policy,
+                breakers=BreakerRegistry(
+                    failure_threshold=self.config.breaker_threshold
+                ),
+            )
         # Scheduler injection: an explicit scheduler wins; otherwise one is
         # built from `workers` (1 = run inline, the exact sequential path).
         self.scheduler = (
@@ -283,6 +304,22 @@ class ExperimentRunner:
                 attempts=1,
                 exception_type="CacheCorruption",
                 message=error,
+                elapsed_seconds=0.0,
+            )
+        )
+
+    def _record_persist_failure(
+        self, unit_id: str, phase: str, error: BaseException
+    ) -> None:
+        """Persistence is best-effort: a failed write degrades, not crashes."""
+        self.obs.inc("cache.write_failed" if phase == "cache" else "journal.failed")
+        self._failures.append(
+            FailureRecord(
+                unit_id=unit_id,
+                phase=phase,
+                attempts=1,
+                exception_type=type(error).__name__,
+                message=f"persist failed: {error}",
                 elapsed_seconds=0.0,
             )
         )
@@ -367,7 +404,14 @@ class ExperimentRunner:
         cache_path = self._cache_path(dataset_id)
         if cache_path is None:
             return None
-        read = read_cached_payload(cache_path)
+        try:
+            read = read_cached_payload(cache_path)
+        except Exception as exc:
+            # The read path heals corruption itself; anything escaping it
+            # (an I/O error, an injected cache:read error fault) becomes a
+            # recorded miss so the sweep recomputes instead of aborting.
+            self._record_cache_failure(unit_id, f"cache read failed: {exc}")
+            return None
         if read.hit:
             # The skipped sweep still appears in the trace (cache="hit")
             # so the span *set* of a resumed run matches a fresh one.
@@ -430,10 +474,7 @@ class ExperimentRunner:
         outcome = sweep_policy.execute(sweep, unit_id=unit_id, phase="sweep")
         if outcome.ok:
             results = outcome.value
-            cache_path = self._cache_path(dataset_id)
-            if cache_path is not None:
-                write_envelope(cache_path, _results_to_payload(results))
-            self._mark_done(unit_id, cache=getattr(cache_path, "name", None))
+            self._persist_sweep(dataset_id, unit_id, results)
         else:
             assert outcome.failure is not None
             self._failures.append(outcome.failure)
@@ -487,12 +528,7 @@ class ExperimentRunner:
                     return
                 dataset_id = pending[index]
                 results, _ = outcome.value
-                cache_path = self._cache_path(dataset_id)
-                if cache_path is not None:
-                    write_envelope(cache_path, _results_to_payload(results))
-                self._mark_done(
-                    f"sweep:{dataset_id}", cache=getattr(cache_path, "name", None)
-                )
+                self._persist_sweep(dataset_id, f"sweep:{dataset_id}", results)
 
             sweep_policy = replace(self.policy, deadline_seconds=None)
             schedule = self.scheduler.run(
@@ -523,9 +559,34 @@ class ExperimentRunner:
         """
         return practical_from_results(self.matcher_results(dataset_id))
 
+    def _persist_sweep(
+        self, dataset_id: str, unit_id: str, results: dict[str, MatcherResult]
+    ) -> None:
+        """Best-effort envelope + journal write for one completed sweep.
+
+        A failed envelope write is recorded and the unit is *not*
+        journalled (a journal entry without a usable envelope would read
+        as a divergence on resume); the in-memory results stand either
+        way, so verdicts never depend on persistence succeeding.
+        """
+        cache_path = self._cache_path(dataset_id)
+        if cache_path is not None:
+            try:
+                write_envelope(cache_path, _results_to_payload(results))
+            except Exception as exc:
+                self._record_persist_failure(unit_id, "cache", exc)
+                return
+        self._mark_done(unit_id, cache=getattr(cache_path, "name", None))
+
     def _mark_done(self, unit_id: str, **info: object) -> None:
-        if self.journal is not None:
+        if self.journal is None:
+            return
+        try:
             self.journal.mark_done(unit_id, **info)
+        except Exception as exc:
+            # Losing one checkpoint costs a recompute on resume, not the
+            # run; record it and move on.
+            self._record_persist_failure(unit_id, "journal", exc)
 
     # -- assessments --------------------------------------------------------------
 
@@ -598,13 +659,22 @@ class ExperimentRunner:
             },
             "complexity": assessment.complexity.scores,
         }
-        write_envelope(path, payload)
+        try:
+            write_envelope(path, payload)
+        except Exception as exc:
+            self._record_persist_failure(f"assess:{dataset_id}", "cache", exc)
 
     def _load_assessment(self, dataset_id: str) -> BenchmarkAssessment | None:
         path = self._assessment_path(dataset_id)
         if path is None:
             return None
-        read = read_cached_payload(path)
+        try:
+            read = read_cached_payload(path)
+        except Exception as exc:
+            self._record_cache_failure(
+                f"assess:{dataset_id}", f"cache read failed: {exc}"
+            )
+            return None
         if read.error is not None:
             self._record_cache_failure(f"assess:{dataset_id}", read.error)
         if not read.hit:

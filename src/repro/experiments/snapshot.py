@@ -94,3 +94,48 @@ def save_snapshot(runner: ExperimentRunner, path: Path | str) -> dict[str, objec
     snapshot = take_snapshot(runner)
     atomic_write_text(Path(path), json.dumps(snapshot, indent=1))
     return snapshot
+
+
+def sweep_state(
+    runner: ExperimentRunner, dataset_ids: tuple[str, ...]
+) -> dict[str, object]:
+    """The *diffable* state of a sweep: scores and verdicts, no wall-clock.
+
+    The comparison surface of :mod:`repro.runtime.chaos`'s campaign and
+    crash-consistency checks. Per dataset it records each matcher's
+    scores and degraded flag, the practical measures (NLB/LBM) when
+    measured, and the practical verdict — but deliberately no timings,
+    pids or trace ids, which legitimately differ between runs. Two runs
+    of the same ``(datasets, scale, seed)`` must produce equal states
+    regardless of faults survived, kills resumed, or cache state.
+    """
+    state: dict[str, object] = {"datasets": {}}
+    for dataset_id in dataset_ids:
+        results = runner.matcher_results(dataset_id)
+        practical = runner.practical(dataset_id)
+        measured = practical.is_measured
+        state["datasets"][dataset_id] = {
+            "results": {
+                name: {
+                    "f1": result.f1,
+                    "precision": result.precision,
+                    "recall": result.recall,
+                    "degraded": result.degraded,
+                }
+                for name, result in sorted(results.items())
+            },
+            "measured": measured,
+            "nlb": practical.non_linear_boost if measured else None,
+            "lbm": practical.learning_based_margin if measured else None,
+            "practical_challenging": (
+                practical.is_challenging() if measured else None
+            ),
+            "journal_units": sorted(
+                unit
+                for unit in (
+                    runner.journal.completed if runner.journal else ()
+                )
+                if unit == f"sweep:{dataset_id}"
+            ),
+        }
+    return state

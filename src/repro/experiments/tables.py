@@ -105,9 +105,18 @@ def _f1_table(runner: ExperimentRunner, dataset_ids: tuple[str, ...]) -> Table:
     return headers, rows
 
 
-def table4(runner: ExperimentRunner) -> Table:
-    """Table IV: F1 of every matcher on the 13 established benchmarks."""
-    return _f1_table(runner, ESTABLISHED_DATASET_IDS)
+def table4(
+    runner: ExperimentRunner, dataset_ids: tuple[str, ...] | None = None
+) -> Table:
+    """Table IV: F1 of every matcher on the 13 established benchmarks.
+
+    *dataset_ids* restricts the columns (the CLI's ``--datasets`` filter
+    and the chaos/crash checkers' way of sweeping a small subset).
+    """
+    return _f1_table(
+        runner,
+        tuple(dataset_ids) if dataset_ids is not None else ESTABLISHED_DATASET_IDS,
+    )
 
 
 def table5(runner: ExperimentRunner) -> Table:

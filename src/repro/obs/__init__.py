@@ -57,6 +57,7 @@ __all__ = [
     "TraceCollector",
     "activate",
     "active",
+    "counter",
     "gauge",
     "inc",
     "is_metrics_snapshot",
@@ -225,3 +226,8 @@ def phase(unit: str, phase_name: str, seconds: float) -> None:
 
 def snapshot() -> dict[str, dict]:
     return _ACTIVE.snapshot()
+
+
+def counter(name: str) -> float:
+    """Current value of a counter on the active instance (0 if never hit)."""
+    return _ACTIVE.metrics.counter(name)

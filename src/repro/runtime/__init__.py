@@ -25,11 +25,24 @@ pieces the experiment layer builds on:
   absorbed :class:`FailureRecord` data and its lifecycle
   (:func:`clear_recorded_failures`), so run boundaries are managed here
   rather than in an experiments-internal module.
+* :mod:`repro.runtime.breaker` — per-unit circuit breakers
+  (:class:`BreakerRegistry`) that an :class:`ExecutionPolicy` can carry:
+  after K consecutive failures a unit short-circuits to a structured
+  ``CircuitOpen`` failure instead of burning its retry budget.
+* :mod:`repro.runtime.chaos` — seeded chaos campaigns
+  (:class:`ChaosCampaign`) asserting verdicts survive randomized
+  multi-site fault plans, plus the SIGKILL-based crash-consistency
+  checker (:func:`check_crash_consistency`) and the plan shrinker.
+* :mod:`repro.runtime.doctor` — ``repro doctor``'s engine
+  (:func:`run_doctor`): audits and repairs a cache directory (torn
+  journal tails, corrupt envelopes, quarantine retention, stale temp
+  files).
 
 The package is dependency-free (stdlib only) so every layer of the
 repository may import it.
 """
 
+from repro.runtime.breaker import BreakerRegistry, CircuitBreaker
 from repro.runtime.cache import (
     CACHE_SCHEMA_VERSION,
     CacheCorruption,
@@ -42,6 +55,22 @@ from repro.runtime.cache import (
     read_cached_payload,
     read_envelope,
     write_envelope,
+)
+from repro.runtime.chaos import (
+    CampaignReport,
+    ChaosCampaign,
+    CrashCheckResult,
+    FaultPlan,
+    PlannedFault,
+    PlanResult,
+    check_crash_consistency,
+    generate_plans,
+    shrink_plan,
+)
+from repro.runtime.doctor import (
+    DoctorFinding,
+    DoctorReport,
+    run_doctor,
 )
 from repro.runtime.journal import CheckpointJournal
 from repro.runtime.parallel import (
@@ -64,28 +93,42 @@ from repro.runtime.registry import (
 )
 
 __all__ = [
+    "BreakerRegistry",
     "CACHE_SCHEMA_VERSION",
     "CacheCorruption",
     "CacheError",
     "CacheReadResult",
     "CacheVersionMismatch",
+    "CampaignReport",
+    "ChaosCampaign",
     "CheckpointJournal",
+    "CircuitBreaker",
+    "CrashCheckResult",
     "DeadlineExceeded",
+    "DoctorFinding",
+    "DoctorReport",
     "ExecutionOutcome",
     "ExecutionPolicy",
     "FailureRecord",
+    "FaultPlan",
     "ParallelScheduler",
+    "PlanResult",
+    "PlannedFault",
     "ScheduleResult",
     "UnitReport",
     "WorkUnit",
     "WorkerReport",
     "atomic_write_text",
     "atomic_writer",
+    "check_crash_consistency",
     "clear_recorded_failures",
+    "generate_plans",
     "quarantine",
     "read_cached_payload",
     "read_envelope",
     "record_failure",
     "recorded_failures",
+    "run_doctor",
+    "shrink_plan",
     "write_envelope",
 ]

@@ -75,9 +75,29 @@ def atomic_writer(path: Path | str, *, newline: str | None = None) -> Iterator[I
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, target)
+        _fsync_directory(target.parent)
     except BaseException:
         tmp.unlink(missing_ok=True)
         raise
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Make a rename durable: fsync the directory entry (best effort).
+
+    ``os.replace`` is atomic but the new directory entry can still be
+    lost to a power cut until the directory itself is synced; platforms
+    that cannot open a directory read-only simply skip this.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def atomic_write_text(path: Path | str, text: str) -> None:
@@ -100,7 +120,11 @@ def write_envelope(
         "checksum": _checksum(_canonical(payload)),
         "payload": payload,
     }
-    atomic_write_text(path, json.dumps(envelope, indent=1))
+    # The torn-write site lets chaos campaigns publish a truncated
+    # envelope (simulating a non-atomic filesystem or a crash that beat
+    # the rename); readers then exercise the real quarantine path.
+    text = faults.torn_text("cache:torn-write", json.dumps(envelope, indent=1))
+    atomic_write_text(path, text)
 
 
 def read_envelope(

@@ -1,0 +1,698 @@
+"""Chaos campaigns: prove that verdicts survive faults, kills and corruption.
+
+The reproduction's central claim — benchmark verdicts are stable
+properties of dataset difficulty — only holds operationally if a sweep
+that crashes, is killed, or hits corrupted state resumes to the *same*
+verdicts as a clean run. This module turns that property into an
+executable assertion, three ways:
+
+* :class:`ChaosCampaign` — runs a seeded schedule of randomized
+  multi-site :class:`FaultPlan`\\ s (drawn from the experiment layer's
+  fault sites, including the torn-write sites ``journal:append`` and
+  ``cache:torn-write``) against real sweeps and diffs every plan's
+  surviving state against a fault-free baseline: a non-degraded cell must
+  score exactly what the baseline scored, a degraded cell must be marked
+  degraded and carry a :class:`~repro.runtime.policy.FailureRecord`
+  (never silently promoted to a real score), and measured practical
+  verdicts must agree.
+* :func:`check_crash_consistency` — SIGKILLs a child ``python -m repro``
+  process at a fault-site-triggered point (the ``kill`` fault kind),
+  resumes from journal + cache, and diffs the final sweep state against
+  an uninterrupted control run.
+* :func:`shrink_plan` — greedy delta-debugging: reduces a failing plan to
+  a minimal reproducer by dropping faults one at a time while the
+  predicate still fails.
+
+Everything is seeded: the same ``(seed, n_plans, sites)`` generates the
+same schedule, and each plan's faults use seeded pass probabilities, so a
+campaign failure is replayable from its plan description alone.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro import obs
+from repro.runtime import faults
+from repro.runtime.breaker import BreakerRegistry
+from repro.runtime.policy import ExecutionPolicy
+
+#: Default datasets for campaigns: two small established benchmarks.
+DEFAULT_DATASETS = ("Ds5", "Ds7")
+
+#: Default size factor for campaign sweeps (kept small — a campaign runs
+#: dozens of them).
+DEFAULT_SCALE = 0.3
+
+
+@dataclass(frozen=True)
+class PlannedFault:
+    """One armed site of a fault plan."""
+
+    site: str
+    kind: str  # "error" | "corrupt" | "torn" | "kill"
+    times: int | None = 1
+    probability: float = 1.0
+
+    def describe(self) -> str:
+        times = "*" if self.times is None else str(self.times)
+        text = f"{self.site}={self.kind}:{times}"
+        if self.probability < 1.0:
+            text += f"@p{self.probability:.2f}"
+        return text
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded set of faults to arm for one campaign pass."""
+
+    plan_id: int
+    seed: int
+    faults: tuple[PlannedFault, ...]
+    #: Kill-resume plan: run a child process, SIGKILL it at ``kill_site``,
+    #: then resume and check crash consistency instead of in-process diffs.
+    kill_site: str | None = None
+
+    def arm(self) -> None:
+        for planned in self.faults:
+            faults.arm(
+                planned.site,
+                planned.kind,
+                times=planned.times,
+                probability=planned.probability,
+                seed=self.seed,
+            )
+
+    def describe(self) -> str:
+        parts = [planned.describe() for planned in self.faults]
+        if self.kill_site is not None:
+            parts.append(f"{self.kill_site}=kill")
+        body = ", ".join(parts) if parts else "no faults"
+        return f"plan {self.plan_id} (seed {self.seed}): {body}"
+
+
+@dataclass(frozen=True)
+class PlanResult:
+    """One executed plan: its divergences (empty = verdicts survived)."""
+
+    plan: FaultPlan
+    divergences: tuple[str, ...]
+    degraded_cells: int
+    failures_absorbed: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """Everything a finished campaign asserts on."""
+
+    seed: int
+    datasets: tuple[str, ...]
+    scale: float
+    results: tuple[PlanResult, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def divergent(self) -> tuple[PlanResult, ...]:
+        return tuple(result for result in self.results if not result.ok)
+
+    def to_table(self) -> tuple[list[str], list[list[str]]]:
+        """(headers, rows) for :func:`repro.experiments.report.render`."""
+        headers = ["plan", "faults", "degraded", "absorbed", "verdicts"]
+        rows = []
+        for result in self.results:
+            kind = "kill-resume" if result.plan.kill_site else "in-process"
+            faults_text = ", ".join(
+                planned.describe() for planned in result.plan.faults
+            )
+            if result.plan.kill_site:
+                faults_text = ", ".join(
+                    part
+                    for part in (faults_text, f"{result.plan.kill_site}=kill")
+                    if part
+                )
+            rows.append(
+                [
+                    f"{result.plan.plan_id} ({kind})",
+                    faults_text or "-",
+                    str(result.degraded_cells),
+                    str(result.failures_absorbed),
+                    "match" if result.ok else f"DIVERGED x{len(result.divergences)}",
+                ]
+            )
+        return headers, rows
+
+
+# -- plan generation -------------------------------------------------------
+
+
+def default_site_pool(
+    dataset_ids: Sequence[str],
+    matcher_names: Sequence[str] = ("DITTO (15)", "ZeroER", "SA-ESDE"),
+) -> tuple[PlannedFault, ...]:
+    """The fault menu a campaign draws from, covering every site family."""
+    pool: list[PlannedFault] = [
+        PlannedFault("matcher:*", "error", times=2),
+        PlannedFault("cache:read", "corrupt", times=None, probability=0.5),
+        PlannedFault("cache:read", "error", times=1),
+        PlannedFault("cache:write", "error", times=1),
+        PlannedFault("cache:torn-write", "torn", times=1),
+        PlannedFault("journal:append", "torn", times=1),
+        PlannedFault("io:write", "error", times=1),
+    ]
+    for name in matcher_names:
+        pool.append(PlannedFault(f"matcher:{name}", "error", times=None))
+    for dataset_id in dataset_ids:
+        pool.append(PlannedFault(f"sweep:{dataset_id}", "error", times=1))
+        pool.append(PlannedFault(f"dataset:{dataset_id}", "error", times=1))
+    return tuple(pool)
+
+
+def default_kill_sites(dataset_ids: Sequence[str]) -> tuple[str, ...]:
+    """Deterministic points at which kill-resume plans murder the child."""
+    sites = ["journal:append", "cache:write", "matcher:*"]
+    sites.extend(f"sweep:{dataset_id}" for dataset_id in dataset_ids)
+    return tuple(sites)
+
+
+def generate_plans(
+    n_plans: int,
+    seed: int,
+    site_pool: Sequence[PlannedFault],
+    *,
+    kill_sites: Sequence[str] = (),
+    n_kill_plans: int = 0,
+    max_faults_per_plan: int = 3,
+) -> tuple[FaultPlan, ...]:
+    """A seeded schedule of ``n_plans`` plans over ``site_pool``.
+
+    The last ``n_kill_plans`` plans are kill-resume plans drawing their
+    kill point from ``kill_sites``; the rest arm 1..``max_faults_per_plan``
+    distinct-site faults each. Pure function of its arguments.
+    """
+    if n_kill_plans > n_plans:
+        raise ValueError(
+            f"n_kill_plans ({n_kill_plans}) cannot exceed n_plans ({n_plans})"
+        )
+    if n_kill_plans and not kill_sites:
+        raise ValueError("kill plans requested but kill_sites is empty")
+    rng = random.Random(seed)
+    plans: list[FaultPlan] = []
+    for plan_id in range(n_plans):
+        plan_seed = rng.randrange(2**31)
+        if plan_id >= n_plans - n_kill_plans:
+            plans.append(
+                FaultPlan(
+                    plan_id=plan_id,
+                    seed=plan_seed,
+                    faults=(),
+                    kill_site=rng.choice(list(kill_sites)),
+                )
+            )
+            continue
+        n_faults = rng.randint(1, max(1, max_faults_per_plan))
+        chosen: dict[str, PlannedFault] = {}
+        for planned in rng.sample(list(site_pool), k=min(n_faults, len(site_pool))):
+            chosen.setdefault(planned.site, planned)
+        plans.append(
+            FaultPlan(
+                plan_id=plan_id,
+                seed=plan_seed,
+                faults=tuple(chosen.values()),
+            )
+        )
+    return tuple(plans)
+
+
+# -- sweep state collection and diffing ------------------------------------
+
+
+def collect_sweep_state(runner, dataset_ids: Sequence[str]) -> dict:
+    """Diffable sweep state: cells + practical measures, no wall-clock.
+
+    Thin wrapper over :func:`repro.experiments.snapshot.sweep_state`
+    (imported lazily: runtime must stay importable without the
+    experiments layer).
+    """
+    from repro.experiments.snapshot import sweep_state
+
+    return sweep_state(runner, tuple(dataset_ids))
+
+
+def diff_sweep_states(baseline: dict, observed: dict) -> list[str]:
+    """Divergences of ``observed`` from ``baseline`` (empty = consistent).
+
+    The contract enforced on every chaos plan:
+
+    * a cell the observed run reports as *non-degraded* must score exactly
+      the baseline's score — a degraded cell silently promoted to a real
+      (zeroed or fabricated) score diverges here;
+    * a degraded or missing cell is *surviving data loss*, not divergence;
+    * when the observed run's practical measures are measured, NLB/LBM
+      and the practical verdict must equal the baseline's.
+    """
+    divergences: list[str] = []
+    for dataset_id, base in baseline["datasets"].items():
+        seen = observed["datasets"].get(dataset_id)
+        if seen is None:
+            divergences.append(f"{dataset_id}: missing from observed state")
+            continue
+        for matcher, base_cell in base["results"].items():
+            cell = seen["results"].get(matcher)
+            if cell is None or cell["degraded"]:
+                continue  # lost or degraded, visibly — not a divergence
+            if base_cell["degraded"]:
+                divergences.append(
+                    f"{dataset_id}/{matcher}: degraded in baseline but "
+                    f"scored {cell['f1']:.6f} under faults"
+                )
+                continue
+            for measure in ("f1", "precision", "recall"):
+                if cell[measure] != base_cell[measure]:
+                    divergences.append(
+                        f"{dataset_id}/{matcher}: {measure} "
+                        f"{cell[measure]:.6f} != baseline "
+                        f"{base_cell[measure]:.6f}"
+                    )
+        if seen["measured"] and base["measured"]:
+            for measure in ("nlb", "lbm"):
+                if not math.isclose(
+                    seen[measure], base[measure], rel_tol=0, abs_tol=0
+                ):
+                    divergences.append(
+                        f"{dataset_id}: {measure} {seen[measure]:.6f} != "
+                        f"baseline {base[measure]:.6f}"
+                    )
+            if seen["practical_challenging"] != base["practical_challenging"]:
+                divergences.append(
+                    f"{dataset_id}: practical verdict "
+                    f"{seen['practical_challenging']} != baseline "
+                    f"{base['practical_challenging']}"
+                )
+    return divergences
+
+
+def count_unexplained_degradations(state: dict, failures) -> int:
+    """Degraded cells with no matching :class:`FailureRecord` (should be 0).
+
+    Every degraded cell must be *explained* — either its own matcher
+    failure record or a sweep/cache-level record for its dataset. A
+    degraded cell with no record at all was silently degraded.
+    """
+    unit_ids = {record.unit_id for record in failures}
+    unexplained = 0
+    for dataset_id, entry in state["datasets"].items():
+        dataset_units = {
+            unit
+            for unit in unit_ids
+            if unit == f"sweep:{dataset_id}" or unit.startswith(f"{dataset_id}/")
+        }
+        for matcher, cell in entry["results"].items():
+            if not cell["degraded"]:
+                continue
+            if (
+                f"{dataset_id}/{matcher}" not in unit_ids
+                and not dataset_units
+            ):
+                unexplained += 1
+    return unexplained
+
+
+# -- the campaign engine ---------------------------------------------------
+
+
+@dataclass
+class ChaosCampaign:
+    """Seeded schedule of fault plans asserted against a clean baseline.
+
+    ``run()`` computes the fault-free baseline once (fresh cache
+    directory, no faults armed), then executes every plan with its faults
+    armed in an isolated cache directory and records divergences.
+    Kill-resume plans delegate to :func:`check_crash_consistency` and run
+    real child processes. ``breaker_threshold`` arms circuit breakers on
+    the plan policies, so a matcher that fails on every pass
+    short-circuits instead of burning retries across the whole campaign.
+    """
+
+    datasets: tuple[str, ...] = DEFAULT_DATASETS
+    scale: float = DEFAULT_SCALE
+    seed: int = 0
+    n_plans: int = 20
+    n_kill_plans: int = 2
+    max_faults_per_plan: int = 3
+    retries: int = 2
+    breaker_threshold: int | None = 5
+    workdir: Path | None = None
+    site_pool: tuple[PlannedFault, ...] = ()
+    _owns_workdir: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.datasets = tuple(self.datasets)
+        if not self.site_pool:
+            self.site_pool = default_site_pool(self.datasets)
+        if self.workdir is None:
+            self.workdir = Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+            self._owns_workdir = True
+        else:
+            self.workdir = Path(self.workdir)
+            self.workdir.mkdir(parents=True, exist_ok=True)
+
+    # -- internals ---------------------------------------------------------
+
+    def _policy(self) -> ExecutionPolicy:
+        from repro.experiments.matcher_suite import MATCHER_ERRORS
+
+        breakers = (
+            BreakerRegistry(failure_threshold=self.breaker_threshold)
+            if self.breaker_threshold is not None
+            else None
+        )
+        return ExecutionPolicy(
+            max_attempts=self.retries,
+            backoff_base=0.0,
+            seed=self.seed,
+            retry_on=MATCHER_ERRORS,
+            breakers=breakers,
+        )
+
+    def _sweep_state(self, cache_dir: Path):
+        """One sweep of the campaign datasets; (state, n_failures, runner)."""
+        from repro.experiments.runner import ExperimentRunner, RunnerConfig
+
+        runner = ExperimentRunner(
+            config=RunnerConfig(
+                scale=self.scale,
+                seed=self.seed,
+                cache_dir=cache_dir,
+                policy=self._policy(),
+            )
+        )
+        state = collect_sweep_state(runner, self.datasets)
+        return state, len(runner.failure_records()), runner
+
+    def baseline(self) -> dict:
+        """The fault-free reference state (computed once, then reused)."""
+        if getattr(self, "_baseline", None) is None:
+            faults.reset()
+            with obs.span("chaos.baseline", datasets=",".join(self.datasets)):
+                state, _, _ = self._sweep_state(self.workdir / "baseline")
+            self._baseline = state
+        return self._baseline
+
+    def run_plan(self, plan: FaultPlan) -> PlanResult:
+        """Execute one plan against a fresh cache dir and diff the state."""
+        baseline = self.baseline()
+        plan_dir = self.workdir / f"plan_{plan.plan_id:03d}"
+        if plan.kill_site is not None:
+            check = check_crash_consistency(
+                datasets=self.datasets,
+                scale=self.scale,
+                seed=self.seed,
+                kill_site=plan.kill_site,
+                workdir=plan_dir,
+            )
+            obs.inc("chaos.plans")
+            return PlanResult(
+                plan=plan,
+                divergences=tuple(check.divergences),
+                degraded_cells=0,
+                failures_absorbed=0,
+            )
+        faults.reset()
+        plan.arm()
+        try:
+            with obs.span("chaos.plan", plan=plan.plan_id):
+                # Two passes over the same cache dir while the faults stay
+                # armed: the first exercises the write paths (including
+                # torn writes), the second the read/resume paths — torn
+                # envelopes must quarantine and recompute, torn journal
+                # tails must be dropped, and both states must still match
+                # the fault-free baseline.
+                state, n_failures, runner = self._sweep_state(plan_dir)
+                resumed, n_resumed, resumed_runner = self._sweep_state(plan_dir)
+        finally:
+            faults.reset()
+        divergences = diff_sweep_states(baseline, state)
+        divergences.extend(
+            f"resume: {text}" for text in diff_sweep_states(baseline, resumed)
+        )
+        # Only the first pass is checked for unexplained degradations: a
+        # resumed run loads degraded cells from cache without re-recording
+        # their failures (promotion on resume is still caught by the score
+        # diff, because a degraded cell caches 0.0 scores).
+        del resumed_runner
+        unexplained = count_unexplained_degradations(
+            state, runner.failure_records()
+        )
+        if unexplained:
+            divergences.append(
+                f"{unexplained} degraded cell(s) carry no FailureRecord"
+            )
+        n_failures += n_resumed
+        degraded = sum(
+            1
+            for entry in state["datasets"].values()
+            for cell in entry["results"].values()
+            if cell["degraded"]
+        )
+        obs.inc("chaos.plans")
+        if divergences:
+            obs.inc("chaos.divergences", len(divergences))
+        return PlanResult(
+            plan=plan,
+            divergences=tuple(divergences),
+            degraded_cells=degraded,
+            failures_absorbed=n_failures,
+        )
+
+    def run(self) -> CampaignReport:
+        """Run the whole seeded schedule; clean up owned scratch space."""
+        plans = generate_plans(
+            self.n_plans,
+            self.seed,
+            self.site_pool,
+            kill_sites=default_kill_sites(self.datasets),
+            n_kill_plans=self.n_kill_plans,
+            max_faults_per_plan=self.max_faults_per_plan,
+        )
+        try:
+            self.baseline()
+            results = tuple(self.run_plan(plan) for plan in plans)
+        finally:
+            if self._owns_workdir:
+                shutil.rmtree(self.workdir, ignore_errors=True)
+        return CampaignReport(
+            seed=self.seed,
+            datasets=self.datasets,
+            scale=self.scale,
+            results=results,
+        )
+
+
+# -- crash-consistency checking --------------------------------------------
+
+
+@dataclass(frozen=True)
+class CrashCheckResult:
+    """Outcome of one kill/resume/diff cycle."""
+
+    kill_site: str
+    killed: bool
+    kill_returncode: int | None
+    resume_returncode: int | None
+    divergences: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return self.killed and self.resume_returncode == 0 and not self.divergences
+
+
+def _repro_command(
+    datasets: Sequence[str], scale: float, seed: int, cache_dir: Path
+) -> list[str]:
+    return [
+        sys.executable,
+        "-m",
+        "repro",
+        "table4",
+        "--datasets",
+        ",".join(datasets),
+        "--scale",
+        str(scale),
+        "--seed",
+        str(seed),
+        "--cache",
+        str(cache_dir),
+    ]
+
+
+def _child_env() -> dict[str, str]:
+    """The child's environment, with the repro package importable."""
+    import os
+
+    import repro
+
+    env = dict(os.environ)
+    package_root = str(Path(repro.__file__).resolve().parents[1])
+    existing = env.get("PYTHONPATH", "")
+    if package_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            package_root + (os.pathsep + existing if existing else "")
+        )
+    return env
+
+
+def check_crash_consistency(
+    *,
+    datasets: Sequence[str] = DEFAULT_DATASETS,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 0,
+    kill_site: str = "journal:append",
+    workdir: Path | str | None = None,
+    timeout_seconds: float = 600.0,
+) -> CrashCheckResult:
+    """Kill a child ``repro`` run at ``kill_site``, resume, diff vs control.
+
+    Three child processes: an uninterrupted *control* run, a run armed
+    with ``--inject '<kill_site>=kill'`` that dies by SIGKILL at the
+    site, and a *resume* run over the killed run's cache directory. The
+    final sweep states of the resumed and the control directory are
+    loaded in this process (pure cache reads) and diffed with
+    :func:`diff_sweep_states` both ways — crash consistency means the
+    states are identical, not merely compatible.
+    """
+    from repro.experiments.runner import ExperimentRunner, RunnerConfig
+
+    owns_workdir = workdir is None
+    base = Path(
+        tempfile.mkdtemp(prefix="repro-crash-") if workdir is None else workdir
+    )
+    base.mkdir(parents=True, exist_ok=True)
+    control_dir = base / "control"
+    crash_dir = base / "crashed"
+    env = _child_env()
+    try:
+        with obs.span("chaos.crash_check", kill_site=kill_site):
+            control = subprocess.run(
+                _repro_command(datasets, scale, seed, control_dir),
+                env=env,
+                capture_output=True,
+                timeout=timeout_seconds,
+            )
+            if control.returncode != 0:
+                return CrashCheckResult(
+                    kill_site=kill_site,
+                    killed=False,
+                    kill_returncode=None,
+                    resume_returncode=None,
+                    divergences=(
+                        "control run failed: "
+                        + control.stderr.decode(errors="replace")[-500:],
+                    ),
+                )
+            killed = subprocess.run(
+                _repro_command(datasets, scale, seed, crash_dir)
+                + ["--inject", f"{kill_site}=kill"],
+                env=env,
+                capture_output=True,
+                timeout=timeout_seconds,
+            )
+            was_killed = killed.returncode == -signal.SIGKILL
+            obs.inc("chaos.kills")
+            resume = subprocess.run(
+                _repro_command(datasets, scale, seed, crash_dir),
+                env=env,
+                capture_output=True,
+                timeout=timeout_seconds,
+            )
+            divergences: list[str] = []
+            if not was_killed:
+                divergences.append(
+                    f"child was not SIGKILLed at {kill_site!r} "
+                    f"(exit code {killed.returncode}); the kill fault "
+                    f"never fired"
+                )
+            if resume.returncode != 0:
+                divergences.append(
+                    "resume run failed: "
+                    + resume.stderr.decode(errors="replace")[-500:]
+                )
+            else:
+                control_state = collect_sweep_state(
+                    ExperimentRunner(
+                        config=RunnerConfig(
+                            scale=scale, seed=seed, cache_dir=control_dir
+                        )
+                    ),
+                    datasets,
+                )
+                resumed_state = collect_sweep_state(
+                    ExperimentRunner(
+                        config=RunnerConfig(
+                            scale=scale, seed=seed, cache_dir=crash_dir
+                        )
+                    ),
+                    datasets,
+                )
+                divergences.extend(
+                    diff_sweep_states(control_state, resumed_state)
+                )
+                divergences.extend(
+                    diff_sweep_states(resumed_state, control_state)
+                )
+            return CrashCheckResult(
+                kill_site=kill_site,
+                killed=was_killed,
+                kill_returncode=killed.returncode,
+                resume_returncode=resume.returncode,
+                divergences=tuple(dict.fromkeys(divergences)),
+            )
+    finally:
+        if owns_workdir:
+            shutil.rmtree(base, ignore_errors=True)
+
+
+# -- plan shrinking --------------------------------------------------------
+
+
+def shrink_plan(
+    plan: FaultPlan, still_fails: Callable[[FaultPlan], bool]
+) -> FaultPlan:
+    """Reduce a failing plan to a minimal reproducer (greedy ddmin).
+
+    Repeatedly tries dropping one fault at a time; whenever the reduced
+    plan still fails, shrinking restarts from it. The result is
+    1-minimal: removing any single remaining fault makes the failure
+    disappear. ``still_fails`` is the caller's replay predicate (it
+    should re-run the plan and return True when the divergence is still
+    observed).
+    """
+    current = plan
+    progress = True
+    while progress and len(current.faults) > 1:
+        progress = False
+        for index in range(len(current.faults)):
+            reduced = replace(
+                current,
+                faults=current.faults[:index] + current.faults[index + 1 :],
+            )
+            if still_fails(reduced):
+                current = reduced
+                progress = True
+                break
+    return current

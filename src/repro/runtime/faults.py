@@ -1,17 +1,26 @@
 """Seeded fault injection: deterministic chaos for the experiment layer.
 
-Production code calls :func:`fire` (and cache readers :func:`corrupt_text`)
-at named *sites*; nothing happens unless a test, benchmark or the CLI has
-armed a fault there. Three kinds are supported:
+Production code calls :func:`fire` (and data-path readers/writers
+:func:`corrupt_text` / :func:`torn_text`) at named *sites*; nothing
+happens unless a test, benchmark or the CLI has armed a fault there.
+Five kinds are supported:
 
 * ``"error"``   — raise an exception (default :class:`InjectedFault`),
 * ``"hang"``    — sleep ``hang_seconds`` to trip an execution deadline,
 * ``"corrupt"`` — make a cache reader see garbled bytes, exercising the
-  real checksum/quarantine path.
+  real checksum/quarantine path,
+* ``"torn"``    — make a writer persist a truncated/garbled prefix of its
+  bytes (:func:`torn_text`), simulating a crash mid-write,
+* ``"kill"``    — SIGKILL the current process at the site, the primitive
+  behind :mod:`repro.runtime.chaos`'s crash-consistency checker.
 
 Sites are plain strings. The experiment layer uses ``"matcher:<name>"``,
 ``"sweep:<dataset>"``, ``"dataset:<dataset>"``, ``"cache:read"``,
-``"cache:write"``. Arming accepts ``times`` (fire the first N passes,
+``"cache:write"``, ``"cache:torn-write"``, ``"journal:append"``,
+``"io:write"`` and ``"io:read"``. A site may be armed with a trailing
+``*`` wildcard (``"matcher:*"`` fires for every matcher); an exact armed
+site always takes precedence over a wildcard one, and among wildcards the
+longest prefix wins. Arming accepts ``times`` (fire the first N passes,
 ``None`` = every pass) and a seeded ``probability`` so soak tests can
 inject rare faults reproducibly: the decision for pass *k* at a site is a
 pure function of ``(seed, site, k)``.
@@ -20,6 +29,8 @@ pure function of ``(seed, site, k)``.
 from __future__ import annotations
 
 import hashlib
+import os
+import signal
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -27,7 +38,11 @@ from typing import Iterator
 
 from repro import obs
 
-KINDS = ("error", "hang", "corrupt")
+KINDS = ("error", "hang", "corrupt", "torn", "kill")
+
+#: Kinds that only garble data at read/write sites and never fire in
+#: :func:`fire` (they act through :func:`corrupt_text` / :func:`torn_text`).
+DATA_KINDS = ("corrupt", "torn")
 
 
 class InjectedFault(RuntimeError):
@@ -107,18 +122,48 @@ def armed_sites() -> list[str]:
     return sorted(_ARMED)
 
 
-def fire(site: str) -> None:
-    """Injection point: raise/hang if an ``error``/``hang`` fault is armed.
+def _armed_for(site: str) -> _ArmedFault | None:
+    """The fault governing ``site``: exact match first, then wildcards.
 
-    ``corrupt`` faults do not trigger here — they only affect
-    :func:`corrupt_text` at cache-read sites.
+    A wildcard is an armed site ending in ``*`` whose prefix matches.
+    Precedence is pinned by tests: exact beats wildcard, and among
+    matching wildcards the longest (most specific) prefix wins, ties
+    broken lexicographically for determinism.
     """
     fault = _ARMED.get(site)
-    if fault is None or fault.kind == "corrupt" or not fault.should_fire():
+    if fault is not None:
+        return fault
+    best: _ArmedFault | None = None
+    best_key: tuple[int, str] | None = None
+    for armed_site, armed in _ARMED.items():
+        if not armed_site.endswith("*"):
+            continue
+        prefix = armed_site[:-1]
+        if not site.startswith(prefix):
+            continue
+        key = (-len(prefix), armed_site)
+        if best_key is None or key < best_key:
+            best, best_key = armed, key
+    return best
+
+
+def fire(site: str) -> None:
+    """Injection point: raise/hang/kill if a fault governs ``site``.
+
+    ``corrupt``/``torn`` faults do not trigger here — they only affect the
+    data-path hooks :func:`corrupt_text` and :func:`torn_text`.
+    """
+    fault = _armed_for(site)
+    if fault is None or fault.kind in DATA_KINDS or not fault.should_fire():
         return
     obs.inc("faults.injected")
     if fault.kind == "hang":
         time.sleep(fault.hang_seconds)
+        return
+    if fault.kind == "kill":
+        # A hard, uncatchable death at a deterministic point: the
+        # crash-consistency checker's way of simulating a power cut.
+        os.kill(os.getpid(), signal.SIGKILL)
         return
     raise fault.exception(f"injected fault at {site!r}")
 
@@ -129,11 +174,32 @@ def corrupt_text(site: str, text: str) -> str:
     Truncates to half length and flips the head so both JSON parsing and
     checksum verification are guaranteed to notice.
     """
-    fault = _ARMED.get(site)
+    fault = _armed_for(site)
     if fault is None or fault.kind != "corrupt" or not fault.should_fire():
         return text
     obs.inc("faults.injected")
     return "\x00corrupt\x00" + text[: max(0, len(text) // 2)]
+
+
+def torn_text(site: str, text: str) -> str:
+    """Injection point for writers: return a torn prefix of ``text`` if armed.
+
+    Simulates a kill mid-write: the survivor is a seeded-length prefix
+    (25-90% of the original) with its final byte garbled, so a torn
+    journal line or cache envelope is guaranteed to be unparseable rather
+    than accidentally valid. The fraction is a pure function of
+    ``(seed, site, pass)`` — reruns tear identically.
+    """
+    fault = _armed_for(site)
+    if fault is None or fault.kind != "torn" or not fault.should_fire():
+        return text
+    obs.inc("faults.injected")
+    digest = hashlib.blake2b(
+        f"{fault.seed}:{site}:{fault.passes}".encode(), digest_size=8
+    ).digest()
+    fraction = 0.25 + 0.65 * (int.from_bytes(digest, "big") / 2**64)
+    keep = max(1, int(len(text) * fraction))
+    return text[: keep - 1] + "\x1a"
 
 
 @contextmanager
@@ -150,7 +216,8 @@ def parse_spec(spec: str) -> tuple[str, str, int | None]:
     """Parse a CLI fault spec ``SITE=KIND[:TIMES]``.
 
     Examples: ``"matcher:DITTO (15)=error"``, ``"cache:read=corrupt:2"``,
-    ``"sweep:Ds4=hang"``. TIMES defaults to 1; ``*`` means every pass.
+    ``"sweep:Ds4=hang"``, ``"journal:append=torn"``, ``"matcher:*=kill"``.
+    TIMES defaults to 1; ``*`` means every pass.
     """
     site, separator, rest = spec.rpartition("=")
     if not separator or not site:

@@ -5,9 +5,12 @@ One JSON line per completed unit of work::
     {"unit": "sweep:Ds4", "info": {"cache": "suite_Ds4_ab12.json"}}
 
 Appends are flushed and fsynced, so a kill leaves at worst one truncated
-final line — which the loader tolerates and drops. A restarted run asks
+final line — which the loader tolerates, drops, and counts in the
+``journal.torn`` metric. A restarted run asks
 :meth:`CheckpointJournal.is_done` before recomputing a unit, turning a
-killed full-suite regeneration into a warm resume.
+killed full-suite regeneration into a warm resume. ``repro doctor``
+repairs a torn tail durably and :meth:`CheckpointJournal.compact`
+rewrites the file to one canonical line per unit.
 """
 
 from __future__ import annotations
@@ -16,6 +19,9 @@ import json
 import logging
 import os
 from pathlib import Path
+
+from repro import obs
+from repro.runtime import faults
 
 logger = logging.getLogger("repro.runtime.journal")
 
@@ -29,6 +35,10 @@ class CheckpointJournal:
         # True when the file ends mid-line (kill during append): the next
         # append must start on a fresh line or it merges with the stub.
         self._needs_newline = False
+        #: Unparseable lines dropped by the last load (torn appends).
+        self.torn_lines = 0
+        #: Re-recorded units seen by the last load (compaction candidates).
+        self.duplicate_lines = 0
         self._load()
 
     def _load(self) -> None:
@@ -47,12 +57,17 @@ class CheckpointJournal:
             try:
                 entry = json.loads(line)
             except json.JSONDecodeError:
-                # A crash mid-append leaves one truncated line; drop it.
+                # A crash mid-append leaves one truncated line; resume must
+                # tolerate it (drop + count), never raise.
                 logger.warning(
                     "dropping truncated journal line in %s", self.path
                 )
+                self.torn_lines += 1
+                obs.inc("journal.torn")
                 continue
             if isinstance(entry, dict) and isinstance(entry.get("unit"), str):
+                if entry["unit"] in self._entries:
+                    self.duplicate_lines += 1
                 self._entries[entry["unit"]] = entry.get("info") or {}
 
     @property
@@ -70,16 +85,57 @@ class CheckpointJournal:
         """Durably record a completed unit (idempotent)."""
         if self.is_done(unit_id) and self._entries[unit_id] == info:
             return
+        faults.fire("journal:append")
         self._entries[unit_id] = dict(info)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         line = json.dumps({"unit": unit_id, "info": info}, sort_keys=True)
         if self._needs_newline:
             line = "\n" + line
             self._needs_newline = False
+        # The torn-write site garbles the bytes that reach the disk (the
+        # in-memory entry stays recorded, exactly like a crash between the
+        # dict update and the fsync) so chaos campaigns and doctor tests
+        # can produce a genuinely torn tail on demand.
+        data = faults.torn_text("journal:append", line + "\n")
         with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
+            handle.write(data)
             handle.flush()
             os.fsync(handle.fileno())
+        if not data.endswith("\n"):
+            self._needs_newline = True
+
+    def compact(self) -> int:
+        """Atomically rewrite the file to one line per unit; returns lines shed.
+
+        Shed lines are torn stubs and superseded duplicates. The rewrite
+        goes through the atomic writer (tmp file + ``os.replace``), so a
+        crash mid-compaction leaves the original journal untouched.
+        """
+        from repro.runtime.cache import atomic_write_text
+
+        raw_lines = 0
+        if self.path.exists():
+            try:
+                raw_lines = sum(
+                    1
+                    for line in self.path.read_text(encoding="utf-8").splitlines()
+                    if line.strip()
+                )
+            except OSError:
+                raw_lines = 0
+        if not self._entries:
+            if self.path.exists():
+                self.path.unlink(missing_ok=True)
+            return raw_lines
+        text = "".join(
+            json.dumps({"unit": unit, "info": info}, sort_keys=True) + "\n"
+            for unit, info in sorted(self._entries.items())
+        )
+        atomic_write_text(self.path, text)
+        self._needs_newline = False
+        self.torn_lines = 0
+        self.duplicate_lines = 0
+        return raw_lines - len(self._entries)
 
     def clear(self) -> None:
         """Forget all checkpoints (start a fresh run)."""

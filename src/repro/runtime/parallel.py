@@ -13,15 +13,21 @@ keeping the results indistinguishable from a sequential run:
   (retries, backoff, deadlines), and failures come back as picklable
   :class:`~repro.runtime.policy.FailureRecord` data, exactly like the
   sequential path;
+* **crash containment** — each unit runs in its own supervised child
+  process; a worker that dies mid-unit (SIGKILL, OOM, segfault) becomes a
+  ``WorkerCrash`` :class:`FailureRecord` for exactly that unit and the
+  scheduler keeps draining the queue instead of hanging (the failure mode
+  of ``multiprocessing.Pool``, whose ``imap`` never returns when a child
+  is killed);
 * **exact back-compat** — ``workers=1`` (the default everywhere) executes
   inline in the calling process: no pool, no pickling, no fork.
 
-The pool uses the ``fork`` start method so armed faults
-(:mod:`repro.runtime.faults`) and memoized datasets are inherited by the
-children. Where ``fork`` is unavailable (non-POSIX platforms) the
-scheduler silently degrades to the sequential path rather than changing
-semantics. Work-unit functions must be top-level (picklable) callables
-with picklable arguments; closures cannot cross the process boundary.
+Children are started with the ``fork`` method so armed faults
+(:mod:`repro.runtime.faults`) and memoized datasets are inherited. Where
+``fork`` is unavailable (non-POSIX platforms) the scheduler silently
+degrades to the sequential path rather than changing semantics.
+Work-unit functions must be top-level (picklable) callables with
+picklable arguments; closures cannot cross the process boundary.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from __future__ import annotations
 import logging
 import multiprocessing
 import os
+import queue as queue_module
 import time
 from dataclasses import dataclass, field
 from functools import partial
@@ -39,9 +46,12 @@ from repro.runtime.policy import ExecutionOutcome, ExecutionPolicy, FailureRecor
 
 logger = logging.getLogger("repro.runtime.parallel")
 
-#: Start method used for worker pools; ``fork`` keeps armed faults and
+#: Start method used for worker processes; ``fork`` keeps armed faults and
 #: in-process dataset memos visible to the children.
 DEFAULT_START_METHOD = "fork"
+
+#: Seconds the parent blocks on the result queue per supervision tick.
+_POLL_SECONDS = 0.05
 
 
 @dataclass(frozen=True)
@@ -105,10 +115,10 @@ class ScheduleResult:
 def _execute_unit(
     payload: tuple[int, WorkUnit, ExecutionPolicy],
 ) -> tuple[int, ExecutionOutcome, int, float]:
-    """Worker-side entry point: run one unit under its policy.
+    """Run one unit under its policy (inline path and worker children).
 
-    Top-level so the pool can import it by reference; the returned tuple
-    (index, outcome, pid, elapsed) is what crosses back to the parent.
+    The returned tuple (index, outcome, pid, elapsed) is what crosses
+    back to the parent.
     """
     index, unit, policy = payload
     start = time.perf_counter()
@@ -120,32 +130,44 @@ def _execute_unit(
     return index, outcome, os.getpid(), time.perf_counter() - start
 
 
-def _execute_unit_captured(
-    payload: tuple[int, WorkUnit, ExecutionPolicy],
-) -> tuple[int, ExecutionOutcome, int, float, dict | None]:
-    """Pool-side wrapper: run one unit with observability capture.
+def _worker_main(
+    result_queue: Any, payload: tuple[int, WorkUnit, ExecutionPolicy]
+) -> None:
+    """Child-process entry point: run one unit with observability capture.
 
-    Only used in real fork workers (never inline): it resets the child's
-    inherited span buffer and metrics so the export carries exactly this
-    unit's spans and metric deltas, which the parent folds back into its
-    own collector — the trace of a parallel run re-assembles into the
-    same tree a sequential run would have produced.
+    Resets the child's inherited span buffer and metrics so the export
+    carries exactly this unit's spans and metric deltas, which the parent
+    folds back into its own collector — the trace of a parallel run
+    re-assembles into the same tree a sequential run would have produced.
+    An exception outside the policy's ``retry_on`` allow-list is shipped
+    back and re-raised in the parent, matching the sequential contract.
     """
     handle = obs.active()
     handle.begin_worker_capture()
-    index, outcome, pid, elapsed = _execute_unit(payload)
-    return index, outcome, pid, elapsed, handle.export_worker_capture()
+    try:
+        index, outcome, pid, elapsed = _execute_unit(payload)
+    except BaseException as exc:  # re-raised in the parent
+        try:
+            result_queue.put(("raise", payload[0], exc, os.getpid()))
+        except Exception:
+            result_queue.put(
+                ("raise", payload[0], RuntimeError(repr(exc)), os.getpid())
+            )
+        return
+    result_queue.put(
+        ("ok", index, outcome, pid, elapsed, handle.export_worker_capture())
+    )
 
 
 class ParallelScheduler:
-    """Fan work units across a process pool with deterministic merging.
+    """Fan work units across supervised processes with deterministic merging.
 
     ``workers=1`` (default) runs inline — bit-for-bit the sequential
-    path. ``workers=N`` forks a pool of N processes per :meth:`run` call
-    and distributes units one at a time (``chunksize=1``) so a slow unit
-    never holds a batch hostage. Per-unit and per-worker timing is
-    accumulated across runs (see :meth:`worker_reports`) for the CLI's
-    utilisation report.
+    path. ``workers=N`` forks one supervised child per unit, at most N
+    alive at a time, so a slow unit never holds a batch hostage and a
+    *dead* one (SIGKILL, OOM) costs exactly its own unit. Per-unit and
+    per-worker timing is accumulated across runs (see
+    :meth:`worker_reports`) for the CLI's utilisation report.
     """
 
     def __init__(
@@ -217,7 +239,10 @@ class ParallelScheduler:
         every unit) must be picklable when ``workers > 1``. Failures
         never raise — they come back inside the outcomes — but an
         exception outside the policy's ``retry_on`` allow-list propagates,
-        matching the sequential contract of ``ExecutionPolicy.execute``.
+        matching the sequential contract of ``ExecutionPolicy.execute``. A
+        worker that dies without reporting (killed, crashed interpreter)
+        yields a ``WorkerCrash`` failure for its unit; the rest of the
+        queue still drains.
 
         *on_result* is invoked in the parent as ``(index, outcome)`` the
         moment each unit's result arrives — completion order, not
@@ -231,28 +256,19 @@ class ParallelScheduler:
         payloads = [
             (index, unit, active_policy) for index, unit in enumerate(units)
         ]
-        raw = []
         if n_workers == 1:
             # Inline path: spans/metrics are recorded directly into the
             # live collector, no capture round-trip needed.
+            raw = []
             for payload in payloads:
                 item = _execute_unit(payload)
                 if on_result is not None:
                     on_result(item[0], item[1])
                 raw.append(item)
         else:
-            context = multiprocessing.get_context(self.start_method)
-            with context.Pool(processes=n_workers) as pool:
-                for item in pool.imap_unordered(
-                    _execute_unit_captured, payloads, chunksize=1
-                ):
-                    # Merge the worker's spans/metrics before the caller's
-                    # checkpoint hook sees the result, so persisted state
-                    # and observability stay ordered consistently.
-                    obs.active().ingest_worker_capture(item[4])
-                    if on_result is not None:
-                        on_result(item[0], item[1])
-                    raw.append(item[:4])
+            raw = self._run_supervised(
+                units, payloads, n_workers, on_result
+            )
         raw.sort(key=lambda item: item[0])
         outcomes = tuple(item[1] for item in raw)
         unit_reports = tuple(
@@ -271,6 +287,120 @@ class ParallelScheduler:
             elapsed_seconds=time.perf_counter() - start,
             workers=n_workers,
         )
+
+    def _run_supervised(
+        self,
+        units: Sequence[WorkUnit],
+        payloads: list[tuple[int, WorkUnit, ExecutionPolicy]],
+        n_workers: int,
+        on_result: Callable[[int, ExecutionOutcome], None] | None,
+    ) -> list[tuple[int, ExecutionOutcome, int, float]]:
+        """Supervision loop: at most ``n_workers`` children, crash-safe."""
+        context = multiprocessing.get_context(self.start_method)
+        result_queue = context.Queue()
+        pending = list(reversed(payloads))
+        # pid -> (process, payload index, start time); the live children.
+        alive: dict[int, tuple[Any, int, float]] = {}
+        received: set[int] = set()
+        raw: list[tuple[int, ExecutionOutcome, int, float]] = []
+
+        def deliver(
+            index: int, outcome: ExecutionOutcome, pid: int, elapsed: float
+        ) -> None:
+            received.add(index)
+            entry = alive.pop(pid, None)
+            if entry is not None:
+                entry[0].join()
+            if on_result is not None:
+                on_result(index, outcome)
+            raw.append((index, outcome, pid, elapsed))
+
+        def drain(block: bool) -> bool:
+            """Consume one queue item; returns True if one was handled."""
+            try:
+                item = result_queue.get(
+                    timeout=_POLL_SECONDS if block else 0.0
+                )
+            except queue_module.Empty:
+                return False
+            if item[0] == "raise":
+                _, index, exc, pid = item
+                # Sequential contract: a non-retryable exception
+                # propagates. Tear the remaining children down first.
+                for process, _, _ in alive.values():
+                    process.terminate()
+                for process, _, _ in alive.values():
+                    process.join()
+                raise exc
+            _, index, outcome, pid, elapsed, capture = item
+            obs.active().ingest_worker_capture(capture)
+            deliver(index, outcome, pid, elapsed)
+            return True
+
+        try:
+            while pending or alive:
+                while pending and len(alive) < n_workers:
+                    payload = pending.pop()
+                    process = context.Process(
+                        target=_worker_main,
+                        args=(result_queue, payload),
+                        daemon=True,
+                    )
+                    process.start()
+                    assert process.pid is not None
+                    alive[process.pid] = (
+                        process, payload[0], time.perf_counter(),
+                    )
+                if drain(block=True):
+                    continue
+                # Nothing arrived this tick: look for children that died
+                # without reporting. Drain once more first — a child may
+                # have posted its result in the instant before exiting.
+                dead = [
+                    pid
+                    for pid, (process, _, _) in alive.items()
+                    if not process.is_alive()
+                ]
+                if not dead:
+                    continue
+                while drain(block=False):
+                    pass
+                for pid in dead:
+                    entry = alive.get(pid)
+                    if entry is None:  # its result arrived in the drain
+                        continue
+                    process, index, started = entry
+                    process.join()
+                    alive.pop(pid)
+                    elapsed = time.perf_counter() - started
+                    unit = units[index]
+                    obs.inc("parallel.worker_crash")
+                    logger.warning(
+                        "worker %d died (exit code %s) while running %s",
+                        pid, process.exitcode, unit.unit_id,
+                    )
+                    outcome = ExecutionOutcome(
+                        failure=FailureRecord(
+                            unit_id=unit.unit_id,
+                            phase=unit.phase,
+                            attempts=1,
+                            exception_type="WorkerCrash",
+                            message=(
+                                f"worker process {pid} exited with code "
+                                f"{process.exitcode} before returning a "
+                                f"result"
+                            ),
+                            elapsed_seconds=elapsed,
+                        )
+                    )
+                    deliver(index, outcome, pid, elapsed)
+        finally:
+            for process, _, _ in alive.values():
+                process.terminate()
+            for process, _, _ in alive.values():
+                process.join()
+            result_queue.close()
+        return raw
 
     def __repr__(self) -> str:
         return (

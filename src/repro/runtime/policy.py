@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro import obs
+from repro.runtime.breaker import BreakerRegistry
 
 
 class DeadlineExceeded(RuntimeError):
@@ -130,7 +131,11 @@ class ExecutionPolicy:
     derived deterministically from ``(seed, unit_id, attempt)``.
     ``deadline_seconds`` bounds each attempt's wall clock (``None`` = no
     deadline). ``retry_on`` is the exception allow-list; anything outside
-    it fails immediately without retry.
+    it fails immediately without retry. ``breakers`` (optional) attaches a
+    :class:`~repro.runtime.breaker.BreakerRegistry`: once a unit id has
+    failed ``failure_threshold`` consecutive times its breaker opens and
+    further executions — including the remaining retries of the current
+    one — short-circuit to a ``CircuitOpen`` failure instead of running.
     """
 
     max_attempts: int = 3
@@ -141,6 +146,7 @@ class ExecutionPolicy:
     seed: int = 0
     retry_on: tuple[type[BaseException], ...] = (Exception,)
     sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+    breakers: BreakerRegistry | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -171,6 +177,26 @@ class ExecutionPolicy:
     ) -> ExecutionOutcome:
         """Run ``fn`` under this policy; failures become data."""
         start = time.perf_counter()
+        breaker = (
+            self.breakers.breaker_for(unit_id)
+            if self.breakers is not None
+            else None
+        )
+        if breaker is not None and not breaker.allow():
+            return ExecutionOutcome(
+                failure=FailureRecord(
+                    unit_id=unit_id,
+                    phase=phase,
+                    attempts=0,
+                    exception_type="CircuitOpen",
+                    message=(
+                        f"circuit breaker open after "
+                        f"{breaker.consecutive_failures} consecutive "
+                        f"failure(s); unit short-circuited"
+                    ),
+                    elapsed_seconds=0.0,
+                )
+            )
         attempt = 0
         while True:
             attempt += 1
@@ -179,9 +205,19 @@ class ExecutionPolicy:
                     value = _call_with_deadline(fn, self.deadline_seconds)
                 else:
                     value = fn()
+                if breaker is not None:
+                    breaker.record_success()
                 return ExecutionOutcome(value=value)
             except (*self.retry_on, DeadlineExceeded) as exc:
-                if attempt >= self.max_attempts:
+                if breaker is not None:
+                    breaker.record_failure()
+                # An opened breaker also stops the *current* unit's
+                # remaining retries: the whole point is to stop burning
+                # the backoff budget on a unit that keeps failing.
+                exhausted = attempt >= self.max_attempts or (
+                    breaker is not None and breaker.state == "open"
+                )
+                if exhausted:
                     obs.inc("policy.failure")
                     return ExecutionOutcome(
                         failure=FailureRecord(

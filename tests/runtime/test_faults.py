@@ -87,6 +87,79 @@ class TestCorruptText:
         faults.fire("cache:read")  # corrupt faults only affect corrupt_text
 
 
+class TestTornText:
+    def test_untouched_without_fault(self):
+        assert faults.torn_text("journal:append", "line\n") == "line\n"
+
+    def test_torn_prefix_with_garbled_tail(self):
+        faults.arm("journal:append", "torn")
+        text = '{"unit": "sweep:Ds5", "ok": true}\n' * 4
+        torn = faults.torn_text("journal:append", text)
+        assert 0 < len(torn) < len(text)
+        assert torn.endswith("\x1a")
+        assert text.startswith(torn[:-1])
+
+    def test_torn_is_deterministic_per_seed(self):
+        def tear(seed: int) -> str:
+            faults.reset()
+            faults.arm("journal:append", "torn", seed=seed)
+            return faults.torn_text("journal:append", "x" * 400)
+
+        assert tear(3) == tear(3)
+        assert tear(3) != tear(4)
+
+    def test_torn_kind_does_not_raise_at_fire(self):
+        faults.arm("journal:append", "torn")
+        faults.fire("journal:append")  # torn faults only affect torn_text
+
+
+class TestWildcardSites:
+    """Satellite: `matcher:*` must govern every matcher site."""
+
+    def test_wildcard_fires_for_matching_site(self):
+        faults.arm("matcher:*", times=None)
+        with pytest.raises(faults.InjectedFault, match="matcher:DITTO"):
+            faults.fire("matcher:DITTO (15)")
+        with pytest.raises(faults.InjectedFault):
+            faults.fire("matcher:ZeroER")
+
+    def test_wildcard_ignores_other_prefixes(self):
+        faults.arm("matcher:*", times=None)
+        faults.fire("sweep:Ds5")  # must not raise
+        faults.fire("cache:read")
+
+    def test_exact_site_beats_wildcard(self):
+        faults.arm("matcher:*", times=None, exception=TimeoutError)
+        faults.arm("matcher:DITTO (15)", times=None, exception=KeyError)
+        with pytest.raises(KeyError):
+            faults.fire("matcher:DITTO (15)")
+        with pytest.raises(TimeoutError):
+            faults.fire("matcher:ZeroER")
+
+    def test_longest_wildcard_prefix_wins(self):
+        faults.arm("matcher:*", times=None, exception=TimeoutError)
+        faults.arm("matcher:DITTO*", times=None, exception=KeyError)
+        with pytest.raises(KeyError):
+            faults.fire("matcher:DITTO (15)")
+        with pytest.raises(TimeoutError):
+            faults.fire("matcher:GNEM (10)")
+
+    def test_wildcard_budget_is_shared_across_sites(self):
+        faults.arm("matcher:*", times=1)
+        with pytest.raises(faults.InjectedFault):
+            faults.fire("matcher:DITTO (15)")
+        faults.fire("matcher:ZeroER")  # the single shot is spent
+
+    def test_wildcard_governs_corrupt_text(self):
+        faults.arm("cache:*", "corrupt")
+        assert faults.corrupt_text("cache:read", "payload") != "payload"
+
+    def test_wildcard_governs_torn_text(self):
+        faults.arm("journal:*", "torn")
+        torn = faults.torn_text("journal:append", "x" * 100)
+        assert len(torn) < 100 and torn.endswith("\x1a")
+
+
 class TestSpecParsing:
     def test_basic_spec(self):
         assert faults.parse_spec("matcher:DITTO (15)=error") == (
@@ -98,6 +171,12 @@ class TestSpecParsing:
     def test_times_and_star(self):
         assert faults.parse_spec("cache:read=corrupt:3")[2] == 3
         assert faults.parse_spec("sweep:Ds4=hang:*")[2] is None
+
+    def test_torn_and_kill_kinds(self):
+        assert faults.parse_spec("journal:append=torn") == (
+            "journal:append", "torn", 1
+        )
+        assert faults.parse_spec("matcher:*=kill") == ("matcher:*", "kill", 1)
 
     @pytest.mark.parametrize(
         "bad",

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import os
+import signal
 import time
 
 import pytest
@@ -33,6 +34,11 @@ def _fail_once_then(value: int, marker_dir: str) -> int:
             pass
         raise ValueError("transient")
     return value
+
+
+def _kill_self(value: int) -> int:
+    os.kill(os.getpid(), signal.SIGKILL)
+    return value  # pragma: no cover - never reached
 
 
 def _units(fn, values, **extra):
@@ -149,6 +155,35 @@ class TestParallelPath:
         )
         assert result.outcomes[0].ok
         assert result.outcomes[0].value == 9
+
+
+class TestWorkerCrash:
+    """Satellite: a SIGKILLed worker surfaces a record, never a hang."""
+
+    def test_sigkilled_unit_becomes_worker_crash_record(self):
+        scheduler = ParallelScheduler(workers=2)
+        units = [
+            WorkUnit("doomed", _kill_self, args=(1,), phase="matcher"),
+            *_units(_double, [1, 2, 3]),
+        ]
+        result = scheduler.run(units, policy=NO_RETRY)
+        doomed = result.outcomes[0]
+        assert not doomed.ok
+        assert doomed.failure.unit_id == "doomed"
+        assert doomed.failure.exception_type == "WorkerCrash"
+        assert "exited" in doomed.failure.message
+        # The queue kept draining: every other unit still completed.
+        assert [o.value for o in result.outcomes[1:]] == [2, 4, 6]
+        assert result.failures() == [doomed.failure]
+
+    def test_crash_report_carries_dead_worker_pid(self):
+        scheduler = ParallelScheduler(workers=2)
+        units = [WorkUnit("doomed", _kill_self, args=(1,)), *_units(_double, [5])]
+        result = scheduler.run(units, policy=NO_RETRY)
+        crash_report = result.unit_reports[0]
+        assert crash_report.unit_id == "doomed"
+        assert not crash_report.ok
+        assert crash_report.worker_pid != os.getpid()
 
 
 class TestReports:
