@@ -3,7 +3,8 @@
 # suite (ROADMAP.md), the fast fault-injection smoke set, then a
 # two-worker parallel regeneration of Table IV with metrics/trace
 # observability on a fresh cache, a seeded chaos smoke campaign with a
-# doctor audit of the surviving cache, and the overhead benches.
+# doctor audit of the surviving cache, the kernel-parity suite, and the
+# overhead/speedup benches.
 #
 # Usage: scripts/verify.sh [--smoke-only]
 set -euo pipefail
@@ -35,7 +36,14 @@ python -m repro chaos --plans 3 --scale 0.3 --datasets Ds5 --cache "$CHAOS_CACHE
 python -m repro doctor --cache "$CHAOS_CACHE"
 python -m repro doctor --check --cache "$CHAOS_CACHE"
 
+echo "== vectorized-kernel parity (golden oracle) =="
+python -m pytest -x -q tests/text/test_kernels.py tests/text/test_feature_store.py \
+    tests/matchers/test_feature_parity.py
+
 echo "== observability + circuit-breaker overhead benches =="
 python -m pytest -x -q benchmarks/bench_obs.py benchmarks/bench_chaos.py
+
+echo "== feature-kernel speedup bench (>=5x, bit-identical) =="
+python -m pytest -x -q benchmarks/bench_kernels.py
 
 echo "verify: OK"

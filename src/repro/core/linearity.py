@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.data.pairs import LabeledPairSet
 from repro.data.task import MatchingTask
+from repro.text.feature_store import FeatureStore, store_for_task
 from repro.text.similarity import cosine_similarity, jaccard_similarity
 
 SimilarityFn = Callable[[Set[str], Set[str]], float]
@@ -27,6 +28,22 @@ SIMILARITIES: dict[str, SimilarityFn] = {
     "cosine": cosine_similarity,
     "jaccard": jaccard_similarity,
 }
+
+#: Kernel measure name per known similarity callable — these dispatch to
+#: the vectorized path of :mod:`repro.text.kernels`; any other callable
+#: falls back to the per-pair scalar loop (the parity oracle).
+_VECTOR_MEASURES: dict[SimilarityFn, str] = {
+    cosine_similarity: "cosine",
+    jaccard_similarity: "jaccard",
+}
+
+#: Threshold returned when *no* threshold in the sweep produces a single
+#: true positive (an all-negative fold, or scores entirely below the
+#: grid). It sits above every attainable score, so a matcher fitted on a
+#: degenerate fold predicts all-negative — ``score >= inf`` is never
+#: true — instead of the old 0.0 sentinel, which made ``scores >= 0.0``
+#: classify *everything* as a match.
+DEGENERATE_THRESHOLD: float = float("inf")
 
 
 @dataclass(frozen=True)
@@ -49,6 +66,11 @@ def best_threshold_f1(
     once, and for every threshold the confusion counts follow from the
     number of positives/negatives above it. Ties keep the lowest threshold,
     like the sequential sweep of the paper (strict improvement check).
+
+    When every threshold degenerates (no positives in *labels*, or no
+    score reaches the grid) the result is
+    ``(0.0, DEGENERATE_THRESHOLD)`` — a threshold above the score range,
+    so thresholding with it predicts all-negative.
     """
     if thresholds is None:
         thresholds = np.round(np.arange(0.01, 1.00, 0.01), 2)
@@ -68,7 +90,7 @@ def best_threshold_f1(
     cumulative_positives = np.concatenate(([0], np.cumsum(sorted_labels)))
 
     best_f1 = 0.0
-    best_threshold = 0.0
+    best_threshold: float | None = None
     for threshold in thresholds:
         cut = int(np.searchsorted(sorted_scores, threshold, side="left"))
         predicted_positive = len(score_array) - cut
@@ -79,17 +101,54 @@ def best_threshold_f1(
         recall = true_positive / total_positives
         if precision + recall == 0:
             continue
+        # Any threshold reaching this point has f1 > 0, so the strict
+        # improvement below always selects at least one of them.
         f1 = 2.0 * precision * recall / (precision + recall)
         if f1 > best_f1:
             best_f1 = f1
             best_threshold = float(threshold)
+    if best_threshold is None:
+        return 0.0, DEGENERATE_THRESHOLD
     return best_f1, best_threshold
 
 
-def pair_similarities(
-    pairs: LabeledPairSet, similarity: SimilarityFn
+def _batch_scores(
+    store: FeatureStore,
+    pairs: LabeledPairSet,
+    measure: str,
+    attribute: str | None = None,
 ) -> np.ndarray:
-    """Schema-agnostic token similarity per labeled pair (lines 2-4)."""
+    """One similarity column over *pairs*, batched through *store*."""
+    pair_list = pairs.pairs
+    spec = f"pairsim:{measure}" if attribute is None else (
+        f"pairsim:{measure}:{attribute}"
+    )
+    view = ("tokens", attribute)
+    column = store.matrix(
+        spec=spec,
+        pairs=pair_list,
+        names=(spec,),
+        compute=lambda: store.set_similarities(
+            pair_list, view, measures=(measure,)
+        ),
+    )
+    return column.reshape(len(pair_list))
+
+
+def pair_similarities(
+    pairs: LabeledPairSet,
+    similarity: SimilarityFn,
+    store: FeatureStore | None = None,
+) -> np.ndarray:
+    """Schema-agnostic token similarity per labeled pair (lines 2-4).
+
+    The paper's two measures dispatch to the vectorized kernels (pass the
+    task's *store* to reuse its token rows); any other callable runs the
+    per-pair scalar loop, which doubles as the parity oracle.
+    """
+    measure = _VECTOR_MEASURES.get(similarity)
+    if measure is not None:
+        return _batch_scores(store or FeatureStore(), pairs, measure)
     return np.asarray(
         [
             similarity(pair.left.tokens(), pair.right.tokens())
@@ -117,7 +176,9 @@ def degree_of_linearity(
             f"unknown similarity {similarity!r}; known: {sorted(SIMILARITIES)}"
         )
     merged = task.all_pairs()
-    scores = pair_similarities(merged, SIMILARITIES[similarity])
+    scores = pair_similarities(
+        merged, SIMILARITIES[similarity], store=store_for_task(task)
+    )
     max_f1, threshold = best_threshold_f1(scores, merged.labels)
     return LinearityResult(
         similarity=similarity, max_f1=max_f1, best_threshold=threshold
@@ -149,20 +210,13 @@ def schema_aware_linearity(
         raise KeyError(
             f"unknown similarity {similarity!r}; known: {sorted(SIMILARITIES)}"
         )
-    similarity_fn = SIMILARITIES[similarity]
+    measure = _VECTOR_MEASURES[SIMILARITIES[similarity]]
+    store = store_for_task(task)
     merged = task.all_pairs()
     labels = merged.labels
     results: dict[str, LinearityResult] = {}
     for attribute in task.attributes:
-        scores = np.asarray(
-            [
-                similarity_fn(
-                    pair.left.attribute_tokens(attribute),
-                    pair.right.attribute_tokens(attribute),
-                )
-                for pair, __ in merged
-            ]
-        )
+        scores = _batch_scores(store, merged, measure, attribute)
         max_f1, threshold = best_threshold_f1(scores, labels)
         results[attribute] = LinearityResult(
             similarity=f"{similarity}:{attribute}",

@@ -53,6 +53,7 @@ from repro.runtime.registry import (  # re-exported for back-compat
     record_failure,
     recorded_failures,
 )
+from repro.text.feature_store import store_for_task
 
 #: Default epoch budget per DL method (the "(n)" of the paper's tables).
 DEFAULT_EPOCHS: dict[str, int] = {
@@ -82,7 +83,9 @@ def build_suite(task: MatchingTask, seed: int = 0) -> list[Matcher]:
     for epochs in (DEFAULT_EPOCHS["HierMatcher"], LONG_EPOCHS):
         suite.append(HierMatcherNet(epochs=epochs, seed=seed))
 
-    shared_extractor = MagellanFeatureExtractor(task.attributes)
+    shared_extractor = MagellanFeatureExtractor(
+        task.attributes, store=store_for_task(task)
+    )
     for head in MAGELLAN_HEADS:
         suite.append(MagellanMatcher(head=head, extractor=shared_extractor, seed=seed))
     suite.append(ZeroERMatcher(extractor=shared_extractor, seed=seed))

@@ -42,6 +42,7 @@ import hashlib
 import math
 import os
 import warnings
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from pathlib import Path
 
@@ -78,6 +79,7 @@ from repro.runtime import (
     read_cached_payload,
     write_envelope,
 )
+from repro.text.feature_store import FeatureMatrixCache, feature_cache_scope
 
 #: Journal file name inside the cache directory.
 JOURNAL_NAME = "checkpoint.journal"
@@ -106,7 +108,11 @@ class RunnerConfig:
       policy: a unit that fails this many consecutive times
       short-circuits to a ``CircuitOpen`` failure instead of burning its
       retry budget (``None`` disables; ignored when the policy already
-      carries a registry).
+      carries a registry);
+    * ``feature_cache`` — persist content-addressed feature matrices
+      under ``<cache_dir>/features`` so repeated sweeps (and the fork
+      workers of a parallel run) skip extraction; a no-op without
+      ``cache_dir``.
     """
 
     scale: float = 1.0
@@ -117,6 +123,7 @@ class RunnerConfig:
     scheduler: ParallelScheduler | None = None
     obs: Observability | None = None
     breaker_threshold: int | None = None
+    feature_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.breaker_threshold is not None and self.breaker_threshold < 1:
@@ -146,7 +153,7 @@ _LEGACY_POSITIONAL = (
 #: legacy ``size_factor`` spelling of ``scale``).
 _SHIM_KEYWORDS = frozenset(
     ("scale", "seed", "cache_dir", "policy", "workers", "scheduler", "obs",
-     "breaker_threshold", "size_factor")
+     "breaker_threshold", "feature_cache", "size_factor")
 )
 
 
@@ -277,6 +284,16 @@ class ExperimentRunner:
             if self.cache_dir is not None
             else None
         )
+        # Content-addressed feature matrices live next to the sweep
+        # envelopes; the cache is activated *scoped* around each heavy
+        # unit (never installed globally at construction), so nested
+        # runners in fork workers keep the inherited cache and tests
+        # never leak one into each other.
+        self.feature_cache: FeatureMatrixCache | None = (
+            FeatureMatrixCache(self.cache_dir / "features")
+            if self.cache_dir is not None and self.config.feature_cache
+            else None
+        )
         self._failures: list[FailureRecord] = []
         self._matcher_results: dict[str, dict[str, MatcherResult]] = {}
         self._new_benchmarks: dict[str, NewBenchmark] = {}
@@ -343,6 +360,17 @@ class ExperimentRunner:
     def worker_reports(self) -> list[WorkerReport]:
         """Per-worker utilisation of every scheduled unit so far."""
         return self.scheduler.worker_reports()
+
+    def _feature_scope(self):
+        """Activate the runner's feature cache for one unit of work.
+
+        Workers forked inside the scope inherit the active cache; with no
+        cache configured the ambient state is left untouched (a nested
+        runner inside a fork worker must not clear what it inherited).
+        """
+        if self.feature_cache is None:
+            return nullcontext()
+        return feature_cache_scope(self.feature_cache)
 
     # -- datasets -------------------------------------------------------------
 
@@ -471,7 +499,8 @@ class ExperimentRunner:
         # per-unit deadline must not also cap their sum, so the enclosing
         # execution drops it (retries/backoff still apply).
         sweep_policy = replace(self.policy, deadline_seconds=None)
-        outcome = sweep_policy.execute(sweep, unit_id=unit_id, phase="sweep")
+        with self._feature_scope():
+            outcome = sweep_policy.execute(sweep, unit_id=unit_id, phase="sweep")
         if outcome.ok:
             results = outcome.value
             self._persist_sweep(dataset_id, unit_id, results)
@@ -531,9 +560,11 @@ class ExperimentRunner:
                 self._persist_sweep(dataset_id, f"sweep:{dataset_id}", results)
 
             sweep_policy = replace(self.policy, deadline_seconds=None)
-            schedule = self.scheduler.run(
-                units, policy=sweep_policy, on_result=persist
-            )
+            with self._feature_scope():
+                # Workers fork inside the scope, inheriting the cache.
+                schedule = self.scheduler.run(
+                    units, policy=sweep_policy, on_result=persist
+                )
             # Failure accounting and memoization stay in submission order
             # so the record list is deterministic for any worker count.
             for dataset_id, outcome in zip(pending, schedule.outcomes):
@@ -612,9 +643,10 @@ class ExperimentRunner:
                     ):
                         self._record_journal_divergence(assess_unit)
                     with self.obs.span("assessment", dataset=dataset_id):
-                        cached = assess_benchmark(
-                            self.task_for(dataset_id), practical=None
-                        )
+                        with self._feature_scope():
+                            cached = assess_benchmark(
+                                self.task_for(dataset_id), practical=None
+                            )
                     self._store_assessment(dataset_id, cached)
                 self._mark_done(assess_unit)
                 self._assessments[base_key] = cached

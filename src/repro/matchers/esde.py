@@ -91,12 +91,10 @@ class EsdeMatcher(Matcher):
 
     def _predict(self, pairs: LabeledPairSet) -> np.ndarray:
         assert self._extractor is not None and self.best_feature_ is not None
-        scores = np.asarray(
-            [
-                self._extractor.features(pair)[self.best_feature_]
-                for pair, __ in pairs
-            ]
-        )
+        # Single-column fast path: only the selected feature is computed,
+        # not the variant's full vector per pair (for SBQ that would be
+        # |attributes| x 9 q-values x 3 similarities of wasted work).
+        scores = self._extractor.feature_column(pairs, self.best_feature_)
         return (scores >= self.best_threshold_).astype(np.int64)
 
     @property

@@ -9,6 +9,32 @@ measures used by Magellan-style feature extraction (Levenshtein, Jaro,
 Jaro-Winkler, Monge-Elkan).
 """
 
+from repro.text.feature_store import (
+    FeatureMatrixCache,
+    FeatureStore,
+    active_feature_cache,
+    feature_cache_scope,
+    set_feature_cache,
+    store_for_task,
+)
+from repro.text.kernels import (
+    BITSET_MAX_VOCAB,
+    KERNEL_VERSION,
+    SET_MEASURES,
+    CharTable,
+    PackedRows,
+    QGramAlphabetOverflow,
+    QGramCodec,
+    RecordIncidence,
+    TokenInterner,
+    batch_intersection_counts,
+    densify_csr,
+    gather_csr,
+    pack_rows,
+    set_similarity_matrix,
+    set_similarity_matrix_indexed,
+    set_similarity_matrix_packed,
+)
 from repro.text.tokenize import (
     STOPWORDS,
     clean_tokens,
@@ -32,10 +58,32 @@ from repro.text.similarity import (
 from repro.text.vectorize import TfIdfVectorizer, Vocabulary
 
 __all__ = [
+    "BITSET_MAX_VOCAB",
+    "KERNEL_VERSION",
+    "SET_MEASURES",
     "STOPWORDS",
+    "CharTable",
+    "FeatureMatrixCache",
+    "FeatureStore",
+    "PackedRows",
+    "QGramAlphabetOverflow",
+    "QGramCodec",
+    "RecordIncidence",
     "TfIdfVectorizer",
+    "TokenInterner",
     "Vocabulary",
+    "active_feature_cache",
+    "batch_intersection_counts",
     "clean_tokens",
+    "densify_csr",
+    "feature_cache_scope",
+    "gather_csr",
+    "pack_rows",
+    "set_feature_cache",
+    "set_similarity_matrix",
+    "set_similarity_matrix_indexed",
+    "set_similarity_matrix_packed",
+    "store_for_task",
     "cosine_similarity",
     "dice_similarity",
     "jaccard_similarity",

@@ -1,0 +1,507 @@
+"""Per-task feature store + content-addressed feature-matrix cache.
+
+One :class:`FeatureStore` per :class:`~repro.data.task.MatchingTask`
+(via :func:`store_for_task`) tokenizes and q-grams every record exactly
+once: each requested *view* — schema-agnostic or per-attribute tokens,
+or q-grams of one length — encodes a record's feature set as a sorted
+int64 id array (see :mod:`repro.text.kernels`) the first time the record
+is seen, and every extractor (:class:`~repro.matchers.features
+.EsdeFeatureExtractor`, :class:`~repro.matchers.features
+.MagellanFeatureExtractor`, the linearity sweeps) batches its similarity
+columns through the same rows.
+
+On top sits an optional **content-addressed disk cache**
+(:class:`FeatureMatrixCache`) reusing the PR-1 atomic checksummed cache
+envelopes: the key digests the extractor spec, :data:`~repro.text.kernels
+.KERNEL_VERSION`, the feature names and the full content of every record
+of every pair (in pair order), so repeated sweeps — and the fork workers
+of a ``--workers N`` run, which inherit the active cache — skip
+extraction entirely, and any change to a record, the pair order, the
+schema or the kernel semantics misses cleanly. Floats round-trip through
+JSON via ``repr`` exactly, so a cache hit reproduces the matrix **byte
+for byte**. Cache failures are strictly best-effort: corrupt envelopes
+are quarantined and recomputed, failed writes are dropped — only
+``features.cache_*`` metrics record them, never a ``FailureRecord``.
+
+Every matrix request (memoized or not) increments ``features.requests``
+/ ``features.pairs``, feeds the ``features.extract_seconds`` timer and
+fires an ``obs.phase(..., "extract", dt)`` probe boundary, so profiling
+sees the extraction phase next to fit/predict/block.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+import weakref
+from collections.abc import Callable, Iterable, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro import obs
+from repro.runtime.cache import (
+    CacheError,
+    quarantine,
+    read_envelope,
+    write_envelope,
+)
+from repro.text.kernels import (
+    KERNEL_VERSION,
+    SET_MEASURES,
+    CharTable,
+    QGramAlphabetOverflow,
+    QGramCodec,
+    RecordIncidence,
+    TokenInterner,
+    densify_csr,
+    pack_rows,
+    set_similarity_matrix_indexed,
+)
+
+#: A view names one way of reducing a record to a feature set:
+#: ``("tokens", attribute_or_None)`` or ``("qgrams", attribute_or_None, q)``.
+View = tuple
+
+
+@dataclass(frozen=True)
+class FeatureMatrixCache:
+    """Content-addressed feature matrices in checksummed envelopes.
+
+    One JSON envelope per (spec, pair-content) digest under *directory*;
+    safe for concurrent writers (atomic replace; identical content maps
+    to identical files).
+    """
+
+    directory: Path
+
+    def path_for(self, digest: str) -> Path:
+        return Path(self.directory) / f"features_{digest}.json"
+
+    def load(self, digest: str, names: Sequence[str]) -> np.ndarray | None:
+        """The cached matrix for *digest*, or ``None`` on any miss."""
+        path = self.path_for(digest)
+        if not path.exists():
+            obs.inc("features.cache_miss")
+            return None
+        try:
+            payload = read_envelope(path)
+        except CacheError:
+            quarantine(path)
+            obs.inc("features.cache_quarantined")
+            return None
+        except Exception:
+            # e.g. an injected cache:read error fault — a plain miss.
+            obs.inc("features.cache_miss")
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("kernel_version") != KERNEL_VERSION
+            or payload.get("names") != list(names)
+        ):
+            obs.inc("features.cache_miss")
+            return None
+        matrix = np.asarray(payload["matrix"], dtype=np.float64)
+        matrix = matrix.reshape(tuple(payload["shape"]))
+        obs.inc("features.cache_hit")
+        return matrix
+
+    def store(
+        self,
+        digest: str,
+        spec: str,
+        names: Sequence[str],
+        matrix: np.ndarray,
+    ) -> None:
+        """Best-effort envelope write; failures only count a metric."""
+        payload = {
+            "spec": spec,
+            "kernel_version": KERNEL_VERSION,
+            "names": list(names),
+            "shape": list(matrix.shape),
+            "matrix": matrix.tolist(),
+        }
+        try:
+            write_envelope(self.path_for(digest), payload)
+        except Exception:
+            obs.inc("features.cache_write_failed")
+            return
+        obs.inc("features.cache_write")
+
+
+_active_cache: FeatureMatrixCache | None = None
+
+
+def active_feature_cache() -> FeatureMatrixCache | None:
+    """The process-wide cache extractors consult (``None`` = disabled)."""
+    return _active_cache
+
+
+def set_feature_cache(
+    cache: FeatureMatrixCache | None,
+) -> FeatureMatrixCache | None:
+    """Install *cache* as the active one; returns the previous."""
+    global _active_cache
+    previous = _active_cache
+    _active_cache = cache
+    return previous
+
+
+@contextmanager
+def feature_cache_scope(
+    cache: FeatureMatrixCache | None,
+) -> Iterator[FeatureMatrixCache | None]:
+    """Activate *cache* for a ``with`` block, then restore the previous.
+
+    The runner wraps each unit of work in a scope, so a forked worker
+    inherits the active cache while unrelated code (and later tests in
+    the same process) never see a stale one.
+    """
+    previous = set_feature_cache(cache)
+    try:
+        yield cache
+    finally:
+        set_feature_cache(previous)
+
+
+class FeatureStore:
+    """Tokenize-once substrate shared by every extractor of one task."""
+
+    def __init__(self) -> None:
+        self._interners: dict[View, TokenInterner] = {}
+        self._rows: dict[View, dict[tuple[str, str], np.ndarray]] = {}
+        self._record_digests: dict[tuple[str, str], bytes] = {}
+        # Character-id rows per text plane (attribute, or None for the
+        # schema-agnostic full text), shared by every q-gram length of
+        # that plane: each record's text is normalized and mapped to
+        # dense character ids exactly once.
+        self._char_tables: dict[str | None, CharTable] = {}
+        self._char_rows: dict[
+            str | None, dict[tuple[str, str], np.ndarray]
+        ] = {}
+        self._codecs: dict[View, QGramCodec] = {}
+        # Q-gram views whose alphabet outgrew their codec's bit budget;
+        # they use per-gram dict interning instead (always correct, just
+        # slower).
+        self._fallback_views: set[View] = set()
+        # Per-view record incidence over *all* encoded records, rebuilt
+        # only when the view gained records (keyed by the row count at
+        # build time): (n_rows, key -> row position, incidence).
+        self._incidence_cache: dict[
+            View, tuple[int, dict[tuple[str, str], int], RecordIncidence]
+        ] = {}
+
+    # -- record views ------------------------------------------------------
+
+    @staticmethod
+    def _extract(record, view: View) -> set:
+        kind, attribute = view[0], view[1]
+        if kind == "tokens":
+            return (
+                record.tokens()
+                if attribute is None
+                else record.attribute_tokens(attribute)
+            )
+        if kind == "qgrams":
+            q = view[2]
+            return (
+                record.qgrams(q)
+                if attribute is None
+                else record.attribute_qgrams(attribute, q)
+            )
+        raise KeyError(f"unknown view kind {kind!r}")
+
+    def _char_id_rows(
+        self, records: Sequence, attribute: str | None
+    ) -> list[np.ndarray]:
+        """Each record's text plane as dense character ids, built once.
+
+        Texts are normalized exactly like :func:`~repro.text.tokenize
+        .qgrams` does (lower-cased, whitespace collapsed); all uncached
+        records of the batch are concatenated and mapped through the
+        plane's shared :class:`~repro.text.kernels.CharTable` in a
+        single call — per-record numpy dispatch would otherwise dominate
+        the encoding of a fresh store.
+        """
+        plane = self._char_rows.setdefault(attribute, {})
+        rows: list[np.ndarray | None] = [None] * len(records)
+        texts: list[str] = []
+        targets: list[tuple[int, tuple[str, str]]] = []
+        for index, record in enumerate(records):
+            key = (record.source, record.record_id)
+            ids = plane.get(key)
+            if ids is not None:
+                rows[index] = ids
+                continue
+            raw = (
+                record.full_text()
+                if attribute is None
+                else record.value(attribute)
+            )
+            texts.append(" ".join(raw.lower().split()))
+            targets.append((index, key))
+        if texts:
+            table = self._char_tables.setdefault(attribute, CharTable())
+            bounds = np.zeros(len(texts) + 1, dtype=np.int64)
+            np.cumsum(
+                np.fromiter(
+                    (len(text) for text in texts),
+                    dtype=np.int64,
+                    count=len(texts),
+                ),
+                out=bounds[1:],
+            )
+            mapped = table.map(
+                np.frombuffer(
+                    "".join(texts).encode("utf-32-le"), dtype=np.uint32
+                )
+            )
+            for position, (index, key) in enumerate(targets):
+                ids = mapped[bounds[position] : bounds[position + 1]]
+                plane[key] = ids
+                rows[index] = ids
+        return rows
+
+    def rows(self, records: Iterable, view: View) -> list[np.ndarray]:
+        """Sorted id arrays for *records* under *view*, built once each.
+
+        Q-gram views encode missing records in one vectorized batch of
+        content-derived codes (the hot path — nine q lengths per ESDE
+        variant); token views, and q-gram views whose alphabet overflowed
+        their codec, intern per record.
+        """
+        interner = self._interners.get(view)
+        if interner is None:
+            interner = self._interners[view] = TokenInterner()
+            self._rows[view] = {}
+        row_map = self._rows[view]
+        record_list = list(records)
+        use_codec = view[0] == "qgrams" and view not in self._fallback_views
+        if use_codec:
+            missing: dict[tuple[str, str], object] = {}
+            for record in record_list:
+                key = (record.source, record.record_id)
+                if key not in row_map and key not in missing:
+                    missing[key] = record
+            if missing:
+                attribute, q = view[1], view[2]
+                codec = self._codecs.get(view)
+                if codec is None:
+                    table = self._char_tables.setdefault(
+                        attribute, CharTable()
+                    )
+                    codec = self._codecs[view] = QGramCodec(q, table)
+                try:
+                    encoded = codec.encode(
+                        self._char_id_rows(list(missing.values()), attribute)
+                    )
+                except QGramAlphabetOverflow:
+                    # Codes of different alphabet epochs must never mix:
+                    # drop every codec row and re-intern below.
+                    self._fallback_views.add(view)
+                    self._incidence_cache.pop(view, None)
+                    row_map.clear()
+                    use_codec = False
+                else:
+                    for key, row in zip(missing, encoded):
+                        row_map[key] = row
+        if not use_codec:
+            for record in record_list:
+                key = (record.source, record.record_id)
+                if key not in row_map:
+                    row_map[key] = interner.encode_set(
+                        self._extract(record, view)
+                    )
+        return [
+            row_map[(record.source, record.record_id)]
+            for record in record_list
+        ]
+
+    def _incidence(
+        self, view: View
+    ) -> tuple[dict[tuple[str, str], int], RecordIncidence]:
+        """The record incidence of every encoded record, memoized.
+
+        Rebuilt only when the view gained records. Codec views first map
+        their wide content-derived codes to dense ranks; the rank
+        vocabulary is content-defined, so a rebuild never changes
+        existing similarity results, only extends the id space. Token
+        and fallback views already hold dense interner ids.
+        """
+        row_map = self._rows[view]
+        cached = self._incidence_cache.get(view)
+        if cached is not None and cached[0] == len(row_map):
+            return cached[1], cached[2]
+        keys = list(row_map)
+        rows = [row_map[key] for key in keys]
+        if view[0] == "qgrams" and view not in self._fallback_views:
+            indptr, ids, vocab_size = densify_csr(rows)
+        else:
+            packed = pack_rows(rows)
+            indptr, ids = packed.indptr, packed.ids
+            vocab_size = len(self._interners[view])
+        incidence = RecordIncidence(indptr, ids, vocab_size)
+        positions = {key: index for index, key in enumerate(keys)}
+        self._incidence_cache[view] = (len(row_map), positions, incidence)
+        return positions, incidence
+
+    @staticmethod
+    def pair_index(
+        pairs: Sequence,
+    ) -> tuple[list, np.ndarray, np.ndarray]:
+        """Deduplicate the records of *pairs* into an indexed form.
+
+        Returns ``(records, left_index, right_index)``: the distinct
+        records in first-seen order, plus int64 position arrays mapping
+        each pair side into that list. Extractors build the index once
+        per matrix request and reuse it across every view's
+        :meth:`set_similarities_indexed` call.
+        """
+        index_of: dict[tuple[str, str], int] = {}
+        records: list = []
+        left_index = np.empty(len(pairs), dtype=np.int64)
+        right_index = np.empty(len(pairs), dtype=np.int64)
+        for position, pair in enumerate(pairs):
+            for record, out in (
+                (pair.left, left_index),
+                (pair.right, right_index),
+            ):
+                key = (record.source, record.record_id)
+                index = index_of.get(key)
+                if index is None:
+                    index = index_of[key] = len(records)
+                    records.append(record)
+                out[position] = index
+        return records, left_index, right_index
+
+    def set_similarities_indexed(
+        self,
+        records: Sequence,
+        left_index: np.ndarray,
+        right_index: np.ndarray,
+        view: View,
+        measures: Iterable[str] = SET_MEASURES,
+    ) -> np.ndarray:
+        """Set similarities for pairs given in :meth:`pair_index` form.
+
+        Each distinct record is encoded once; a batch then reduces to
+        two row-index gathers into the view's memoized
+        :class:`~repro.text.kernels.RecordIncidence`, so thousands of
+        pairs over a few hundred records cost no per-pair Python at all.
+        """
+        self.rows(records, view)
+        positions, incidence = self._incidence(view)
+        record_positions = np.fromiter(
+            (
+                positions[(record.source, record.record_id)]
+                for record in records
+            ),
+            dtype=np.int64,
+            count=len(records),
+        )
+        return set_similarity_matrix_indexed(
+            incidence,
+            record_positions[left_index],
+            record_positions[right_index],
+            measures,
+        )
+
+    def set_similarities(
+        self,
+        pairs: Sequence,
+        view: View,
+        measures: Iterable[str] = SET_MEASURES,
+    ) -> np.ndarray:
+        """``(len(pairs), n_measures)`` set similarities for one view."""
+        pair_list = list(pairs)
+        records, left_index, right_index = self.pair_index(pair_list)
+        return self.set_similarities_indexed(
+            records, left_index, right_index, view, measures
+        )
+
+    # -- content addressing ------------------------------------------------
+
+    def record_digest(self, record) -> bytes:
+        """Digest of one record's identity and full attribute content."""
+        key = (record.source, record.record_id)
+        digest = self._record_digests.get(key)
+        if digest is None:
+            hasher = hashlib.blake2b(digest_size=16)
+            hasher.update(record.source.encode())
+            hasher.update(b"\x00")
+            hasher.update(record.record_id.encode())
+            for attribute, value in sorted(record.values.items()):
+                hasher.update(b"\x00")
+                hasher.update(attribute.encode())
+                hasher.update(b"\x1f")
+                hasher.update(value.encode())
+            digest = hasher.digest()
+            self._record_digests[key] = digest
+        return digest
+
+    def matrix_digest(
+        self, spec: str, names: Sequence[str], pairs: Sequence
+    ) -> str:
+        """The content-addressed cache key for one matrix request."""
+        hasher = hashlib.blake2b(digest_size=16)
+        header = "\x1f".join((f"kernel{KERNEL_VERSION}", spec, *names))
+        hasher.update(header.encode())
+        for pair in pairs:
+            hasher.update(self.record_digest(pair.left))
+            hasher.update(self.record_digest(pair.right))
+        return hasher.hexdigest()
+
+    # -- the extraction boundary -------------------------------------------
+
+    def matrix(
+        self,
+        spec: str,
+        pairs: Sequence,
+        names: Sequence[str],
+        compute: Callable[[], np.ndarray],
+        cacheable: bool = True,
+    ) -> np.ndarray:
+        """One feature-matrix request: disk cache, else *compute*.
+
+        Emits the request-level ``features.*`` metrics and the
+        ``extract`` phase probe regardless of where the matrix came
+        from, so counters are identical for any worker count.
+        """
+        started = time.perf_counter()
+        obs.inc("features.requests")
+        obs.inc("features.pairs", float(len(pairs)))
+
+        cache = active_feature_cache() if cacheable else None
+        matrix = None
+        digest = None
+        if cache is not None:
+            digest = self.matrix_digest(spec, names, pairs)
+            matrix = cache.load(digest, names)
+        if matrix is None:
+            matrix = compute()
+            if cache is not None and digest is not None:
+                cache.store(digest, spec, names, matrix)
+
+        elapsed = time.perf_counter() - started
+        obs.observe("features.extract_seconds", elapsed)
+        obs.phase(f"features:{spec}", "extract", elapsed)
+        return matrix
+
+
+_STORES: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def store_for_task(task) -> FeatureStore:
+    """The shared :class:`FeatureStore` of *task* (created on first use).
+
+    Keyed weakly, so a task's store — interners, encoded rows, digests —
+    dies with the task instead of pinning every record ever seen.
+    """
+    store = _STORES.get(task)
+    if store is None:
+        store = FeatureStore()
+        _STORES[task] = store
+    return store

@@ -1,0 +1,612 @@
+"""Vectorized set-similarity kernels over interned token/q-gram sets.
+
+The paper's difficulty measures and linear matchers all reduce to the
+same primitive: set cosine / Dice / Jaccard / overlap between the token
+(or character q-gram) sets of the two records of a candidate pair.
+Computing them one pair at a time in Python is the dominant cost of a
+sweep. This module batches the primitive:
+
+* a :class:`TokenInterner` maps feature strings (tokens) to dense
+  integer ids, so each record's set becomes a **sorted int64 id array**
+  built exactly once;
+* q-grams never touch Python dicts: a per-plane :class:`CharTable`
+  assigns dense character ids and a :class:`QGramCodec` packs each
+  window's q ids into one content-derived int64 code, so whole record
+  batches are encoded with a handful of array ops
+  (:class:`QGramAlphabetOverflow` falls a view back to dict interning);
+  :func:`densify_csr` then compresses the wide codes to dense ranks;
+* :func:`pack_rows` / :func:`gather_csr` stack per-record arrays into a
+  CSR-style incidence structure (``indptr`` + flat ``ids``), one row per
+  pair side;
+* :func:`batch_intersection_counts` computes every pair's intersection
+  size in one pass — each (row, id) incidence is folded into a single
+  integer key ``row * vocab_size + id``; both key arrays are already
+  globally sorted, so a binary-search membership plus a bincount of the
+  matched rows recovers per-pair counts without any re-sort;
+* the measure kernels reproduce the scalar formulas of
+  :mod:`repro.text.similarity` **bit for bit** (same operand order, same
+  empty-set conventions), so the vectorized path is provably
+  interchangeable with the per-pair oracle — enforced by the parity
+  tests in ``tests/matchers/test_feature_parity.py``.
+
+Every batch increments the ``kernel.*`` metrics (``kernel.batches``,
+``kernel.pairs``, the ``kernel.seconds`` timer); callers that memoize
+results must therefore memoize *above* this module so the counters track
+physical work identically for any worker count.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Sequence, Set
+from dataclasses import dataclass
+
+import numpy as np
+
+try:  # scipy is a declared dependency, but stay importable without it.
+    from scipy import sparse as _sparse
+except ImportError:  # pragma: no cover - exercised via the fallback path
+    _sparse = None
+
+from repro import obs
+
+#: Version of the kernel semantics; folded into every content-addressed
+#: feature-cache key so changing a formula invalidates cached matrices.
+KERNEL_VERSION = 1
+
+#: Canonical order of the set-measure trio used by the ESDE extractors
+#: ("cs", "ds", "js") and, with overlap appended, by Magellan.
+SET_MEASURES: tuple[str, ...] = ("cosine", "dice", "jaccard")
+
+
+class TokenInterner:
+    """Dense integer ids for feature keys, assigned on first sight.
+
+    Keys are any hashables: token views intern the token strings
+    themselves, and q-gram views that overflowed their
+    :class:`QGramCodec` intern gram strings as the always-correct
+    fallback.
+    """
+
+    __slots__ = ("_ids",)
+
+    def __init__(self) -> None:
+        self._ids: dict[object, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def intern(self, feature) -> int:
+        """The id of *feature*, allocating the next dense id if new."""
+        ids = self._ids
+        index = ids.get(feature)
+        if index is None:
+            index = len(ids)
+            ids[feature] = index
+        return index
+
+    def encode_set(self, features: Set) -> np.ndarray:
+        """One record's feature set as a sorted int64 id array."""
+        row = np.fromiter(
+            (self.intern(feature) for feature in features),
+            dtype=np.int64,
+            count=len(features),
+        )
+        row.sort()
+        return row
+
+
+@dataclass(frozen=True)
+class PackedRows:
+    """CSR-style incidence: row ``i`` is ``ids[indptr[i]:indptr[i+1]]``.
+
+    Rows hold sorted, duplicate-free feature ids (one row per record of
+    one side of a pair batch).
+    """
+
+    indptr: np.ndarray  # (n_rows + 1,) int64
+    ids: np.ndarray  # (nnz,) int64
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.indptr) - 1
+
+    def sizes(self) -> np.ndarray:
+        """Set cardinality per row, as int64."""
+        return np.diff(self.indptr)
+
+    def row(self, index: int) -> np.ndarray:
+        return self.ids[self.indptr[index] : self.indptr[index + 1]]
+
+    def pair_keys(self, vocab_size: int) -> np.ndarray:
+        """Each (row, id) incidence folded into ``row * vocab_size + id``.
+
+        Within one batch the keys are unique (rows are sets), so two
+        sides can be intersected with ``assume_unique=True``.
+        """
+        rows = np.repeat(
+            np.arange(self.n_rows, dtype=np.int64) * vocab_size, self.sizes()
+        )
+        return rows + self.ids
+
+
+def pack_rows(rows: Sequence[np.ndarray]) -> PackedRows:
+    """Stack per-record sorted id arrays into one :class:`PackedRows`."""
+    sizes = np.fromiter(
+        (len(row) for row in rows), dtype=np.int64, count=len(rows)
+    )
+    indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=indptr[1:])
+    ids = np.concatenate(rows) if rows else np.empty(0, dtype=np.int64)
+    return PackedRows(indptr=indptr, ids=ids)
+
+
+_EMPTY_ROW = np.empty(0, dtype=np.int64)
+
+
+def _sorted_unique(values: np.ndarray) -> np.ndarray:
+    """Sorted distinct values via sort + neighbor mask.
+
+    ``np.unique`` without ``return_inverse`` takes a hash-based path that
+    is several times slower than a plain sort for the int64 arrays of
+    this module; this helper stays on the sort path.
+    """
+    if len(values) == 0:
+        return values
+    ordered = np.sort(values)
+    keep = np.empty(len(ordered), dtype=bool)
+    keep[0] = True
+    np.not_equal(ordered[1:], ordered[:-1], out=keep[1:])
+    return ordered[keep]
+
+
+class QGramAlphabetOverflow(RuntimeError):
+    """A text plane's alphabet outgrew a codec's per-character bit budget."""
+
+
+class CharTable:
+    """Dense integer ids (from 1) for Unicode code points, grown on sight.
+
+    One table per text plane (one attribute, or the schema-agnostic full
+    text), shared by every q-gram length over that plane, so a record's
+    characters are mapped exactly once. Ids start at 1: id 0 is the
+    implicit zero-padding of short-string codes in :class:`QGramCodec`,
+    which keeps them distinct from every full-width q-gram code.
+    """
+
+    __slots__ = ("_chars", "_ids")
+
+    def __init__(self) -> None:
+        self._chars = np.empty(0, dtype=np.uint32)  # sorted code points
+        self._ids = np.empty(0, dtype=np.int64)  # dense id per sorted char
+
+    def __len__(self) -> int:
+        return len(self._chars)
+
+    def map(self, codepoints: np.ndarray) -> np.ndarray:
+        """Dense int64 id per code point, interning unseen characters."""
+        if len(codepoints) == 0:
+            return _EMPTY_ROW
+        table = self._chars
+        if len(table):
+            positions = np.searchsorted(table, codepoints)
+            positions[positions == len(table)] = 0
+            missing = table[positions] != codepoints
+        else:
+            missing = np.ones(len(codepoints), dtype=bool)
+        if missing.any():
+            new_chars = _sorted_unique(codepoints[missing])
+            new_ids = np.arange(
+                len(self._chars) + 1,
+                len(self._chars) + 1 + len(new_chars),
+                dtype=np.int64,
+            )
+            merged_chars = np.concatenate([self._chars, new_chars])
+            merged_ids = np.concatenate([self._ids, new_ids])
+            order = np.argsort(merged_chars, kind="stable")
+            self._chars = merged_chars[order]
+            self._ids = merged_ids[order]
+            positions = np.searchsorted(self._chars, codepoints)
+        return self._ids[positions]
+
+
+class QGramCodec:
+    """Stable, injective int64 codes for the q-grams of one text plane.
+
+    A q-gram's code packs its q character ids (from a shared
+    :class:`CharTable`) at ``bits = 63 // q`` bits each, so the code is
+    *content-derived*: the same gram always yields the same code, across
+    batches and record orders, without a per-gram vocabulary — the
+    Python-level interning that otherwise costs O(total windows) for
+    large q, where nearly every window is unique. Short strings (the
+    ``qgrams()`` whole-string convention) pack their ``< q`` ids the same
+    way; their zero-padded high positions cannot collide with full grams
+    because character ids start at 1.
+
+    The packing is injective while the plane's alphabet fits the bit
+    budget; :meth:`encode` raises :class:`QGramAlphabetOverflow` once it
+    does not (e.g. ideographic text under large q), and the caller falls
+    back to dict interning for that view.
+    """
+
+    __slots__ = ("q", "bits", "chars")
+
+    def __init__(self, q: int, chars: CharTable) -> None:
+        if q < 1:
+            raise ValueError(f"q must be >= 1, got {q}")
+        self.q = q
+        self.bits = max(63 // q, 1)
+        self.chars = chars
+
+    @property
+    def capacity(self) -> int:
+        """Distinct characters the bit budget can hold (id 0 is reserved)."""
+        return (1 << self.bits) - 1
+
+    def encode(self, char_rows: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Raw window codes per row of character ids, in window order.
+
+        Codes for all rows are built by q shifted gathers over the
+        concatenated batch. Rows are **not** deduplicated or sorted here
+        — codes are content-derived, so :func:`densify_csr` dedups every
+        row in the same pass that maps codes to dense ranks, saving a
+        full sort per batch.
+        """
+        if len(self.chars) > self.capacity:
+            raise QGramAlphabetOverflow(
+                f"{len(self.chars)} distinct characters exceed the "
+                f"{self.capacity}-character budget of q={self.q}"
+            )
+        q, bits = self.q, self.bits
+        n = len(char_rows)
+        rows: list[np.ndarray] = [_EMPTY_ROW] * n
+        if n == 0:
+            return rows
+        lengths = np.fromiter(
+            (len(row) for row in char_rows), dtype=np.int64, count=n
+        )
+        if not lengths.any():
+            return rows
+        flat = np.concatenate(char_rows)
+        offsets = np.zeros(n, dtype=np.int64)
+        np.cumsum(lengths[:-1], out=offsets[1:])
+
+        # Short rows (< q chars): one zero-padded code each, built by L
+        # shifted gathers per distinct length L — a handful of rows.
+        short_index = np.flatnonzero((lengths > 0) & (lengths < q))
+        if len(short_index):
+            for length in np.unique(lengths[short_index]).tolist():
+                group = short_index[lengths[short_index] == length]
+                codes = np.zeros(len(group), dtype=np.int64)
+                for position in range(length):
+                    codes = (codes << bits) | flat[offsets[group] + position]
+                for where, index in enumerate(group.tolist()):
+                    rows[index] = codes[where : where + 1]
+
+        long_index = np.flatnonzero(lengths >= q)
+        if not len(long_index):
+            return rows
+        window_counts = lengths[long_index] - q + 1  # all >= 1
+        # Valid window starts stay inside their own row, so no separator
+        # padding is needed: start = row offset + local window position.
+        first = np.zeros(len(long_index) + 1, dtype=np.int64)
+        np.cumsum(window_counts, out=first[1:])
+        total = int(first[-1])
+        local = np.arange(total, dtype=np.int64) - np.repeat(
+            first[:-1], window_counts
+        )
+        starts = np.repeat(offsets[long_index], window_counts) + local
+        codes = np.zeros(total, dtype=np.int64)
+        for position in range(q):
+            codes = (codes << bits) | flat[starts + position]
+
+        bounds = first.tolist()
+        for where, index in enumerate(long_index.tolist()):
+            rows[index] = codes[bounds[where] : bounds[where + 1]]
+        return rows
+
+
+def densify_csr(
+    rows: Sequence[np.ndarray],
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Dense-rank, per-row-deduplicated CSR from raw code rows.
+
+    The codes of a :class:`QGramCodec` span the full int64 range, too
+    wide for a ``row * vocab_size + id`` fold; one ``np.unique`` over
+    all rows maps them to dense ranks. Input rows may repeat codes in
+    any order (:meth:`QGramCodec.encode` emits raw windows); each output
+    row is sorted and duplicate-free, deduplicated in the same pass via
+    a ``row * vocab + rank`` key sort. Returns
+    ``(indptr, ids, vocab_size)``.
+    """
+    empty_indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+    if not rows:
+        return empty_indptr, _EMPTY_ROW, 0
+    concatenated = np.concatenate(rows)
+    if len(concatenated) == 0:
+        return empty_indptr, concatenated, 0
+    unique_codes, inverse = np.unique(concatenated, return_inverse=True)
+    vocab_size = len(unique_codes)
+    lengths = np.fromiter(
+        (len(row) for row in rows), dtype=np.int64, count=len(rows)
+    )
+    row_of = np.repeat(np.arange(len(rows), dtype=np.int64), lengths)
+    keys = _sorted_unique(row_of * vocab_size + inverse)
+    key_rows = keys // vocab_size
+    ids = keys - key_rows * vocab_size
+    indptr = empty_indptr
+    np.cumsum(np.bincount(key_rows, minlength=len(rows)), out=indptr[1:])
+    return indptr, ids, vocab_size
+
+
+def gather_csr(
+    indptr: np.ndarray, ids: np.ndarray, rows: np.ndarray
+) -> PackedRows:
+    """Select *rows* of a CSR structure into :class:`PackedRows`.
+
+    The pure-numpy CSR row gather: no per-row Python, so assembling the
+    pair sides of a batch from per-record rows costs two array gathers
+    even when thousands of pairs repeat the same records.
+    """
+    sizes = indptr[rows + 1] - indptr[rows]
+    out_indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=out_indptr[1:])
+    total = int(out_indptr[-1])
+    if total == 0:
+        return PackedRows(indptr=out_indptr, ids=_EMPTY_ROW)
+    take = np.repeat(indptr[rows], sizes) + (
+        np.arange(total, dtype=np.int64) - np.repeat(out_indptr[:-1], sizes)
+    )
+    return PackedRows(indptr=out_indptr, ids=ids[take])
+
+
+def batch_intersection_counts(
+    left: PackedRows, right: PackedRows, vocab_size: int
+) -> np.ndarray:
+    """``|left[i] & right[i]|`` for every row pair, as int64.
+
+    ``vocab_size`` must exceed every id in either side (the interner's
+    ``len`` after encoding both sides). Both key arrays are globally
+    sorted by construction (sorted rows, row-major fold), so membership
+    is a binary search of the left keys in the right keys — no re-sort.
+    """
+    if left.n_rows != right.n_rows:
+        raise ValueError(
+            f"row count mismatch: {left.n_rows} vs {right.n_rows}"
+        )
+    n_pairs = left.n_rows
+    if n_pairs == 0 or len(left.ids) == 0 or len(right.ids) == 0:
+        return np.zeros(n_pairs, dtype=np.int64)
+    left_keys = left.pair_keys(vocab_size)
+    right_keys = right.pair_keys(vocab_size)
+    positions = np.searchsorted(right_keys, left_keys)
+    # Clamped probes cannot false-match: a left key beyond the right
+    # maximum is strictly greater than right_keys[0].
+    positions[positions == len(right_keys)] = 0
+    matched = right_keys[positions] == left_keys
+    row_of = np.repeat(np.arange(n_pairs, dtype=np.int64), left.sizes())
+    return np.bincount(row_of[matched], minlength=n_pairs)
+
+
+#: Vocabulary size up to which :class:`RecordIncidence` uses the dense
+#: uint64 bitset (popcount) backend; above it, a sparse row merge wins.
+BITSET_MAX_VOCAB = 4096
+
+
+class RecordIncidence:
+    """Record-by-vocabulary incidence for batched pair intersections.
+
+    Built once per (view, record population) from a dense-id CSR; a
+    batch of pairs is then just two row-index arrays, so intersection
+    sizes come straight from the record rows without re-packing per
+    pair. Three backends, fastest first:
+
+    * a dense uint64 **bitset** with :func:`numpy.bitwise_count` for
+      small vocabularies (``<=`` :data:`BITSET_MAX_VOCAB`);
+    * a scipy CSR **elementwise multiply** (C-speed per-row merge) for
+      large ones;
+    * the :func:`batch_intersection_counts` binary-search merge when
+      scipy is unavailable.
+
+    All three produce exact int64 counts, so measure values are
+    bit-identical regardless of backend.
+    """
+
+    __slots__ = ("indptr", "ids", "vocab_size", "row_sizes", "_bits", "_matrix")
+
+    def __init__(
+        self, indptr: np.ndarray, ids: np.ndarray, vocab_size: int
+    ) -> None:
+        self.indptr = indptr
+        self.ids = ids
+        self.vocab_size = vocab_size
+        self.row_sizes = np.diff(indptr)
+        self._bits: np.ndarray | None = None
+        self._matrix = None
+        n_rows = len(indptr) - 1
+        if 0 < vocab_size <= BITSET_MAX_VOCAB:
+            words = (vocab_size + 63) // 64
+            bits = np.zeros((n_rows, words), dtype=np.uint64)
+            if len(ids):
+                rows_of = np.repeat(
+                    np.arange(n_rows, dtype=np.int64), self.row_sizes
+                )
+                flat_index = rows_of * words + ids // 64
+                masks = np.uint64(1) << (ids % 64).astype(np.uint64)
+                # Rows are sorted, so flat_index is non-decreasing; OR
+                # together the ids landing in the same (row, word) cell
+                # (a plain fancy-index |= would drop duplicates).
+                starts = np.ones(len(flat_index), dtype=bool)
+                np.not_equal(flat_index[1:], flat_index[:-1], out=starts[1:])
+                positions = np.flatnonzero(starts)
+                bits.ravel()[flat_index[positions]] = np.bitwise_or.reduceat(
+                    masks, positions
+                )
+            self._bits = bits
+        elif _sparse is not None:
+            self._matrix = _sparse.csr_matrix(
+                (np.ones(len(ids), dtype=np.int64), ids, indptr),
+                shape=(n_rows, max(vocab_size, 1)),
+            )
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.indptr) - 1
+
+    def intersections(
+        self, left_index: np.ndarray, right_index: np.ndarray
+    ) -> np.ndarray:
+        """``|row[left_index[i]] & row[right_index[i]]|`` per pair."""
+        if len(left_index) == 0 or len(self.ids) == 0:
+            return np.zeros(len(left_index), dtype=np.int64)
+        if self._bits is not None:
+            return np.bitwise_count(
+                self._bits[left_index] & self._bits[right_index]
+            ).sum(axis=1, dtype=np.int64)
+        if self._matrix is not None:
+            product = self._matrix[left_index].multiply(
+                self._matrix[right_index]
+            )
+            return np.asarray(product.sum(axis=1)).ravel().astype(np.int64)
+        left = gather_csr(self.indptr, self.ids, left_index)
+        right = gather_csr(self.indptr, self.ids, right_index)
+        return batch_intersection_counts(
+            left, right, max(self.vocab_size, 1)
+        )
+
+
+# -- measure kernels ---------------------------------------------------------
+#
+# Each kernel mirrors its scalar twin in repro.text.similarity exactly:
+# intersection and cardinalities are exact int64 (< 2**53, so their
+# float64 conversions are exact), np.sqrt and math.sqrt are both
+# correctly rounded, and the operand order of every expression matches
+# the scalar source. Pairs failing the scalar guard clauses get 0.0
+# through the mask, like the early returns.
+
+
+def _cosine(inter: np.ndarray, size_a: np.ndarray, size_b: np.ndarray) -> np.ndarray:
+    out = np.zeros(len(inter), dtype=np.float64)
+    mask = (size_a > 0) & (size_b > 0)
+    out[mask] = inter[mask] / np.sqrt(size_a[mask] * size_b[mask])
+    return out
+
+
+def _dice(inter: np.ndarray, size_a: np.ndarray, size_b: np.ndarray) -> np.ndarray:
+    out = np.zeros(len(inter), dtype=np.float64)
+    mask = (size_a > 0) & (size_b > 0)
+    out[mask] = 2.0 * inter[mask] / (size_a[mask] + size_b[mask])
+    return out
+
+
+def _jaccard(inter: np.ndarray, size_a: np.ndarray, size_b: np.ndarray) -> np.ndarray:
+    out = np.zeros(len(inter), dtype=np.float64)
+    union = size_a + size_b - inter
+    mask = union > 0
+    out[mask] = inter[mask] / union[mask]
+    return out
+
+
+def _overlap(inter: np.ndarray, size_a: np.ndarray, size_b: np.ndarray) -> np.ndarray:
+    out = np.zeros(len(inter), dtype=np.float64)
+    mask = (size_a > 0) & (size_b > 0)
+    out[mask] = inter[mask] / np.minimum(size_a[mask], size_b[mask])
+    return out
+
+
+_MEASURE_KERNELS = {
+    "cosine": _cosine,
+    "dice": _dice,
+    "jaccard": _jaccard,
+    "overlap": _overlap,
+}
+
+
+def _resolve_kernels(measures: Iterable[str]) -> list:
+    kernels = []
+    for name in measures:
+        kernel = _MEASURE_KERNELS.get(name)
+        if kernel is None:
+            raise KeyError(
+                f"unknown set measure {name!r}; known: "
+                f"{sorted(_MEASURE_KERNELS)}"
+            )
+        kernels.append(kernel)
+    return kernels
+
+
+def set_similarity_matrix_packed(
+    left: PackedRows,
+    right: PackedRows,
+    vocab_size: int,
+    measures: Iterable[str] = SET_MEASURES,
+) -> np.ndarray:
+    """``(n_pairs, n_measures)`` similarity matrix from packed pair sides.
+
+    The core of :func:`set_similarity_matrix`, taking pre-assembled
+    :class:`PackedRows` (row ``i`` of each side is one pair); *measures*
+    name columns from ``{"cosine", "dice", "jaccard", "overlap"}`` in
+    output order. Emits the ``kernel.*`` metrics for exactly one batch.
+    """
+    kernels = _resolve_kernels(measures)
+
+    started = time.perf_counter()
+    inter = batch_intersection_counts(left, right, max(vocab_size, 1))
+    size_left = left.sizes()
+    size_right = right.sizes()
+    matrix = np.empty((left.n_rows, len(kernels)), dtype=np.float64)
+    for column, kernel in enumerate(kernels):
+        matrix[:, column] = kernel(inter, size_left, size_right)
+    elapsed = time.perf_counter() - started
+
+    obs.inc("kernel.batches")
+    obs.inc("kernel.pairs", float(left.n_rows))
+    obs.observe("kernel.seconds", elapsed)
+    return matrix
+
+
+def set_similarity_matrix(
+    left_rows: Sequence[np.ndarray],
+    right_rows: Sequence[np.ndarray],
+    vocab_size: int,
+    measures: Iterable[str] = SET_MEASURES,
+) -> np.ndarray:
+    """``(n_pairs, n_measures)`` similarity matrix in one vectorized pass.
+
+    *left_rows* / *right_rows* are per-pair sorted id arrays from one
+    :class:`TokenInterner` of size *vocab_size*; *measures* name columns
+    from ``{"cosine", "dice", "jaccard", "overlap"}`` in output order.
+    """
+    return set_similarity_matrix_packed(
+        pack_rows(left_rows), pack_rows(right_rows), vocab_size, measures
+    )
+
+
+def set_similarity_matrix_indexed(
+    incidence: RecordIncidence,
+    left_index: np.ndarray,
+    right_index: np.ndarray,
+    measures: Iterable[str] = SET_MEASURES,
+) -> np.ndarray:
+    """Similarity matrix for pairs given as record-row index arrays.
+
+    The hot entry point of the feature store: the per-record incidence
+    is built once, and each batch costs only index gathers plus the
+    backend's intersection pass. Emits the ``kernel.*`` metrics for
+    exactly one batch, like :func:`set_similarity_matrix_packed`.
+    """
+    kernels = _resolve_kernels(measures)
+
+    started = time.perf_counter()
+    inter = incidence.intersections(left_index, right_index)
+    size_left = incidence.row_sizes[left_index]
+    size_right = incidence.row_sizes[right_index]
+    matrix = np.empty((len(left_index), len(kernels)), dtype=np.float64)
+    for column, kernel in enumerate(kernels):
+        matrix[:, column] = kernel(inter, size_left, size_right)
+    elapsed = time.perf_counter() - started
+
+    obs.inc("kernel.batches")
+    obs.inc("kernel.pairs", float(len(left_index)))
+    obs.observe("kernel.seconds", elapsed)
+    return matrix

@@ -8,12 +8,13 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.linearity import (
+    DEGENERATE_THRESHOLD,
     best_threshold_f1,
     degree_of_linearity,
     linearity_profile,
     pair_similarities,
 )
-from repro.text.similarity import cosine_similarity
+from repro.text.similarity import cosine_similarity, jaccard_similarity
 
 
 class TestBestThresholdF1:
@@ -30,11 +31,26 @@ class TestBestThresholdF1:
         f1, __ = best_threshold_f1(scores, labels)
         assert f1 == pytest.approx(2 / 3)  # predict all positive
 
-    def test_no_positives(self):
+    def test_no_positives_degenerate_sentinel(self):
+        # Regression: an all-negative fold used to come back with
+        # threshold 0.0, so `scores >= threshold` predicted *everything*
+        # as a match. The sentinel sits above any attainable score.
         f1, threshold = best_threshold_f1(
             np.array([0.2, 0.4]), np.array([0, 0])
         )
-        assert f1 == 0.0 and threshold == 0.0
+        assert f1 == 0.0 and threshold == DEGENERATE_THRESHOLD
+        assert not np.any(np.array([0.2, 0.4]) >= threshold)
+
+    def test_scores_below_grid_degenerate_sentinel(self):
+        # All scores below every grid threshold: no threshold predicts a
+        # single positive, even though positives exist.
+        f1, threshold = best_threshold_f1(
+            np.array([0.0, 0.0, 0.0]), np.array([0, 1, 1])
+        )
+        assert f1 == 0.0 and threshold == DEGENERATE_THRESHOLD
+
+    def test_degenerate_threshold_is_above_score_range(self):
+        assert DEGENERATE_THRESHOLD > 1.0
 
     def test_keeps_lowest_best_threshold(self):
         scores = np.array([0.1, 0.9])

@@ -50,16 +50,18 @@ class TestAlgorithm2Decisions:
     def test_feature_selected_on_validation_not_training(self):
         """Training favours the name feature; validation reverses it.
 
-        In training, matches agree on name and disagree on brand. In
-        validation, matches agree on brand and disagree on name — so the
-        brand feature wins validation and must be the one applied to the
+        In training, matches always agree on name but only half agree on
+        brand, so the name feature is the training-optimal one (F1 1 vs
+        2/3) while brand still gets a valid low threshold. In validation,
+        matches agree on brand and disagree on name — so the brand
+        feature wins validation and must be the one applied to the
         testing set.
         """
         train = [
-            ("alpha beta", "acme", "alpha beta", "zorg", 1),
+            ("alpha beta", "acme", "alpha beta", "acme", 1),
             ("gamma delta", "acme", "gamma delta", "bolt", 1),
-            ("epsilon zeta", "bolt", "iota kappa", "bolt", 0),
-            ("lambda mu", "cog", "nu xi", "cog", 0),
+            ("epsilon zeta", "bolt", "iota kappa", "cog", 0),
+            ("lambda mu", "cog", "nu xi", "dax", 0),
         ] * 3
         valid = [
             ("one two", "acme", "three four", "acme", 1),

@@ -1,0 +1,327 @@
+"""Unit tests for the vectorized set-similarity kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import Observability
+from repro.text.kernels import (
+    BITSET_MAX_VOCAB,
+    CharTable,
+    PackedRows,
+    QGramAlphabetOverflow,
+    QGramCodec,
+    RecordIncidence,
+    TokenInterner,
+    batch_intersection_counts,
+    densify_csr,
+    gather_csr,
+    pack_rows,
+    set_similarity_matrix,
+    set_similarity_matrix_indexed,
+)
+from repro.text.similarity import (
+    cosine_similarity,
+    dice_similarity,
+    jaccard_similarity,
+    overlap_coefficient,
+)
+from repro.text.tokenize import qgrams
+
+
+def _random_sets(rng, n, vocab, max_size=12):
+    return [
+        set(rng.choice(vocab, size=int(rng.integers(0, max_size)), replace=False).tolist())
+        for __ in range(n)
+    ]
+
+
+class TestTokenInterner:
+    def test_dense_ids_in_first_sight_order(self):
+        interner = TokenInterner()
+        assert interner.intern("b") == 0
+        assert interner.intern("a") == 1
+        assert interner.intern("b") == 0
+        assert len(interner) == 2
+
+    def test_encode_set_is_sorted(self):
+        interner = TokenInterner()
+        row = interner.encode_set({"z", "a", "m"})
+        assert row.dtype == np.int64
+        assert list(row) == sorted(row)
+        assert len(row) == 3
+
+    def test_encode_empty_set(self):
+        assert len(TokenInterner().encode_set(set())) == 0
+
+
+class TestPackedRows:
+    def test_pack_rows_round_trip(self):
+        rows = [
+            np.array([1, 4], dtype=np.int64),
+            np.array([], dtype=np.int64),
+            np.array([0, 2, 5], dtype=np.int64),
+        ]
+        packed = pack_rows(rows)
+        assert packed.n_rows == 3
+        assert list(packed.sizes()) == [2, 0, 3]
+        for index, row in enumerate(rows):
+            assert np.array_equal(packed.row(index), row)
+
+    def test_pair_keys_fold(self):
+        packed = pack_rows(
+            [np.array([1, 2], dtype=np.int64), np.array([0], dtype=np.int64)]
+        )
+        assert list(packed.pair_keys(10)) == [1, 2, 10]
+
+    def test_empty(self):
+        packed = pack_rows([])
+        assert packed.n_rows == 0
+        assert len(packed.ids) == 0
+
+
+class TestCharTable:
+    def test_ids_start_at_one_and_stay_stable(self):
+        table = CharTable()
+        first = table.map(np.frombuffer("abc".encode("utf-32-le"), dtype=np.uint32))
+        assert first.min() >= 1
+        again = table.map(np.frombuffer("cba".encode("utf-32-le"), dtype=np.uint32))
+        assert set(first.tolist()) == set(again.tolist())
+        assert np.array_equal(first[::-1], again)
+
+    def test_growth_preserves_existing_ids(self):
+        table = CharTable()
+        before = table.map(np.frombuffer("ab".encode("utf-32-le"), dtype=np.uint32))
+        table.map(np.frombuffer("xyz".encode("utf-32-le"), dtype=np.uint32))
+        after = table.map(np.frombuffer("ab".encode("utf-32-le"), dtype=np.uint32))
+        assert np.array_equal(before, after)
+        assert len(table) == 5
+
+    def test_empty_input(self):
+        assert len(CharTable().map(np.empty(0, dtype=np.uint32))) == 0
+
+
+def _codec_sets(codec, table, texts):
+    """Distinct-code sets per text, via the raw encode + set()."""
+    rows = codec.encode(
+        [
+            table.map(np.frombuffer(t.encode("utf-32-le"), dtype=np.uint32))
+            for t in texts
+        ]
+    )
+    return [set(row.tolist()) for row in rows]
+
+
+class TestQGramCodec:
+    @pytest.mark.parametrize("q", [2, 3, 5, 10])
+    def test_distinct_codes_match_qgrams(self, q):
+        texts = [
+            "record linkage benchmarks",
+            "aaaaaa",
+            "ab",
+            "",
+            "matching algorithms at scale",
+        ]
+        table = CharTable()
+        codec = QGramCodec(q, table)
+        for text, codes in zip(texts, _codec_sets(codec, table, texts)):
+            assert len(codes) == len(qgrams(text, q))
+
+    def test_codes_are_content_derived_across_batches(self):
+        table = CharTable()
+        codec = QGramCodec(3, table)
+        first = _codec_sets(codec, table, ["benchmark"])[0]
+        # New characters join the table between the two batches.
+        _codec_sets(codec, table, ["zzz qqq xxx"])
+        second = _codec_sets(codec, table, ["benchmark"])[0]
+        assert first == second
+
+    def test_equal_grams_share_codes_across_texts(self):
+        table = CharTable()
+        codec = QGramCodec(2, table)
+        left, right = _codec_sets(codec, table, ["abcd", "bcde"])
+        # Shared 2-grams: "bc", "cd".
+        assert len(left & right) == 2
+
+    def test_short_string_padding_never_collides(self):
+        # A short string's zero-padded code must differ from every full
+        # q-gram code (character ids start at 1).
+        table = CharTable()
+        codec = QGramCodec(3, table)
+        short, full = _codec_sets(codec, table, ["ab", "aabb"])
+        assert not short & full
+
+    def test_alphabet_overflow_raises(self):
+        table = CharTable()
+        # q=10 -> 6 bits -> at most 63 distinct characters.
+        codec = QGramCodec(10, table)
+        assert codec.capacity == 63
+        alphabet = "".join(chr(0x100 + i) for i in range(codec.capacity + 1))
+        with pytest.raises(QGramAlphabetOverflow):
+            _codec_sets(codec, table, [alphabet])
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            QGramCodec(0, CharTable())
+
+    def test_empty_batch(self):
+        assert QGramCodec(2, CharTable()).encode([]) == []
+
+
+class TestDensifyCsr:
+    def test_dedups_and_sorts_rows(self):
+        rows = [
+            np.array([900, 100, 900, 500], dtype=np.int64),
+            np.array([], dtype=np.int64),
+            np.array([500, 500], dtype=np.int64),
+        ]
+        indptr, ids, vocab = densify_csr(rows)
+        assert vocab == 3  # {100, 500, 900}
+        assert list(indptr) == [0, 3, 3, 4]
+        assert list(ids[0:3]) == [0, 1, 2]
+        assert list(ids[3:4]) == [1]
+
+    def test_rank_order_matches_code_order(self):
+        rows = [np.array([7, -5, 1_000_000_000_000], dtype=np.int64)]
+        __, ids, __ = densify_csr(rows)
+        assert list(ids) == [0, 1, 2][: len(ids)]
+
+    def test_empty_inputs(self):
+        indptr, ids, vocab = densify_csr([])
+        assert list(indptr) == [0] and len(ids) == 0 and vocab == 0
+        indptr, ids, vocab = densify_csr([np.empty(0, dtype=np.int64)])
+        assert list(indptr) == [0, 0] and len(ids) == 0 and vocab == 0
+
+
+class TestGatherCsr:
+    def test_matches_per_row_slicing(self):
+        rng = np.random.default_rng(1)
+        rows = [
+            np.sort(rng.choice(50, size=int(rng.integers(0, 8)), replace=False)).astype(np.int64)
+            for __ in range(20)
+        ]
+        packed = pack_rows(rows)
+        pick = rng.integers(0, 20, size=37)
+        gathered = gather_csr(packed.indptr, packed.ids, pick)
+        for out_row, source in enumerate(pick):
+            assert np.array_equal(gathered.row(out_row), rows[source])
+
+    def test_empty_selection(self):
+        packed = pack_rows([np.array([1], dtype=np.int64)])
+        gathered = gather_csr(packed.indptr, packed.ids, np.empty(0, dtype=np.int64))
+        assert gathered.n_rows == 0
+
+
+class TestBatchIntersections:
+    def test_randomized_against_python_sets(self):
+        rng = np.random.default_rng(2)
+        vocab = 40
+        lefts = _random_sets(rng, 60, vocab)
+        rights = _random_sets(rng, 60, vocab)
+        left = pack_rows([np.array(sorted(s), dtype=np.int64) for s in lefts])
+        right = pack_rows([np.array(sorted(s), dtype=np.int64) for s in rights])
+        counts = batch_intersection_counts(left, right, vocab)
+        expected = [len(a & b) for a, b in zip(lefts, rights)]
+        assert list(counts) == expected
+
+    def test_row_mismatch_raises(self):
+        one = pack_rows([np.array([0], dtype=np.int64)])
+        two = pack_rows([np.array([0], dtype=np.int64)] * 2)
+        with pytest.raises(ValueError):
+            batch_intersection_counts(one, two, 5)
+
+    def test_empty_sides(self):
+        left = pack_rows([np.empty(0, dtype=np.int64)] * 3)
+        right = pack_rows([np.array([1], dtype=np.int64)] * 3)
+        assert list(batch_intersection_counts(left, right, 5)) == [0, 0, 0]
+
+
+class TestRecordIncidence:
+    @pytest.mark.parametrize("vocab", [64, BITSET_MAX_VOCAB + 1])
+    def test_backends_match_python_sets(self, vocab):
+        rng = np.random.default_rng(3)
+        sets = _random_sets(rng, 30, vocab)
+        packed = pack_rows([np.array(sorted(s), dtype=np.int64) for s in sets])
+        incidence = RecordIncidence(packed.indptr, packed.ids, vocab)
+        left_index = rng.integers(0, 30, size=100)
+        right_index = rng.integers(0, 30, size=100)
+        counts = incidence.intersections(left_index, right_index)
+        expected = [
+            len(sets[a] & sets[b]) for a, b in zip(left_index, right_index)
+        ]
+        assert list(counts) == expected
+
+    def test_fallback_without_scipy(self, monkeypatch):
+        import repro.text.kernels as kernels
+
+        monkeypatch.setattr(kernels, "_sparse", None)
+        vocab = BITSET_MAX_VOCAB + 1
+        rows = [
+            np.array([0, vocab - 1], dtype=np.int64),
+            np.array([vocab - 1], dtype=np.int64),
+        ]
+        packed = pack_rows(rows)
+        incidence = RecordIncidence(packed.indptr, packed.ids, vocab)
+        assert incidence._matrix is None and incidence._bits is None
+        counts = incidence.intersections(
+            np.array([0, 0]), np.array([1, 0])
+        )
+        assert list(counts) == [1, 2]
+
+    def test_bitset_words_with_shared_cells(self):
+        # Multiple ids landing in the same uint64 word must all survive
+        # the bitset build (a plain fancy-index |= would drop some).
+        rows = [np.array([0, 1, 2, 63, 64], dtype=np.int64)]
+        packed = pack_rows(rows)
+        incidence = RecordIncidence(packed.indptr, packed.ids, 128)
+        assert incidence._bits is not None
+        assert list(incidence.intersections(np.array([0]), np.array([0]))) == [5]
+
+    def test_empty_incidence(self):
+        packed = pack_rows([np.empty(0, dtype=np.int64)])
+        incidence = RecordIncidence(packed.indptr, packed.ids, 0)
+        assert list(incidence.intersections(np.array([0]), np.array([0]))) == [0]
+
+
+class TestMeasureKernels:
+    def test_matrix_matches_scalar_measures(self):
+        rng = np.random.default_rng(4)
+        vocab = 25
+        lefts = _random_sets(rng, 50, vocab) + [set(), set()]
+        rights = _random_sets(rng, 50, vocab) + [set(), {1, 2}]
+        measures = ("cosine", "dice", "jaccard", "overlap")
+        scalar_fns = (
+            cosine_similarity,
+            dice_similarity,
+            jaccard_similarity,
+            overlap_coefficient,
+        )
+        matrix = set_similarity_matrix(
+            [np.array(sorted(s), dtype=np.int64) for s in lefts],
+            [np.array(sorted(s), dtype=np.int64) for s in rights],
+            vocab,
+            measures,
+        )
+        for row, (a, b) in enumerate(zip(lefts, rights)):
+            for column, fn in enumerate(scalar_fns):
+                assert matrix[row, column] == fn(a, b)
+
+    def test_unknown_measure_raises(self):
+        with pytest.raises(KeyError):
+            set_similarity_matrix([], [], 1, measures=("euclidean",))
+
+    def test_indexed_entry_emits_kernel_metrics(self):
+        packed = pack_rows(
+            [np.array([0, 1], dtype=np.int64), np.array([1], dtype=np.int64)]
+        )
+        incidence = RecordIncidence(packed.indptr, packed.ids, 2)
+        with obs.use(Observability()):
+            matrix = set_similarity_matrix_indexed(
+                incidence, np.array([0]), np.array([1])
+            )
+            assert obs.counter("kernel.batches") == 1
+            assert obs.counter("kernel.pairs") == 1
+        assert matrix.shape == (1, 3)
+        assert matrix[0, 2] == pytest.approx(0.5)  # jaccard {0,1} vs {1}
