@@ -1,0 +1,88 @@
+"""Supervision overhead: guarded sweeps vs plain runner, ≤2% budget.
+
+Times the same fresh matcher sweep with the full supervision stack armed
+(memory + disk budgets, adaptive deadlines, run lease on a cache-less
+runner the lease cannot help) and without, best-of-N interleaved, and
+writes the measurements to ``BENCH_guard.json`` in the repository root.
+On the healthy path supervision costs one rate-limited resource probe
+per unit plus a deadline-model append, so DESIGN.md §7 budgets it at
+≤2%; a small absolute guard keeps sub-100ms timing jitter from failing
+a run within noise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments.runner import ExperimentRunner, RunnerConfig
+
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_guard.json"
+SCALE = 0.3
+DATASETS = ("Ds5", "Ds7")
+REPS = 3
+OVERHEAD_BUDGET_PCT = 2.0
+#: Absolute slack: differences below this are timing noise, not overhead.
+NOISE_FLOOR_SECONDS = 0.1
+
+
+def _timed(guarded: bool) -> float:
+    """Wall seconds of fresh, uncached sweeps with/without supervision."""
+    options = (
+        dict(
+            memory_budget_mb=1_000_000.0,
+            disk_reserve_mb=1.0,
+            adaptive_deadlines=True,
+        )
+        if guarded
+        else {}
+    )
+    runner = ExperimentRunner(
+        config=RunnerConfig(scale=SCALE, **options)
+    )
+    start = time.perf_counter()
+    runner.sweep_all(DATASETS)
+    return time.perf_counter() - start
+
+
+def test_guard_overhead():
+    # Warm-up: the first sweep pays dataset generation and allocator
+    # warm-up that would otherwise be billed to whichever mode runs first.
+    _timed(False)
+    # Interleave the modes so slow drift (thermal, co-tenants) hits both.
+    plain_seconds = float("inf")
+    guarded_seconds = float("inf")
+    for _ in range(REPS):
+        plain_seconds = min(plain_seconds, _timed(False))
+        guarded_seconds = min(guarded_seconds, _timed(True))
+    delta = guarded_seconds - plain_seconds
+    overhead_pct = 100.0 * delta / plain_seconds
+    within_budget = (
+        overhead_pct <= OVERHEAD_BUDGET_PCT or delta <= NOISE_FLOOR_SECONDS
+    )
+
+    record = {
+        "scale": SCALE,
+        "datasets": list(DATASETS),
+        "reps": REPS,
+        "cpu_count": os.cpu_count(),
+        "plain_seconds": round(plain_seconds, 4),
+        "guarded_seconds": round(guarded_seconds, 4),
+        "delta_seconds": round(delta, 4),
+        "overhead_pct": round(overhead_pct, 3),
+        "budget_pct": OVERHEAD_BUDGET_PCT,
+        "noise_floor_seconds": NOISE_FLOOR_SECONDS,
+        "within_budget": within_budget,
+    }
+    RECORD_PATH.write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+    )
+    print()
+    print(json.dumps(record, indent=2))
+
+    assert within_budget, (
+        f"supervision overhead {overhead_pct:.2f}% "
+        f"({delta:.3f}s) exceeds the 2% budget"
+    )

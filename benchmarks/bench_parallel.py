@@ -5,9 +5,12 @@ Times a full established-benchmark regeneration with ``workers=1`` and
 scheduler's determinism guarantee), and writes the measurements to
 ``BENCH_parallel.json`` in the repository root.
 
-The speedup is recorded, not asserted: on a single-core machine (such as
-most CI containers; see the ``cpu_count`` field of the record) forked
-workers time-slice one core and no wall-time win is physically possible.
+The speedup is recorded, not asserted — but the parallel run opts into
+worker auto-degrade (``auto_degrade_workers``): on a single-core machine
+(such as most CI containers; see the ``cpu_count`` field of the record)
+forked workers time-slice one core and no wall-time win is physically
+possible, so the scheduler falls back to the sequential loop and the
+historical 0.67x regression reads ~1x instead.
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ def _timed_sweep(cache_dir, workers: int):
         seed=0,
         cache_dir=cache_dir,
         workers=workers,
+        auto_degrade_workers=workers > 1,
     )
     start = time.perf_counter()
     results = runner.sweep_all(ESTABLISHED_DATASET_IDS)
@@ -54,8 +58,14 @@ def test_parallel_speedup(tmp_path):
     )
 
     identical = parallel_scores == sequential_scores
+    fork_pids = {
+        report.worker_pid
+        for report in parallel_runner.worker_reports()
+        if report.worker_pid != os.getpid()
+    }
     record = {
         "workers": PARALLEL_WORKERS,
+        "auto_degraded_to_sequential": not fork_pids,
         "cpu_count": os.cpu_count(),
         "scale": BENCH_SIZE_FACTOR,
         "datasets": list(ESTABLISHED_DATASET_IDS),

@@ -2,9 +2,10 @@
 # Repository verification: byte-compile everything, run the tier-1 test
 # suite (ROADMAP.md), the fast fault-injection smoke set, then a
 # two-worker parallel regeneration of Table IV with metrics/trace
-# observability on a fresh cache, a seeded chaos smoke campaign with a
-# doctor audit of the surviving cache, the kernel-parity suite, and the
-# overhead/speedup benches.
+# observability on a fresh cache, a supervision smoke (hang-injected
+# worker replaced by the watchdog, orphaned-lease repair by the doctor),
+# a seeded chaos smoke campaign with a doctor audit of the surviving
+# cache, the kernel-parity suite, and the overhead/speedup benches.
 #
 # Usage: scripts/verify.sh [--smoke-only]
 set -euo pipefail
@@ -25,8 +26,30 @@ python -m pytest -x -q -m fault_smoke
 
 echo "== parallel scheduler + observability smoke (--workers 2 --metrics) =="
 SMOKE_CACHE="$(mktemp -d)"
-python -m repro table4 --workers 2 --metrics --cache "$SMOKE_CACHE"
+# --no-auto-degrade: this smoke verifies the real fork path even on
+# single-core CI boxes where auto-degrade would fall back to sequential.
+python -m repro table4 --workers 2 --no-auto-degrade --metrics --cache "$SMOKE_CACHE"
 python -m repro trace --last --cache "$SMOKE_CACHE"
+
+echo "== supervision smoke: watchdog hang-kill + lease repair =="
+GUARD_CACHE="$(mktemp -d)"
+# A wedged worker must be killed by the watchdog and surfaced as a
+# WorkerHang failure record while the rest of the sweep completes (two
+# datasets: a single sweep unit would run inline and never fork).
+python -m repro table4 --datasets Ds5,Ds7 --scale 0.3 --workers 2 --no-auto-degrade \
+    --hang-deadline 5 --inject 'guard:hang=hang' \
+    --cache "$GUARD_CACHE" | tee /tmp/guard_smoke.out
+grep -q "WorkerHang" /tmp/guard_smoke.out
+# An orphaned lease (dead owner pid) must fail a doctor audit, be
+# repaired, and leave the directory clean.
+printf '{"pid": 4194305, "host": "ghost", "token": "dead", "acquired_at": 0, "heartbeat_at": 0}' \
+    > "$GUARD_CACHE/run.lease"
+if python -m repro doctor --check --cache "$GUARD_CACHE"; then
+    echo "doctor --check missed the orphaned lease" >&2
+    exit 1
+fi
+python -m repro doctor --cache "$GUARD_CACHE"
+python -m repro doctor --check --cache "$GUARD_CACHE"
 
 echo "== chaos smoke campaign (3 seeded plans) + doctor repair/audit =="
 CHAOS_CACHE="$(mktemp -d)"
@@ -40,8 +63,9 @@ echo "== vectorized-kernel parity (golden oracle) =="
 python -m pytest -x -q tests/text/test_kernels.py tests/text/test_feature_store.py \
     tests/matchers/test_feature_parity.py
 
-echo "== observability + circuit-breaker overhead benches =="
-python -m pytest -x -q benchmarks/bench_obs.py benchmarks/bench_chaos.py
+echo "== observability + circuit-breaker + supervision overhead benches =="
+python -m pytest -x -q benchmarks/bench_obs.py benchmarks/bench_chaos.py \
+    benchmarks/bench_guard.py
 
 echo "== feature-kernel speedup bench (>=5x, bit-identical) =="
 python -m pytest -x -q benchmarks/bench_kernels.py

@@ -7,8 +7,11 @@ benchmarks can be exported, inspected and re-loaded.
 All writes are atomic (tmp file + ``os.replace`` via
 :func:`repro.runtime.atomic_writer`, which also fsyncs the directory so
 the rename survives a power cut): an interrupted export never leaves a
-half-written table or pair list behind. Readers pass the ``io:read``
-fault site, so chaos campaigns can rehearse unreadable exports too.
+half-written table or pair list behind. A full volume surfaces as the
+typed :class:`repro.runtime.DiskFull` (ENOSPC/EDQUOT, partial temp file
+already cleaned up) rather than a bare ``OSError``. Readers pass the
+``io:read`` fault site, so chaos campaigns can rehearse unreadable
+exports too.
 """
 
 from __future__ import annotations

@@ -236,6 +236,43 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="for 'chaos': number of seeded fault plans (default 20)",
     )
+    parser.add_argument(
+        "--memory-budget",
+        type=_positive_float,
+        default=None,
+        metavar="MIB",
+        help="degrade gracefully (smaller kernel batches, merge backend, "
+        "feature cache off) when RSS passes this budget, then shed units "
+        "as BudgetExceeded; with --workers also caps each worker's RSS",
+    )
+    parser.add_argument(
+        "--disk-reserve",
+        type=_positive_float,
+        default=None,
+        metavar="MIB",
+        help="keep at least this much free space on the cache volume: "
+        "preflight + periodic checks degrade and shed before ENOSPC",
+    )
+    parser.add_argument(
+        "--adaptive-deadlines",
+        action="store_true",
+        help="learn per-phase deadlines from healthy durations "
+        "(p99 x margin) instead of the fixed --timeout",
+    )
+    parser.add_argument(
+        "--hang-deadline",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="fallback worker deadline until the adaptive model has "
+        "samples; arms the heartbeat watchdog on pooled runs",
+    )
+    parser.add_argument(
+        "--no-auto-degrade",
+        action="store_true",
+        help="keep --workers N even on single-core machines (default: "
+        "degrade to the sequential loop when forking cannot win)",
+    )
     return parser
 
 
@@ -441,6 +478,11 @@ def main(argv: list[str] | None = None) -> int:
             policy=policy,
             workers=args.workers,
             breaker_threshold=args.breaker_threshold,
+            memory_budget_mb=args.memory_budget,
+            disk_reserve_mb=args.disk_reserve,
+            adaptive_deadlines=args.adaptive_deadlines,
+            hang_deadline_seconds=args.hang_deadline,
+            auto_degrade_workers=not args.no_auto_degrade,
         )
     )
     if args.profile:

@@ -47,6 +47,7 @@ from repro.runtime import (
     FailureRecord,
 )
 from repro.runtime import faults
+from repro.runtime.guard import AdaptiveDeadlineModel, ResourceGuard
 from repro.runtime.parallel import ParallelScheduler, WorkUnit
 from repro.runtime.registry import (  # re-exported for back-compat
     clear_recorded_failures,
@@ -147,6 +148,18 @@ def _evaluate_matcher(matcher: Matcher, task: MatchingTask) -> MatcherResult:
         return matcher.evaluate(task)
 
 
+def _evaluate_guarded(
+    matcher: Matcher,
+    task: MatchingTask,
+    guard: ResourceGuard | None,
+    unit_id: str,
+) -> MatcherResult:
+    """Sequential unit body: budget checkpoint, then the matcher."""
+    if guard is not None:
+        guard.checkpoint(unit_id)
+    return _evaluate_matcher(matcher, task)
+
+
 def _evaluate_matcher_spec(
     task: MatchingTask, matcher_spec: str, seed: int
 ) -> MatcherResult:
@@ -203,6 +216,8 @@ def evaluate_suite(
     failures: list[FailureRecord] | None = None,
     scheduler: ParallelScheduler | None = None,
     breakers: BreakerRegistry | None = None,
+    guard: "ResourceGuard | None" = None,
+    deadlines: "AdaptiveDeadlineModel | None" = None,
 ) -> dict[str, MatcherResult]:
     """Evaluate the whole roster on one task (name -> result).
 
@@ -225,6 +240,13 @@ def evaluate_suite(
     times short-circuits to its degraded placeholder with a
     ``CircuitOpen`` failure record instead of burning retries. Breaker
     state is per-process; pooled workers each keep their own counts.
+
+    *guard* (a :class:`repro.runtime.guard.ResourceGuard`) runs a budget
+    checkpoint before each sequential matcher: a shed unit becomes a
+    ``BudgetExceeded`` failure record, not a crash. *deadlines* (an
+    :class:`~repro.runtime.guard.AdaptiveDeadlineModel`) replaces the
+    policy's fixed ``deadline_seconds`` for the ``matcher`` phase once it
+    has learned enough samples, and is fed each healthy duration.
     """
     if policy is None:
         policy = ExecutionPolicy(
@@ -245,14 +267,30 @@ def evaluate_suite(
         ]
         outcomes = scheduler.run(units, policy=policy).outcomes
     else:
-        outcomes = tuple(
-            policy.execute(
-                partial(_evaluate_matcher, matcher, task),
-                unit_id=f"{task.name}/{matcher.name}",
+        unit_policy = policy
+        if deadlines is not None:
+            adaptive = deadlines.learned_deadline_for("matcher")
+            if adaptive is not None:
+                unit_policy = dataclass_replace(
+                    policy, deadline_seconds=adaptive
+                )
+        outcome_list = []
+        for matcher in matchers:
+            unit_id = f"{task.name}/{matcher.name}"
+            outcome = unit_policy.execute(
+                partial(
+                    _evaluate_guarded, matcher, task, guard, unit_id
+                ),
+                unit_id=unit_id,
                 phase="matcher",
             )
-            for matcher in matchers
-        )
+            if outcome.ok and deadlines is not None:
+                deadlines.observe(
+                    "matcher", outcome.value.fit_seconds
+                    + outcome.value.predict_seconds,
+                )
+            outcome_list.append(outcome)
+        outcomes = tuple(outcome_list)
 
     results: dict[str, MatcherResult] = {}
     for matcher, outcome in zip(matchers, outcomes):

@@ -39,8 +39,10 @@ identical for any worker count (DESIGN.md §8).
 from __future__ import annotations
 
 import hashlib
+import logging
 import math
 import os
+import time
 import warnings
 from contextlib import nullcontext
 from dataclasses import dataclass, replace
@@ -79,7 +81,16 @@ from repro.runtime import (
     read_cached_payload,
     write_envelope,
 )
+from repro.runtime.guard import (
+    AdaptiveDeadlineModel,
+    LeaseHeld,
+    ResourceGuard,
+    RunLease,
+    Watchdog,
+)
 from repro.text.feature_store import FeatureMatrixCache, feature_cache_scope
+
+logger = logging.getLogger("repro.experiments.runner")
 
 #: Journal file name inside the cache directory.
 JOURNAL_NAME = "checkpoint.journal"
@@ -113,6 +124,27 @@ class RunnerConfig:
       under ``<cache_dir>/features`` so repeated sweeps (and the fork
       workers of a parallel run) skip extraction; a no-op without
       ``cache_dir``.
+
+    Resource supervision (see :mod:`repro.runtime.guard`):
+
+    * ``memory_budget_mb`` / ``disk_reserve_mb`` — arm the
+      :class:`ResourceGuard`: past the budget the runner degrades
+      gracefully (smaller kernel batches, merge backend, feature cache
+      off) before shedding units as ``BudgetExceeded`` failures; with
+      workers, the budget also caps each worker's RSS via the watchdog;
+    * ``adaptive_deadlines`` — learn per-phase deadlines from healthy
+      durations (p99 × margin) instead of one fixed ``--timeout``;
+    * ``hang_deadline_seconds`` — the watchdog's fallback worker deadline
+      until the adaptive model has samples; enabling either of these arms
+      the heartbeat watchdog on pooled runs (hung workers are killed,
+      replaced, and recorded as ``WorkerHang``);
+    * ``auto_degrade_workers`` — run ``workers > 1`` sequentially when
+      forking cannot pay (single core, pathological fork overhead);
+    * ``lease`` (default on) / ``lease_timeout_seconds`` /
+      ``lease_stale_seconds`` — guard the cache directory with a
+      :class:`RunLease` so concurrent runs never interleave journal or
+      envelope writes; a second runner waits for the holder (re-checking
+      the cache afterwards) or fails cleanly with a ``LeaseHeld`` record.
     """
 
     scale: float = 1.0
@@ -124,11 +156,34 @@ class RunnerConfig:
     obs: Observability | None = None
     breaker_threshold: int | None = None
     feature_cache: bool = True
+    memory_budget_mb: float | None = None
+    disk_reserve_mb: float | None = None
+    adaptive_deadlines: bool = False
+    hang_deadline_seconds: float | None = None
+    auto_degrade_workers: bool = False
+    lease: bool = True
+    lease_timeout_seconds: float = 60.0
+    lease_stale_seconds: float = 30.0
 
     def __post_init__(self) -> None:
         if self.breaker_threshold is not None and self.breaker_threshold < 1:
             raise ValueError(
                 f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        for name in ("memory_budget_mb", "disk_reserve_mb",
+                     "hang_deadline_seconds"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be > 0, got {value}")
+        if self.lease_timeout_seconds < 0:
+            raise ValueError(
+                f"lease_timeout_seconds must be >= 0, got "
+                f"{self.lease_timeout_seconds}"
+            )
+        if self.lease_stale_seconds <= 0:
+            raise ValueError(
+                f"lease_stale_seconds must be > 0, got "
+                f"{self.lease_stale_seconds}"
             )
         if isinstance(self.scale, bool) or not isinstance(
             self.scale, (int, float)
@@ -153,7 +208,10 @@ _LEGACY_POSITIONAL = (
 #: legacy ``size_factor`` spelling of ``scale``).
 _SHIM_KEYWORDS = frozenset(
     ("scale", "seed", "cache_dir", "policy", "workers", "scheduler", "obs",
-     "breaker_threshold", "feature_cache", "size_factor")
+     "breaker_threshold", "feature_cache", "size_factor",
+     "memory_budget_mb", "disk_reserve_mb", "adaptive_deadlines",
+     "hang_deadline_seconds", "auto_degrade_workers", "lease",
+     "lease_timeout_seconds", "lease_stale_seconds")
 )
 
 
@@ -259,12 +317,37 @@ class ExperimentRunner:
                     failure_threshold=self.config.breaker_threshold
                 ),
             )
+        # Adaptive deadlines: learned per-phase (p99 x margin); the
+        # --hang-deadline fallback only ever governs the watchdog, never
+        # healthy in-process units (see learned_deadline_for).
+        self.deadlines: AdaptiveDeadlineModel | None = None
+        if (
+            self.config.adaptive_deadlines
+            or self.config.hang_deadline_seconds is not None
+        ):
+            self.deadlines = AdaptiveDeadlineModel(
+                fallback_seconds=self.config.hang_deadline_seconds
+            )
+        watchdog: Watchdog | None = None
+        if self.config.scheduler is None and self.config.workers > 1 and (
+            self.deadlines is not None
+            or self.config.memory_budget_mb is not None
+        ):
+            watchdog = Watchdog(
+                deadlines=self.deadlines,
+                rss_budget_mb=self.config.memory_budget_mb,
+            )
         # Scheduler injection: an explicit scheduler wins; otherwise one is
         # built from `workers` (1 = run inline, the exact sequential path).
         self.scheduler = (
             self.config.scheduler
             if self.config.scheduler is not None
-            else ParallelScheduler(workers=self.config.workers, policy=self.policy)
+            else ParallelScheduler(
+                workers=self.config.workers,
+                policy=self.policy,
+                watchdog=watchdog,
+                auto_degrade=self.config.auto_degrade_workers,
+            )
         )
         self.workers = self.scheduler.workers
         self.obs = (
@@ -292,6 +375,30 @@ class ExperimentRunner:
         self.feature_cache: FeatureMatrixCache | None = (
             FeatureMatrixCache(self.cache_dir / "features")
             if self.cache_dir is not None and self.config.feature_cache
+            else None
+        )
+        # Resource budgets: RSS + cache-volume free space with graceful
+        # degradation; preflight warns (and pre-degrades for disk) before
+        # any unit runs.
+        self.guard: ResourceGuard | None = None
+        if (
+            self.config.memory_budget_mb is not None
+            or self.config.disk_reserve_mb is not None
+        ):
+            self.guard = ResourceGuard(
+                memory_budget_mb=self.config.memory_budget_mb,
+                disk_reserve_mb=self.config.disk_reserve_mb,
+                cache_dir=self.cache_dir,
+            )
+            for warning in self.guard.preflight():
+                logger.warning("resource preflight: %s", warning)
+        # Run lease: one writer per cache directory (journal + envelopes).
+        self._lease: RunLease | None = (
+            RunLease(
+                self.cache_dir,
+                stale_after_seconds=self.config.lease_stale_seconds,
+            )
+            if self.cache_dir is not None and self.config.lease
             else None
         )
         self._failures: list[FailureRecord] = []
@@ -340,6 +447,45 @@ class ExperimentRunner:
                 elapsed_seconds=0.0,
             )
         )
+
+    def _record_lease_failure(self, unit_id: str, error: BaseException) -> None:
+        """Another live run holds the cache; this unit yields cleanly."""
+        self.obs.inc("guard.lease_blocked")
+        self._failures.append(
+            FailureRecord(
+                unit_id=unit_id,
+                phase="lease",
+                attempts=1,
+                exception_type="LeaseHeld",
+                message=str(error),
+                elapsed_seconds=0.0,
+            )
+        )
+
+    def _acquire_lease(self, unit_id: str) -> float | None:
+        """Take the cache lease for a write-bearing unit of work.
+
+        Returns seconds waited (0.0 when uncontended or no lease is
+        configured). ``None`` means the lease could not be taken within
+        the timeout — a ``LeaseHeld`` failure was recorded and the caller
+        must not write to the cache directory. A wait > 0 means another
+        run had the directory meanwhile: re-read the journal before
+        recomputing (the holder probably finished the contested units).
+        """
+        if self._lease is None:
+            return 0.0
+        try:
+            waited = self._lease.acquire(self.config.lease_timeout_seconds)
+        except LeaseHeld as exc:
+            self._record_lease_failure(unit_id, exc)
+            return None
+        if waited > 0 and self.journal is not None:
+            self.journal.reload()
+        return waited
+
+    def _release_lease(self) -> None:
+        if self._lease is not None:
+            self._lease.release()
 
     def _record_journal_divergence(self, unit_id: str) -> None:
         """The journal marks a unit done but its cache entry is unusable."""
@@ -478,36 +624,74 @@ class ExperimentRunner:
             self._matcher_results[dataset_id] = cached
             return cached
 
-        def sweep() -> dict[str, MatcherResult]:
-            # Span per *attempt*: a retried sweep shows up once per try,
-            # with the failed attempts marked as such.
-            with self.obs.span("sweep", dataset=dataset_id) as span:
-                with self.obs.timed("sweep.seconds"):
-                    faults.fire(unit_id)
-                    results = evaluate_suite(
-                        self.task_for(dataset_id),
-                        seed=self.seed,
-                        policy=self.policy,
-                        failures=self._failures,
-                        scheduler=self.scheduler if self.workers > 1 else None,
-                    )
-                if any(result.degraded for result in results.values()):
-                    span.mark_degraded()
-                return results
+        # The cache missed, so this unit will compute and write: take the
+        # run lease. A failed acquire yields an empty (clean) result with
+        # a LeaseHeld record; a *contended* acquire re-checks the cache —
+        # the previous holder likely just finished this very sweep.
+        waited = self._acquire_lease(unit_id)
+        if waited is None:
+            self._matcher_results[dataset_id] = {}
+            return {}
+        try:
+            if waited > 0:
+                cached = self._load_cached_sweep(dataset_id, unit_id)
+                if cached is not None:
+                    self._matcher_results[dataset_id] = cached
+                    return cached
 
-        # The sweep unit aggregates ~23 deadline-guarded matcher units; a
-        # per-unit deadline must not also cap their sum, so the enclosing
-        # execution drops it (retries/backoff still apply).
-        sweep_policy = replace(self.policy, deadline_seconds=None)
-        with self._feature_scope():
-            outcome = sweep_policy.execute(sweep, unit_id=unit_id, phase="sweep")
-        if outcome.ok:
-            results = outcome.value
-            self._persist_sweep(dataset_id, unit_id, results)
-        else:
-            assert outcome.failure is not None
-            self._failures.append(outcome.failure)
-            results = {}
+            def sweep() -> dict[str, MatcherResult]:
+                # Span per *attempt*: a retried sweep shows up once per
+                # try, with the failed attempts marked as such.
+                with self.obs.span("sweep", dataset=dataset_id) as span:
+                    with self.obs.timed("sweep.seconds"):
+                        faults.fire(unit_id)
+                        if self.guard is not None:
+                            self.guard.checkpoint(unit_id)
+                        results = evaluate_suite(
+                            self.task_for(dataset_id),
+                            seed=self.seed,
+                            policy=self.policy,
+                            failures=self._failures,
+                            scheduler=(
+                                self.scheduler if self.workers > 1 else None
+                            ),
+                            guard=self.guard,
+                            deadlines=self.deadlines,
+                        )
+                    if any(result.degraded for result in results.values()):
+                        span.mark_degraded()
+                    return results
+
+            # The sweep unit aggregates ~23 deadline-guarded matcher
+            # units; a per-unit deadline must not also cap their sum, so
+            # the enclosing execution drops it (retries/backoff still
+            # apply) — unless the adaptive model has learned a realistic
+            # whole-sweep deadline of its own.
+            sweep_policy = replace(self.policy, deadline_seconds=None)
+            if self.deadlines is not None:
+                learned = self.deadlines.learned_deadline_for("sweep")
+                if learned is not None:
+                    sweep_policy = replace(
+                        sweep_policy, deadline_seconds=learned
+                    )
+            started = time.perf_counter()
+            with self._feature_scope():
+                outcome = sweep_policy.execute(
+                    sweep, unit_id=unit_id, phase="sweep"
+                )
+            if outcome.ok:
+                results = outcome.value
+                if self.deadlines is not None:
+                    self.deadlines.observe(
+                        "sweep", time.perf_counter() - started
+                    )
+                self._persist_sweep(dataset_id, unit_id, results)
+            else:
+                assert outcome.failure is not None
+                self._failures.append(outcome.failure)
+                results = {}
+        finally:
+            self._release_lease()
         self._matcher_results[dataset_id] = results
         return results
 
@@ -539,45 +723,72 @@ class ExperimentRunner:
                 pending.append(dataset_id)
 
         if pending:
-            units = [
-                WorkUnit(
-                    unit_id=f"sweep:{dataset_id}",
-                    fn=_sweep_job,
-                    args=(dataset_id, self.size_factor, self.seed, self.policy),
-                    phase="sweep",
-                )
-                for dataset_id in pending
-            ]
-
-            def persist(index: int, outcome) -> None:
-                # Runs in the parent as each sweep finishes (completion
-                # order), so a kill mid-batch loses only in-flight units —
-                # completed ones resume from envelope + journal.
-                if not outcome.ok:
-                    return
-                dataset_id = pending[index]
-                results, _ = outcome.value
-                self._persist_sweep(dataset_id, f"sweep:{dataset_id}", results)
-
-            sweep_policy = replace(self.policy, deadline_seconds=None)
-            with self._feature_scope():
-                # Workers fork inside the scope, inheriting the cache.
-                schedule = self.scheduler.run(
-                    units, policy=sweep_policy, on_result=persist
-                )
-            # Failure accounting and memoization stay in submission order
-            # so the record list is deterministic for any worker count.
-            for dataset_id, outcome in zip(pending, schedule.outcomes):
-                if outcome.ok:
-                    results, failures = outcome.value
-                    self._failures.extend(failures)
-                else:
-                    assert outcome.failure is not None
-                    self._failures.append(outcome.failure)
-                    results = {}
-                self._matcher_results[dataset_id] = results
+            # The whole pending batch computes and persists under one
+            # lease hold; after a contended acquire, re-filter — the
+            # previous holder may have finished some (or all) of it.
+            waited = self._acquire_lease("sweep_all")
+            if waited is None:
+                for dataset_id in pending:
+                    self._matcher_results[dataset_id] = {}
+                return {d: self._matcher_results[d] for d in ids}
+            try:
+                if waited > 0:
+                    still_pending = []
+                    for dataset_id in pending:
+                        cached = self._load_cached_sweep(
+                            dataset_id, f"sweep:{dataset_id}"
+                        )
+                        if cached is not None:
+                            self._matcher_results[dataset_id] = cached
+                        else:
+                            still_pending.append(dataset_id)
+                    pending = still_pending
+                if pending:
+                    self._run_pending_sweeps(pending)
+            finally:
+                self._release_lease()
 
         return {d: self._matcher_results[d] for d in ids}
+
+    def _run_pending_sweeps(self, pending: list[str]) -> None:
+        """Fan the uncached sweeps across the pool (lease already held)."""
+        units = [
+            WorkUnit(
+                unit_id=f"sweep:{dataset_id}",
+                fn=_sweep_job,
+                args=(dataset_id, self.size_factor, self.seed, self.policy),
+                phase="sweep",
+            )
+            for dataset_id in pending
+        ]
+
+        def persist(index: int, outcome) -> None:
+            # Runs in the parent as each sweep finishes (completion
+            # order), so a kill mid-batch loses only in-flight units —
+            # completed ones resume from envelope + journal.
+            if not outcome.ok:
+                return
+            dataset_id = pending[index]
+            results, _ = outcome.value
+            self._persist_sweep(dataset_id, f"sweep:{dataset_id}", results)
+
+        sweep_policy = replace(self.policy, deadline_seconds=None)
+        with self._feature_scope():
+            # Workers fork inside the scope, inheriting the cache.
+            schedule = self.scheduler.run(
+                units, policy=sweep_policy, on_result=persist
+            )
+        # Failure accounting and memoization stay in submission order
+        # so the record list is deterministic for any worker count.
+        for dataset_id, outcome in zip(pending, schedule.outcomes):
+            if outcome.ok:
+                results, failures = outcome.value
+                self._failures.extend(failures)
+            else:
+                assert outcome.failure is not None
+                self._failures.append(outcome.failure)
+                results = {}
+            self._matcher_results[dataset_id] = results
 
     def practical(self, dataset_id: str) -> PracticalMeasures:
         """NLB and LBM for one dataset (Figure 3 / 6 bars).
@@ -598,8 +809,17 @@ class ExperimentRunner:
         A failed envelope write is recorded and the unit is *not*
         journalled (a journal entry without a usable envelope would read
         as a divergence on resume); the in-memory results stand either
-        way, so verdicts never depend on persistence succeeding.
+        way, so verdicts never depend on persistence succeeding. The
+        write heartbeats the run lease first — if the lease was stolen by
+        a *live* run meanwhile (split-brain), the write is skipped with a
+        ``LeaseHeld`` record instead of interleaving with the thief's.
         """
+        if self._lease is not None:
+            try:
+                self._lease.refresh()
+            except LeaseHeld as exc:
+                self._record_lease_failure(unit_id, exc)
+                return
         cache_path = self._cache_path(dataset_id)
         if cache_path is not None:
             try:
@@ -636,19 +856,9 @@ class ExperimentRunner:
                 assess_unit = f"assess:{dataset_id}"
                 cached = self._load_assessment(dataset_id)
                 if cached is None:
-                    # Journal consult: recomputing a unit the journal
-                    # claims complete is a divergence worth surfacing.
-                    if self.journal is not None and self.journal.is_done(
-                        assess_unit
-                    ):
-                        self._record_journal_divergence(assess_unit)
-                    with self.obs.span("assessment", dataset=dataset_id):
-                        with self._feature_scope():
-                            cached = assess_benchmark(
-                                self.task_for(dataset_id), practical=None
-                            )
-                    self._store_assessment(dataset_id, cached)
-                self._mark_done(assess_unit)
+                    cached = self._compute_assessment(dataset_id, assess_unit)
+                else:
+                    self._mark_done(assess_unit)
                 self._assessments[base_key] = cached
             if with_practical:
                 base = self._assessments[base_key]
@@ -660,6 +870,42 @@ class ExperimentRunner:
                     thresholds=base.thresholds,
                 )
         return self._assessments[key]
+
+    def _compute_assessment(
+        self, dataset_id: str, assess_unit: str
+    ) -> BenchmarkAssessment:
+        """Compute the a-priori assessment, persisting under the run lease.
+
+        When the lease cannot be taken the assessment is still computed
+        (the caller needs a value) but nothing is persisted or
+        journalled, so the holder's artefacts are never interleaved with
+        ours. A contended acquire re-checks the disk cache first — the
+        previous holder probably just wrote the same assessment.
+        """
+        waited = self._acquire_lease(assess_unit)
+        held = waited is not None
+        try:
+            if held and waited > 0:
+                cached = self._load_assessment(dataset_id)
+                if cached is not None:
+                    self._mark_done(assess_unit)
+                    return cached
+            # Journal consult: recomputing a unit the journal claims
+            # complete is a divergence worth surfacing.
+            if self.journal is not None and self.journal.is_done(assess_unit):
+                self._record_journal_divergence(assess_unit)
+            with self.obs.span("assessment", dataset=dataset_id):
+                with self._feature_scope():
+                    computed = assess_benchmark(
+                        self.task_for(dataset_id), practical=None
+                    )
+            if held:
+                self._store_assessment(dataset_id, computed)
+                self._mark_done(assess_unit)
+            return computed
+        finally:
+            if held:
+                self._release_lease()
 
     def linearity(self, dataset_id: str) -> dict[str, LinearityResult]:
         """Degree of linearity (Figure 1 / 4 bars) via the assessment cache."""

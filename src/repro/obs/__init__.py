@@ -57,6 +57,7 @@ __all__ = [
     "TraceCollector",
     "activate",
     "active",
+    "annotate",
     "counter",
     "gauge",
     "inc",
@@ -106,6 +107,9 @@ class Observability:
 
     def span(self, name: str, **attributes: Any):
         return self.trace.span(name, **attributes)
+
+    def annotate(self, **attributes: Any) -> bool:
+        return self.trace.annotate(**attributes)
 
     def inc(self, name: str, value: float = 1.0) -> None:
         self.metrics.inc(name, value)
@@ -201,6 +205,11 @@ def use(observability: Observability) -> Iterator[Observability]:
 def span(name: str, **attributes: Any):
     """Open a span on the active instance (context manager)."""
     return _ACTIVE.span(name, **attributes)
+
+
+def annotate(**attributes: Any) -> bool:
+    """Stamp attributes onto the innermost open span of the active instance."""
+    return _ACTIVE.annotate(**attributes)
 
 
 def inc(name: str, value: float = 1.0) -> None:

@@ -122,6 +122,7 @@ class _ActiveSpan:
     parent_id: str | None
     label: str
     started: float = field(default_factory=time.perf_counter)
+    record: "Span | None" = None
 
 
 class TraceCollector:
@@ -193,6 +194,7 @@ class TraceCollector:
                 span_id=record.span_id,
                 parent_id=record.parent_id,
                 label=_label(name, attributes),
+                record=record,
             )
         wall_start = time.perf_counter()
         cpu_start = time.process_time()
@@ -213,6 +215,25 @@ class TraceCollector:
     def current_span_id(self) -> str | None:
         stack = _SPAN_STACK.get()
         return stack[-1] if stack else None
+
+    def annotate(self, **attributes: Any) -> bool:
+        """Merge *attributes* into the innermost open span of this context.
+
+        Lets deep layers (the resource guard above all) stamp state onto
+        the unit span that is running them — e.g. which degradation level
+        a sweep ran under — without threading the span object through
+        every call. Returns False when no span is open (annotations are
+        best-effort, never an error).
+        """
+        span_id = self.current_span_id()
+        if span_id is None:
+            return False
+        with self._lock:
+            info = self._active.get(span_id)
+            if info is None or info.record is None:
+                return False
+            info.record.attributes.update(attributes)
+        return True
 
     # -- accessors ---------------------------------------------------------
 

@@ -36,7 +36,11 @@ pieces the experiment layer builds on:
 * :mod:`repro.runtime.doctor` — ``repro doctor``'s engine
   (:func:`run_doctor`): audits and repairs a cache directory (torn
   journal tails, corrupt envelopes, quarantine retention, stale temp
-  files).
+  files, orphaned run leases).
+* :mod:`repro.runtime.guard` — resource-aware supervision: the heartbeat
+  :class:`Watchdog` with :class:`AdaptiveDeadlineModel` deadlines, the
+  :class:`ResourceGuard` memory/disk budget ladder, and the
+  :class:`RunLease` cache-directory lock with stale-lease takeover.
 
 The package is dependency-free (stdlib only) so every layer of the
 repository may import it.
@@ -72,6 +76,21 @@ from repro.runtime.doctor import (
     DoctorReport,
     run_doctor,
 )
+from repro.runtime.guard import (
+    LEASE_NAME,
+    AdaptiveDeadlineModel,
+    BudgetExceeded,
+    DiskFull,
+    LeaseHeld,
+    ResourceGuard,
+    RunLease,
+    Watchdog,
+    WatchdogVerdict,
+    audit_lease,
+    degrade_reason,
+    pid_alive,
+    reset_global_degradations,
+)
 from repro.runtime.journal import CheckpointJournal
 from repro.runtime.parallel import (
     ParallelScheduler,
@@ -93,7 +112,9 @@ from repro.runtime.registry import (
 )
 
 __all__ = [
+    "AdaptiveDeadlineModel",
     "BreakerRegistry",
+    "BudgetExceeded",
     "CACHE_SCHEMA_VERSION",
     "CacheCorruption",
     "CacheError",
@@ -105,29 +126,40 @@ __all__ = [
     "CircuitBreaker",
     "CrashCheckResult",
     "DeadlineExceeded",
+    "DiskFull",
     "DoctorFinding",
     "DoctorReport",
     "ExecutionOutcome",
     "ExecutionPolicy",
     "FailureRecord",
     "FaultPlan",
+    "LEASE_NAME",
+    "LeaseHeld",
     "ParallelScheduler",
     "PlanResult",
     "PlannedFault",
+    "ResourceGuard",
+    "RunLease",
     "ScheduleResult",
     "UnitReport",
+    "Watchdog",
+    "WatchdogVerdict",
     "WorkUnit",
     "WorkerReport",
     "atomic_write_text",
     "atomic_writer",
+    "audit_lease",
     "check_crash_consistency",
     "clear_recorded_failures",
+    "degrade_reason",
     "generate_plans",
+    "pid_alive",
     "quarantine",
     "read_cached_payload",
     "read_envelope",
     "record_failure",
     "recorded_failures",
+    "reset_global_degradations",
     "run_doctor",
     "shrink_plan",
     "write_envelope",

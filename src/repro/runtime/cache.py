@@ -14,10 +14,15 @@ version and checksum; anything unreadable, corrupt, or from another schema
 version is *quarantined* (renamed to ``<name>.quarantined``) and treated
 as a cache miss, so one bad file degrades to a recompute instead of
 aborting a sweep.
+
+A writer that hits ``ENOSPC``/``EDQUOT`` surfaces a typed
+:class:`repro.runtime.guard.DiskFull` (after removing the partial temp
+file) instead of leaking a raw :class:`OSError` past the policy layer.
 """
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import logging
@@ -29,6 +34,7 @@ from typing import IO, Iterator
 
 from repro import obs
 from repro.runtime import faults
+from repro.runtime.guard import DiskFull
 
 logger = logging.getLogger("repro.runtime.cache")
 
@@ -63,7 +69,10 @@ def atomic_writer(path: Path | str, *, newline: str | None = None) -> Iterator[I
     """Open ``<path>.tmp<pid>`` for writing; publish via ``os.replace``.
 
     On any exception the temporary file is removed and the target is left
-    untouched — the atomicity contract for CSV/JSON artefact writers.
+    untouched — the atomicity contract for CSV/JSON artefact writers. A
+    full volume (``ENOSPC``/``EDQUOT``) becomes a typed
+    :class:`~repro.runtime.guard.DiskFull` so the policy layer records it
+    as a unit failure rather than crashing the run on a raw ``OSError``.
     """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
@@ -74,8 +83,18 @@ def atomic_writer(path: Path | str, *, newline: str | None = None) -> Iterator[I
             yield handle
             handle.flush()
             os.fsync(handle.fileno())
+        # The chaos site for disk exhaustion sits after the payload is
+        # fully written but before publication — the worst moment, since
+        # the tmp file now occupies the space the rename needs.
+        faults.fire("io:enospc")
         os.replace(tmp, target)
         _fsync_directory(target.parent)
+    except OSError as exc:
+        tmp.unlink(missing_ok=True)
+        if exc.errno in (errno.ENOSPC, errno.EDQUOT):
+            obs.inc("guard.disk_full")
+            raise DiskFull(f"{target}: no space left on device: {exc}") from exc
+        raise
     except BaseException:
         tmp.unlink(missing_ok=True)
         raise

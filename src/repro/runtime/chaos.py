@@ -43,6 +43,7 @@ from typing import Callable, Sequence
 
 from repro import obs
 from repro.runtime import faults
+from repro.runtime import guard as guard_module
 from repro.runtime.breaker import BreakerRegistry
 from repro.runtime.policy import ExecutionPolicy
 
@@ -174,6 +175,13 @@ def default_site_pool(
         PlannedFault("cache:torn-write", "torn", times=1),
         PlannedFault("journal:append", "torn", times=1),
         PlannedFault("io:write", "error", times=1),
+        # Supervision sites (PR-6): a wedged pool worker, simulated memory
+        # pressure driving the degradation ladder, a full disk mid-envelope,
+        # and a competing (dead-owner) lease planted on the cache dir.
+        PlannedFault("guard:hang", "hang", times=1),
+        PlannedFault("guard:oom", "error", times=2),
+        PlannedFault("io:enospc", "error", times=1),
+        PlannedFault("lease:steal", "error", times=1),
     ]
     for name in matcher_names:
         pool.append(PlannedFault(f"matcher:{name}", "error", times=None))
@@ -390,7 +398,7 @@ class ChaosCampaign:
             breakers=breakers,
         )
 
-    def _sweep_state(self, cache_dir: Path):
+    def _sweep_state(self, cache_dir: Path, options: dict | None = None):
         """One sweep of the campaign datasets; (state, n_failures, runner)."""
         from repro.experiments.runner import ExperimentRunner, RunnerConfig
 
@@ -400,10 +408,30 @@ class ChaosCampaign:
                 seed=self.seed,
                 cache_dir=cache_dir,
                 policy=self._policy(),
+                **(options or {}),
             )
         )
         state = collect_sweep_state(runner, self.datasets)
         return state, len(runner.failure_records()), runner
+
+    @staticmethod
+    def _plan_runner_options(plan: FaultPlan) -> dict:
+        """Extra runner knobs a plan's fault sites need to be reachable.
+
+        ``guard:hang`` only bites when units fan across real pool workers
+        under a heartbeat watchdog, so those plans run with two workers
+        and a fallback hang deadline. ``guard:oom`` needs an armed
+        :class:`~repro.runtime.guard.ResourceGuard`; the absurd budget
+        keeps *real* RSS out of the picture so only the injected probe
+        drives the degradation ladder.
+        """
+        sites = {planned.site for planned in plan.faults}
+        options: dict = {}
+        if "guard:hang" in sites:
+            options.update(workers=2, hang_deadline_seconds=10.0)
+        if "guard:oom" in sites:
+            options.update(memory_budget_mb=1_000_000.0)
+        return options
 
     def baseline(self) -> dict:
         """The fault-free reference state (computed once, then reused)."""
@@ -435,6 +463,7 @@ class ChaosCampaign:
             )
         faults.reset()
         plan.arm()
+        options = self._plan_runner_options(plan)
         try:
             with obs.span("chaos.plan", plan=plan.plan_id):
                 # Two passes over the same cache dir while the faults stay
@@ -443,10 +472,16 @@ class ChaosCampaign:
                 # envelopes must quarantine and recompute, torn journal
                 # tails must be dropped, and both states must still match
                 # the fault-free baseline.
-                state, n_failures, runner = self._sweep_state(plan_dir)
-                resumed, n_resumed, resumed_runner = self._sweep_state(plan_dir)
+                state, n_failures, runner = self._sweep_state(plan_dir, options)
+                resumed, n_resumed, resumed_runner = self._sweep_state(
+                    plan_dir, options
+                )
         finally:
             faults.reset()
+            # guard:oom plans walk the global degradation ladder (kernel
+            # batch size, backend preference, feature cache); undo it so
+            # later plans and the next baseline run full-speed paths.
+            guard_module.reset_global_degradations()
         divergences = diff_sweep_states(baseline, state)
         divergences.extend(
             f"resume: {text}" for text in diff_sweep_states(baseline, resumed)

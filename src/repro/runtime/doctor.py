@@ -14,7 +14,10 @@ evidence on disk. :func:`run_doctor` walks the whole directory at once:
 * **quarantine retention** — quarantined files older than
   ``retention_days`` are deleted; fresher ones are kept as evidence;
 * **stale temp files** — ``*.tmp<pid>`` leftovers whose writer process is
-  dead are removed.
+  dead are removed;
+* **orphaned run leases** — ``run.lease`` files whose owner pid is dead
+  (or whose heartbeat went silent) are deleted so the next run does not
+  wait out a takeover; a healthy lease from a live run is left alone.
 
 ``check=True`` audits without touching anything (exit code 1 from the CLI
 when problems are found); a repair run is idempotent — a second pass
@@ -23,10 +26,8 @@ reports a clean directory.
 
 from __future__ import annotations
 
-import errno
 import json
 import logging
-import os
 import re
 import time
 from dataclasses import dataclass
@@ -39,6 +40,7 @@ from repro.runtime.cache import (
     quarantine,
     read_envelope,
 )
+from repro.runtime.guard import LEASE_NAME, audit_lease, pid_alive
 from repro.runtime.journal import CheckpointJournal
 
 logger = logging.getLogger("repro.runtime.doctor")
@@ -59,7 +61,7 @@ _TMP_PATTERN = re.compile(r"\.tmp(\d+)$")
 class DoctorFinding:
     """One audited problem and what was (or would be) done about it."""
 
-    category: str  # "journal" | "cache" | "quarantine" | "tmp"
+    category: str  # "journal" | "cache" | "quarantine" | "tmp" | "lease"
     path: str
     problem: str
     action: str  # what was done, or "would <x>" in check mode
@@ -98,19 +100,6 @@ class DoctorReport:
             f"doctor ({mode}): {state} — scanned {self.files_scanned} "
             f"file(s), journal holds {self.journal_units} unit(s)"
         )
-
-
-def _pid_alive(pid: int) -> bool:
-    """Is a process with this pid running (signal-0 probe)?"""
-    if pid <= 0:
-        return False
-    try:
-        os.kill(pid, 0)
-    except OSError as exc:
-        if exc.errno == errno.ESRCH:
-            return False
-        return True  # EPERM: exists but not ours
-    return True
 
 
 def _audit_journal(
@@ -218,7 +207,7 @@ def _audit_tmp(
     if match is None:
         return
     pid = int(match.group(1))
-    if _pid_alive(pid):
+    if pid_alive(pid):
         return  # a live writer is mid-publish; not ours to touch
     if check:
         action = "would delete"
@@ -231,6 +220,32 @@ def _audit_tmp(
             category="tmp",
             path=path.name,
             problem=f"stale temp file from dead writer pid {pid}",
+            action=action,
+        )
+    )
+
+
+def _audit_lease(
+    path: Path,
+    now: float,
+    check: bool,
+    findings: list[DoctorFinding],
+) -> None:
+    """Delete an orphaned run lease (dead owner or silent heartbeat)."""
+    problem = audit_lease(path, now=now)
+    if problem is None:
+        return  # held by a live, heartbeating run — not ours to touch
+    if check:
+        action = "would delete"
+    else:
+        path.unlink(missing_ok=True)
+        obs.inc("doctor.lease_deleted")
+        action = "deleted"
+    findings.append(
+        DoctorFinding(
+            category="lease",
+            path=path.name,
+            problem=problem,
             action=action,
         )
     )
@@ -264,6 +279,10 @@ def run_doctor(
                     # Every journal in the tree: a chaos campaign leaves
                     # one per plan directory, not just the root's.
                     journal_units += _audit_journal(path, check, findings)
+                    continue
+                if path.name == LEASE_NAME:
+                    files_scanned += 1
+                    _audit_lease(path, now, check, findings)
                     continue
                 files_scanned += 1
                 if path.name.endswith(QUARANTINE_SUFFIX):

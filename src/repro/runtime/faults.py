@@ -28,6 +28,7 @@ pure function of ``(seed, site, k)``.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import os
 import signal
@@ -47,6 +48,18 @@ DATA_KINDS = ("corrupt", "torn")
 
 class InjectedFault(RuntimeError):
     """The default exception raised by an armed ``"error"`` fault."""
+
+
+class InjectedDiskFull(OSError):
+    """A synthetic ENOSPC, raised by ``"error"`` faults at ``io:enospc``.
+
+    Carries a real ``errno`` so the atomic-write machinery exercises its
+    genuine disk-full branch (map to :class:`repro.runtime.guard.DiskFull`,
+    clean up the partial temp file) rather than a test-only shortcut.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(errno.ENOSPC, message)
 
 
 @dataclass
@@ -165,7 +178,33 @@ def fire(site: str) -> None:
         # crash-consistency checker's way of simulating a power cut.
         os.kill(os.getpid(), signal.SIGKILL)
         return
+    if site == "io:enospc" and fault.exception is InjectedFault:
+        raise InjectedDiskFull(f"injected fault at {site!r}")
     raise fault.exception(f"injected fault at {site!r}")
+
+
+def pending(site: str) -> _ArmedFault | None:
+    """Consume one firing decision at ``site`` without acting on it.
+
+    For faults the *caller* must enact rather than this module — e.g. the
+    parallel scheduler probes ``guard:hang`` before forking and tells
+    exactly one worker to stall, and the run lease probes ``lease:steal``
+    to plant a competing lease file. Forked children inherit armed faults
+    with *copies* of the fired counters, so firing inside every worker
+    would make ``times=N`` meaningless; consuming the decision in the
+    parent keeps it exact. Returns the armed fault (for ``hang_seconds``
+    etc.) when it fires, else ``None``.
+    """
+    fault = _armed_for(site)
+    if fault is None or fault.kind in DATA_KINDS or not fault.should_fire():
+        return None
+    obs.inc("faults.injected")
+    return fault
+
+
+def triggered(site: str) -> bool:
+    """True when an armed fault at ``site`` fires this pass (and consume it)."""
+    return pending(site) is not None
 
 
 def corrupt_text(site: str, text: str) -> str:

@@ -70,6 +70,20 @@ class CheckpointJournal:
                     self.duplicate_lines += 1
                 self._entries[entry["unit"]] = entry.get("info") or {}
 
+    def reload(self) -> None:
+        """Re-read the file, picking up entries appended by another process.
+
+        The double-checked-locking half of lease contention: a runner that
+        *waited* for the cache lease must assume the previous holder
+        completed (and journaled) the contested units, and re-read before
+        recomputing.
+        """
+        self._entries.clear()
+        self._needs_newline = False
+        self.torn_lines = 0
+        self.duplicate_lines = 0
+        self._load()
+
     @property
     def completed(self) -> frozenset[str]:
         return frozenset(self._entries)

@@ -36,12 +36,15 @@ import logging
 import multiprocessing
 import os
 import queue as queue_module
+import threading
 import time
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Any, Callable, Sequence
 
 from repro import obs
+from repro.runtime import faults, guard as guard_module
+from repro.runtime.guard import HEARTBEAT_INTERVAL, Watchdog
 from repro.runtime.policy import ExecutionOutcome, ExecutionPolicy, FailureRecord
 
 logger = logging.getLogger("repro.runtime.parallel")
@@ -130,8 +133,22 @@ def _execute_unit(
     return index, outcome, os.getpid(), time.perf_counter() - start
 
 
+def _heartbeat_loop(fd: int, interval: float) -> None:
+    """Worker-side heartbeat: one byte per interval until the pipe dies."""
+    while True:
+        try:
+            os.write(fd, b"\x01")
+        except OSError:
+            return
+        time.sleep(interval)
+
+
 def _worker_main(
-    result_queue: Any, payload: tuple[int, WorkUnit, ExecutionPolicy]
+    result_queue: Any,
+    payload: tuple[int, WorkUnit, ExecutionPolicy],
+    heartbeat_fds: tuple[int, int] | None = None,
+    heartbeat_interval: float = HEARTBEAT_INTERVAL,
+    hang_seconds: float | None = None,
 ) -> None:
     """Child-process entry point: run one unit with observability capture.
 
@@ -141,7 +158,25 @@ def _worker_main(
     re-assembles into the same tree a sequential run would have produced.
     An exception outside the policy's ``retry_on`` allow-list is shipped
     back and re-raised in the parent, matching the sequential contract.
+
+    ``hang_seconds`` simulates a worker wedged in native code (the
+    ``guard:hang`` chaos site, consumed parent-side): the child stalls
+    *before* its heartbeat thread starts, so both the deadline and the
+    heartbeat-staleness detectors can see it.
     """
+    if hang_seconds is not None:
+        time.sleep(hang_seconds)
+    if heartbeat_fds is not None:
+        read_fd, write_fd = heartbeat_fds
+        try:
+            os.close(read_fd)  # the parent's end
+        except OSError:
+            pass
+        threading.Thread(
+            target=_heartbeat_loop,
+            args=(write_fd, heartbeat_interval),
+            daemon=True,
+        ).start()
     handle = obs.active()
     handle.begin_worker_capture()
     try:
@@ -175,6 +210,9 @@ class ParallelScheduler:
         workers: int = 1,
         policy: ExecutionPolicy | None = None,
         start_method: str = DEFAULT_START_METHOD,
+        watchdog: Watchdog | None = None,
+        auto_degrade: bool = False,
+        cpu_count: int | None = None,
     ) -> None:
         if isinstance(workers, bool) or not isinstance(workers, int):
             raise TypeError(
@@ -187,6 +225,13 @@ class ParallelScheduler:
             max_attempts=1, backoff_base=0.0
         )
         self.start_method = start_method
+        #: Optional hang/RSS supervision for pool workers (see
+        #: :class:`repro.runtime.guard.Watchdog`).
+        self.watchdog = watchdog
+        #: When True, fall back to the sequential loop on boxes where
+        #: forking cannot pay (single core, pathological fork overhead).
+        self.auto_degrade = auto_degrade
+        self._cpu_count = cpu_count
         self._unit_reports: list[UnitReport] = []
 
     # -- introspection -----------------------------------------------------
@@ -225,6 +270,17 @@ class ParallelScheduler:
                 self.start_method,
             )
             return 1
+        if self.auto_degrade:
+            reason = guard_module.degrade_reason(
+                self.start_method, cpu_count=self._cpu_count
+            )
+            if reason is not None:
+                logger.warning(
+                    "degrading workers=%d to the sequential loop: %s",
+                    self.workers, reason,
+                )
+                obs.inc("guard.workers_degraded")
+                return 1
         return min(self.workers, n_units)
 
     def run(
@@ -295,25 +351,50 @@ class ParallelScheduler:
         n_workers: int,
         on_result: Callable[[int, ExecutionOutcome], None] | None,
     ) -> list[tuple[int, ExecutionOutcome, int, float]]:
-        """Supervision loop: at most ``n_workers`` children, crash-safe."""
+        """Supervision loop: at most ``n_workers`` children, crash/hang-safe."""
         context = multiprocessing.get_context(self.start_method)
         result_queue = context.Queue()
+        watchdog = self.watchdog
         pending = list(reversed(payloads))
-        # pid -> (process, payload index, start time); the live children.
-        alive: dict[int, tuple[Any, int, float]] = {}
+        # pid -> (process, payload index, start time, heartbeat read fd).
+        alive: dict[int, tuple[Any, int, float, int | None]] = {}
         received: set[int] = set()
         raw: list[tuple[int, ExecutionOutcome, int, float]] = []
 
         def deliver(
             index: int, outcome: ExecutionOutcome, pid: int, elapsed: float
         ) -> None:
+            if index in received:
+                # A condemned worker can post its real result in the same
+                # tick the watchdog kills it; first delivery wins.
+                return
             received.add(index)
             entry = alive.pop(pid, None)
             if entry is not None:
                 entry[0].join()
+                if entry[3] is not None:
+                    try:
+                        os.close(entry[3])
+                    except OSError:
+                        pass
+            if watchdog is not None:
+                watchdog.detach(pid)
+                if outcome.ok:
+                    watchdog.observe(units[index].phase, elapsed)
             if on_result is not None:
                 on_result(index, outcome)
             raw.append((index, outcome, pid, elapsed))
+
+        def teardown() -> None:
+            for process, _, _, hb_fd in alive.values():
+                process.terminate()
+            for process, _, _, hb_fd in alive.values():
+                process.join()
+                if hb_fd is not None:
+                    try:
+                        os.close(hb_fd)
+                    except OSError:
+                        pass
 
         def drain(block: bool) -> bool:
             """Consume one queue item; returns True if one was handled."""
@@ -327,30 +408,98 @@ class ParallelScheduler:
                 _, index, exc, pid = item
                 # Sequential contract: a non-retryable exception
                 # propagates. Tear the remaining children down first.
-                for process, _, _ in alive.values():
-                    process.terminate()
-                for process, _, _ in alive.values():
-                    process.join()
+                teardown()
+                alive.clear()
                 raise exc
             _, index, outcome, pid, elapsed, capture = item
             obs.active().ingest_worker_capture(capture)
             deliver(index, outcome, pid, elapsed)
             return True
 
+        def pump_heartbeats() -> None:
+            for pid, (_, _, _, hb_fd) in list(alive.items()):
+                if hb_fd is None:
+                    continue
+                try:
+                    while os.read(hb_fd, 4096):
+                        watchdog.beat(pid)
+                except BlockingIOError:
+                    pass
+                except OSError:
+                    pass
+
+        def enforce_watchdog() -> None:
+            """Kill and report workers the watchdog has condemned."""
+            for verdict in watchdog.verdicts():
+                entry = alive.get(verdict.pid)
+                if entry is None:
+                    continue
+                process, index, started, _ = entry
+                process.kill()
+                unit = units[index]
+                if verdict.kind == "rss":
+                    exception_type = "BudgetExceeded"
+                    obs.inc("guard.worker_budget_kill")
+                else:
+                    exception_type = "WorkerHang"
+                    obs.inc("guard.worker_hang")
+                logger.warning(
+                    "watchdog killed worker %d running %s: %s",
+                    verdict.pid, unit.unit_id, verdict.detail,
+                )
+                outcome = ExecutionOutcome(
+                    failure=FailureRecord(
+                        unit_id=unit.unit_id,
+                        phase=unit.phase,
+                        attempts=1,
+                        exception_type=exception_type,
+                        message=(
+                            f"worker process {verdict.pid} terminated by "
+                            f"watchdog: {verdict.detail}"
+                        ),
+                        elapsed_seconds=verdict.elapsed,
+                    )
+                )
+                deliver(index, outcome, verdict.pid, verdict.elapsed)
+
         try:
             while pending or alive:
                 while pending and len(alive) < n_workers:
                     payload = pending.pop()
+                    # Consumed parent-side so an armed ``times=N`` hang
+                    # wedges exactly N workers (children inherit fault
+                    # counters by value — see ``faults.pending``).
+                    hang = faults.pending("guard:hang")
+                    heartbeat_fds: tuple[int, int] | None = None
+                    if watchdog is not None:
+                        heartbeat_fds = os.pipe()
+                        os.set_blocking(heartbeat_fds[0], False)
                     process = context.Process(
                         target=_worker_main,
-                        args=(result_queue, payload),
+                        args=(
+                            result_queue,
+                            payload,
+                            heartbeat_fds,
+                            HEARTBEAT_INTERVAL,
+                            hang.hang_seconds if hang is not None else None,
+                        ),
                         daemon=True,
                     )
                     process.start()
                     assert process.pid is not None
+                    hb_read: int | None = None
+                    if heartbeat_fds is not None:
+                        hb_read = heartbeat_fds[0]
+                        os.close(heartbeat_fds[1])  # the child's end
                     alive[process.pid] = (
-                        process, payload[0], time.perf_counter(),
+                        process, payload[0], time.perf_counter(), hb_read,
                     )
+                    if watchdog is not None:
+                        unit = units[payload[0]]
+                        watchdog.attach(process.pid, unit.unit_id, unit.phase)
+                if watchdog is not None:
+                    pump_heartbeats()
+                    enforce_watchdog()
                 if drain(block=True):
                     continue
                 # Nothing arrived this tick: look for children that died
@@ -358,7 +507,7 @@ class ParallelScheduler:
                 # have posted its result in the instant before exiting.
                 dead = [
                     pid
-                    for pid, (process, _, _) in alive.items()
+                    for pid, (process, _, _, _) in alive.items()
                     if not process.is_alive()
                 ]
                 if not dead:
@@ -369,9 +518,8 @@ class ParallelScheduler:
                     entry = alive.get(pid)
                     if entry is None:  # its result arrived in the drain
                         continue
-                    process, index, started = entry
+                    process, index, started, _ = entry
                     process.join()
-                    alive.pop(pid)
                     elapsed = time.perf_counter() - started
                     unit = units[index]
                     obs.inc("parallel.worker_crash")
@@ -395,10 +543,10 @@ class ParallelScheduler:
                     )
                     deliver(index, outcome, pid, elapsed)
         finally:
-            for process, _, _ in alive.values():
-                process.terminate()
-            for process, _, _ in alive.values():
-                process.join()
+            teardown()
+            if watchdog is not None:
+                for pid in list(alive):
+                    watchdog.detach(pid)
             result_queue.close()
         return raw
 

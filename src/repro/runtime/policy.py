@@ -18,6 +18,7 @@ from typing import Any, Callable
 
 from repro import obs
 from repro.runtime.breaker import BreakerRegistry
+from repro.runtime.guard import BudgetExceeded, DiskFull
 
 
 class DeadlineExceeded(RuntimeError):
@@ -208,7 +209,13 @@ class ExecutionPolicy:
                 if breaker is not None:
                     breaker.record_success()
                 return ExecutionOutcome(value=value)
-            except (*self.retry_on, DeadlineExceeded) as exc:
+            # Supervision outcomes (deadline, shed unit, full disk) always
+            # become structured failure data, even under a narrow
+            # ``retry_on`` allow-list — they are expected operational
+            # events, never crashes.
+            except (
+                *self.retry_on, DeadlineExceeded, BudgetExceeded, DiskFull,
+            ) as exc:
                 if breaker is not None:
                     breaker.record_failure()
                 # An opened breaker also stops the *current* unit's

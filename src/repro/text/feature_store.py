@@ -134,9 +134,26 @@ class FeatureMatrixCache:
 
 _active_cache: FeatureMatrixCache | None = None
 
+# Set by the resource guard's degradation ladder: under disk pressure the
+# cache's envelope writes are the one knob worth turning off, and under
+# memory pressure its in-process reads stop pinning decoded matrices.
+_cache_disabled = False
+
+
+def set_cache_disabled(disabled: bool) -> None:
+    """Force :func:`active_feature_cache` to ``None`` without uninstalling."""
+    global _cache_disabled
+    _cache_disabled = bool(disabled)
+
+
+def cache_disabled() -> bool:
+    return _cache_disabled
+
 
 def active_feature_cache() -> FeatureMatrixCache | None:
     """The process-wide cache extractors consult (``None`` = disabled)."""
+    if _cache_disabled:
+        return None
     return _active_cache
 
 

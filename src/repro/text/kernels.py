@@ -392,6 +392,43 @@ def batch_intersection_counts(
 #: uint64 bitset (popcount) backend; above it, a sparse row merge wins.
 BITSET_MAX_VOCAB = 4096
 
+# -- resource-guard degradation hooks ---------------------------------------
+#
+# The guard's ladder (repro.runtime.guard) trades speed for memory under
+# RSS pressure: capping the per-call pair batch bounds the temporaries of
+# a kernel pass, and forcing the merge backend skips the O(rows x vocab)
+# bitset/CSR incidence build. All backends are exact (bit-identical
+# outputs), so degradation never changes results.
+
+_BATCH_LIMIT: int | None = None
+_BACKEND_PREFERENCE = "auto"
+
+
+def set_batch_limit(limit: int | None) -> None:
+    """Cap pairs per internal kernel pass (``None`` = unlimited)."""
+    global _BATCH_LIMIT
+    if limit is not None and limit < 1:
+        raise ValueError(f"batch limit must be >= 1, got {limit}")
+    _BATCH_LIMIT = limit
+
+
+def batch_limit() -> int | None:
+    return _BATCH_LIMIT
+
+
+def set_backend_preference(preference: str) -> None:
+    """``"auto"`` (fastest available) or ``"merge"`` (lowest memory)."""
+    global _BACKEND_PREFERENCE
+    if preference not in ("auto", "merge"):
+        raise ValueError(
+            f"backend preference must be 'auto' or 'merge', got {preference!r}"
+        )
+    _BACKEND_PREFERENCE = preference
+
+
+def backend_preference() -> str:
+    return _BACKEND_PREFERENCE
+
 
 class RecordIncidence:
     """Record-by-vocabulary incidence for batched pair intersections.
@@ -424,6 +461,11 @@ class RecordIncidence:
         self._bits: np.ndarray | None = None
         self._matrix = None
         n_rows = len(indptr) - 1
+        if _BACKEND_PREFERENCE == "merge":
+            # Degraded mode: skip the bitset/CSR builds (their dense
+            # incidence is exactly the allocation memory pressure wants
+            # gone); intersections() falls through to the exact merge.
+            return
         if 0 < vocab_size <= BITSET_MAX_VOCAB:
             words = (vocab_size + 63) // 64
             bits = np.zeros((n_rows, words), dtype=np.uint64)
@@ -598,15 +640,24 @@ def set_similarity_matrix_indexed(
     kernels = _resolve_kernels(measures)
 
     started = time.perf_counter()
-    inter = incidence.intersections(left_index, right_index)
-    size_left = incidence.row_sizes[left_index]
-    size_right = incidence.row_sizes[right_index]
-    matrix = np.empty((len(left_index), len(kernels)), dtype=np.float64)
-    for column, kernel in enumerate(kernels):
-        matrix[:, column] = kernel(inter, size_left, size_right)
+    n_pairs = len(left_index)
+    matrix = np.empty((n_pairs, len(kernels)), dtype=np.float64)
+    # Under a guard-imposed batch limit the pass is chunked to bound the
+    # intersection temporaries; rows are independent, so the output is
+    # identical and the call still counts as one kernel batch.
+    step = n_pairs if _BATCH_LIMIT is None else max(1, _BATCH_LIMIT)
+    for begin in range(0, n_pairs, step) if n_pairs else ():
+        end = min(begin + step, n_pairs)
+        chunk_left = left_index[begin:end]
+        chunk_right = right_index[begin:end]
+        inter = incidence.intersections(chunk_left, chunk_right)
+        size_left = incidence.row_sizes[chunk_left]
+        size_right = incidence.row_sizes[chunk_right]
+        for column, kernel in enumerate(kernels):
+            matrix[begin:end, column] = kernel(inter, size_left, size_right)
     elapsed = time.perf_counter() - started
 
     obs.inc("kernel.batches")
-    obs.inc("kernel.pairs", float(len(left_index)))
+    obs.inc("kernel.pairs", float(n_pairs))
     obs.observe("kernel.seconds", elapsed)
     return matrix

@@ -1,0 +1,158 @@
+"""Supervision acceptance: hang-proof workers, budgets, and run leases.
+
+The guard layer's end-to-end contracts, driven through the real runner:
+a deliberately wedged pool worker is killed and surfaced as a
+``WorkerHang`` record while the rest of the sweep completes; two
+concurrent runners on one cache directory never interleave (the loser
+either waits and reuses the winner's results, or fails cleanly with a
+``LeaseHeld`` record); injected memory pressure walks the degradation
+ladder without changing a single score.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner, RunnerConfig
+from repro.runtime import faults, guard
+from repro.runtime.guard import LEASE_NAME, RunLease
+from repro.runtime.journal import CheckpointJournal
+
+SCALE = 0.3
+DATASET = "Ds5"
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    faults.reset()
+    guard.reset_global_degradations()
+    yield
+    faults.reset()
+    guard.reset_global_degradations()
+
+
+def make_runner(cache_dir=None, **overrides) -> ExperimentRunner:
+    return ExperimentRunner(
+        config=RunnerConfig(
+            scale=SCALE, seed=0, cache_dir=cache_dir, **overrides
+        )
+    )
+
+
+def scores(results) -> dict[str, tuple[float, float, float, bool]]:
+    return {
+        name: (r.precision, r.recall, r.f1, r.degraded)
+        for name, r in results.items()
+    }
+
+
+@pytest.mark.fault_smoke
+class TestHangProofWorkers:
+    def test_hung_worker_is_replaced_within_the_deadline(self):
+        # The wedged child sleeps far longer than the whole test budget;
+        # only the watchdog kill can let the sweep finish.
+        faults.arm("guard:hang", "hang", times=1, hang_seconds=600.0)
+        runner = make_runner(workers=2, hang_deadline_seconds=5.0)
+        started = time.monotonic()
+        results = runner.matcher_results(DATASET)
+        elapsed = time.monotonic() - started
+        hangs = [
+            record
+            for record in runner.failure_records()
+            if record.exception_type == "WorkerHang"
+        ]
+        assert len(hangs) == 1
+        assert "terminated by watchdog" in hangs[0].message
+        # The shed unit is visibly degraded; every other unit scored.
+        assert results[hangs[0].unit_id.split("/", 1)[1]].degraded
+        healthy = [name for name, cell in results.items() if not cell.degraded]
+        assert len(healthy) == len(results) - 1
+        # No wall-clock stall: the 600s sleep never ran its course.
+        assert elapsed < 300.0
+
+    def test_healthy_parallel_run_sees_no_watchdog_kills(self):
+        runner = make_runner(workers=2, hang_deadline_seconds=600.0)
+        results = runner.matcher_results(DATASET)
+        assert runner.failure_records() == []
+        assert all(not cell.degraded for cell in results.values())
+
+
+@pytest.mark.fault_smoke
+class TestBudgetDegradation:
+    def test_injected_oom_degrades_without_changing_scores(self):
+        reference = scores(make_runner().matcher_results(DATASET))
+        faults.arm("guard:oom", "error", times=2)
+        guarded = make_runner(memory_budget_mb=1_000_000.0)
+        observed = guarded.matcher_results(DATASET)
+        assert scores(observed) == reference
+        assert guarded.guard is not None
+        assert guarded.guard.degradation_level == 2
+        assert guarded.guard.degradations == (
+            "shrink-kernel-batch",
+            "force-merge-backend",
+        )
+
+
+class TestConcurrentRunners:
+    def test_loser_waits_and_reuses_the_winners_results(self, tmp_path):
+        winner = make_runner(tmp_path)
+        loser = make_runner(tmp_path, lease_timeout_seconds=600.0)
+        outcome: dict[str, object] = {}
+
+        def compute_first():
+            outcome["winner"] = winner.matcher_results(DATASET)
+
+        thread = threading.Thread(target=compute_first)
+        thread.start()
+        # Enter the contended window: the winner holds the lease.
+        deadline = time.monotonic() + 60.0
+        while not (tmp_path / LEASE_NAME).exists():
+            if time.monotonic() > deadline:  # pragma: no cover
+                pytest.fail("winner never took the lease")
+            time.sleep(0.01)
+        observed = loser.matcher_results(DATASET)
+        thread.join()
+        assert scores(observed) == scores(outcome["winner"])
+        assert loser.failure_records() == []
+        assert winner.failure_records() == []
+        # The journal never interleaved: compaction finds nothing to shed.
+        journal = CheckpointJournal(tmp_path / "checkpoint.journal")
+        assert journal.torn_lines == 0
+        assert journal.duplicate_lines == 0
+        assert journal.is_done(f"sweep:{DATASET}")
+
+    def test_loser_fails_cleanly_when_not_waiting(self, tmp_path):
+        with RunLease(tmp_path):  # a foreign live holder
+            loser = make_runner(tmp_path, lease_timeout_seconds=0.0)
+            results = loser.matcher_results(DATASET)
+        assert results == {}
+        (record,) = loser.failure_records()
+        assert record.exception_type == "LeaseHeld"
+        assert record.phase == "lease"
+        assert not (tmp_path / "checkpoint.journal").exists()
+
+    def test_lease_released_after_the_run(self, tmp_path):
+        runner = make_runner(tmp_path)
+        runner.matcher_results(DATASET)
+        assert not (tmp_path / LEASE_NAME).exists()
+
+
+class TestAdaptiveDeadlines:
+    def test_healthy_sequential_run_is_never_deadlined(self):
+        runner = make_runner(adaptive_deadlines=True)
+        results = runner.matcher_results(DATASET)
+        assert runner.failure_records() == []
+        assert all(not cell.degraded for cell in results.values())
+        assert runner.deadlines is not None
+        assert runner.deadlines.samples("matcher") == len(results)
+        assert runner.deadlines.samples("sweep") == 1
+
+    def test_matches_unsupervised_scores(self):
+        reference = scores(make_runner().matcher_results(DATASET))
+        supervised = scores(
+            make_runner(adaptive_deadlines=True).matcher_results(DATASET)
+        )
+        assert supervised == reference
