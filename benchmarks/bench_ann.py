@@ -1,0 +1,120 @@
+"""ANN blocking benchmark: tuned LSH vs the exhaustive q-gram baseline.
+
+Runs the provenance sweep on the largest generated profile
+(``dblp_scholar`` at CI scale) and records the recall/cost trade-off to
+``BENCH_ann.json``: the tuned LSH backend must reach pair completeness
+>= ``PC_FLOOR`` while keeping at least ``REDUCTION_FLOOR``x fewer
+candidate pairs than the exhaustive :class:`QGramBlocker` baseline, and
+the winning configuration must be bit-deterministic across runs.
+``scripts/verify.sh`` re-checks the recorded floors in its ANN stage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.blocking import AnnBlocker, QGramBlocker, evaluate_blocking, tune_ann
+from repro.blocking.ann import AnnConfig
+from repro.datasets.sources import build_source_pair
+
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_ann.json"
+DATASET = "dblp_scholar"
+SCALE = 1.0
+SEED = 0
+PC_FLOOR = 0.9
+REDUCTION_FLOOR = 10.0
+
+
+def _measure(label: str, candidate_fn, sources) -> dict:
+    start = time.perf_counter()
+    candidates = candidate_fn()
+    seconds = time.perf_counter() - start
+    result = evaluate_blocking(candidates, sources)
+    cross = len(sources.left) * len(sources.right)
+    return {
+        "backend": label,
+        "pair_completeness": round(result.pair_completeness, 4),
+        "pairs_quality": round(result.pairs_quality, 4),
+        "n_candidates": result.n_candidates,
+        "cssr": round(result.n_candidates / cross, 6) if cross else 0.0,
+        "seconds": round(seconds, 3),
+    }
+
+
+@pytest.mark.ann_bench
+def test_ann_blocking_cost_and_recall():
+    sources = build_source_pair(DATASET, SCALE)
+    cross = len(sources.left) * len(sources.right)
+
+    exhaustive_blocker = QGramBlocker(q=3)
+    exhaustive = _measure(
+        "exhaustive",
+        lambda: exhaustive_blocker.candidates(sources),
+        sources,
+    )
+
+    tune_start = time.perf_counter()
+    tuned = tune_ann(sources, recall_target=PC_FLOOR, seed=SEED)
+    tune_seconds = time.perf_counter() - tune_start
+    lsh = _measure(
+        "lsh", lambda: AnnBlocker(tuned.config).candidates(sources), sources
+    )
+    lsh["config"] = tuned.config.describe()
+    lsh["tune_seconds"] = round(tune_seconds, 3)
+
+    graph = _measure(
+        "graph",
+        lambda: AnnBlocker(
+            AnnConfig(backend="graph", seed=SEED)
+        ).candidates(sources),
+        sources,
+    )
+
+    # Bit-determinism: an identical config on a fresh blocker must
+    # regenerate the tuner's exact candidate set.
+    rerun = AnnBlocker(tuned.config).candidates(sources)
+    deterministic = frozenset(rerun) == tuned.result.candidates
+
+    reduction = (
+        exhaustive["n_candidates"] / lsh["n_candidates"]
+        if lsh["n_candidates"]
+        else float("inf")
+    )
+    record = {
+        "dataset": DATASET,
+        "scale": SCALE,
+        "seed": SEED,
+        "left_records": len(sources.left),
+        "right_records": len(sources.right),
+        "n_matches": sources.n_matches,
+        "cross_product": cross,
+        "pc_floor": PC_FLOOR,
+        "reduction_floor": REDUCTION_FLOOR,
+        "candidate_reduction": round(reduction, 2),
+        "deterministic": deterministic,
+        "cpu_count": os.cpu_count(),
+        "backends": {
+            "exhaustive": exhaustive,
+            "lsh": lsh,
+            "graph": graph,
+        },
+    }
+    RECORD_PATH.write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+    )
+    print()
+    print(json.dumps(record, indent=2))
+
+    assert deterministic, "tuned LSH config is not bit-deterministic"
+    assert lsh["pair_completeness"] >= PC_FLOOR, (
+        f"tuned LSH recall {lsh['pair_completeness']} below {PC_FLOOR}"
+    )
+    assert reduction >= REDUCTION_FLOOR, (
+        f"LSH examines only {reduction:.1f}x fewer candidates than the "
+        f"exhaustive baseline (floor {REDUCTION_FLOOR}x)"
+    )

@@ -70,4 +70,41 @@ python -m pytest -x -q benchmarks/bench_obs.py benchmarks/bench_chaos.py \
 echo "== feature-kernel speedup bench (>=5x, bit-identical) =="
 python -m pytest -x -q benchmarks/bench_kernels.py
 
+echo "== ANN blocking: deterministic-seed smoke + recall/cost floors =="
+# Deterministic smoke: two fresh runs of both backends on a fixed seed
+# must produce identical candidate sets and the provenance CLI must run.
+python - <<'EOF'
+from repro.blocking import AnnBlocker, AnnConfig
+from repro.datasets.sources import build_source_pair
+
+sources = build_source_pair("abt_buy", 0.3)
+for backend in ("lsh", "graph"):
+    config = AnnConfig(backend=backend, seed=7)
+    first = AnnBlocker(config).candidates(sources)
+    second = AnnBlocker(config).candidates(sources)
+    assert first == second, f"{backend} backend is not deterministic"
+    assert first, f"{backend} backend produced no candidates"
+print("ann determinism smoke: OK")
+EOF
+python -m repro blocking --scale 0.3 --datasets abt_buy --cache ''
+# Full cost/recall bench (writes BENCH_ann.json), then re-check the
+# recorded floors: tuned LSH must meet the recall floor at >= the
+# candidate-reduction floor over the exhaustive baseline.
+python -m pytest -x -q -m ann_bench benchmarks/bench_ann.py
+python - <<'EOF'
+import json
+record = json.load(open("BENCH_ann.json"))
+lsh = record["backends"]["lsh"]
+assert record["deterministic"], "BENCH_ann.json: tuned config not deterministic"
+assert lsh["pair_completeness"] >= record["pc_floor"], (
+    f"BENCH_ann.json: LSH recall {lsh['pair_completeness']} below "
+    f"{record['pc_floor']}"
+)
+assert record["candidate_reduction"] >= record["reduction_floor"], (
+    f"BENCH_ann.json: reduction {record['candidate_reduction']}x below "
+    f"{record['reduction_floor']}x"
+)
+print("ann recall-floor check: OK")
+EOF
+
 echo "verify: OK"

@@ -15,17 +15,44 @@ from repro.blocking.qgram import QGramBlocker
 from repro.blocking.sorted_neighborhood import SortedNeighborhoodBlocker
 from repro.blocking.autoencoder import LinearAutoencoder
 from repro.blocking.deepblocker import DeepBlocker, DeepBlockerConfig
-from repro.blocking.tuning import TunedBlocking, tune_deepblocker
+from repro.blocking.tuning import (
+    TunedBlocking,
+    fallback_preferred,
+    meeting_preferred,
+    tune_deepblocker,
+)
+from repro.blocking.ann import (
+    ANN_BACKENDS,
+    AnnBlocker,
+    AnnConfig,
+    BackendProvenance,
+    GraphIndex,
+    SmallWorldGraph,
+    TunedAnnBlocking,
+    provenance_sweep,
+    tune_ann,
+)
 
 __all__ = [
+    "ANN_BACKENDS",
+    "AnnBlocker",
+    "AnnConfig",
+    "BackendProvenance",
     "BlockingResult",
     "DeepBlocker",
     "DeepBlockerConfig",
+    "GraphIndex",
     "LinearAutoencoder",
     "QGramBlocker",
+    "SmallWorldGraph",
     "SortedNeighborhoodBlocker",
     "TokenBlocker",
+    "TunedAnnBlocking",
     "TunedBlocking",
     "evaluate_blocking",
+    "fallback_preferred",
+    "meeting_preferred",
+    "provenance_sweep",
+    "tune_ann",
     "tune_deepblocker",
 ]

@@ -1,0 +1,734 @@
+"""Approximate-nearest-neighbour blocking over packed q-gram codes.
+
+Every classic blocker of this package generates candidates effectively
+exhaustively per left record, which is the scalability wall of the
+ROADMAP's million-record north star. This module provides the ANN
+substrate (the *BlockingPy* direction, arXiv 2504.04266) on top of the
+incidence structures :mod:`repro.text.kernels` already produces, with
+two pure-numpy backends:
+
+* **LSH banding** — minhash signatures over the int64 q-gram codes
+  (:func:`repro.text.kernels.minhash_signatures`), folded into banded
+  bucket keys; two records become a candidate pair when they share at
+  least ``min_shared_bands`` buckets. The per-band bucket join is fully
+  vectorized (argsort + searchsorted range joins), so candidate
+  generation never walks the cross product.
+* **small-world graph** — a navigable-small-world index
+  (:class:`SmallWorldGraph`, HNSW-style greedy beam search over the
+  masked cosine kernel) giving the ``query(record, k)`` access shape the
+  future ``repro.serve`` item needs; :class:`GraphIndex` wraps it with
+  the record encoding so external records can be queried directly.
+
+Both backends are **bit-deterministic for a fixed seed**: the hash
+family is derived from the seed alone, every join is sort-based (no
+Python dict/set iteration order anywhere near candidate selection), and
+the graph breaks all similarity ties by node id.
+
+:class:`AnnBlocker` implements the ``candidates(sources)`` blocker
+protocol under ``@observed_candidates`` and emits the ``blocking.ann.*``
+metrics; :func:`tune_ann` grid-searches (signature size x bands x
+min-shared-bands) for the candidate-minimal configuration meeting a
+recall target, reusing :func:`repro.blocking.base.evaluate_blocking` and
+the comparator pair shared with :func:`repro.blocking.tuning
+.tune_deepblocker`; :func:`provenance_sweep` regenerates the Table V
+blocking-provenance analysis under each backend (the recall/CSSR
+trade-off of Steorts et al., arXiv 1407.3191).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.blocking.base import (
+    BlockingResult,
+    evaluate_blocking,
+    observed_candidates,
+)
+from repro.blocking.tuning import fallback_preferred, meeting_preferred
+from repro.datasets.generator import SourcePair
+from repro.text.feature_store import FeatureStore
+from repro.text.kernels import band_keys, minhash_signatures
+
+#: The two ANN backends (plus the implicit "exhaustive" baseline of the
+#: provenance sweep).
+ANN_BACKENDS: tuple[str, ...] = ("lsh", "graph")
+
+_EMPTY_INDEX = np.empty(0, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class AnnConfig:
+    """One configuration of the ANN blocking substrate.
+
+    LSH knobs: ``n_hashes`` (signature width), ``bands`` (must divide the
+    width; ``rows = n_hashes // bands`` minhash values per band),
+    ``min_shared_bands`` (buckets two records must share) and
+    ``max_bucket`` (degenerate buckets larger than this are skipped, the
+    ``max_block_size`` analogue; ``0`` skips every bucket, ``None``
+    disables the guard). Graph knobs: ``k`` neighbours retrieved per
+    query, ``max_degree`` graph connectivity, ``beam_width`` search beam.
+    ``q`` selects the q-gram plane and ``seed`` fixes the hash family —
+    the whole pipeline is deterministic in ``(config, sources)``.
+    """
+
+    backend: str = "lsh"
+    q: int = 3
+    n_hashes: int = 128
+    bands: int = 32
+    min_shared_bands: int = 1
+    max_bucket: int | None = 200
+    k: int = 10
+    max_degree: int = 16
+    beam_width: int = 32
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.backend not in ANN_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {ANN_BACKENDS}, got {self.backend!r}"
+            )
+        if self.q < 1:
+            raise ValueError(f"q must be >= 1, got {self.q}")
+        if self.n_hashes < 1:
+            raise ValueError(f"n_hashes must be >= 1, got {self.n_hashes}")
+        if self.bands < 1 or self.n_hashes % self.bands:
+            raise ValueError(
+                f"bands must divide n_hashes ({self.n_hashes}), "
+                f"got {self.bands}"
+            )
+        if not 1 <= self.min_shared_bands <= self.bands:
+            raise ValueError(
+                f"min_shared_bands must be in [1, {self.bands}], "
+                f"got {self.min_shared_bands}"
+            )
+        if self.max_bucket is not None and self.max_bucket < 0:
+            raise ValueError(
+                f"max_bucket must be >= 0, got {self.max_bucket}"
+            )
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.max_degree < 1:
+            raise ValueError(
+                f"max_degree must be >= 1, got {self.max_degree}"
+            )
+        if self.beam_width < 1:
+            raise ValueError(
+                f"beam_width must be >= 1, got {self.beam_width}"
+            )
+
+    def describe(self) -> str:
+        """Compact rendering for the provenance tables."""
+        if self.backend == "lsh":
+            rows = self.n_hashes // self.bands
+            return (
+                f"lsh q={self.q} sig={self.n_hashes} bands={self.bands} "
+                f"rows={rows} shared>={self.min_shared_bands}"
+            )
+        return (
+            f"graph q={self.q} K={self.k} deg={self.max_degree} "
+            f"beam={self.beam_width}"
+        )
+
+
+class _EncodedSources:
+    """Q-gram code rows of both sources through one shared feature store.
+
+    Encoding order (left, then right) is part of the determinism
+    contract: :class:`~repro.text.kernels.CharTable` ids are assigned on
+    first sight, so every consumer (blocker runs, the tuner's grid) must
+    encode in the same order to see identical codes.
+    """
+
+    __slots__ = (
+        "store", "view", "left_records", "right_records",
+        "left_rows", "right_rows",
+    )
+
+    def __init__(self, sources: SourcePair, q: int) -> None:
+        self.store = FeatureStore()
+        self.view = ("qgrams", None, q)
+        self.left_records = list(sources.left)
+        self.right_records = list(sources.right)
+        self.left_rows = self.store.rows(self.left_records, self.view)
+        self.right_rows = self.store.rows(self.right_records, self.view)
+
+
+def _nonempty_mask(rows: Sequence[np.ndarray]) -> np.ndarray:
+    return np.fromiter(
+        (len(row) > 0 for row in rows), dtype=bool, count=len(rows)
+    )
+
+
+def _lsh_candidate_indexes(
+    left_keys: np.ndarray,
+    right_keys: np.ndarray,
+    left_nonempty: np.ndarray,
+    right_nonempty: np.ndarray,
+    min_shared_bands: int,
+    max_bucket: int | None,
+) -> tuple[np.ndarray, np.ndarray, int, int]:
+    """``(left_idx, right_idx, pairs_examined, buckets_skipped)``.
+
+    One vectorized range join per band: right keys are sorted once, left
+    keys locate their bucket with two binary searches, and the matched
+    ranges expand with the same arange-minus-offsets trick the kernels
+    use. Pair multiplicity across bands is recovered by sorting the
+    folded ``left * n_right + right`` keys and counting runs — a pair
+    matches a band at most once, so the run length *is* the number of
+    shared bands. Empty-signature rows (records with no features) are
+    excluded up front: their identical sentinel signatures would
+    otherwise all collide.
+    """
+    n_right = len(right_keys)
+    left_live = np.flatnonzero(left_nonempty)
+    right_live = np.flatnonzero(right_nonempty)
+    if len(left_live) == 0 or len(right_live) == 0:
+        return _EMPTY_INDEX, _EMPTY_INDEX, 0, 0
+
+    examined = 0
+    skipped = 0
+    folded_parts: list[np.ndarray] = []
+    for band in range(left_keys.shape[1]):
+        right_band = right_keys[right_live, band]
+        order = np.argsort(right_band, kind="stable")
+        sorted_right = right_band[order]
+        left_band = left_keys[left_live, band]
+        lo = np.searchsorted(sorted_right, left_band, side="left")
+        hi = np.searchsorted(sorted_right, left_band, side="right")
+        sizes = hi - lo
+        if max_bucket is not None:
+            oversized = sizes > max_bucket
+            skipped += int(np.count_nonzero(oversized))
+            sizes = np.where(oversized, 0, sizes)
+        hit = np.flatnonzero(sizes > 0)
+        if len(hit) == 0:
+            continue
+        hit_sizes = sizes[hit]
+        total = int(hit_sizes.sum())
+        examined += total
+        offsets = np.zeros(len(hit) + 1, dtype=np.int64)
+        np.cumsum(hit_sizes, out=offsets[1:])
+        take = np.repeat(lo[hit], hit_sizes) + (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(offsets[:-1], hit_sizes)
+        )
+        left_idx = left_live[np.repeat(hit, hit_sizes)]
+        right_idx = right_live[order[take]]
+        folded_parts.append(left_idx * n_right + right_idx)
+
+    if not folded_parts:
+        return _EMPTY_INDEX, _EMPTY_INDEX, examined, skipped
+    folded = np.concatenate(folded_parts)
+    folded.sort()
+    starts = np.ones(len(folded), dtype=bool)
+    np.not_equal(folded[1:], folded[:-1], out=starts[1:])
+    run_starts = np.flatnonzero(starts)
+    run_lengths = np.diff(np.append(run_starts, len(folded)))
+    kept = folded[run_starts[run_lengths >= min_shared_bands]]
+    return kept // n_right, kept % n_right, examined, skipped
+
+
+class SmallWorldGraph:
+    """A navigable-small-world index over dense sorted id rows.
+
+    Single-layer NSW: nodes are inserted in order, each connected to its
+    ``max_degree`` (approximately) most cosine-similar predecessors found
+    by a greedy beam search from the entry point; degrees are pruned back
+    to ``max_degree`` keeping the most similar neighbours. Search and
+    insertion break every similarity tie by node id, so the structure —
+    and therefore every query — is deterministic. Empty rows are
+    unreachable islands (they can never score above zero).
+    """
+
+    def __init__(
+        self,
+        rows: Sequence[np.ndarray],
+        max_degree: int = 8,
+        beam_width: int = 12,
+    ) -> None:
+        self.max_degree = max_degree
+        self.beam_width = beam_width
+        self._rows = list(rows)
+        self._sizes = np.fromiter(
+            (len(row) for row in self._rows),
+            dtype=np.int64,
+            count=len(self._rows),
+        )
+        self._neighbors: list[list[int]] = [[] for _ in self._rows]
+        self._entry: int | None = None
+        self.sim_evals = 0
+        for node in range(len(self._rows)):
+            self._insert(node)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def _sims_to(
+        self, query: np.ndarray, query_size: int, nodes: list[int]
+    ) -> np.ndarray:
+        """Cosine of *query* against each node, in one batched pass."""
+        out = np.zeros(len(nodes), dtype=np.float64)
+        if not nodes or query_size == 0 or len(query) == 0:
+            return out
+        self.sim_evals += len(nodes)
+        sizes = self._sizes[nodes]
+        flat = (
+            np.concatenate([self._rows[node] for node in nodes])
+            if int(sizes.sum())
+            else _EMPTY_INDEX
+        )
+        if len(flat) == 0:
+            return out
+        positions = np.searchsorted(query, flat)
+        positions[positions == len(query)] = 0
+        matched = query[positions] == flat
+        row_of = np.repeat(np.arange(len(nodes), dtype=np.int64), sizes)
+        inter = np.bincount(row_of[matched], minlength=len(nodes))
+        mask = sizes > 0
+        out[mask] = inter[mask] / np.sqrt(float(query_size) * sizes[mask])
+        return out
+
+    def _search(
+        self, query: np.ndarray, query_size: int, beam: int
+    ) -> list[tuple[float, int]]:
+        """Greedy beam search: ``[(similarity, node), ...]`` best first."""
+        if self._entry is None:
+            return []
+        entry = self._entry
+        entry_sim = float(self._sims_to(query, query_size, [entry])[0])
+        visited = {entry}
+        # Max-heap of frontier nodes by (-sim, node); min-heap of the
+        # best `beam` results by (sim, -node) — both orders break ties
+        # by node id, deterministically.
+        frontier = [(-entry_sim, entry)]
+        results = [(entry_sim, -entry)]
+        while frontier:
+            negative_sim, node = heapq.heappop(frontier)
+            if len(results) >= beam and -negative_sim < results[0][0]:
+                break
+            fresh = [
+                neighbor
+                for neighbor in self._neighbors[node]
+                if neighbor not in visited
+            ]
+            if not fresh:
+                continue
+            visited.update(fresh)
+            sims = self._sims_to(query, query_size, fresh)
+            for neighbor, sim in zip(fresh, sims.tolist()):
+                if len(results) < beam or sim > results[0][0]:
+                    heapq.heappush(frontier, (-sim, neighbor))
+                    heapq.heappush(results, (sim, -neighbor))
+                    if len(results) > beam:
+                        heapq.heappop(results)
+        found = [(sim, -negative_node) for sim, negative_node in results]
+        found.sort(key=lambda item: (-item[0], item[1]))
+        return found
+
+    def _insert(self, node: int) -> None:
+        row = self._rows[node]
+        if len(row) == 0:
+            return
+        if self._entry is None:
+            self._entry = node
+            return
+        beam = max(self.beam_width, self.max_degree)
+        for __, other in self._search(row, len(row), beam)[: self.max_degree]:
+            self._connect(node, other)
+
+    def _connect(self, node: int, other: int) -> None:
+        for source, target in ((node, other), (other, node)):
+            neighbors = self._neighbors[source]
+            if target in neighbors:
+                continue
+            neighbors.append(target)
+            if len(neighbors) > self.max_degree:
+                row = self._rows[source]
+                sims = self._sims_to(row, len(row), neighbors)
+                order = sorted(
+                    range(len(neighbors)),
+                    key=lambda i: (-sims[i], neighbors[i]),
+                )
+                self._neighbors[source] = [
+                    neighbors[i] for i in order[: self.max_degree]
+                ]
+
+    def query(
+        self, query: np.ndarray, query_size: int, k: int
+    ) -> list[int]:
+        """The ``<= k`` most similar nodes of a dense sorted query row.
+
+        Nodes with zero similarity are never returned — an unreachable
+        record should not become a candidate just because the beam
+        visited it.
+        """
+        found = self._search(query, query_size, max(self.beam_width, k))
+        return [node for sim, node in found[:k] if sim > 0.0]
+
+
+class GraphIndex:
+    """``query(record, k)`` ANN access over one indexed record list.
+
+    Wraps a :class:`SmallWorldGraph` with the code-to-dense-rank mapping,
+    so external records (e.g. streaming queries, the future
+    ``repro.serve`` session) can be encoded through the same feature
+    store and queried directly. Query codes outside the indexed
+    vocabulary cannot intersect anything and are dropped from the probe,
+    but still count toward the query's cosine magnitude.
+    """
+
+    def __init__(
+        self,
+        records: Sequence,
+        rows: Sequence[np.ndarray],
+        config: AnnConfig,
+        store: FeatureStore,
+        view: tuple,
+    ) -> None:
+        self.records = list(records)
+        self._store = store
+        self._view = view
+        self.config = config
+        live = [row for row in rows if len(row)]
+        self._vocab = (
+            np.unique(np.concatenate(live)) if live else _EMPTY_INDEX
+        )
+        dense = [
+            np.unique(np.searchsorted(self._vocab, row))
+            if len(row)
+            else _EMPTY_INDEX
+            for row in rows
+        ]
+        started = time.perf_counter()
+        self.graph = SmallWorldGraph(
+            dense,
+            max_degree=config.max_degree,
+            beam_width=config.beam_width,
+        )
+        obs.observe(
+            "blocking.ann.graph_build_seconds", time.perf_counter() - started
+        )
+
+    def map_row(self, raw_row: np.ndarray) -> tuple[np.ndarray, int]:
+        """``(dense sorted probe ids, distinct query size)`` of raw codes."""
+        distinct = np.unique(raw_row)
+        if len(distinct) == 0 or len(self._vocab) == 0:
+            return _EMPTY_INDEX, len(distinct)
+        positions = np.searchsorted(self._vocab, distinct)
+        positions[positions == len(self._vocab)] = 0
+        present = self._vocab[positions] == distinct
+        return positions[present], len(distinct)
+
+    def query_row(self, raw_row: np.ndarray, k: int) -> list[int]:
+        """Positions (into ``records``) of the ``<= k`` nearest records."""
+        probe, query_size = self.map_row(raw_row)
+        return self.graph.query(probe, query_size, k)
+
+    def query(self, record, k: int) -> list:
+        """The ``<= k`` indexed records most similar to *record*."""
+        raw_row = self._store.rows([record], self._view)[0]
+        return [self.records[i] for i in self.query_row(raw_row, k)]
+
+
+class AnnBlocker:
+    """Approximate-nearest-neighbour blocking under the blocker protocol.
+
+    ``backend="lsh"`` generates candidates from banded minhash buckets;
+    ``backend="graph"`` indexes the right source in a
+    :class:`SmallWorldGraph` and retrieves ``k`` neighbours per left
+    record. Results are bit-deterministic for a fixed
+    :class:`AnnConfig`.
+    """
+
+    def __init__(self, config: AnnConfig | None = None) -> None:
+        self.config = config if config is not None else AnnConfig()
+
+    def build_index(self, sources: SourcePair) -> GraphIndex:
+        """A reusable ``query(record, k)`` index over the right source."""
+        encoded = _EncodedSources(sources, self.config.q)
+        return GraphIndex(
+            encoded.right_records,
+            encoded.right_rows,
+            self.config,
+            store=encoded.store,
+            view=encoded.view,
+        )
+
+    def _lsh_candidates(
+        self, encoded: _EncodedSources
+    ) -> set[tuple[str, str]]:
+        config = self.config
+        started = time.perf_counter()
+        left_signatures = minhash_signatures(
+            encoded.left_rows, config.n_hashes, config.seed
+        )
+        right_signatures = minhash_signatures(
+            encoded.right_rows, config.n_hashes, config.seed
+        )
+        obs.observe(
+            "blocking.ann.signature_seconds", time.perf_counter() - started
+        )
+        left_idx, right_idx, examined, skipped = _lsh_candidate_indexes(
+            band_keys(left_signatures, config.bands),
+            band_keys(right_signatures, config.bands),
+            _nonempty_mask(encoded.left_rows),
+            _nonempty_mask(encoded.right_rows),
+            config.min_shared_bands,
+            config.max_bucket,
+        )
+        obs.inc("blocking.ann.pairs_examined", float(examined))
+        obs.inc("blocking.ann.buckets_skipped", float(skipped))
+        return {
+            (
+                encoded.left_records[i].record_id,
+                encoded.right_records[j].record_id,
+            )
+            for i, j in zip(left_idx.tolist(), right_idx.tolist())
+        }
+
+    def _graph_candidates(
+        self, encoded: _EncodedSources
+    ) -> set[tuple[str, str]]:
+        config = self.config
+        index = GraphIndex(
+            encoded.right_records,
+            encoded.right_rows,
+            config,
+            store=encoded.store,
+            view=encoded.view,
+        )
+        evals_before = index.graph.sim_evals
+        results: set[tuple[str, str]] = set()
+        for record, row in zip(encoded.left_records, encoded.left_rows):
+            for position in index.query_row(row, config.k):
+                results.add(
+                    (record.record_id, encoded.right_records[position].record_id)
+                )
+        obs.inc(
+            "blocking.ann.pairs_examined",
+            float(index.graph.sim_evals - evals_before),
+        )
+        return results
+
+    @observed_candidates
+    def candidates(self, sources: SourcePair) -> set[tuple[str, str]]:
+        """All candidate (left_id, right_id) pairs of the configured backend."""
+        encoded = _EncodedSources(sources, self.config.q)
+        if self.config.backend == "lsh":
+            return self._lsh_candidates(encoded)
+        return self._graph_candidates(encoded)
+
+
+# -- tuning -------------------------------------------------------------------
+
+#: Signature widths probed by :func:`tune_ann`.
+DEFAULT_SIGNATURE_GRID: tuple[int, ...] = (64, 128)
+
+#: Band counts probed per signature width (non-divisors are skipped).
+DEFAULT_BAND_GRID: tuple[int, ...] = (8, 16, 32)
+
+#: ``min_shared_bands`` values probed per banding.
+DEFAULT_MIN_SHARED_GRID: tuple[int, ...] = (1, 2)
+
+
+@dataclass(frozen=True)
+class TunedAnnBlocking:
+    """The winning ANN configuration and its blocking result."""
+
+    config: AnnConfig
+    result: BlockingResult
+
+    @property
+    def pair_completeness(self) -> float:
+        return self.result.pair_completeness
+
+    @property
+    def pairs_quality(self) -> float:
+        return self.result.pairs_quality
+
+
+def tune_ann(
+    sources: SourcePair,
+    recall_target: float = 0.9,
+    signature_grid: tuple[int, ...] = DEFAULT_SIGNATURE_GRID,
+    band_grid: tuple[int, ...] = DEFAULT_BAND_GRID,
+    min_shared_grid: tuple[int, ...] = DEFAULT_MIN_SHARED_GRID,
+    q: int = 3,
+    max_bucket: int | None = 200,
+    seed: int = 0,
+) -> TunedAnnBlocking:
+    """Find the candidate-minimal LSH configuration meeting the target.
+
+    Mirrors :func:`repro.blocking.tuning.tune_deepblocker`: every
+    (signature size, bands, min-shared-bands) combination is evaluated
+    with :func:`evaluate_blocking`; among those meeting *recall_target*
+    the lowest-cost (fewest candidates, PC breaking ties) wins via
+    :func:`meeting_preferred`, and when none meets it the
+    :func:`fallback_preferred` comparator picks the highest-recall,
+    then fewest-candidates configuration. Sources are encoded once and
+    signatures once per signature width; every evaluated configuration
+    reproduces exactly what ``AnnBlocker(config)`` would generate.
+    """
+    if not 0.0 < recall_target <= 1.0:
+        raise ValueError(
+            f"recall_target must be in (0, 1], got {recall_target}"
+        )
+    if not signature_grid or not band_grid or not min_shared_grid:
+        raise ValueError("tuning grids must be non-empty")
+
+    encoded = _EncodedSources(sources, q)
+    left_nonempty = _nonempty_mask(encoded.left_rows)
+    right_nonempty = _nonempty_mask(encoded.right_rows)
+
+    best_meeting: TunedAnnBlocking | None = None
+    best_fallback: TunedAnnBlocking | None = None
+    for n_hashes in sorted(set(signature_grid)):
+        left_signatures = minhash_signatures(
+            encoded.left_rows, n_hashes, seed
+        )
+        right_signatures = minhash_signatures(
+            encoded.right_rows, n_hashes, seed
+        )
+        for bands in sorted(set(band_grid)):
+            if bands > n_hashes or n_hashes % bands:
+                continue
+            left_keys = band_keys(left_signatures, bands)
+            right_keys = band_keys(right_signatures, bands)
+            for min_shared in sorted(set(min_shared_grid)):
+                if min_shared > bands:
+                    continue
+                config = AnnConfig(
+                    backend="lsh",
+                    q=q,
+                    n_hashes=n_hashes,
+                    bands=bands,
+                    min_shared_bands=min_shared,
+                    max_bucket=max_bucket,
+                    seed=seed,
+                )
+                left_idx, right_idx, __, __ = _lsh_candidate_indexes(
+                    left_keys,
+                    right_keys,
+                    left_nonempty,
+                    right_nonempty,
+                    min_shared,
+                    max_bucket,
+                )
+                result = evaluate_blocking(
+                    (
+                        (
+                            encoded.left_records[i].record_id,
+                            encoded.right_records[j].record_id,
+                        )
+                        for i, j in zip(left_idx.tolist(), right_idx.tolist())
+                    ),
+                    sources,
+                )
+                tuned = TunedAnnBlocking(config=config, result=result)
+                if fallback_preferred(
+                    result,
+                    None if best_fallback is None else best_fallback.result,
+                ):
+                    best_fallback = tuned
+                if result.pair_completeness >= recall_target and (
+                    meeting_preferred(
+                        result,
+                        None if best_meeting is None else best_meeting.result,
+                    )
+                ):
+                    best_meeting = tuned
+    if best_meeting is not None:
+        return best_meeting
+    assert best_fallback is not None
+    return best_fallback
+
+
+# -- the provenance sweep -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BackendProvenance:
+    """One backend's blocking outcome on one source pair."""
+
+    backend: str
+    config: str
+    result: BlockingResult
+    cssr: float
+    seconds: float
+
+    @property
+    def pair_completeness(self) -> float:
+        return self.result.pair_completeness
+
+
+def provenance_sweep(
+    sources: SourcePair,
+    recall_target: float = 0.9,
+    seed: int = 0,
+    q: int = 3,
+    backends: tuple[str, ...] = ("exhaustive", "lsh", "graph"),
+) -> dict[str, BackendProvenance]:
+    """Recall/CSSR of each blocking backend on one source pair.
+
+    CSSR is the candidate set size ratio ``|C| / (|D1| * |D2|)`` — the
+    fraction of the cross product a backend examines downstream (Steorts
+    et al.'s blocking-evaluation axis next to recall). ``exhaustive`` is
+    the classic per-left-record :class:`~repro.blocking.qgram
+    .QGramBlocker`; ``lsh`` is the :func:`tune_ann` winner (timing
+    includes the tuning grid); ``graph`` is the default small-world
+    configuration.
+    """
+    from repro.blocking.qgram import QGramBlocker
+
+    cross = len(sources.left) * len(sources.right)
+    outcome: dict[str, BackendProvenance] = {}
+
+    def record(
+        backend: str, config: str, result: BlockingResult, seconds: float
+    ) -> None:
+        outcome[backend] = BackendProvenance(
+            backend=backend,
+            config=config,
+            result=result,
+            cssr=result.n_candidates / cross if cross else 0.0,
+            seconds=seconds,
+        )
+
+    if "exhaustive" in backends:
+        blocker = QGramBlocker(q=q)
+        started = time.perf_counter()
+        result = evaluate_blocking(blocker.candidates(sources), sources)
+        record(
+            "exhaustive",
+            f"qgram q={q} minc={blocker.min_common} "
+            f"maxb={blocker.max_block_size}",
+            result,
+            time.perf_counter() - started,
+        )
+    if "lsh" in backends:
+        started = time.perf_counter()
+        tuned = tune_ann(
+            sources, recall_target=recall_target, q=q, seed=seed
+        )
+        record(
+            "lsh",
+            tuned.config.describe(),
+            tuned.result,
+            time.perf_counter() - started,
+        )
+    if "graph" in backends:
+        config = AnnConfig(backend="graph", q=q, seed=seed)
+        started = time.perf_counter()
+        result = evaluate_blocking(
+            AnnBlocker(config).candidates(sources), sources
+        )
+        record(
+            "graph", config.describe(), result, time.perf_counter() - started
+        )
+    return outcome

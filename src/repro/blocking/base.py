@@ -65,8 +65,13 @@ def evaluate_blocking(
     candidate_set = frozenset(candidates)
     obs.inc("blocking.evaluations")
     matching = len(candidate_set & sources.matches)
+    # A zero-match source is vacuously complete: there is no true match a
+    # candidate set could have missed. Reporting 0.0 here made tuners
+    # (tune_deepblocker/tune_ann) unable to ever meet their recall target
+    # on all-negative sources, silently falling back to the first-seen
+    # configuration.
     pair_completeness = (
-        matching / sources.n_matches if sources.n_matches else 0.0
+        matching / sources.n_matches if sources.n_matches else 1.0
     )
     pairs_quality = matching / len(candidate_set) if candidate_set else 0.0
     return BlockingResult(

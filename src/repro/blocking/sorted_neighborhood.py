@@ -31,17 +31,63 @@ def default_key(record: Record) -> str:
 
 
 class SortedNeighborhoodBlocker:
-    """Sliding-window blocking over a sorted key order."""
+    """Sliding-window blocking over a sorted key order.
 
-    def __init__(self, window: int = 5, key: KeyFn = default_key) -> None:
+    Classic sorted neighborhood silently loses cross-source pairs when a
+    run of identical keys is longer than the window (the tie-overflow
+    problem: two records with the *same* key can sit further than
+    ``window`` apart in the sorted order). Runs of equal keys are
+    therefore expanded into full same-key blocks, guarded by
+    ``max_block_size``: a tie run longer than that is left to the sliding
+    window alone, so a degenerate key (e.g. every key empty) cannot
+    explode into the cross product. ``max_block_size=None`` expands every
+    run; ``max_block_size=0`` disables expansion entirely.
+    """
+
+    def __init__(
+        self,
+        window: int = 5,
+        key: KeyFn = default_key,
+        max_block_size: int | None = 200,
+    ) -> None:
         if window < 2:
             raise ValueError(f"window must be >= 2, got {window}")
+        if max_block_size is not None and max_block_size < 0:
+            raise ValueError(
+                f"max_block_size must be >= 0, got {max_block_size}"
+            )
         self.window = window
         self.key = key
+        self.max_block_size = max_block_size
+
+    def _expand_ties(
+        self,
+        entries: list[tuple[str, str, str]],
+        results: set[tuple[str, str]],
+    ) -> None:
+        """Add all cross-source pairs of each same-key run (tie blocks)."""
+        start = 0
+        while start < len(entries):
+            stop = start + 1
+            while stop < len(entries) and entries[stop][0] == entries[start][0]:
+                stop += 1
+            run = entries[start:stop]
+            # Runs the window already covers need no expansion; oversized
+            # runs are skipped (the max_block_size guard).
+            if len(run) > self.window and (
+                self.max_block_size is None
+                or len(run) <= self.max_block_size
+            ):
+                left_ids = [rid for __, side, rid in run if side == "L"]
+                right_ids = [rid for __, side, rid in run if side == "R"]
+                for left_id in left_ids:
+                    for right_id in right_ids:
+                        results.add((left_id, right_id))
+            start = stop
 
     @observed_candidates
     def candidates(self, sources: SourcePair) -> set[tuple[str, str]]:
-        """All cross-source pairs co-occurring in a window."""
+        """All cross-source pairs co-occurring in a window or a tie block."""
         entries: list[tuple[str, str, str]] = []  # (key, side, record_id)
         for record in sources.left:
             entries.append((self.key(record), "L", record.record_id))
@@ -62,4 +108,6 @@ class SortedNeighborhoodBlocker:
                     results.add((record_id, other_id))
                 else:
                     results.add((other_id, record_id))
+        if self.max_block_size != 0:
+            self._expand_ties(entries, results)
         return results

@@ -41,6 +41,40 @@ class TunedBlocking:
         return self.result.pairs_quality
 
 
+def meeting_preferred(
+    challenger: BlockingResult, incumbent: BlockingResult | None
+) -> bool:
+    """Among configs meeting the recall target, prefer *challenger*?
+
+    The paper's objective is candidate-minimal blocking: fewer candidates
+    wins, and a candidate-count tie goes to the higher pair completeness.
+    Shared by every grid tuner (:func:`tune_deepblocker`,
+    :func:`repro.blocking.ann.tune_ann`).
+    """
+    if incumbent is None:
+        return True
+    if challenger.n_candidates != incumbent.n_candidates:
+        return challenger.n_candidates < incumbent.n_candidates
+    return challenger.pair_completeness > incumbent.pair_completeness
+
+
+def fallback_preferred(
+    challenger: BlockingResult, incumbent: BlockingResult | None
+) -> bool:
+    """When no config meets the target, prefer *challenger* as fallback?
+
+    Highest pair completeness wins; a PC tie is broken by **fewer**
+    candidates. The pre-fix strictly-greater comparison kept the
+    first-seen config among PC ties, which was often the far larger
+    candidate set — contradicting the minimize-candidates objective.
+    """
+    if incumbent is None:
+        return True
+    if challenger.pair_completeness != incumbent.pair_completeness:
+        return challenger.pair_completeness > incumbent.pair_completeness
+    return challenger.n_candidates < incumbent.n_candidates
+
+
 def tune_deepblocker(
     sources: SourcePair,
     recall_target: float = 0.9,
@@ -53,8 +87,9 @@ def tune_deepblocker(
     with increasing K until the recall target is met; among the combinations
     that meet it, the one with the fewest candidates (highest PQ) wins. If
     none reaches the target, the configuration with the highest recall is
-    returned — mirroring the paper's observation that DeepBlocker's recall
-    can dip slightly below 0.9 on stubborn datasets.
+    returned (recall ties broken by fewer candidates) — mirroring the
+    paper's observation that DeepBlocker's recall can dip slightly below
+    0.9 on stubborn datasets.
     """
     if not 0.0 < recall_target <= 1.0:
         raise ValueError(f"recall_target must be in (0, 1], got {recall_target}")
@@ -84,15 +119,17 @@ def tune_deepblocker(
                         index.candidates(k, index_left), sources
                     )
                     tuned = TunedBlocking(config=config, result=result)
-                    if best_fallback is None or (
-                        result.pair_completeness
-                        > best_fallback.result.pair_completeness
+                    if fallback_preferred(
+                        result,
+                        None if best_fallback is None else best_fallback.result,
                     ):
                         best_fallback = tuned
                     if result.pair_completeness >= recall_target:
-                        if best_meeting is None or (
-                            result.n_candidates
-                            < best_meeting.result.n_candidates
+                        if meeting_preferred(
+                            result,
+                            None
+                            if best_meeting is None
+                            else best_meeting.result,
                         ):
                             best_meeting = tuned
                         break  # lowest K for this combination found

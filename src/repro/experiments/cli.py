@@ -124,8 +124,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="table3..table7, fig1..fig6, audit, snapshot, trace, doctor, "
-        "chaos, or list",
+        help="table3..table7, fig1..fig6, blocking, audit, snapshot, trace, "
+        "doctor, chaos, or list",
     )
     parser.add_argument(
         "dataset",
@@ -266,6 +266,14 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="fallback worker deadline until the adaptive model has "
         "samples; arms the heartbeat watchdog on pooled runs",
+    )
+    parser.add_argument(
+        "--blocker",
+        choices=("all", "exhaustive", "lsh", "graph", "ann"),
+        default="all",
+        metavar="BACKEND",
+        help="for 'blocking': restrict the provenance sweep's rows to one "
+        "backend ('ann' = both ANN backends; default: all)",
     )
     parser.add_argument(
         "--no-auto-degrade",
@@ -492,7 +500,8 @@ def main(argv: list[str] | None = None) -> int:
         print(
             "experiments:",
             ", ".join(
-                [*_TABLES, *_FIGURES, "verdicts", "audit", "snapshot", "trace"]
+                [*_TABLES, *_FIGURES, "blocking", "verdicts", "audit",
+                 "snapshot", "trace"]
             ),
         )
         print("established datasets:", ", ".join(ESTABLISHED_DATASET_IDS))
@@ -504,6 +513,29 @@ def main(argv: list[str] | None = None) -> int:
             print("audit requires a dataset id (see 'repro list')")
             return 2
         print(_audit(runner, args.dataset))
+        _print_failures(runner)
+        _print_observability(runner, args)
+        return 0
+
+    if args.experiment in ("blocking", "block"):
+        from repro.experiments.tables import blocking_provenance_table
+
+        if dataset_ids is not None:
+            outside = [d for d in dataset_ids if d not in SOURCE_DATASET_IDS]
+            if outside:
+                print(
+                    f"--datasets: blocking provenance needs source dataset "
+                    f"ids, got {', '.join(outside)} (see 'repro list')"
+                )
+                return 2
+        headers, rows = blocking_provenance_table(runner, dataset_ids)
+        if args.blocker != "all":
+            wanted = (
+                {"lsh", "graph"} if args.blocker == "ann" else {args.blocker}
+            )
+            rows = [row for row in rows if row[1] in wanted]
+        print(render((headers, rows),
+                     title="Blocking provenance — recall/CSSR per backend"))
         _print_failures(runner)
         _print_observability(runner, args)
         return 0

@@ -405,6 +405,7 @@ class ExperimentRunner:
         self._matcher_results: dict[str, dict[str, MatcherResult]] = {}
         self._new_benchmarks: dict[str, NewBenchmark] = {}
         self._assessments: dict[str, BenchmarkAssessment] = {}
+        self._ann_provenance: dict[str, dict[str, object]] = {}
 
     @property
     def scale(self) -> float:
@@ -536,6 +537,26 @@ class ExperimentRunner:
                 seed=self.seed,
             )
         return self._new_benchmarks[source_id]
+
+    def blocking_provenance(self, source_id: str) -> dict[str, object]:
+        """Recall/CSSR of each blocking backend on one generated pair.
+
+        The Table V provenance companion: ``exhaustive`` q-gram blocking
+        against the tuned ``lsh`` and default ``graph`` ANN backends (see
+        :func:`repro.blocking.ann.provenance_sweep`), memoized per source
+        id. Returns ``{backend: BackendProvenance}``.
+        """
+        if source_id not in self._ann_provenance:
+            from repro.blocking.ann import provenance_sweep
+
+            faults.fire(f"blocking:{source_id}")
+            sources = load_source_pair(source_id, self.size_factor)
+            with self.obs.span("blocking_provenance", dataset=source_id):
+                with self._feature_scope():
+                    self._ann_provenance[source_id] = provenance_sweep(
+                        sources, seed=self.seed
+                    )
+        return self._ann_provenance[source_id]
 
     def task_for(self, dataset_id: str) -> MatchingTask:
         """Resolve an established id (DsX/DdX/DtX) or source id to a task."""

@@ -90,6 +90,43 @@ def blocking_stability(
     }
 
 
+def ann_stability(
+    sources: SourcePair,
+    repetitions: int = 10,
+    recall_target: float = 0.9,
+    base_seed: int = 0,
+) -> dict[str, StabilitySummary]:
+    """The same repetition protocol for the tuned ANN (LSH) blocker.
+
+    MinHash is stochastic in its hash family, so the seed plays the role
+    the autoencoder initialization plays for DeepBlocker: each repetition
+    re-tunes with a different hash family and the summaries show how
+    sensitive PC/PQ/|C| are to that draw (for a fixed seed the blocker
+    itself is bit-deterministic).
+    """
+    from repro.blocking.ann import tune_ann
+
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    pc_values: list[float] = []
+    pq_values: list[float] = []
+    candidate_counts: list[float] = []
+    for repetition in range(repetitions):
+        tuned = tune_ann(
+            sources,
+            recall_target=recall_target,
+            seed=base_seed + repetition,
+        )
+        pc_values.append(tuned.pair_completeness)
+        pq_values.append(tuned.pairs_quality)
+        candidate_counts.append(float(tuned.result.n_candidates))
+    return {
+        "pair_completeness": StabilitySummary("pair_completeness", tuple(pc_values)),
+        "pairs_quality": StabilitySummary("pairs_quality", tuple(pq_values)),
+        "n_candidates": StabilitySummary("n_candidates", tuple(candidate_counts)),
+    }
+
+
 def matcher_stability(
     matcher_factory: Callable[[int], Matcher],
     task: MatchingTask,

@@ -159,6 +159,45 @@ def table6(runner: ExperimentRunner) -> Table:
     return _f1_table(runner, SOURCE_DATASET_IDS)
 
 
+def blocking_provenance_table(
+    runner: ExperimentRunner, dataset_ids: tuple[str, ...] | None = None
+) -> Table:
+    """Table V companion: blocking recall/CSSR per backend per source.
+
+    One row per (source, backend): the exhaustive q-gram baseline next
+    to the tuned LSH and small-world graph ANN backends, with pair
+    completeness, pairs quality, candidate count, CSSR (the fraction of
+    the cross product kept) and wall time — the provenance behind the
+    ``--blocker ann`` path.
+    """
+    if dataset_ids is None:
+        dataset_ids = SOURCE_DATASET_IDS
+    headers = [
+        "dataset", "backend", "PC", "PQ", "|C|", "CSSR", "seconds", "config",
+    ]
+    rows = []
+    for source_id in dataset_ids:
+        sweep = runner.blocking_provenance(source_id)
+        label = NEW_BENCHMARK_LABELS.get(source_id, source_id)
+        for backend in ("exhaustive", "lsh", "graph"):
+            provenance = sweep.get(backend)
+            if provenance is None:
+                continue
+            rows.append(
+                [
+                    label,
+                    backend,
+                    _fmt(provenance.result.pair_completeness, 3),
+                    _fmt(provenance.result.pairs_quality, 3),
+                    str(provenance.result.n_candidates),
+                    f"{100 * provenance.cssr:.2f}%",
+                    _fmt(provenance.seconds, 2),
+                    provenance.config,
+                ]
+            )
+    return headers, rows
+
+
 def _established_provenance(runner: ExperimentRunner, dataset_id: str) -> tuple[float, float, float]:
     """(PC, PQ, IR) of an established benchmark from its generation metadata."""
     task = runner.established_task(dataset_id)

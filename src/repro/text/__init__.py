@@ -26,10 +26,14 @@ from repro.text.kernels import (
     QGramAlphabetOverflow,
     QGramCodec,
     RecordIncidence,
+    EMPTY_SIGNATURE,
     TokenInterner,
+    band_keys,
     batch_intersection_counts,
     densify_csr,
     gather_csr,
+    minhash_params,
+    minhash_signatures,
     pack_rows,
     set_similarity_matrix,
     set_similarity_matrix_indexed,
@@ -63,6 +67,7 @@ __all__ = [
     "SET_MEASURES",
     "STOPWORDS",
     "CharTable",
+    "EMPTY_SIGNATURE",
     "FeatureMatrixCache",
     "FeatureStore",
     "PackedRows",
@@ -73,11 +78,14 @@ __all__ = [
     "TokenInterner",
     "Vocabulary",
     "active_feature_cache",
+    "band_keys",
     "batch_intersection_counts",
     "clean_tokens",
     "densify_csr",
     "feature_cache_scope",
     "gather_csr",
+    "minhash_params",
+    "minhash_signatures",
     "pack_rows",
     "set_feature_cache",
     "set_similarity_matrix",

@@ -388,6 +388,95 @@ def batch_intersection_counts(
     return np.bincount(row_of[matched], minlength=n_pairs)
 
 
+#: Signature value of an empty feature set: no hash can reach the uint64
+#: maximum through the odd-multiplier family below, so empty rows never
+#: spuriously collide with real minima.
+EMPTY_SIGNATURE = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def minhash_params(
+    n_hashes: int, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """The ``(a, b)`` multiply-shift hash family for *n_hashes* functions.
+
+    Deterministic in ``(n_hashes, seed)``; ``a`` is odd so every
+    ``h_j(x) = (a_j * x + b_j) mod 2**64`` is a bijection on uint64.
+    """
+    if n_hashes < 1:
+        raise ValueError(f"n_hashes must be >= 1, got {n_hashes}")
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 1 << 63, size=n_hashes, dtype=np.uint64) * np.uint64(
+        2
+    ) + np.uint64(1)
+    b = rng.integers(0, 1 << 63, size=n_hashes, dtype=np.uint64)
+    return a, b
+
+
+def minhash_signatures(
+    rows: Sequence[np.ndarray], n_hashes: int, seed: int = 0
+) -> np.ndarray:
+    """``(n_rows, n_hashes)`` uint64 minhash signatures over code rows.
+
+    *rows* are int64 feature-code arrays — raw :class:`QGramCodec` window
+    codes (duplicates and order are irrelevant to a minimum) or interned
+    token ids. Two rows agree on one signature column with probability
+    equal to their Jaccard similarity, which is what LSH banding
+    (:mod:`repro.blocking.ann`) exploits. Empty rows get
+    :data:`EMPTY_SIGNATURE` in every column, so they never become
+    candidates. The whole batch is ``n_hashes`` vectorized passes over
+    the concatenated codes — no per-row Python.
+    """
+    a, b = minhash_params(n_hashes, seed)
+    n_rows = len(rows)
+    signatures = np.full((n_rows, n_hashes), EMPTY_SIGNATURE, dtype=np.uint64)
+    if n_rows == 0:
+        return signatures
+    sizes = np.fromiter(
+        (len(row) for row in rows), dtype=np.int64, count=n_rows
+    )
+    if not sizes.any():
+        return signatures
+    flat = np.concatenate(rows).astype(np.uint64)
+    offsets = np.zeros(n_rows, dtype=np.int64)
+    np.cumsum(sizes[:-1], out=offsets[1:])
+    nonempty = np.flatnonzero(sizes > 0)
+    # Segments of consecutive non-empty rows tile the flat array exactly
+    # (empty rows contribute nothing), so one reduceat per hash yields
+    # every row's minimum.
+    starts = offsets[nonempty]
+    with np.errstate(over="ignore"):
+        for column in range(n_hashes):
+            hashed = a[column] * flat + b[column]
+            signatures[nonempty, column] = np.minimum.reduceat(hashed, starts)
+    return signatures
+
+
+def band_keys(signatures: np.ndarray, bands: int) -> np.ndarray:
+    """``(n_rows, bands)`` uint64 bucket keys by FNV-folding band slices.
+
+    The signature width must divide evenly into *bands* (``rows = width
+    // bands`` minhash values per band). Two records land in the same
+    bucket of band ``j`` exactly when their signatures agree on all of
+    that band's rows (modulo the negligible 64-bit fold collision rate).
+    """
+    n_hashes = signatures.shape[1]
+    if bands < 1 or n_hashes % bands:
+        raise ValueError(
+            f"bands must divide the signature width ({n_hashes}), got {bands}"
+        )
+    rows_per_band = n_hashes // bands
+    folded = np.full(
+        (len(signatures), bands), np.uint64(0xCBF29CE484222325), dtype=np.uint64
+    )
+    prime = np.uint64(0x100000001B3)
+    with np.errstate(over="ignore"):
+        for position in range(rows_per_band):
+            folded = (
+                folded ^ signatures[:, position::rows_per_band]
+            ) * prime
+    return folded
+
+
 #: Vocabulary size up to which :class:`RecordIncidence` uses the dense
 #: uint64 bitset (popcount) backend; above it, a sparse row merge wins.
 BITSET_MAX_VOCAB = 4096

@@ -39,6 +39,36 @@ class TestEvaluateBlocking:
         )
         assert result.pairs_quality == pytest.approx(10 / 12)
 
+    def test_zero_match_sources_are_vacuously_complete(self):
+        # Regression: with no true matches there is nothing a candidate
+        # set can miss, so PC must be 1.0 (vacuous completeness). The
+        # pre-fix 0.0 made every tuner recall target unreachable on
+        # all-negative sources.
+        from repro.data.records import Record, RecordStore, Schema
+        from repro.datasets.generator import SourcePair
+
+        schema = Schema(("name",))
+        sources = SourcePair(
+            name="no_matches",
+            left=RecordStore(
+                "L",
+                schema,
+                [Record("a0", "L", {"name": "alpha"})],
+            ),
+            right=RecordStore(
+                "R",
+                schema,
+                [Record("b0", "R", {"name": "omega"})],
+            ),
+            matches=frozenset(),
+        )
+        empty = evaluate_blocking([], sources)
+        assert empty.pair_completeness == 1.0
+        assert empty.pairs_quality == 0.0
+        nonempty = evaluate_blocking([("a0", "b0")], sources)
+        assert nonempty.pair_completeness == 1.0
+        assert nonempty.pairs_quality == 0.0
+
 
 class TestTokenBlocker:
     def test_finds_most_matches(self, small_sources):
@@ -174,3 +204,37 @@ class TestTuning:
             tune_deepblocker(small_sources, recall_target=0.0)
         with pytest.raises(ValueError):
             tune_deepblocker(small_sources, k_ladder=())
+
+    def test_fallback_prefers_fewer_candidates_on_recall_tie(
+        self, small_sources, monkeypatch
+    ):
+        # Regression: when no configuration meets the recall target, PC
+        # ties must break toward the *smaller* candidate set. The pre-fix
+        # strictly-greater comparison kept the first-seen configuration,
+        # which here is deliberately the largest one.
+        sizes: list[int] = []
+        match = sorted(small_sources.matches)[0]
+
+        class FakeIndex:
+            def __init__(self, sources, attribute=None, clean=False, seed=0):
+                pass
+
+            def candidates(self, k, index_left):
+                # Every call has identical PC (exactly one true match)
+                # but a strictly shrinking candidate set.
+                fillers = {
+                    (f"fake{i}", f"fake{i}")
+                    for i in range(50 - 2 * len(sizes))
+                }
+                result = {match} | fillers
+                sizes.append(len(result))
+                return result
+
+        import repro.blocking.tuning as tuning
+
+        monkeypatch.setattr(tuning, "DeepBlockerIndex", FakeIndex)
+        tuned = tune_deepblocker(
+            small_sources, recall_target=0.9, k_ladder=(1, 2)
+        )
+        assert tuned.pair_completeness < 0.9  # fallback path exercised
+        assert tuned.result.n_candidates == min(sizes)

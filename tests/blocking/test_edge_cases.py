@@ -1,0 +1,123 @@
+"""Edge-case matrix shared by every blocker implementation.
+
+Each blocker must survive (not crash on) degenerate inputs — empty
+sources, single records, records shorter than q, thresholds no pair can
+meet — and always return a well-oriented ``set`` of (left_id, right_id)
+pairs. Parameterized over the full blocker roster, ANN backends included.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking import (
+    AnnBlocker,
+    AnnConfig,
+    QGramBlocker,
+    SortedNeighborhoodBlocker,
+    TokenBlocker,
+)
+from repro.data.records import RecordStore, Schema
+from repro.datasets.generator import SourcePair
+from tests.conftest import make_record
+
+SCHEMA = Schema(("name",))
+
+
+def _pair(left_names: list[str], right_names: list[str]) -> SourcePair:
+    left = RecordStore(
+        "L",
+        SCHEMA,
+        [
+            make_record(f"a{i}", "L", name=name)
+            for i, name in enumerate(left_names)
+        ],
+    )
+    right = RecordStore(
+        "R",
+        SCHEMA,
+        [
+            make_record(f"b{i}", "R", name=name)
+            for i, name in enumerate(right_names)
+        ],
+    )
+    return SourcePair(name="edge", left=left, right=right, matches=frozenset())
+
+
+BLOCKERS = [
+    pytest.param(lambda: TokenBlocker(), id="token"),
+    pytest.param(lambda: QGramBlocker(), id="qgram"),
+    pytest.param(lambda: SortedNeighborhoodBlocker(), id="snb"),
+    pytest.param(
+        lambda: AnnBlocker(AnnConfig(backend="lsh", n_hashes=32, bands=16)),
+        id="ann-lsh",
+    ),
+    pytest.param(
+        lambda: AnnBlocker(AnnConfig(backend="graph", k=3)), id="ann-graph"
+    ),
+]
+
+
+@pytest.mark.parametrize("blocker_factory", BLOCKERS)
+class TestBlockerEdgeCases:
+    def test_empty_left_source(self, blocker_factory):
+        sources = _pair([], ["laptop pro", "usb cable"])
+        assert blocker_factory().candidates(sources) == set()
+
+    def test_empty_both_sources(self, blocker_factory):
+        sources = _pair([], [])
+        assert blocker_factory().candidates(sources) == set()
+
+    def test_single_record_sources(self, blocker_factory):
+        sources = _pair(["laptop pro 15"], ["laptop pro 15"])
+        candidates = blocker_factory().candidates(sources)
+        assert candidates <= {("a0", "b0")}
+
+    def test_records_shorter_than_q(self, blocker_factory):
+        # 1-2 character values produce no 3-grams at all; blockers must
+        # degrade to empty/valid output, never crash.
+        sources = _pair(["a", "xy", ""], ["b", "yz", ""])
+        candidates = blocker_factory().candidates(sources)
+        assert isinstance(candidates, set)
+        for left_id, right_id in candidates:
+            assert left_id.startswith("a") and right_id.startswith("b")
+
+    def test_orientation(self, blocker_factory):
+        sources = _pair(
+            ["red widget deluxe", "blue widget basic"],
+            ["red widget deluxe", "green gadget"],
+        )
+        for left_id, right_id in blocker_factory().candidates(sources):
+            assert left_id in sources.left
+            assert right_id in sources.right
+
+
+class TestThresholdEdgeCases:
+    def test_min_common_larger_than_any_overlap(self):
+        sources = _pair(["alpha beta"], ["alpha beta"])
+        assert TokenBlocker(min_common=50).candidates(sources) == set()
+        assert QGramBlocker(min_common=500).candidates(sources) == set()
+
+    def test_qgram_max_block_size_zero(self):
+        # Every posting list is larger than 0, so every gram is pruned.
+        sources = _pair(["alpha beta"], ["alpha beta"])
+        assert QGramBlocker(max_block_size=0).candidates(sources) == set()
+
+    def test_ann_min_shared_bands_unreachable_for_disjoint(self):
+        # Disjoint records should not collide on all bands.
+        sources = _pair(["aaaaaaaa bbbbbbbb"], ["zzzzzzzz qqqqqqqq"])
+        config = AnnConfig(
+            backend="lsh", n_hashes=32, bands=32, min_shared_bands=32
+        )
+        assert AnnBlocker(config).candidates(sources) == set()
+
+    def test_snb_max_block_size_zero_window_only(self):
+        sources = _pair(["same"] * 8, ["same"] * 8)
+        expanded = SortedNeighborhoodBlocker(window=3).candidates(sources)
+        windowed = SortedNeighborhoodBlocker(
+            window=3, max_block_size=0
+        ).candidates(sources)
+        assert windowed < expanded
+        assert expanded == {
+            (f"a{i}", f"b{j}") for i in range(8) for j in range(8)
+        }

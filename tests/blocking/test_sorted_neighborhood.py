@@ -23,10 +23,36 @@ class TestDefaultKey:
         assert default_key(record) == ""
 
 
+def _tie_sources(n_left: int, n_right: int, key: str = "same"):
+    """A source pair where every record shares one blocking key."""
+    from repro.data.records import RecordStore, Schema
+    from repro.datasets.generator import SourcePair
+
+    schema = Schema(("name",))
+    left = RecordStore(
+        "L",
+        schema,
+        [make_record(f"a{i}", "L", name=key) for i in range(n_left)],
+    )
+    right = RecordStore(
+        "R",
+        schema,
+        [make_record(f"b{i}", "R", name=key) for i in range(n_right)],
+    )
+    matches = frozenset(
+        (f"a{i}", f"b{i}") for i in range(min(n_left, n_right))
+    )
+    return SourcePair(name="ties", left=left, right=right, matches=matches)
+
+
 class TestSortedNeighborhood:
     def test_window_validation(self):
         with pytest.raises(ValueError):
             SortedNeighborhoodBlocker(window=1)
+
+    def test_max_block_size_validation(self):
+        with pytest.raises(ValueError):
+            SortedNeighborhoodBlocker(max_block_size=-1)
 
     def test_finds_most_matches(self, small_sources):
         blocker = SortedNeighborhoodBlocker(window=8)
@@ -47,11 +73,49 @@ class TestSortedNeighborhood:
             assert right_id in small_sources.right
 
     def test_candidate_count_bounded_by_window(self, small_sources):
+        # The pure sliding-window bound only holds with tie expansion
+        # disabled (max_block_size=0); expansion deliberately exceeds it.
         window = 4
-        blocker = SortedNeighborhoodBlocker(window=window)
+        blocker = SortedNeighborhoodBlocker(window=window, max_block_size=0)
         candidates = blocker.candidates(small_sources)
         total = len(small_sources.left) + len(small_sources.right)
         assert len(candidates) <= total * (window - 1)
+
+    def test_tie_run_longer_than_window_keeps_all_pairs(self):
+        # Regression: 12 left + 12 right records all sharing one key. A
+        # window of 5 sliding over the 24-entry sorted order can only see
+        # pairs within 4 positions, so the pre-fix blocker silently lost
+        # most same-key cross pairs (e.g. PC was far below 1.0 despite a
+        # perfect blocking key). Tie expansion must recover the full block.
+        sources = _tie_sources(12, 12)
+        blocker = SortedNeighborhoodBlocker(window=5)
+        result = evaluate_blocking(blocker.candidates(sources), sources)
+        assert result.n_candidates == 12 * 12
+        assert result.pair_completeness == 1.0
+
+    def test_tie_run_window_only_loses_pairs(self):
+        # The companion negative control: with expansion disabled the
+        # window alone demonstrably drops cross-source pairs.
+        sources = _tie_sources(12, 12)
+        blocker = SortedNeighborhoodBlocker(window=5, max_block_size=0)
+        result = evaluate_blocking(blocker.candidates(sources), sources)
+        assert result.n_candidates < 12 * 12
+        assert result.pair_completeness < 1.0
+
+    def test_oversized_tie_run_guarded(self):
+        # A degenerate key (every record identical) larger than
+        # max_block_size must not explode into the cross product.
+        sources = _tie_sources(15, 15)
+        blocker = SortedNeighborhoodBlocker(window=3, max_block_size=20)
+        windowed = SortedNeighborhoodBlocker(
+            window=3, max_block_size=0
+        ).candidates(sources)
+        assert blocker.candidates(sources) == windowed
+
+    def test_unbounded_expansion(self):
+        sources = _tie_sources(15, 15)
+        blocker = SortedNeighborhoodBlocker(window=3, max_block_size=None)
+        assert len(blocker.candidates(sources)) == 15 * 15
 
     def test_custom_key(self, small_sources):
         # Keying on the price attribute only: completely different blocks.
