@@ -1,0 +1,142 @@
+"""Serving benchmark: resident-session throughput and tail latency.
+
+Opens a :class:`~repro.serve.MatcherSession` over ``dblp_scholar`` at CI
+scale and records to ``BENCH_serve.json``:
+
+* batched query throughput (must clear ``QPS_FLOOR`` queries/sec) and
+  the per-phase p50/p99 latencies at ``K`` candidates per query;
+* incremental ``add_records`` throughput, asserting the index is never
+  rebuilt (the ``blocking.ann.index_builds`` counter stays at 1);
+* serve-vs-offline prediction parity on the same candidate pairs.
+
+``scripts/verify.sh`` runs a separate live serve smoke over the JSONL
+loop; this benchmark prices the session API itself.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import obs as obs_package
+from repro.data.pairs import LabeledPairSet, RecordPair
+from repro.data.records import Record
+from repro.datasets.generator import build_task_from_sources
+from repro.datasets.sources import build_source_pair
+from repro.experiments.matcher_suite import build_matcher
+from repro.obs import Observability
+from repro.serve import open_session
+
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+DATASET = "dblp_scholar"
+SCALE = 1.0
+SEED = 0
+K = 10
+N_QUERIES = 200
+N_ADDED = 200
+QPS_FLOOR = 100.0
+
+
+@pytest.mark.serve_bench
+def test_serve_throughput_and_parity():
+    sources = build_source_pair(DATASET, SCALE)
+    task = build_task_from_sources(
+        sources,
+        n_pairs=300,
+        positive_fraction=0.25,
+        seed=SEED,
+        name=f"{DATASET}_serve",
+    )
+    with obs_package.use(Observability()) as o:
+        fit_start = time.perf_counter()
+        session = open_session(task, k=K, seed=SEED)
+        open_seconds = time.perf_counter() - fit_start
+        # Fitting uses the classic rebuild path; serving must not.
+        rebuilds_baseline = o.metrics.counter("features.incidence_rebuilds")
+
+        probes = task.left.records()[:N_QUERIES]
+        query_start = time.perf_counter()
+        results = session.query_batch(probes)
+        query_seconds = time.perf_counter() - query_start
+        qps = len(probes) / query_seconds if query_seconds else float("inf")
+
+        # Incremental adds: clones of indexed records under fresh ids.
+        donors = task.right.records()
+        fresh = [
+            Record(f"bench_{i}", donor.source, dict(donor.values))
+            for i, donor in enumerate(
+                donors[i % len(donors)] for i in range(N_ADDED)
+            )
+        ]
+        add_start = time.perf_counter()
+        session.add_records(fresh)
+        add_seconds = time.perf_counter() - add_start
+        adds_per_second = (
+            N_ADDED / add_seconds if add_seconds else float("inf")
+        )
+        session.query_batch(probes[:20])
+        index_builds = o.metrics.counter("blocking.ann.index_builds")
+        incidence_rebuilds = (
+            o.metrics.counter("features.incidence_rebuilds")
+            - rebuilds_baseline
+        )
+
+    # Parity: the offline matcher's predictions on the same pairs.
+    pair_set = LabeledPairSet()
+    online = {}
+    for probe, result in zip(probes, results):
+        for record_id, verdict in zip(result.candidates.ids, result.predictions):
+            key = (probe.record_id, record_id)
+            online[key] = verdict
+            if key not in pair_set:
+                pair_set.add(RecordPair(probe, task.right.get(record_id)), 0)
+    offline = build_matcher(task, session.config.matcher, SEED)
+    offline.fit(task)
+    mismatches = sum(
+        int(int(verdict) != online[pair.key])
+        for pair, verdict in zip(pair_set.pairs, offline.predict(pair_set))
+    )
+
+    latency = session.stats()["latency"]
+    record = {
+        "dataset": DATASET,
+        "scale": SCALE,
+        "seed": SEED,
+        "k": K,
+        "indexed_records": len(session),
+        "n_queries": len(probes),
+        "qps_floor": QPS_FLOOR,
+        "open_seconds": round(open_seconds, 3),
+        "queries_per_second": round(qps, 1),
+        "incremental_adds": N_ADDED,
+        "adds_per_second": round(adds_per_second, 1),
+        "index_builds": index_builds,
+        "incidence_rebuilds_during_serve": incidence_rebuilds,
+        "parity_pairs": len(pair_set),
+        "parity_mismatches": mismatches,
+        "cpu_count": os.cpu_count(),
+        "latency": latency,
+    }
+    RECORD_PATH.write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+    )
+    print()
+    print(json.dumps(record, indent=2))
+
+    assert mismatches == 0, (
+        f"{mismatches} serve predictions diverge from the offline matcher"
+    )
+    assert index_builds == 1.0, (
+        f"incremental add_records triggered {index_builds - 1:.0f} rebuild(s)"
+    )
+    assert incidence_rebuilds == 0.0, (
+        "serving rebuilt the incidence structure "
+        f"{incidence_rebuilds:.0f} time(s)"
+    )
+    assert qps >= QPS_FLOOR, (
+        f"serve throughput {qps:.1f} queries/sec below floor {QPS_FLOOR}"
+    )

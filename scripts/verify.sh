@@ -107,4 +107,70 @@ assert record["candidate_reduction"] >= record["reduction_floor"], (
 print("ann recall-floor check: OK")
 EOF
 
+echo "== serve: session smoke (add 100, query 50, offline parity) =="
+# A resident session must answer queries while absorbing incremental
+# adds without ever rebuilding its index, and its predictions must be
+# bit-identical to the offline matcher on the same candidate pairs.
+python - <<'EOF'
+from repro import obs as obs_package
+from repro.data.pairs import LabeledPairSet, RecordPair
+from repro.data.records import Record
+from repro.datasets.generator import build_task_from_sources
+from repro.datasets.sources import build_source_pair
+from repro.experiments.matcher_suite import build_matcher
+from repro.obs import Observability
+from repro.serve import open_session
+
+sources = build_source_pair("dblp_scholar", 0.5)
+task = build_task_from_sources(
+    sources, n_pairs=300, positive_fraction=0.25, seed=0, name="serve_smoke"
+)
+with obs_package.use(Observability()) as o:
+    session = open_session(task, k=10, seed=0)
+    donors = task.right.records()
+    session.add_records(
+        [Record(f"smoke_{i}", donors[i % len(donors)].source,
+                dict(donors[i % len(donors)].values)) for i in range(100)]
+    )
+    probes = task.left.records()[:50]
+    results = session.query_batch(probes)
+    assert o.metrics.counter("blocking.ann.index_builds") == 1.0, (
+        "incremental add rebuilt the index"
+    )
+
+pair_set = LabeledPairSet()
+online = {}
+for probe, result in zip(probes, results):
+    for record_id, verdict in zip(result.candidates.ids, result.predictions):
+        key = (probe.record_id, record_id)
+        online[key] = verdict
+        if key not in pair_set and record_id in task.right:
+            pair_set.add(RecordPair(probe, task.right.get(record_id)), 0)
+offline = build_matcher(task, session.config.matcher, 0)
+offline.fit(task)
+mismatches = sum(
+    int(int(v) != online[pair.key])
+    for pair, v in zip(pair_set.pairs, offline.predict(pair_set))
+)
+assert len(pair_set) > 0, "serve smoke produced no candidate pairs"
+assert mismatches == 0, f"{mismatches} serve/offline prediction mismatches"
+print(f"serve parity smoke: OK ({len(pair_set)} pairs, 0 mismatches)")
+EOF
+# Live loop smoke: the JSONL protocol end to end over a real pipe.
+python -m pytest -x -q tests/serve/test_loop.py -m "not slow"
+# Serving throughput/latency bench (writes BENCH_serve.json), then
+# re-check the recorded floors.
+python -m pytest -x -q -m serve_bench benchmarks/bench_serve.py
+python - <<'EOF'
+import json
+record = json.load(open("BENCH_serve.json"))
+assert record["queries_per_second"] >= record["qps_floor"], (
+    f"BENCH_serve.json: {record['queries_per_second']} qps below "
+    f"{record['qps_floor']}"
+)
+assert record["index_builds"] == 1.0, "BENCH_serve.json: index was rebuilt"
+assert record["parity_mismatches"] == 0, "BENCH_serve.json: parity broken"
+print("serve throughput-floor check: OK")
+EOF
+
 echo "verify: OK"

@@ -23,7 +23,10 @@ The package implements the paper's full apparatus:
 * :mod:`repro.obs` — zero-dependency observability: trace spans, a
   metrics registry and profiling hooks, shared by every layer above;
 * :mod:`repro.runtime` — fault-tolerant execution (policies, cache
-  envelopes, checkpoint journal, process-pool scheduling).
+  envelopes, checkpoint journal, process-pool scheduling);
+* :mod:`repro.serve` — resident matching sessions: a fitted matcher plus
+  an incremental ANN index answering queries online (``python -m repro
+  serve``).
 
 Quickstart::
 
@@ -58,14 +61,18 @@ from repro.experiments.runner import (
     default_runner,
 )
 from repro.runtime import ExecutionPolicy
+from repro.serve import MatcherSession, SessionConfig, open_session
 
 __all__ = [
     "ExecutionPolicy",
     "ExperimentRunner",
+    "MatcherSession",
     "Observability",
     "RunnerConfig",
+    "SessionConfig",
     "__version__",
     "default_runner",
     "obs",
+    "open_session",
     "render",
 ]

@@ -9,7 +9,11 @@ realizes the paper's "fine-tune for a minimum level of recall, maximizing
 precision" step.
 """
 
-from repro.blocking.base import BlockingResult, evaluate_blocking
+from repro.blocking.base import (
+    BlockingResult,
+    Candidates,
+    evaluate_blocking,
+)
 from repro.blocking.token import TokenBlocker
 from repro.blocking.qgram import QGramBlocker
 from repro.blocking.sorted_neighborhood import SortedNeighborhoodBlocker
@@ -27,22 +31,33 @@ from repro.blocking.ann import (
     AnnConfig,
     BackendProvenance,
     GraphIndex,
+    LshIndex,
     SmallWorldGraph,
     TunedAnnBlocking,
     provenance_sweep,
     tune_ann,
+)
+from repro.blocking.factory import (
+    BLOCKER_SPECS,
+    INDEX_SPECS,
+    make_blocker,
+    make_index,
 )
 
 __all__ = [
     "ANN_BACKENDS",
     "AnnBlocker",
     "AnnConfig",
+    "BLOCKER_SPECS",
     "BackendProvenance",
     "BlockingResult",
+    "Candidates",
     "DeepBlocker",
     "DeepBlockerConfig",
     "GraphIndex",
+    "INDEX_SPECS",
     "LinearAutoencoder",
+    "LshIndex",
     "QGramBlocker",
     "SmallWorldGraph",
     "SortedNeighborhoodBlocker",
@@ -51,6 +66,8 @@ __all__ = [
     "TunedBlocking",
     "evaluate_blocking",
     "fallback_preferred",
+    "make_blocker",
+    "make_index",
     "meeting_preferred",
     "provenance_sweep",
     "tune_ann",

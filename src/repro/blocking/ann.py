@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import heapq
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -47,19 +48,29 @@ import numpy as np
 from repro import obs
 from repro.blocking.base import (
     BlockingResult,
+    Candidates,
     evaluate_blocking,
     observed_candidates,
 )
 from repro.blocking.tuning import fallback_preferred, meeting_preferred
 from repro.datasets.generator import SourcePair
 from repro.text.feature_store import FeatureStore
-from repro.text.kernels import band_keys, minhash_signatures
+from repro.text.kernels import CodeTable, band_keys, minhash_signatures
 
 #: The two ANN backends (plus the implicit "exhaustive" baseline of the
 #: provenance sweep).
 ANN_BACKENDS: tuple[str, ...] = ("lsh", "graph")
 
 _EMPTY_INDEX = np.empty(0, dtype=np.int64)
+
+
+def _warn_deprecated(old: str, new: str) -> None:
+    """One DeprecationWarning per call site (the PR-3 ``render`` idiom)."""
+    warnings.warn(
+        f"{old} is deprecated; use {new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass(frozen=True)
@@ -172,8 +183,8 @@ def _lsh_candidate_indexes(
     right_nonempty: np.ndarray,
     min_shared_bands: int,
     max_bucket: int | None,
-) -> tuple[np.ndarray, np.ndarray, int, int]:
-    """``(left_idx, right_idx, pairs_examined, buckets_skipped)``.
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """``(left_idx, right_idx, shared_bands, pairs_examined, buckets_skipped)``.
 
     One vectorized range join per band: right keys are sorted once, left
     keys locate their bucket with two binary searches, and the matched
@@ -189,7 +200,7 @@ def _lsh_candidate_indexes(
     left_live = np.flatnonzero(left_nonempty)
     right_live = np.flatnonzero(right_nonempty)
     if len(left_live) == 0 or len(right_live) == 0:
-        return _EMPTY_INDEX, _EMPTY_INDEX, 0, 0
+        return _EMPTY_INDEX, _EMPTY_INDEX, _EMPTY_INDEX, 0, 0
 
     examined = 0
     skipped = 0
@@ -223,15 +234,16 @@ def _lsh_candidate_indexes(
         folded_parts.append(left_idx * n_right + right_idx)
 
     if not folded_parts:
-        return _EMPTY_INDEX, _EMPTY_INDEX, examined, skipped
+        return _EMPTY_INDEX, _EMPTY_INDEX, _EMPTY_INDEX, examined, skipped
     folded = np.concatenate(folded_parts)
     folded.sort()
     starts = np.ones(len(folded), dtype=bool)
     np.not_equal(folded[1:], folded[:-1], out=starts[1:])
     run_starts = np.flatnonzero(starts)
     run_lengths = np.diff(np.append(run_starts, len(folded)))
-    kept = folded[run_starts[run_lengths >= min_shared_bands]]
-    return kept // n_right, kept % n_right, examined, skipped
+    hits = run_lengths >= min_shared_bands
+    kept = folded[run_starts[hits]]
+    return kept // n_right, kept % n_right, run_lengths[hits], examined, skipped
 
 
 class SmallWorldGraph:
@@ -244,6 +256,11 @@ class SmallWorldGraph:
     insertion break every similarity tie by node id, so the structure —
     and therefore every query — is deterministic. Empty rows are
     unreachable islands (they can never score above zero).
+
+    The structure is inherently incremental — building *is* inserting
+    node by node — so :meth:`add_row` appends a new node in the same
+    O(beam) work as one build step; a graph grown by appends is
+    bit-identical to one built from the concatenated row list.
     """
 
     def __init__(
@@ -251,20 +268,27 @@ class SmallWorldGraph:
         rows: Sequence[np.ndarray],
         max_degree: int = 8,
         beam_width: int = 12,
+        n_entry_points: int = 8,
     ) -> None:
         self.max_degree = max_degree
         self.beam_width = beam_width
-        self._rows = list(rows)
-        self._sizes = np.fromiter(
-            (len(row) for row in self._rows),
-            dtype=np.int64,
-            count=len(self._rows),
-        )
-        self._neighbors: list[list[int]] = [[] for _ in self._rows]
+        self.n_entry_points = n_entry_points
+        self._rows: list[np.ndarray] = []
+        self._sizes = np.empty(0, dtype=np.int64)
+        self._neighbors: list[list[int]] = []
         self._entry: int | None = None
         self.sim_evals = 0
-        for node in range(len(self._rows)):
-            self._insert(node)
+        for row in rows:
+            self.add_row(row)
+
+    def add_row(self, row: np.ndarray) -> int:
+        """Append one dense sorted id row as a new node; returns its id."""
+        node = len(self._rows)
+        self._rows.append(row)
+        self._sizes = np.append(self._sizes, len(row))
+        self._neighbors.append([])
+        self._insert(node)
+        return node
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -294,20 +318,49 @@ class SmallWorldGraph:
         out[mask] = inter[mask] / np.sqrt(float(query_size) * sizes[mask])
         return out
 
+    def _entry_points(self) -> list[int]:
+        """Deterministic multi-entry seeds: the entry plus strided probes.
+
+        A single-entry greedy search strands nodes whose reverse edges
+        were all degree-pruned — on near-orthogonal data (tiny pairwise
+        similarities) the beam has no gradient to follow and whole
+        regions become unreachable. Seeding the beam with nodes spread
+        evenly across insertion order restores coverage the way NSW's
+        multi-restart search does, but deterministically: the seed set
+        is a pure function of the node count, so a graph grown by
+        appends still answers bit-identically to one built in one shot.
+        """
+        if self._entry is None:
+            return []
+        count = len(self._rows)
+        seeds = {self._entry}
+        for probe in range(self.n_entry_points):
+            seeds.add((probe * count) // self.n_entry_points)
+        seeds.add(count - 1)
+        return sorted(seeds)
+
     def _search(
         self, query: np.ndarray, query_size: int, beam: int
     ) -> list[tuple[float, int]]:
         """Greedy beam search: ``[(similarity, node), ...]`` best first."""
-        if self._entry is None:
+        entries = self._entry_points()
+        if not entries:
             return []
-        entry = self._entry
-        entry_sim = float(self._sims_to(query, query_size, [entry])[0])
-        visited = {entry}
+        entry_sims = self._sims_to(query, query_size, entries)
+        visited = set(entries)
         # Max-heap of frontier nodes by (-sim, node); min-heap of the
         # best `beam` results by (sim, -node) — both orders break ties
         # by node id, deterministically.
-        frontier = [(-entry_sim, entry)]
-        results = [(entry_sim, -entry)]
+        frontier = [
+            (-sim, entry) for entry, sim in zip(entries, entry_sims.tolist())
+        ]
+        heapq.heapify(frontier)
+        results = [
+            (sim, -entry) for entry, sim in zip(entries, entry_sims.tolist())
+        ]
+        heapq.heapify(results)
+        while len(results) > beam:
+            heapq.heappop(results)
         while frontier:
             negative_sim, node = heapq.heappop(frontier)
             if len(results) >= beam and -negative_sim < results[0][0]:
@@ -359,26 +412,37 @@ class SmallWorldGraph:
                     neighbors[i] for i in order[: self.max_degree]
                 ]
 
+    def search(
+        self, query: np.ndarray, query_size: int, k: int
+    ) -> list[tuple[float, int]]:
+        """``[(similarity, node), ...]`` of the ``<= k`` most similar nodes.
+
+        Best first, ties broken by node id. Nodes with zero similarity
+        are never returned — an unreachable record should not become a
+        candidate just because the beam visited it.
+        """
+        found = self._search(query, query_size, max(self.beam_width, k))
+        return [(sim, node) for sim, node in found[:k] if sim > 0.0]
+
     def query(
         self, query: np.ndarray, query_size: int, k: int
     ) -> list[int]:
-        """The ``<= k`` most similar nodes of a dense sorted query row.
-
-        Nodes with zero similarity are never returned — an unreachable
-        record should not become a candidate just because the beam
-        visited it.
-        """
-        found = self._search(query, query_size, max(self.beam_width, k))
-        return [node for sim, node in found[:k] if sim > 0.0]
+        """The nodes of :meth:`search`, without their scores."""
+        return [node for __, node in self.search(query, query_size, k)]
 
 
 class GraphIndex:
-    """``query(record, k)`` ANN access over one indexed record list.
+    """``search(record, k)`` ANN access over one growing record list.
 
-    Wraps a :class:`SmallWorldGraph` with the code-to-dense-rank mapping,
-    so external records (e.g. streaming queries, the future
-    ``repro.serve`` session) can be encoded through the same feature
-    store and queried directly. Query codes outside the indexed
+    Wraps a :class:`SmallWorldGraph` with a first-sight
+    :class:`~repro.text.kernels.CodeTable` code-to-dense-id mapping, so
+    external records (streaming queries, the ``repro.serve`` session)
+    can be encoded through the same feature store and queried directly,
+    and new records can be :meth:`insert`-ed without ever rebuilding:
+    set intersections are invariant to the id assignment scheme, so
+    first-sight ids produce the exact same similarities — and therefore
+    the exact same graph — as the frozen sorted-rank vocabulary the
+    index used when it was build-once. Query codes outside the indexed
     vocabulary cannot intersect anything and are dropped from the probe,
     but still count toward the query's cosine magnitude.
     """
@@ -391,49 +455,200 @@ class GraphIndex:
         store: FeatureStore,
         view: tuple,
     ) -> None:
-        self.records = list(records)
+        self.records: list = []
         self._store = store
         self._view = view
         self.config = config
-        live = [row for row in rows if len(row)]
-        self._vocab = (
-            np.unique(np.concatenate(live)) if live else _EMPTY_INDEX
-        )
-        dense = [
-            np.unique(np.searchsorted(self._vocab, row))
-            if len(row)
-            else _EMPTY_INDEX
-            for row in rows
-        ]
-        started = time.perf_counter()
+        self._table = CodeTable()
         self.graph = SmallWorldGraph(
-            dense,
+            (),
             max_degree=config.max_degree,
             beam_width=config.beam_width,
         )
+        started = time.perf_counter()
+        self._append(records, rows)
         obs.observe(
             "blocking.ann.graph_build_seconds", time.perf_counter() - started
         )
+        obs.inc("blocking.ann.index_builds")
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def _append(self, records: Sequence, rows: Sequence[np.ndarray]) -> None:
+        self.records.extend(records)
+        for row in rows:
+            dense = (
+                np.unique(self._table.intern(row))
+                if len(row)
+                else _EMPTY_INDEX
+            )
+            self.graph.add_row(dense)
+
+    def insert(self, records: Sequence) -> None:
+        """Append *records* to the live index — incremental, no rebuild."""
+        records = list(records)
+        rows = self._store.rows(records, self._view)
+        started = time.perf_counter()
+        self._append(records, rows)
+        obs.observe(
+            "blocking.ann.index_insert_seconds",
+            time.perf_counter() - started,
+        )
+        obs.inc("blocking.ann.index_inserts", float(len(records)))
 
     def map_row(self, raw_row: np.ndarray) -> tuple[np.ndarray, int]:
         """``(dense sorted probe ids, distinct query size)`` of raw codes."""
         distinct = np.unique(raw_row)
-        if len(distinct) == 0 or len(self._vocab) == 0:
+        if len(distinct) == 0 or len(self._table) == 0:
             return _EMPTY_INDEX, len(distinct)
-        positions = np.searchsorted(self._vocab, distinct)
-        positions[positions == len(self._vocab)] = 0
-        present = self._vocab[positions] == distinct
-        return positions[present], len(distinct)
+        return np.sort(self._table.lookup(distinct)), len(distinct)
+
+    def search_row(
+        self, raw_row: np.ndarray, k: int
+    ) -> list[tuple[float, int]]:
+        """``[(score, position), ...]`` of the ``<= k`` nearest records."""
+        probe, query_size = self.map_row(raw_row)
+        return self.graph.search(probe, query_size, k)
 
     def query_row(self, raw_row: np.ndarray, k: int) -> list[int]:
         """Positions (into ``records``) of the ``<= k`` nearest records."""
-        probe, query_size = self.map_row(raw_row)
-        return self.graph.query(probe, query_size, k)
+        return [position for __, position in self.search_row(raw_row, k)]
+
+    def search(self, record, k: int) -> Candidates:
+        """The ``<= k`` most similar record ids, scored, best first."""
+        raw_row = self._store.rows([record], self._view)[0]
+        scored = self.search_row(raw_row, k)
+        return Candidates(
+            ids=tuple(
+                self.records[position].record_id for __, position in scored
+            ),
+            scores=tuple(sim for sim, __ in scored),
+            provenance=self.config.describe(),
+        )
 
     def query(self, record, k: int) -> list:
-        """The ``<= k`` indexed records most similar to *record*."""
+        """Deprecated shim for :meth:`search`: bare record objects."""
+        _warn_deprecated("GraphIndex.query", "GraphIndex.search")
         raw_row = self._store.rows([record], self._view)[0]
-        return [self.records[i] for i in self.query_row(raw_row, k)]
+        return [
+            self.records[position]
+            for __, position in self.search_row(raw_row, k)
+        ]
+
+
+class LshIndex:
+    """Incremental banded-minhash index with the :class:`GraphIndex` shape.
+
+    Per-band hash buckets (``key -> positions``) grown append-only:
+    minhash signatures are per-row independent (the hash family is
+    derived from the seed alone), so :meth:`insert` computes signatures
+    for the new rows only and appends their band keys — existing buckets
+    are never touched, let alone rebuilt. :meth:`search_row` scores each
+    colliding position by its shared-band fraction, mirroring the batch
+    :func:`_lsh_candidate_indexes` semantics (``min_shared_bands``
+    filter, oversized buckets skipped).
+    """
+
+    def __init__(
+        self,
+        records: Sequence,
+        rows: Sequence[np.ndarray],
+        config: AnnConfig,
+        store: FeatureStore,
+        view: tuple,
+    ) -> None:
+        self.records: list = []
+        self._store = store
+        self._view = view
+        self.config = config
+        self._buckets: list[dict[int, list[int]]] = [
+            {} for __ in range(config.bands)
+        ]
+        started = time.perf_counter()
+        self._append(records, rows)
+        obs.observe(
+            "blocking.ann.lsh_build_seconds", time.perf_counter() - started
+        )
+        obs.inc("blocking.ann.index_builds")
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def _append(self, records: Sequence, rows: Sequence[np.ndarray]) -> None:
+        base = len(self.records)
+        self.records.extend(records)
+        if not rows:
+            return
+        signatures = minhash_signatures(
+            list(rows), self.config.n_hashes, self.config.seed
+        )
+        keys = band_keys(signatures, self.config.bands)
+        for offset, live in enumerate(_nonempty_mask(rows).tolist()):
+            if not live:
+                continue
+            for band in range(self.config.bands):
+                self._buckets[band].setdefault(
+                    int(keys[offset, band]), []
+                ).append(base + offset)
+
+    def insert(self, records: Sequence) -> None:
+        """Append *records* to the live index — incremental, no rebuild."""
+        records = list(records)
+        rows = self._store.rows(records, self._view)
+        started = time.perf_counter()
+        self._append(records, rows)
+        obs.observe(
+            "blocking.ann.index_insert_seconds",
+            time.perf_counter() - started,
+        )
+        obs.inc("blocking.ann.index_inserts", float(len(records)))
+
+    def search_row(
+        self, raw_row: np.ndarray, k: int
+    ) -> list[tuple[float, int]]:
+        """``[(score, position), ...]`` of the ``<= k`` best collisions."""
+        config = self.config
+        distinct = np.unique(raw_row)
+        if len(distinct) == 0:
+            return []
+        signature = minhash_signatures(
+            [distinct], config.n_hashes, config.seed
+        )
+        keys = band_keys(signature, config.bands)[0]
+        shared: dict[int, int] = {}
+        for band in range(config.bands):
+            bucket = self._buckets[band].get(int(keys[band]))
+            if bucket is None:
+                continue
+            if config.max_bucket is not None and len(bucket) > config.max_bucket:
+                obs.inc("blocking.ann.buckets_skipped")
+                continue
+            for position in bucket:
+                shared[position] = shared.get(position, 0) + 1
+        scored = [
+            (count / config.bands, position)
+            for position, count in shared.items()
+            if count >= config.min_shared_bands
+        ]
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        return scored[:k]
+
+    def query_row(self, raw_row: np.ndarray, k: int) -> list[int]:
+        """Positions (into ``records``) of the ``<= k`` best collisions."""
+        return [position for __, position in self.search_row(raw_row, k)]
+
+    def search(self, record, k: int) -> Candidates:
+        """The ``<= k`` best-colliding record ids, scored, best first."""
+        raw_row = self._store.rows([record], self._view)[0]
+        scored = self.search_row(raw_row, k)
+        return Candidates(
+            ids=tuple(
+                self.records[position].record_id for __, position in scored
+            ),
+            scores=tuple(score for score, __ in scored),
+            provenance=self.config.describe(),
+        )
 
 
 class AnnBlocker:
@@ -450,7 +665,10 @@ class AnnBlocker:
         self.config = config if config is not None else AnnConfig()
 
     def build_index(self, sources: SourcePair) -> GraphIndex:
-        """A reusable ``query(record, k)`` index over the right source."""
+        """Deprecated shim: build the index with ``make_index`` instead."""
+        _warn_deprecated(
+            "AnnBlocker.build_index", "repro.blocking.make_index"
+        )
         encoded = _EncodedSources(sources, self.config.q)
         return GraphIndex(
             encoded.right_records,
@@ -460,9 +678,9 @@ class AnnBlocker:
             view=encoded.view,
         )
 
-    def _lsh_candidates(
+    def _lsh_scored(
         self, encoded: _EncodedSources
-    ) -> set[tuple[str, str]]:
+    ) -> list[tuple[float, tuple[str, str]]]:
         config = self.config
         started = time.perf_counter()
         left_signatures = minhash_signatures(
@@ -474,27 +692,34 @@ class AnnBlocker:
         obs.observe(
             "blocking.ann.signature_seconds", time.perf_counter() - started
         )
-        left_idx, right_idx, examined, skipped = _lsh_candidate_indexes(
-            band_keys(left_signatures, config.bands),
-            band_keys(right_signatures, config.bands),
-            _nonempty_mask(encoded.left_rows),
-            _nonempty_mask(encoded.right_rows),
-            config.min_shared_bands,
-            config.max_bucket,
+        left_idx, right_idx, shared, examined, skipped = (
+            _lsh_candidate_indexes(
+                band_keys(left_signatures, config.bands),
+                band_keys(right_signatures, config.bands),
+                _nonempty_mask(encoded.left_rows),
+                _nonempty_mask(encoded.right_rows),
+                config.min_shared_bands,
+                config.max_bucket,
+            )
         )
         obs.inc("blocking.ann.pairs_examined", float(examined))
         obs.inc("blocking.ann.buckets_skipped", float(skipped))
-        return {
+        return [
             (
-                encoded.left_records[i].record_id,
-                encoded.right_records[j].record_id,
+                count / config.bands,
+                (
+                    encoded.left_records[i].record_id,
+                    encoded.right_records[j].record_id,
+                ),
             )
-            for i, j in zip(left_idx.tolist(), right_idx.tolist())
-        }
+            for i, j, count in zip(
+                left_idx.tolist(), right_idx.tolist(), shared.tolist()
+            )
+        ]
 
-    def _graph_candidates(
+    def _graph_scored(
         self, encoded: _EncodedSources
-    ) -> set[tuple[str, str]]:
+    ) -> list[tuple[float, tuple[str, str]]]:
         config = self.config
         index = GraphIndex(
             encoded.right_records,
@@ -504,25 +729,49 @@ class AnnBlocker:
             view=encoded.view,
         )
         evals_before = index.graph.sim_evals
-        results: set[tuple[str, str]] = set()
+        scored: list[tuple[float, tuple[str, str]]] = []
         for record, row in zip(encoded.left_records, encoded.left_rows):
-            for position in index.query_row(row, config.k):
-                results.add(
-                    (record.record_id, encoded.right_records[position].record_id)
+            for sim, position in index.search_row(row, config.k):
+                scored.append(
+                    (
+                        sim,
+                        (
+                            record.record_id,
+                            encoded.right_records[position].record_id,
+                        ),
+                    )
                 )
         obs.inc(
             "blocking.ann.pairs_examined",
             float(index.graph.sim_evals - evals_before),
         )
-        return results
+        return scored
 
     @observed_candidates
-    def candidates(self, sources: SourcePair) -> set[tuple[str, str]]:
-        """All candidate (left_id, right_id) pairs of the configured backend."""
+    def candidate_result(self, sources: SourcePair) -> Candidates:
+        """All candidate pairs of the configured backend, typed and scored.
+
+        Scores are the shared-band fraction (LSH) or the cosine
+        similarity (graph); results are ordered best first with ties
+        broken by the pair key, so the ordering — like the set — is
+        bit-deterministic for a fixed config.
+        """
         encoded = _EncodedSources(sources, self.config.q)
         if self.config.backend == "lsh":
-            return self._lsh_candidates(encoded)
-        return self._graph_candidates(encoded)
+            scored = self._lsh_scored(encoded)
+        else:
+            scored = self._graph_scored(encoded)
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        return Candidates(
+            ids=tuple(pair for __, pair in scored),
+            scores=tuple(score for score, __ in scored),
+            provenance=self.config.describe(),
+        )
+
+    def candidates(self, sources: SourcePair) -> set[tuple[str, str]]:
+        """Blocker-protocol shim: the untyped pair set of
+        :meth:`candidate_result`."""
+        return self.candidate_result(sources).to_set()
 
 
 # -- tuning -------------------------------------------------------------------
@@ -612,7 +861,7 @@ def tune_ann(
                     max_bucket=max_bucket,
                     seed=seed,
                 )
-                left_idx, right_idx, __, __ = _lsh_candidate_indexes(
+                left_idx, right_idx, __, __, __ = _lsh_candidate_indexes(
                     left_keys,
                     right_keys,
                     left_nonempty,
@@ -684,7 +933,8 @@ def provenance_sweep(
     includes the tuning grid); ``graph`` is the default small-world
     configuration.
     """
-    from repro.blocking.qgram import QGramBlocker
+    # Function-local import: the factory imports this module.
+    from repro.blocking.factory import make_blocker
 
     cross = len(sources.left) * len(sources.right)
     outcome: dict[str, BackendProvenance] = {}
@@ -701,7 +951,7 @@ def provenance_sweep(
         )
 
     if "exhaustive" in backends:
-        blocker = QGramBlocker(q=q)
+        blocker = make_blocker("exhaustive", q=q)
         started = time.perf_counter()
         result = evaluate_blocking(blocker.candidates(sources), sources)
         record(
@@ -723,12 +973,13 @@ def provenance_sweep(
             time.perf_counter() - started,
         )
     if "graph" in backends:
-        config = AnnConfig(backend="graph", q=q, seed=seed)
+        blocker = make_blocker("graph", q=q, seed=seed)
         started = time.perf_counter()
-        result = evaluate_blocking(
-            AnnBlocker(config).candidates(sources), sources
-        )
+        result = evaluate_blocking(blocker.candidates(sources), sources)
         record(
-            "graph", config.describe(), result, time.perf_counter() - started
+            "graph",
+            blocker.config.describe(),
+            result,
+            time.perf_counter() - started,
         )
     return outcome

@@ -45,6 +45,57 @@ def observed_candidates(method: _C) -> _C:
 
 
 @dataclass(frozen=True)
+class Candidates:
+    """One typed candidate result: parallel ids and scores plus provenance.
+
+    The single result shape shared by batch blocking and ``repro.serve``:
+    ``ids[i]`` is what was retrieved — a record id for an index query
+    (:meth:`~repro.blocking.ann.GraphIndex.search`), a ``(left_id,
+    right_id)`` pair for a blocker sweep (:meth:`~repro.blocking.ann
+    .AnnBlocker.candidate_result`) — ``scores[i]`` is its retrieval score
+    (cosine similarity for the graph backend, shared-band fraction for
+    LSH), and ``provenance`` names the backend configuration that
+    produced it (:meth:`~repro.blocking.ann.AnnConfig.describe`).
+    Results are ordered best-first with ties broken deterministically by
+    the producer. Iteration yields the ids, so existing ``for pair in
+    candidates`` / ``set(candidates)`` call shapes keep working.
+    """
+
+    ids: tuple
+    scores: tuple[float, ...]
+    provenance: str
+
+    def __post_init__(self) -> None:
+        if len(self.ids) != len(self.scores):
+            raise ValueError(
+                f"{len(self.ids)} ids but {len(self.scores)} scores"
+            )
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __bool__(self) -> bool:
+        return bool(self.ids)
+
+    def __iter__(self):
+        return iter(self.ids)
+
+    def top(self, k: int) -> "Candidates":
+        """The best ``k`` results (the ordering is the producer's)."""
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        return Candidates(
+            ids=self.ids[:k],
+            scores=self.scores[:k],
+            provenance=self.provenance,
+        )
+
+    def to_set(self) -> set:
+        """The untyped id set (the classic blocker-protocol shape)."""
+        return set(self.ids)
+
+
+@dataclass(frozen=True)
 class BlockingResult:
     """Candidate set plus its PC/PQ against the ground truth."""
 

@@ -44,6 +44,7 @@ units while the run executes.
 from __future__ import annotations
 
 import argparse
+import sys
 from pathlib import Path
 
 from repro import obs
@@ -124,8 +125,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="table3..table7, fig1..fig6, blocking, audit, snapshot, trace, "
-        "doctor, chaos, or list",
+        help="table3..table7, fig1..fig6, blocking, audit, snapshot, serve, "
+        "trace, doctor, chaos, or list",
     )
     parser.add_argument(
         "dataset",
@@ -274,6 +275,36 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="BACKEND",
         help="for 'blocking': restrict the provenance sweep's rows to one "
         "backend ('ann' = both ANN backends; default: all)",
+    )
+    parser.add_argument(
+        "--matcher",
+        default="SA-ESDE",
+        metavar="NAME",
+        help="for 'serve': roster name of the matcher to fit (default "
+        "SA-ESDE)",
+    )
+    parser.add_argument(
+        "--k",
+        type=_positive_int,
+        default=10,
+        metavar="K",
+        help="for 'serve': candidates retrieved per query (default 10)",
+    )
+    parser.add_argument(
+        "--state",
+        type=_cache_dir,
+        default=None,
+        metavar="DIR",
+        help="for 'serve': state directory (lease + journal + session "
+        "snapshot); restarting with an existing snapshot resumes it",
+    )
+    parser.add_argument(
+        "--snapshot-every",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="for 'serve': snapshot the session after every N added "
+        "records (requires --state)",
     )
     parser.add_argument(
         "--no-auto-degrade",
@@ -436,6 +467,66 @@ def _chaos_command(
     return 1
 
 
+def _serve_command(args) -> int:
+    """``python -m repro serve [DATASET] [--matcher M] [--state DIR] ...``.
+
+    Fits the matcher, builds the incremental ANN index over the dataset's
+    right-hand records and answers JSONL requests on stdin until EOF,
+    ``shutdown`` or SIGTERM. With ``--state DIR`` holding an existing
+    session snapshot, the session resumes from it instead of refitting.
+    """
+    from repro.datasets.generator import build_task_from_sources
+    from repro.datasets.registry import load_established_task, load_source_pair
+    from repro.serve import MatcherSession, SessionConfig
+    from repro.serve.loop import SNAPSHOT_NAME, ServeLoop
+
+    if args.snapshot_every is not None and args.state is None:
+        print("--snapshot-every requires --state DIR")
+        return 2
+
+    snapshot_path = (
+        args.state / SNAPSHOT_NAME if args.state is not None else None
+    )
+    if snapshot_path is not None and snapshot_path.exists():
+        session = MatcherSession.load(snapshot_path)
+    else:
+        dataset_id = args.dataset if args.dataset is not None else "dblp_scholar"
+        if dataset_id in ESTABLISHED_DATASET_IDS:
+            task = load_established_task(dataset_id, args.scale)
+        elif dataset_id in SOURCE_DATASET_IDS:
+            task = build_task_from_sources(
+                load_source_pair(dataset_id, args.scale),
+                n_pairs=300,
+                positive_fraction=0.25,
+                seed=args.seed,
+            )
+        else:
+            print(
+                f"serve: unknown dataset id {dataset_id!r} (see 'repro list')"
+            )
+            return 2
+        blocker = args.blocker if args.blocker in ("lsh", "graph") else "graph"
+        config = SessionConfig(
+            matcher=args.matcher,
+            blocker=blocker,
+            k=args.k,
+            seed=args.seed,
+        )
+        session = MatcherSession(task, config)
+
+    loop = ServeLoop(
+        session,
+        state_dir=args.state,
+        snapshot_every=(
+            args.snapshot_every if args.snapshot_every is not None else 0
+        ),
+    )
+    code = loop.run()
+    if args.metrics:
+        print(render(obs.snapshot(), title="Metrics"), file=sys.stderr)
+    return code
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     # The runner collects failures itself; start the process-wide fallback
@@ -464,6 +555,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.experiment == "chaos":
         return _chaos_command(dataset_ids, cache_dir, args)
+
+    if args.experiment == "serve":
+        return _serve_command(args)
 
     if cache_dir is not None and args.experiment not in ("list",):
         problem = check_cache_dir_writable(cache_dir)
@@ -501,7 +595,7 @@ def main(argv: list[str] | None = None) -> int:
             "experiments:",
             ", ".join(
                 [*_TABLES, *_FIGURES, "blocking", "verdicts", "audit",
-                 "snapshot", "trace"]
+                 "snapshot", "serve", "trace"]
             ),
         )
         print("established datasets:", ", ".join(ESTABLISHED_DATASET_IDS))

@@ -104,6 +104,52 @@ class EsdeMatcher(Matcher):
             return None
         return self._extractor.feature_names[self.best_feature_]
 
+    # -- session snapshots (repro.serve) ------------------------------------
+
+    def to_payload(self) -> dict:
+        """JSON-ready fitted state for ``repro.serve`` session snapshots.
+
+        Only the decision state — the selected (feature, threshold) pair
+        — needs to persist; the extractor is rebuilt at load time from
+        the session's records. Floats round-trip through JSON exactly
+        (``repr``-based), so a restored matcher predicts bit-identically.
+        Embedding variants hold a task-local embedder that is not
+        serializable; they raise.
+        """
+        if not self._fitted or self.best_feature_ is None:
+            raise RuntimeError(
+                f"{self.name}: cannot snapshot an unfitted matcher"
+            )
+        if self.variant in ("SAS", "SBS"):
+            raise ValueError(
+                f"{self.name}: embedding variants do not support "
+                "session snapshots"
+            )
+        return {
+            "kind": "esde",
+            "variant": self.variant,
+            "best_feature": int(self.best_feature_),
+            "best_threshold": float(self.best_threshold_),
+            "validation_f1": float(self.validation_f1_),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict, task) -> "EsdeMatcher":
+        """Rebuild a fitted matcher from :meth:`to_payload` output.
+
+        *task* only needs ``attributes`` and weak referenceability (the
+        extractor resolves its feature store through it) — the serve
+        loader passes a lightweight task shim, not a full
+        :class:`~repro.data.task.MatchingTask`.
+        """
+        matcher = cls(payload["variant"])
+        matcher._extractor = EsdeFeatureExtractor(matcher.variant, task)
+        matcher.best_feature_ = int(payload["best_feature"])
+        matcher.best_threshold_ = float(payload["best_threshold"])
+        matcher.validation_f1_ = float(payload.get("validation_f1", 0.0))
+        matcher._fitted = True
+        return matcher
+
 
 def make_esde(variant: str) -> EsdeMatcher:
     """Construct an ESDE matcher from a Table IV row name or a bare variant.

@@ -321,6 +321,7 @@ class EsdeFeatureExtractor:
             names=self.feature_names,
             compute=lambda: self._compute_matrix(pair_list),
             cacheable=self._cacheable,
+            compute_pairs=lambda subset: self._compute_matrix(list(subset)),
         )
 
     def feature_column(self, pairs: LabeledPairSet, index: int) -> np.ndarray:
@@ -337,6 +338,9 @@ class EsdeFeatureExtractor:
             names=(name,),
             compute=lambda: self._compute_column(pair_list, index),
             cacheable=self._cacheable,
+            compute_pairs=lambda subset: self._compute_column(
+                list(subset), index
+            ),
         )
         return column.reshape(len(pair_list))
 
@@ -493,4 +497,5 @@ class MagellanFeatureExtractor:
             pairs=pair_list,
             names=self.feature_names,
             compute=lambda: self._compute_matrix(pair_list),
+            compute_pairs=lambda subset: self._compute_matrix(list(subset)),
         )

@@ -37,6 +37,7 @@ from uuid import uuid4
 
 from repro.obs.metrics import (
     SNAPSHOT_KEYS,
+    LatencyHistogram,
     MetricsRegistry,
     TimerStat,
     is_metrics_snapshot,
@@ -47,6 +48,7 @@ from repro.obs.spans import STATUSES, Span, TraceCollector, read_trace
 __all__ = [
     "STATUSES",
     "SNAPSHOT_KEYS",
+    "LatencyHistogram",
     "MetricsRegistry",
     "Observability",
     "PhaseAccumulator",

@@ -22,6 +22,7 @@ fork boundary: counters and timers add, gauges last-write-win.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from contextlib import contextmanager
@@ -123,6 +124,11 @@ class MetricsRegistry:
     def counter(self, name: str) -> float:
         return self._counters.get(name, 0.0)
 
+    def timer_total(self, name: str) -> float:
+        """Accumulated seconds of the timer ``name`` (0 if never observed)."""
+        stat = self._timers.get(name)
+        return stat.total if stat is not None else 0.0
+
     def snapshot(self) -> dict[str, dict]:
         """JSON-ready dict of every instrument, keys sorted (see module doc)."""
         with self._lock:
@@ -186,6 +192,91 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._timers.clear()
+
+
+class LatencyHistogram:
+    """Log-bucketed latency histogram with p50/p99 quantile estimates.
+
+    :class:`TimerStat` keeps count/total/min/max only — enough for
+    throughput accounting, useless for tail latency. This histogram
+    buckets observations on a geometric grid from ``lowest`` seconds
+    (everything below lands in bucket 0) with ``growth`` spacing, so a
+    few hundred ints cover nanoseconds to minutes at ≤5% relative error
+    per bucket. Quantiles interpolate inside the winning bucket.
+    Serving loops keep one per phase (block / extract / predict) and
+    render them next to the registry snapshot; ``to_dict`` is JSON-ready
+    and deterministic for a fixed observation multiset.
+    """
+
+    __slots__ = ("lowest", "growth", "_counts", "_stat")
+
+    def __init__(self, lowest: float = 1e-6, growth: float = 1.1) -> None:
+        if lowest <= 0:
+            raise ValueError(f"lowest must be > 0, got {lowest}")
+        if growth <= 1.0:
+            raise ValueError(f"growth must be > 1, got {growth}")
+        self.lowest = lowest
+        self.growth = growth
+        self._counts: dict[int, int] = {}
+        self._stat = TimerStat()
+
+    def __len__(self) -> int:
+        return self._stat.count
+
+    def _bucket(self, seconds: float) -> int:
+        if seconds <= self.lowest:
+            return 0
+        return 1 + int(math.log(seconds / self.lowest) / math.log(self.growth))
+
+    def _edge(self, bucket: int) -> float:
+        return self.lowest * self.growth**bucket
+
+    def observe(self, seconds: float) -> None:
+        self._stat.observe(seconds)
+        bucket = self._bucket(seconds)
+        self._counts[bucket] = self._counts.get(bucket, 0) + 1
+
+    def quantile(self, fraction: float) -> float:
+        """The estimated ``fraction`` quantile in seconds (0 when empty)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        count = self._stat.count
+        if count == 0:
+            return 0.0
+        rank = fraction * (count - 1)
+        seen = 0
+        for bucket in sorted(self._counts):
+            seen += self._counts[bucket]
+            if seen > rank:
+                # Interpolate inside the bucket; clamp to observed range.
+                low = self._edge(bucket - 1) if bucket else 0.0
+                high = self._edge(bucket)
+                estimate = (low + high) / 2.0
+                return min(max(estimate, self._stat.minimum), self._stat.maximum)
+        return self._stat.maximum
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        if other.lowest != self.lowest or other.growth != self.growth:
+            raise ValueError("cannot merge histograms with different grids")
+        self._stat.merge(other._stat)
+        for bucket, count in other._counts.items():
+            self._counts[bucket] = self._counts.get(bucket, 0) + count
+
+    def to_dict(self) -> dict[str, float]:
+        """JSON-ready summary: count/mean/min/max plus p50/p90/p99."""
+        summary = self._stat.to_dict()
+        summary["p50"] = round(self.quantile(0.50), 6)
+        summary["p90"] = round(self.quantile(0.90), 6)
+        summary["p99"] = round(self.quantile(0.99), 6)
+        return summary
 
 
 def is_metrics_snapshot(artifact: object) -> bool:

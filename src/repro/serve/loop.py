@@ -1,0 +1,285 @@
+"""The ``python -m repro serve`` request loop: JSONL in, JSONL out.
+
+One JSON object per line on the input stream, one JSON response per line
+on the output stream. Operations:
+
+* ``{"op": "add", "records": [...], "id": "a1"}`` — append records; the
+  optional ``id`` makes the add idempotent across crash/restart (see
+  below).
+* ``{"op": "query", "record": {...}, "k": 5}`` — match one record.
+* ``{"op": "query_batch", "records": [...], "k": 5}`` — match a batch
+  through one coalesced predict call.
+* ``{"op": "stats"}`` — session summary with per-phase latency
+  histograms (p50/p99 for block/extract/predict).
+* ``{"op": "snapshot"}`` — persist the session now (requires a state
+  directory).
+* ``{"op": "shutdown"}`` — drain and exit.
+
+Every response carries ``"ok"``; failures answer ``{"ok": false,
+"error": ...}`` and the loop keeps serving.
+
+**Durability.** With ``--state DIR`` the loop holds a
+:class:`~repro.runtime.guard.RunLease` on the directory, snapshots the
+session to ``session.json`` (every ``--snapshot-every`` added records,
+on the ``snapshot`` op, and at drain) and journals add request ids into
+``serve.journal`` — *only once they are covered by a snapshot*, so a
+journaled add is always in the snapshot it survives with. On restart a
+replayed add is either journal-skipped (snapshotted before the crash) or
+re-applied; records already present are silently deduplicated, so the
+add/crash/replay cycle is exactly-once.
+
+**Drain.** SIGTERM stops intake and finishes the requests already read;
+the ``shutdown`` op stops immediately after its own response. Either
+way the loop emits a final ``drained`` event with the session stats,
+snapshots, releases the lease and exits 0. Fault injection hooks
+the top of every request at site ``serve:request``.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import signal
+import sys
+import threading
+from pathlib import Path
+from typing import IO
+
+from repro import obs
+from repro.data.records import Record
+from repro.runtime import faults
+from repro.runtime.guard import RunLease
+from repro.runtime.journal import CheckpointJournal
+from repro.serve.session import MatcherSession
+
+#: File names inside a ``--state`` directory.
+SNAPSHOT_NAME = "session.json"
+JOURNAL_NAME = "serve.journal"
+
+
+def _parse_record(entry: dict) -> Record:
+    return Record(
+        str(entry["record_id"]),
+        str(entry.get("source", "stream")),
+        {str(k): str(v) for k, v in dict(entry.get("values", {})).items()},
+    )
+
+
+class ServeLoop:
+    """Binds a :class:`MatcherSession` to a JSONL request/response stream."""
+
+    def __init__(
+        self,
+        session: MatcherSession,
+        *,
+        state_dir: Path | str | None = None,
+        snapshot_every: int = 0,
+        poll_seconds: float = 0.1,
+    ) -> None:
+        if snapshot_every < 0:
+            raise ValueError(
+                f"snapshot_every must be >= 0, got {snapshot_every}"
+            )
+        self.session = session
+        self.snapshot_every = snapshot_every
+        self.poll_seconds = poll_seconds
+        self.draining = threading.Event()
+        self._lease: RunLease | None = None
+        self._journal: CheckpointJournal | None = None
+        self._snapshot_path: Path | None = None
+        self._pending_add_ids: list[str] = []
+        self._adds_since_snapshot = 0
+        if state_dir is not None:
+            state = Path(state_dir)
+            state.mkdir(parents=True, exist_ok=True)
+            self._lease = RunLease(state)
+            self._journal = CheckpointJournal(state / JOURNAL_NAME)
+            self._snapshot_path = state / SNAPSHOT_NAME
+
+    # -- durability --------------------------------------------------------
+
+    def _snapshot(self) -> str:
+        """Persist the session, then journal the adds it now covers."""
+        assert self._snapshot_path is not None
+        self.session.save(self._snapshot_path)
+        if self._journal is not None:
+            for request_id in self._pending_add_ids:
+                self._journal.mark_done(request_id, records=len(self.session))
+        self._pending_add_ids.clear()
+        self._adds_since_snapshot = 0
+        return str(self._snapshot_path)
+
+    # -- request handling --------------------------------------------------
+
+    def handle(self, request: dict) -> dict:
+        """Execute one request dict; always returns a response dict."""
+        faults.fire("serve:request")
+        op = request.get("op")
+        if op == "add":
+            return self._handle_add(request)
+        if op == "query":
+            result = self.session.query(
+                _parse_record(request["record"]), request.get("k")
+            )
+            return {"ok": True, "op": "query", "result": result.to_dict()}
+        if op == "query_batch":
+            results = self.session.query_batch(
+                [_parse_record(entry) for entry in request.get("records", [])],
+                request.get("k"),
+            )
+            return {
+                "ok": True,
+                "op": "query_batch",
+                "results": [result.to_dict() for result in results],
+            }
+        if op == "stats":
+            return {"ok": True, "op": "stats", "stats": self.session.stats()}
+        if op == "snapshot":
+            if self._snapshot_path is None:
+                return {
+                    "ok": False,
+                    "op": "snapshot",
+                    "error": "no state directory configured",
+                }
+            return {"ok": True, "op": "snapshot", "path": self._snapshot()}
+        if op == "shutdown":
+            self.draining.set()
+            return {"ok": True, "op": "shutdown", "draining": True}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    def _handle_add(self, request: dict) -> dict:
+        request_id = request.get("id")
+        request_id = None if request_id is None else str(request_id)
+        if (
+            request_id is not None
+            and self._journal is not None
+            and self._journal.is_done(request_id)
+        ):
+            obs.inc("serve.adds_skipped")
+            return {
+                "ok": True,
+                "op": "add",
+                "added": 0,
+                "skipped": True,
+                "records": len(self.session),
+            }
+        batch = [_parse_record(entry) for entry in request.get("records", [])]
+        # Replay tolerance: a crash between snapshot and journal append
+        # re-delivers an add whose records the snapshot already holds.
+        fresh = [r for r in batch if r.record_id not in self.session]
+        added = self.session.add_records(fresh)
+        if request_id is not None:
+            self._pending_add_ids.append(request_id)
+        self._adds_since_snapshot += added
+        if (
+            self.snapshot_every
+            and self._snapshot_path is not None
+            and self._adds_since_snapshot >= self.snapshot_every
+        ):
+            self._snapshot()
+        return {
+            "ok": True,
+            "op": "add",
+            "added": added,
+            "deduplicated": len(batch) - len(fresh),
+            "records": len(self.session),
+        }
+
+    # -- the loop ----------------------------------------------------------
+
+    def run(
+        self,
+        input_stream: IO[str] | None = None,
+        output_stream: IO[str] | None = None,
+        *,
+        install_signals: bool = True,
+    ) -> int:
+        """Serve until EOF, ``shutdown`` or SIGTERM; returns the exit code.
+
+        Reads happen on a daemon thread feeding a queue, so a SIGTERM
+        arriving while intake is blocked still drains promptly: the main
+        loop polls the queue every ``poll_seconds`` and checks the drain
+        flag between requests.
+        """
+        source = input_stream if input_stream is not None else sys.stdin
+        sink = output_stream if output_stream is not None else sys.stdout
+
+        def emit(payload: dict) -> None:
+            sink.write(json.dumps(payload) + "\n")
+            sink.flush()
+
+        previous_handler = None
+        if install_signals:
+            previous_handler = signal.signal(
+                signal.SIGTERM, lambda signum, frame: self.draining.set()
+            )
+
+        lines: queue.Queue = queue.Queue()
+
+        def _reader() -> None:
+            for line in source:
+                lines.put(line)
+            lines.put(None)
+
+        threading.Thread(target=_reader, daemon=True, name="serve-reader").start()
+
+        if self._lease is not None:
+            self._lease.acquire()
+        emit({"ok": True, "event": "ready", "records": len(self.session)})
+        try:
+            while True:
+                if self.draining.is_set() and lines.empty():
+                    break
+                try:
+                    line = lines.get(timeout=self.poll_seconds)
+                except queue.Empty:
+                    continue
+                if line is None:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line)
+                    if not isinstance(request, dict):
+                        raise ValueError("request must be a JSON object")
+                    response = self.handle(request)
+                except faults.InjectedFault:
+                    raise
+                except Exception as exc:  # keep serving through bad requests
+                    obs.inc("serve.request_errors")
+                    response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+                emit(response)
+                # The shutdown op stops intake at once (deterministic —
+                # any lines still queued behind it are dropped); SIGTERM
+                # instead finishes whatever was already read.
+                if response.get("op") == "shutdown" and response.get("ok"):
+                    break
+        finally:
+            if install_signals and previous_handler is not None:
+                signal.signal(signal.SIGTERM, previous_handler)
+        if self._snapshot_path is not None:
+            self._snapshot()
+        emit({"ok": True, "event": "drained", "stats": self.session.stats()})
+        if self._lease is not None:
+            self._lease.release()
+        self.session.close()
+        return 0
+
+
+def serve_loop(
+    session: MatcherSession,
+    input_stream: IO[str] | None = None,
+    output_stream: IO[str] | None = None,
+    *,
+    state_dir: Path | str | None = None,
+    snapshot_every: int = 0,
+    install_signals: bool = True,
+) -> int:
+    """Convenience wrapper: build a :class:`ServeLoop` and run it."""
+    loop = ServeLoop(
+        session, state_dir=state_dir, snapshot_every=snapshot_every
+    )
+    return loop.run(
+        input_stream, output_stream, install_signals=install_signals
+    )

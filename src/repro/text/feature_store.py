@@ -53,6 +53,7 @@ from repro.text.kernels import (
     KERNEL_VERSION,
     SET_MEASURES,
     CharTable,
+    IncrementalIncidence,
     QGramAlphabetOverflow,
     QGramCodec,
     RecordIncidence,
@@ -210,6 +211,20 @@ class FeatureStore:
         self._incidence_cache: dict[
             View, tuple[int, dict[tuple[str, str], int], RecordIncidence]
         ] = {}
+        # Views opted into append-only incidence (repro.serve): rows of
+        # new records extend the structure in place, never rebuilding.
+        self._incremental_views: set[View] = set()
+        self._incremental_all = False
+        self._incremental: dict[
+            View, tuple[dict[tuple[str, str], int], IncrementalIncidence]
+        ] = {}
+        # Last matrix per (spec, names): (n_pairs, chain digest at
+        # n_pairs, matrix). A request whose pair-list prefix chains to
+        # the same digest reuses those rows and computes only the
+        # suffix — the append-friendly tier under the exact disk cache.
+        self._matrix_memo: dict[
+            tuple[str, tuple[str, ...]], tuple[int, bytes, np.ndarray]
+        ] = {}
 
     # -- record views ------------------------------------------------------
 
@@ -317,9 +332,12 @@ class FeatureStore:
                     )
                 except QGramAlphabetOverflow:
                     # Codes of different alphabet epochs must never mix:
-                    # drop every codec row and re-intern below.
+                    # drop every codec row and re-intern below. Any
+                    # incremental incidence holds epoch-stale ids too —
+                    # it rebuilds once from the re-interned rows.
                     self._fallback_views.add(view)
                     self._incidence_cache.pop(view, None)
+                    self._incremental.pop(view, None)
                     row_map.clear()
                     use_codec = False
                 else:
@@ -337,18 +355,49 @@ class FeatureStore:
             for record in record_list
         ]
 
+    def enable_incremental(self, view: View) -> None:
+        """Switch *view* to append-only incidence (the serving mode).
+
+        An incremental view's :class:`~repro.text.kernels
+        .IncrementalIncidence` extends in place as records arrive —
+        ``features.incidence_appends`` counts extensions and
+        ``features.incidence_rebuilds`` provably stays flat — at the
+        cost of the merge backend's slightly slower intersections. Set
+        intersections are id-scheme-invariant, so similarities are
+        bit-identical to the rebuilt structure.
+        """
+        self._incremental_views.add(view)
+
+    def enable_incremental_all(self) -> None:
+        """Every view — current and future — goes append-only (serving)."""
+        self._incremental_all = True
+
     def _incidence(
         self, view: View
     ) -> tuple[dict[tuple[str, str], int], RecordIncidence]:
         """The record incidence of every encoded record, memoized.
 
-        Rebuilt only when the view gained records. Codec views first map
-        their wide content-derived codes to dense ranks; the rank
+        Rebuilt only when the view gained records — unless the view is
+        :meth:`enable_incremental`, in which case new rows append to a
+        live structure and nothing is ever rebuilt. Codec views first
+        map their wide content-derived codes to dense ranks; the rank
         vocabulary is content-defined, so a rebuild never changes
         existing similarity results, only extends the id space. Token
         and fallback views already hold dense interner ids.
         """
         row_map = self._rows[view]
+        if self._incremental_all or view in self._incremental_views:
+            state = self._incremental.get(view)
+            if state is None:
+                state = self._incremental[view] = ({}, IncrementalIncidence())
+            positions, incidence = state
+            if len(positions) < len(row_map):
+                fresh = list(row_map)[len(positions) :]
+                incidence.append_rows([row_map[key] for key in fresh])
+                for key in fresh:
+                    positions[key] = len(positions)
+                obs.inc("features.incidence_appends")
+            return positions, incidence
         cached = self._incidence_cache.get(view)
         if cached is not None and cached[0] == len(row_map):
             return cached[1], cached[2]
@@ -363,6 +412,7 @@ class FeatureStore:
         incidence = RecordIncidence(indptr, ids, vocab_size)
         positions = {key: index for index, key in enumerate(keys)}
         self._incidence_cache[view] = (len(row_map), positions, incidence)
+        obs.inc("features.incidence_rebuilds")
         return positions, incidence
 
     @staticmethod
@@ -459,17 +509,37 @@ class FeatureStore:
             self._record_digests[key] = digest
         return digest
 
+    def _digest_chain(
+        self, spec: str, names: Sequence[str], pairs: Sequence, checkpoint: int
+    ) -> tuple[bytes, bytes]:
+        """``(chain after checkpoint pairs, final chain)`` for a request.
+
+        The matrix digest folds pair content as a hash *chain* — each
+        pair's record digests are absorbed into the running 16-byte
+        state — so the chain value after ``n`` pairs is itself the full
+        digest of the length-``n`` prefix. That is what makes appends
+        cache-friendly: an extended pair list reproduces its prefix's
+        chain value exactly, and :meth:`matrix` can prove an in-memory
+        matrix still covers ``pairs[:n]`` without comparing records.
+        """
+        header = "\x1f".join((f"kernel{KERNEL_VERSION}", spec, *names))
+        chain = hashlib.blake2b(header.encode(), digest_size=16).digest()
+        at_checkpoint = chain if checkpoint == 0 else b""
+        for index, pair in enumerate(pairs):
+            hasher = hashlib.blake2b(chain, digest_size=16)
+            hasher.update(self.record_digest(pair.left))
+            hasher.update(self.record_digest(pair.right))
+            chain = hasher.digest()
+            if index + 1 == checkpoint:
+                at_checkpoint = chain
+        return at_checkpoint, chain
+
     def matrix_digest(
         self, spec: str, names: Sequence[str], pairs: Sequence
     ) -> str:
         """The content-addressed cache key for one matrix request."""
-        hasher = hashlib.blake2b(digest_size=16)
-        header = "\x1f".join((f"kernel{KERNEL_VERSION}", spec, *names))
-        hasher.update(header.encode())
-        for pair in pairs:
-            hasher.update(self.record_digest(pair.left))
-            hasher.update(self.record_digest(pair.right))
-        return hasher.hexdigest()
+        __, chain = self._digest_chain(spec, names, pairs, 0)
+        return chain.hex()
 
     # -- the extraction boundary -------------------------------------------
 
@@ -480,8 +550,18 @@ class FeatureStore:
         names: Sequence[str],
         compute: Callable[[], np.ndarray],
         cacheable: bool = True,
+        compute_pairs: Callable[[Sequence], np.ndarray] | None = None,
     ) -> np.ndarray:
-        """One feature-matrix request: disk cache, else *compute*.
+        """One feature-matrix request: disk cache, prefix memo, *compute*.
+
+        With *compute_pairs* (a partial extractor able to compute any
+        pair subset) the store also keeps the last matrix per
+        ``(spec, names)`` in memory keyed by its digest chain: when a
+        new request's pair list *starts with* the memoized pairs — the
+        ``add_records``-then-query shape of ``repro.serve`` — only the
+        suffix rows are computed (``features.prefix_hits`` /
+        ``features.prefix_reused_pairs``). The exact disk cache sits in
+        front and still serves byte-identical full hits.
 
         Emits the request-level ``features.*`` metrics and the
         ``extract`` phase probe regardless of where the matrix came
@@ -492,15 +572,46 @@ class FeatureStore:
         obs.inc("features.pairs", float(len(pairs)))
 
         cache = active_feature_cache() if cacheable else None
+        memo_key = (spec, tuple(names))
+        memo = self._matrix_memo.get(memo_key) if compute_pairs else None
         matrix = None
         digest = None
-        if cache is not None:
-            digest = self.matrix_digest(spec, names, pairs)
-            matrix = cache.load(digest, names)
+        chain = b""
+        if cache is not None or compute_pairs is not None:
+            checkpoint = 0
+            if memo is not None and memo[0] <= len(pairs):
+                checkpoint = memo[0]
+            prefix_chain, chain = self._digest_chain(
+                spec, names, pairs, checkpoint
+            )
+            digest = chain.hex()
+            if cache is not None:
+                matrix = cache.load(digest, names)
+            if (
+                matrix is None
+                and memo is not None
+                and memo[0] <= len(pairs)
+                and memo[1] == prefix_chain
+            ):
+                n_reused, __, reused = memo
+                obs.inc("features.prefix_hits")
+                obs.inc("features.prefix_reused_pairs", float(n_reused))
+                suffix = list(pairs[n_reused:])
+                matrix = (
+                    np.concatenate(
+                        [reused, compute_pairs(suffix)], axis=0
+                    )
+                    if suffix
+                    else reused
+                )
+                if cache is not None:
+                    cache.store(digest, spec, names, matrix)
         if matrix is None:
             matrix = compute()
             if cache is not None and digest is not None:
                 cache.store(digest, spec, names, matrix)
+        if compute_pairs is not None:
+            self._matrix_memo[memo_key] = (len(pairs), chain, matrix)
 
         elapsed = time.perf_counter() - started
         obs.observe("features.extract_seconds", elapsed)

@@ -750,3 +750,150 @@ def set_similarity_matrix_indexed(
     obs.inc("kernel.pairs", float(n_pairs))
     obs.observe("kernel.seconds", elapsed)
     return matrix
+
+
+# -- append paths (repro.serve) ----------------------------------------------
+#
+# The batch structures above are built once per record population and
+# rebuilt when it grows — the right trade for offline sweeps, the wrong
+# one for a resident session that keeps absorbing records. The two
+# classes below are their append-only counterparts: a growable code
+# interner and an incidence that extends per record batch, both feeding
+# the exact merge kernels so results stay bit-identical to a rebuild.
+
+
+class CodeTable:
+    """Dense integer ids (from 0) for arbitrary int64 codes, grown on sight.
+
+    The :class:`CharTable` idiom generalized to the full code space of a
+    :class:`QGramCodec` (or any interner's ids): codes map to dense ids
+    in first-sight order, and interning more codes never changes an id
+    already assigned — the append invariant every incremental index
+    builds on. Set intersections are id-scheme-invariant, so similarity
+    results are bit-identical to a sorted-rank (``np.unique``) mapping.
+    """
+
+    __slots__ = ("_codes", "_ids")
+
+    def __init__(self) -> None:
+        self._codes = np.empty(0, dtype=np.int64)  # sorted known codes
+        self._ids = np.empty(0, dtype=np.int64)  # dense id per sorted code
+
+    def __len__(self) -> int:
+        return len(self._codes)
+
+    def intern(self, codes: np.ndarray) -> np.ndarray:
+        """Dense int64 id per code, interning unseen codes in sorted order."""
+        if len(codes) == 0:
+            return _EMPTY_ROW
+        codes = np.asarray(codes, dtype=np.int64)
+        table = self._codes
+        if len(table):
+            positions = np.searchsorted(table, codes)
+            positions[positions == len(table)] = 0
+            missing = table[positions] != codes
+        else:
+            missing = np.ones(len(codes), dtype=bool)
+        if missing.any():
+            new_codes = _sorted_unique(codes[missing])
+            new_ids = np.arange(
+                len(self._codes),
+                len(self._codes) + len(new_codes),
+                dtype=np.int64,
+            )
+            merged_codes = np.concatenate([self._codes, new_codes])
+            merged_ids = np.concatenate([self._ids, new_ids])
+            order = np.argsort(merged_codes, kind="stable")
+            self._codes = merged_codes[order]
+            self._ids = merged_ids[order]
+            positions = np.searchsorted(self._codes, codes)
+        return self._ids[positions]
+
+    def lookup(self, codes: np.ndarray) -> np.ndarray:
+        """Ids of the codes already interned (unseen codes are dropped)."""
+        if len(codes) == 0 or len(self._codes) == 0:
+            return _EMPTY_ROW
+        codes = np.asarray(codes, dtype=np.int64)
+        positions = np.searchsorted(self._codes, codes)
+        positions[positions == len(self._codes)] = 0
+        present = self._codes[positions] == codes
+        return self._ids[positions[present]]
+
+
+class IncrementalIncidence:
+    """Append-only record incidence: grows per batch, never rebuilds.
+
+    The serving-path counterpart of :class:`RecordIncidence`: raw code
+    rows append through a :class:`CodeTable` (deduplicated, sorted) into
+    CSR arrays with amortized-doubling growth, and intersections always
+    run the exact binary-search merge — the one backend whose buffers
+    extend in place (bitset words and CSR shapes would change with the
+    vocabulary). All backends are exact int64, so measure values are
+    bit-identical to a :class:`RecordIncidence` over the same rows.
+
+    Duck-type compatible with :func:`set_similarity_matrix_indexed`
+    (``intersections`` + ``row_sizes``).
+    """
+
+    __slots__ = ("_table", "_indptr", "_ids", "_n_rows", "appends")
+
+    def __init__(self) -> None:
+        self._table = CodeTable()
+        self._indptr = np.zeros(1, dtype=np.int64)
+        self._ids = np.empty(64, dtype=np.int64)
+        self._n_rows = 0
+        #: Row-append count (observability: a rebuild would reset it).
+        self.appends = 0
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self._table)
+
+    @property
+    def row_sizes(self) -> np.ndarray:
+        return np.diff(self._indptr[: self._n_rows + 1])
+
+    def _reserve(self, extra_rows: int, extra_ids: int) -> None:
+        needed = self._n_rows + 1 + extra_rows
+        if needed > len(self._indptr):
+            grown = np.empty(max(needed, 2 * len(self._indptr)), dtype=np.int64)
+            grown[: self._n_rows + 1] = self._indptr[: self._n_rows + 1]
+            self._indptr = grown
+        fill = int(self._indptr[self._n_rows])
+        if fill + extra_ids > len(self._ids):
+            grown = np.empty(
+                max(fill + extra_ids, 2 * len(self._ids)), dtype=np.int64
+            )
+            grown[:fill] = self._ids[:fill]
+            self._ids = grown
+
+    def append_rows(self, raw_rows: Sequence[np.ndarray]) -> None:
+        """Append one batch of raw code rows (duplicates allowed, any order)."""
+        rows = [
+            np.unique(self._table.intern(np.unique(raw))) for raw in raw_rows
+        ]
+        self._reserve(len(rows), int(sum(len(row) for row in rows)))
+        for row in rows:
+            fill = int(self._indptr[self._n_rows])
+            self._ids[fill : fill + len(row)] = row
+            self._n_rows += 1
+            self._indptr[self._n_rows] = fill + len(row)
+            self.appends += 1
+
+    def intersections(
+        self, left_index: np.ndarray, right_index: np.ndarray
+    ) -> np.ndarray:
+        """``|row[left_index[i]] & row[right_index[i]]|`` per pair."""
+        if len(left_index) == 0 or self._indptr[self._n_rows] == 0:
+            return np.zeros(len(left_index), dtype=np.int64)
+        indptr = self._indptr[: self._n_rows + 1]
+        ids = self._ids[: int(indptr[-1])]
+        left = gather_csr(indptr, ids, np.asarray(left_index, dtype=np.int64))
+        right = gather_csr(indptr, ids, np.asarray(right_index, dtype=np.int64))
+        return batch_intersection_counts(
+            left, right, max(len(self._table), 1)
+        )

@@ -10,6 +10,7 @@ from repro.blocking import (
     AnnConfig,
     QGramBlocker,
     evaluate_blocking,
+    make_index,
     provenance_sweep,
     tune_ann,
 )
@@ -186,24 +187,68 @@ class TestAnnBlockerGraph:
         )
         assert result.pair_completeness > 0.7
 
-    def test_query_interface(self, small_sources):
-        index = AnnBlocker(AnnConfig(backend="graph")).build_index(
-            small_sources
-        )
+    def test_search_interface(self, small_sources):
+        index = make_index("graph", small_sources.right.records())
         record = next(iter(small_sources.left))
-        hits = index.query(record, 5)
-        assert 0 < len(hits) <= 5
-        for hit in hits:
-            assert hit.record_id in small_sources.right
+        result = index.search(record, 5)
+        assert 0 < len(result) <= 5
+        assert len(result.ids) == len(result.scores)
+        for record_id in result.ids:
+            assert record_id in small_sources.right
+        assert list(result.scores) == sorted(result.scores, reverse=True)
 
-    def test_query_self_retrieval(self, small_sources):
+    def test_search_self_retrieval(self, small_sources):
         # Querying with a record *of the indexed source* must retrieve
         # that record itself among the top hits (cosine 1.0 beats all).
-        index = AnnBlocker(AnnConfig(backend="graph")).build_index(
-            small_sources
-        )
+        index = make_index("graph", small_sources.right.records())
         record = next(iter(small_sources.right))
-        hits = index.query(record, 3)
+        result = index.search(record, 3)
+        assert record.record_id in result.ids
+        assert max(result.scores) == pytest.approx(1.0)
+
+    def test_insert_matches_rebuild(self, small_sources):
+        # Appending records must answer bit-identically to an index
+        # built over the full record list from scratch.
+        records = small_sources.right.records()
+        half = len(records) // 2
+        grown = make_index("graph", records[:half])
+        grown.insert(records[half:])
+        rebuilt = make_index("graph", records)
+        for probe in small_sources.left.records()[:15]:
+            a, b = grown.search(probe, 5), rebuilt.search(probe, 5)
+            assert a.ids == b.ids
+            assert a.scores == b.scores
+
+    def test_lsh_index_insert_matches_rebuild(self, small_sources):
+        records = small_sources.right.records()
+        half = len(records) // 2
+        grown = make_index("lsh", records[:half])
+        grown.insert(records[half:])
+        rebuilt = make_index("lsh", records)
+        for probe in small_sources.left.records()[:15]:
+            a, b = grown.search(probe, 5), rebuilt.search(probe, 5)
+            assert a.ids == b.ids
+            assert a.scores == b.scores
+
+    def test_insert_never_rebuilds(self, small_sources):
+        from repro import obs as obs_package
+        from repro.obs import Observability
+
+        records = small_sources.right.records()
+        with obs_package.use(Observability()) as o:
+            index = make_index("graph", records[:20])
+            index.insert(records[20:40])
+            index.insert(records[40:60])
+            assert o.metrics.counter("blocking.ann.index_builds") == 1.0
+            assert o.metrics.counter("blocking.ann.index_inserts") == 40.0
+
+    def test_deprecated_build_index_still_works(self, small_sources):
+        blocker = AnnBlocker(AnnConfig(backend="graph"))
+        with pytest.warns(DeprecationWarning, match="build_index"):
+            index = blocker.build_index(small_sources)
+        record = next(iter(small_sources.right))
+        with pytest.warns(DeprecationWarning, match="GraphIndex.query"):
+            hits = index.query(record, 3)
         assert record.record_id in {hit.record_id for hit in hits}
 
 

@@ -1,0 +1,112 @@
+"""Tests for the unified blocker/index factory and the Candidates type."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking import (
+    BLOCKER_SPECS,
+    INDEX_SPECS,
+    AnnBlocker,
+    AnnConfig,
+    Candidates,
+    QGramBlocker,
+    SortedNeighborhoodBlocker,
+    TokenBlocker,
+    make_blocker,
+    make_index,
+)
+
+
+class TestMakeBlocker:
+    def test_every_spec_constructs(self):
+        for spec in BLOCKER_SPECS:
+            blocker = make_blocker(spec)
+            assert hasattr(blocker, "candidates")
+
+    def test_exhaustive_and_qgram_are_qgram(self):
+        assert isinstance(make_blocker("exhaustive"), QGramBlocker)
+        assert isinstance(make_blocker("qgram", q=4), QGramBlocker)
+        assert make_blocker("qgram", q=4).q == 4
+
+    def test_token(self):
+        assert isinstance(make_blocker("token"), TokenBlocker)
+
+    def test_sorted_neighborhood(self):
+        assert isinstance(
+            make_blocker("sorted-neighborhood"),
+            SortedNeighborhoodBlocker,
+        )
+
+    def test_ann_specs(self):
+        lsh = make_blocker("lsh", bands=16, n_hashes=64)
+        graph = make_blocker("graph", k=7)
+        assert isinstance(lsh, AnnBlocker) and lsh.config.backend == "lsh"
+        assert lsh.config.bands == 16
+        assert isinstance(graph, AnnBlocker) and graph.config.backend == "graph"
+        assert graph.config.k == 7
+
+    def test_ann_config_passthrough(self):
+        config = AnnConfig(backend="graph", k=4)
+        blocker = make_blocker(config)
+        assert blocker.config is config
+
+    def test_passthrough_rejects_extra_options(self):
+        with pytest.raises(ValueError, match="options"):
+            make_blocker(AnnConfig(), k=3)
+
+    def test_unknown_spec(self):
+        with pytest.raises(ValueError, match="exhaustive"):
+            make_blocker("bogus")
+
+    def test_candidates_equal_direct_construction(self, small_sources):
+        direct = AnnBlocker(AnnConfig(backend="lsh")).candidates(small_sources)
+        factory = make_blocker("lsh").candidates(small_sources)
+        assert direct == factory
+
+
+class TestMakeIndex:
+    def test_backends(self, small_sources):
+        records = small_sources.right.records()
+        for spec in INDEX_SPECS:
+            index = make_index(spec, records)
+            assert len(index) == len(records)
+            result = index.search(records[0], 3)
+            assert isinstance(result, Candidates)
+            assert records[0].record_id in result.ids
+
+    def test_config_passthrough(self, small_sources):
+        config = AnnConfig(backend="graph", k=4)
+        index = make_index(config, small_sources.right.records())
+        assert index.config is config
+
+    def test_unknown_spec(self):
+        with pytest.raises(ValueError):
+            make_index("token", [])
+
+
+class TestCandidates:
+    def test_shape_and_iteration(self):
+        result = Candidates(
+            ids=(("a", "b"), ("a", "c")),
+            scores=(0.9, 0.5),
+            provenance="test",
+        )
+        assert len(result) == 2
+        assert bool(result)
+        assert list(result) == [("a", "b"), ("a", "c")]
+        assert result.to_set() == {("a", "b"), ("a", "c")}
+        assert result.top(1).ids == (("a", "b"),)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Candidates(ids=(("a", "b"),), scores=(0.9, 0.1), provenance="")
+
+    def test_empty_is_falsy(self):
+        assert not Candidates(ids=(), scores=(), provenance="")
+
+    def test_blocker_result_is_typed(self, small_sources):
+        result = make_blocker("lsh").candidate_result(small_sources)
+        assert isinstance(result, Candidates)
+        assert result.to_set() == make_blocker("lsh").candidates(small_sources)
+        assert list(result.scores) == sorted(result.scores, reverse=True)
