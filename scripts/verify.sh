@@ -173,4 +173,107 @@ assert record["parity_mismatches"] == 0, "BENCH_serve.json: parity broken"
 print("serve throughput-floor check: OK")
 EOF
 
+echo "== serve frontend: overload shed + admitted parity + SIGTERM drain =="
+# A real socket daemon under a concurrent overload burst: excess load is
+# shed with structured 'overloaded' responses, every admitted answer is
+# bit-identical across the burst AND to the offline session restored
+# from the snapshot the SIGTERM drain writes, and the drained state
+# directory passes a doctor audit untouched.
+FRONTEND_STATE="$(mktemp -d)/state"
+python - "$FRONTEND_STATE" <<'EOF'
+import json, signal, socket, subprocess, sys, threading
+
+state = sys.argv[1]
+proc = subprocess.Popen(
+    [sys.executable, "-m", "repro", "serve", "dblp_scholar",
+     "--scale", "0.3", "--k", "3", "--state", state,
+     "--listen", "127.0.0.1:0", "--max-queue", "2"],
+    stdout=subprocess.PIPE, text=True,
+)
+ready = json.loads(proc.stdout.readline())
+assert ready.get("event") == "ready", ready
+host, _, port = ready["address"].rpartition(":")
+
+from repro.datasets.sources import build_source_pair
+probes = [
+    {"record_id": r.record_id, "source": r.source, "values": dict(r.values)}
+    for r in build_source_pair("dblp_scholar", 0.3).left.records()[:40]
+]
+
+def run_client(requests, out, key):
+    sock = socket.create_connection((host, int(port)), timeout=60)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    handle = sock.makefile("r", encoding="utf-8")
+    responses = []
+    for request in requests:
+        sock.sendall((json.dumps(request) + "\n").encode())
+        responses.append(json.loads(handle.readline()))
+    sock.close()
+    out[key] = responses
+
+requests = [{"op": "query", "record": p, "k": 3} for p in probes]
+serial_out = {}
+run_client(requests, serial_out, "serial")
+serial = {
+    r["result"]["query_id"]: r["result"] for r in serial_out["serial"]
+}
+assert len(serial) == len(probes), "serial phase dropped answers"
+
+burst_out = {}
+threads = [
+    threading.Thread(target=run_client, args=(requests, burst_out, i))
+    for i in range(4)
+]
+for t in threads: t.start()
+for t in threads: t.join()
+flat = [r for rs in burst_out.values() for r in rs]
+shed = [r for r in flat if r.get("error") == "overloaded"]
+admitted = [r for r in flat if r.get("ok")]
+hard = [r for r in flat if not r.get("ok")
+        and r.get("error") not in ("overloaded", "deadline_exceeded")]
+assert shed, "overload burst never shed"
+assert not hard, f"hard failures under overload: {hard[:3]}"
+mismatched = sum(
+    1 for r in admitted if r["result"] != serial[r["result"]["query_id"]]
+)
+assert mismatched == 0, f"{mismatched} admitted answers diverged under load"
+
+proc.send_signal(signal.SIGTERM)
+assert proc.wait(timeout=300) == 0, "SIGTERM drain did not exit cleanly"
+
+# Offline parity: the drained snapshot answers like the live daemon did.
+from repro.data.records import Record
+from repro.serve import MatcherSession
+from repro.serve.loop import SNAPSHOT_NAME
+restored = MatcherSession.load(f"{state}/{SNAPSHOT_NAME}")
+offline_mismatches = sum(
+    1 for p in probes
+    if restored.query(
+        Record(p["record_id"], p["source"], dict(p["values"])), 3
+    ).to_dict() != serial[p["record_id"]]
+)
+assert offline_mismatches == 0, (
+    f"{offline_mismatches} drained-snapshot answers diverge from live"
+)
+print(f"frontend overload smoke: OK ({len(shed)} shed, "
+      f"{len(admitted)} admitted, 0 mismatches)")
+EOF
+# The drained state directory must audit clean as-is.
+python -m repro doctor --check --cache "$FRONTEND_STATE"
+# Front-end unit/integration suite, then the overload bench + floors.
+python -m pytest -x -q tests/serve/test_frontend.py \
+    tests/serve/test_frontend_chaos.py -m "not slow"
+python -m pytest -x -q -m frontend_bench benchmarks/bench_frontend.py
+python - <<'EOF'
+import json
+record = json.load(open("BENCH_frontend.json"))
+assert record["shed"] > 0, "BENCH_frontend.json: no shedding at 4x load"
+assert record["parity_mismatches"] == 0, "BENCH_frontend.json: parity broken"
+assert record["hard_failures"] == 0, "BENCH_frontend.json: hard failures"
+assert record["admitted_p99_seconds"] <= (
+    record["p99_ratio_ceiling"] * record["baseline_p99_seconds"]
+), "BENCH_frontend.json: admitted p99 blew past the ceiling"
+print("frontend overload-floor check: OK")
+EOF
+
 echo "verify: OK"

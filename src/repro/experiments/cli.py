@@ -307,6 +307,53 @@ def _build_parser() -> argparse.ArgumentParser:
         "records (requires --state)",
     )
     parser.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="for 'serve': serve concurrent clients over TCP instead of "
+        "stdio (port 0 picks an ephemeral port, announced in the ready "
+        "event)",
+    )
+    parser.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="for 'serve': serve concurrent clients over a unix domain "
+        "socket instead of stdio",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="for 'serve' with --listen/--socket: admission queue depth; "
+        "beyond it requests are shed with an 'overloaded' response",
+    )
+    parser.add_argument(
+        "--max-inflight-kb",
+        type=_positive_int,
+        default=None,
+        metavar="KIB",
+        help="for 'serve' with --listen/--socket: cap on admitted-but-"
+        "unfinished request bytes (the other shedding axis)",
+    )
+    parser.add_argument(
+        "--request-deadline",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="for 'serve' with --listen/--socket: fallback per-request "
+        "deadline until the adaptive model has samples (default 30)",
+    )
+    parser.add_argument(
+        "--send-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="for 'serve' with --listen/--socket: slow-client write "
+        "bound; a blocked send past it drops that client (default 5)",
+    )
+    parser.add_argument(
         "--no-auto-degrade",
         action="store_true",
         help="keep --workers N even on single-core machines (default: "
@@ -474,14 +521,21 @@ def _serve_command(args) -> int:
     right-hand records and answers JSONL requests on stdin until EOF,
     ``shutdown`` or SIGTERM. With ``--state DIR`` holding an existing
     session snapshot, the session resumes from it instead of refitting.
+    ``--listen HOST:PORT`` / ``--socket PATH`` swap stdio for the
+    concurrent socket front end (admission control, deadlines, per-client
+    breakers); stdio stays the default.
     """
     from repro.datasets.generator import build_task_from_sources
     from repro.datasets.registry import load_established_task, load_source_pair
     from repro.serve import MatcherSession, SessionConfig
+    from repro.serve.frontend import FrontendConfig, SocketFrontend
     from repro.serve.loop import SNAPSHOT_NAME, ServeLoop
 
     if args.snapshot_every is not None and args.state is None:
         print("--snapshot-every requires --state DIR")
+        return 2
+    if args.listen is not None and args.socket is not None:
+        print("--listen and --socket are mutually exclusive")
         return 2
 
     snapshot_path = (
@@ -521,7 +575,25 @@ def _serve_command(args) -> int:
             args.snapshot_every if args.snapshot_every is not None else 0
         ),
     )
-    code = loop.run()
+    if args.listen is not None or args.socket is not None:
+        overrides: dict = {}
+        if args.max_queue is not None:
+            overrides["max_queue_depth"] = args.max_queue
+        if args.max_inflight_kb is not None:
+            overrides["max_inflight_bytes"] = args.max_inflight_kb * 1024
+        if args.request_deadline is not None:
+            overrides["fallback_deadline_seconds"] = args.request_deadline
+        if args.send_timeout is not None:
+            overrides["send_timeout_seconds"] = args.send_timeout
+        frontend = SocketFrontend(
+            loop,
+            listen=args.listen,
+            socket_path=args.socket,
+            config=FrontendConfig(**overrides),
+        )
+        code = frontend.serve_forever()
+    else:
+        code = loop.run()
     if args.metrics:
         print(render(obs.snapshot(), title="Metrics"), file=sys.stderr)
     return code

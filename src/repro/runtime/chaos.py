@@ -198,6 +198,50 @@ def default_kill_sites(dataset_ids: Sequence[str]) -> tuple[str, ...]:
     return tuple(sites)
 
 
+def frontend_site_pool() -> tuple[PlannedFault, ...]:
+    """The fault menu for socket front-end campaigns (PR-9).
+
+    All bounded (``times=1``) error-kind faults: the front end's contract
+    is that any of these degrades one connection or one request — never
+    the daemon — so a scripted client retrying with backoff must converge
+    to answers bit-identical to the fault-free baseline. Hang kinds are
+    deliberately absent (they only stretch wall-clock; the deadline model
+    covers them), and ``kill`` at ``frontend:batch`` is reserved for the
+    subprocess crash-consistency path.
+    """
+    return (
+        PlannedFault("frontend:accept", "error", times=1),
+        PlannedFault("frontend:read", "error", times=1),
+        PlannedFault("frontend:write", "error", times=1),
+        PlannedFault("frontend:disconnect", "error", times=1),
+        PlannedFault("frontend:batch", "error", times=1),
+        PlannedFault("serve:request", "error", times=1),
+    )
+
+
+#: The one site where a kill plan murders a serving daemon: mid-coalesced
+#: batch, where a crash is most entangled across clients.
+FRONTEND_KILL_SITES = ("frontend:batch",)
+
+
+def generate_frontend_plans(
+    n_plans: int,
+    seed: int,
+    *,
+    n_kill_plans: int = 0,
+    max_faults_per_plan: int = 2,
+) -> tuple[FaultPlan, ...]:
+    """A seeded schedule over the socket front-end fault sites."""
+    return generate_plans(
+        n_plans,
+        seed,
+        frontend_site_pool(),
+        kill_sites=FRONTEND_KILL_SITES if n_kill_plans else (),
+        n_kill_plans=n_kill_plans,
+        max_faults_per_plan=max_faults_per_plan,
+    )
+
+
 def generate_plans(
     n_plans: int,
     seed: int,

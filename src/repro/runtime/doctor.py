@@ -17,7 +17,15 @@ evidence on disk. :func:`run_doctor` walks the whole directory at once:
   dead are removed;
 * **orphaned run leases** — ``run.lease`` files whose owner pid is dead
   (or whose heartbeat went silent) are deleted so the next run does not
-  wait out a takeover; a healthy lease from a live run is left alone.
+  wait out a takeover; a healthy lease from a live run is left alone;
+* **serve state pairing** — a ``repro serve --state`` directory always
+  holds its snapshot (``session.json``) and add journal
+  (``serve.journal``) as a *pair*. A journal with entries but no
+  snapshot is deleted (its adds were journal-marked only under a
+  snapshot that is now gone — replayed adds must re-apply, not be
+  skipped against an empty session); a snapshot without its journal gets
+  an empty journal re-materialized; torn/duplicate serve-journal lines
+  compact exactly like the checkpoint journal's.
 
 ``check=True`` audits without touching anything (exit code 1 from the CLI
 when problems are found); a repair run is idempotent — a second pass
@@ -50,6 +58,12 @@ logger = logging.getLogger("repro.runtime.doctor")
 #: runtime layer stays importable without the experiments layer).
 JOURNAL_NAME = "checkpoint.journal"
 
+#: Serve state-directory filenames (kept in sync with
+#: ``repro.serve.loop.JOURNAL_NAME``/``SNAPSHOT_NAME``; redeclared here
+#: so the runtime layer stays importable without the serve layer).
+SERVE_JOURNAL_NAME = "serve.journal"
+SERVE_SNAPSHOT_NAME = "session.json"
+
 #: Days a quarantined entry is kept as evidence before the doctor
 #: deletes it.
 DEFAULT_RETENTION_DAYS = 7.0
@@ -61,7 +75,7 @@ _TMP_PATTERN = re.compile(r"\.tmp(\d+)$")
 class DoctorFinding:
     """One audited problem and what was (or would be) done about it."""
 
-    category: str  # "journal" | "cache" | "quarantine" | "tmp" | "lease"
+    category: str  # "journal" | "cache" | "quarantine" | "tmp" | "lease" | "serve"
     path: str
     problem: str
     action: str  # what was done, or "would <x>" in check mode
@@ -138,6 +152,64 @@ def _audit_journal(
             )
         )
     return len(journal)
+
+
+def _audit_serve_journal(
+    journal_path: Path, check: bool, findings: list[DoctorFinding]
+) -> int:
+    """Audit a serve add-journal: pairing first, then torn/duplicate lines.
+
+    A journal entry means "this add id is covered by a snapshot"; with
+    the snapshot gone, replaying those adds would be journal-skipped and
+    the records silently lost. Deleting the orphaned journal makes the
+    replay re-apply them — the safe direction.
+    """
+    snapshot = journal_path.with_name(SERVE_SNAPSHOT_NAME)
+    journal = CheckpointJournal(journal_path)
+    if len(journal) > 0 and not snapshot.exists():
+        problem = (
+            f"{len(journal)} journaled add(s) but no {SERVE_SNAPSHOT_NAME} "
+            "snapshot; replayed adds would be skipped"
+        )
+        if check:
+            action = "would delete (adds must replay)"
+        else:
+            journal_path.unlink(missing_ok=True)
+            obs.inc("doctor.serve_journal_deleted")
+            action = "deleted (adds must replay)"
+        findings.append(
+            DoctorFinding(
+                category="serve",
+                path=journal_path.name,
+                problem=problem,
+                action=action,
+            )
+        )
+        return 0
+    return _audit_journal(journal_path, check, findings)
+
+
+def _audit_serve_snapshot(
+    path: Path, check: bool, findings: list[DoctorFinding]
+) -> None:
+    """Re-materialize a serve snapshot's missing journal, then verify it."""
+    journal = path.with_name(SERVE_JOURNAL_NAME)
+    if not journal.exists():
+        if check:
+            action = "would create empty journal"
+        else:
+            journal.touch()
+            obs.inc("doctor.serve_journal_created")
+            action = "created empty journal"
+        findings.append(
+            DoctorFinding(
+                category="serve",
+                path=path.name,
+                problem=f"snapshot without its {SERVE_JOURNAL_NAME}",
+                action=action,
+            )
+        )
+    _audit_envelope(path, check, findings)
 
 
 def _audit_envelope(
@@ -280,6 +352,11 @@ def run_doctor(
                     # one per plan directory, not just the root's.
                     journal_units += _audit_journal(path, check, findings)
                     continue
+                if path.name == SERVE_JOURNAL_NAME:
+                    journal_units += _audit_serve_journal(
+                        path, check, findings
+                    )
+                    continue
                 if path.name == LEASE_NAME:
                     files_scanned += 1
                     _audit_lease(path, now, check, findings)
@@ -291,6 +368,8 @@ def run_doctor(
                     )
                 elif _TMP_PATTERN.search(path.name):
                     _audit_tmp(path, check, findings)
+                elif path.name == SERVE_SNAPSHOT_NAME:
+                    _audit_serve_snapshot(path, check, findings)
                 elif path.suffix == ".json":
                     _audit_envelope(path, check, findings)
     report = DoctorReport(

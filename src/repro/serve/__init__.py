@@ -18,11 +18,17 @@ keeps a fitted matcher, a persistent ANN index and an incremental
   session onto the checksummed cache-envelope format;
 * :func:`repro.serve.loop.serve_loop` (``python -m repro serve``) wraps a
   session in a JSONL request loop with per-phase latency histograms and
-  graceful drain on SIGTERM.
+  graceful drain on SIGTERM;
+* :class:`repro.serve.frontend.SocketFrontend` (``--listen HOST:PORT`` /
+  ``--socket PATH``) serves many concurrent clients over TCP or unix
+  sockets behind a bounded admission queue, per-request deadlines,
+  per-client circuit breakers and a single-writer dispatcher — so
+  concurrency never changes predictions.
 """
 
 from __future__ import annotations
 
+from repro.serve.frontend import FrontendConfig, SocketFrontend
 from repro.serve.session import (
     MatcherSession,
     QueryResult,
@@ -31,8 +37,10 @@ from repro.serve.session import (
 )
 
 __all__ = [
+    "FrontendConfig",
     "MatcherSession",
     "QueryResult",
     "SessionConfig",
+    "SocketFrontend",
     "open_session",
 ]

@@ -15,8 +15,12 @@ on the output stream. Operations:
   directory).
 * ``{"op": "shutdown"}`` — drain and exit.
 
-Every response carries ``"ok"``; failures answer ``{"ok": false,
-"error": ...}`` and the loop keeps serving.
+Every response carries ``"ok"``; failures answer the structured error
+shape of :mod:`repro.serve.protocol` (``{"ok": false, "error": "<code>",
+"detail": ...}``) and the loop keeps serving. A malformed or torn input
+line is a ``bad_request`` response plus a ``serve.bad_request`` counter,
+never an unhandled exception; the same parser backs the socket front end
+(:mod:`repro.serve.frontend`).
 
 **Durability.** With ``--state DIR`` the loop holds a
 :class:`~repro.runtime.guard.RunLease` on the directory, snapshots the
@@ -50,6 +54,12 @@ from repro.data.records import Record
 from repro.runtime import faults
 from repro.runtime.guard import RunLease
 from repro.runtime.journal import CheckpointJournal
+from repro.serve.protocol import (
+    BadRequest,
+    bad_request_response,
+    error_response,
+    parse_request,
+)
 from repro.serve.session import MatcherSession
 
 #: File names inside a ``--state`` directory.
@@ -63,6 +73,11 @@ def _parse_record(entry: dict) -> Record:
         str(entry.get("source", "stream")),
         {str(k): str(v) for k, v in dict(entry.get("values", {})).items()},
     )
+
+
+def parse_record_payload(entry: dict) -> Record:
+    """One wire-format record payload → a :class:`Record` (shared parser)."""
+    return _parse_record(entry)
 
 
 class ServeLoop:
@@ -94,9 +109,24 @@ class ServeLoop:
             state.mkdir(parents=True, exist_ok=True)
             self._lease = RunLease(state)
             self._journal = CheckpointJournal(state / JOURNAL_NAME)
+            # Materialize the journal file immediately: a state directory
+            # always holds the snapshot/journal *pair*, so the doctor can
+            # treat a snapshot without its journal (or vice versa) as torn
+            # state rather than a legitimate layout.
+            self._journal.path.touch(exist_ok=True)
             self._snapshot_path = state / SNAPSHOT_NAME
 
     # -- durability --------------------------------------------------------
+
+    def acquire_state(self) -> None:
+        """Take the state-directory lease (no-op without ``--state``)."""
+        if self._lease is not None:
+            self._lease.acquire()
+
+    def release_state(self) -> None:
+        """Release the state-directory lease (no-op without ``--state``)."""
+        if self._lease is not None:
+            self._lease.release()
 
     def _snapshot(self) -> str:
         """Persist the session, then journal the adds it now covers."""
@@ -108,6 +138,25 @@ class ServeLoop:
         self._pending_add_ids.clear()
         self._adds_since_snapshot = 0
         return str(self._snapshot_path)
+
+    def _drain_state(self) -> None:
+        """The durable half of a drain: snapshot, then truncate the journal.
+
+        Ordering matters for crash consistency: the snapshot lands first
+        (atomic tmp + replace), then the journal is compacted to one
+        canonical line per add id (also atomic) and re-materialized. A
+        kill between the two leaves a valid snapshot plus a journal with
+        duplicate/torn lines — exactly what ``repro doctor`` repairs.
+        """
+        if self._snapshot_path is None:
+            return
+        self._snapshot()
+        if self._journal is not None:
+            if self._journal.torn_lines or self._journal.duplicate_lines:
+                self._journal.compact()
+            # ``compact`` deletes an entry-less journal; restore the file
+            # so the snapshot/journal pairing invariant survives drains.
+            self._journal.path.touch(exist_ok=True)
 
     # -- request handling --------------------------------------------------
 
@@ -145,7 +194,7 @@ class ServeLoop:
         if op == "shutdown":
             self.draining.set()
             return {"ok": True, "op": "shutdown", "draining": True}
-        return {"ok": False, "error": f"unknown op {op!r}"}
+        return error_response("unknown_op", f"unknown op {op!r}")
 
     def _handle_add(self, request: dict) -> dict:
         request_id = request.get("id")
@@ -236,31 +285,41 @@ class ServeLoop:
                     continue
                 if line is None:
                     break
-                line = line.strip()
-                if not line:
+                try:
+                    request = parse_request(line)
+                except BadRequest as exc:
+                    # A torn or malformed line degrades to a structured
+                    # event; the daemon keeps serving.
+                    emit(bad_request_response(exc))
+                    continue
+                if request is None:
                     continue
                 try:
-                    request = json.loads(line)
-                    if not isinstance(request, dict):
-                        raise ValueError("request must be a JSON object")
                     response = self.handle(request)
                 except faults.InjectedFault:
                     raise
                 except Exception as exc:  # keep serving through bad requests
                     obs.inc("serve.request_errors")
-                    response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+                    response = error_response(
+                        "internal", f"{type(exc).__name__}: {exc}"
+                    )
                 emit(response)
                 # The shutdown op stops intake at once (deterministic —
                 # any lines still queued behind it are dropped); SIGTERM
                 # instead finishes whatever was already read.
                 if response.get("op") == "shutdown" and response.get("ok"):
                     break
+            # Drain while our SIGTERM handler is still installed: a second
+            # SIGTERM landing mid-snapshot must defer (set the already-set
+            # drain flag), not terminate the process and strand a
+            # ``session.json.tmp<pid>`` as the only copy of the state.
+            self._drain_state()
+            emit(
+                {"ok": True, "event": "drained", "stats": self.session.stats()}
+            )
         finally:
             if install_signals and previous_handler is not None:
                 signal.signal(signal.SIGTERM, previous_handler)
-        if self._snapshot_path is not None:
-            self._snapshot()
-        emit({"ok": True, "event": "drained", "stats": self.session.stats()})
         if self._lease is not None:
             self._lease.release()
         self.session.close()

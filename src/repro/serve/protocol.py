@@ -1,0 +1,104 @@
+"""The serve wire protocol: hardened JSONL request parsing, shared.
+
+Both request front ends — the stdio :class:`~repro.serve.loop.ServeLoop`
+and the socket :class:`~repro.serve.frontend.SocketFrontend` — speak the
+same protocol: one JSON object per ``\\n``-terminated line in, one JSON
+object per line out. This module is the single place where raw bytes
+become request dicts, so a malformed, torn, oversized or non-object line
+degrades identically everywhere: a structured ``bad_request`` response
+(plus a ``serve.bad_request`` counter) instead of an unhandled exception
+killing the daemon.
+
+Error responses are structured: ``{"ok": false, "error": "<code>",
+"detail": "<human text>"}`` where ``error`` is a machine-matchable code
+from :data:`ERROR_CODES` — clients branch on the code, humans read the
+detail. :func:`error_response` is the one constructor, so every error a
+front end emits carries the same shape.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import obs
+
+#: Operations the execution core understands (``health``/``ready`` are
+#: answered by the socket front end without touching the core).
+OPS = (
+    "add",
+    "query",
+    "query_batch",
+    "stats",
+    "snapshot",
+    "shutdown",
+    "health",
+    "ready",
+)
+
+#: Machine-matchable error codes every front end emits.
+ERROR_CODES = (
+    "bad_request",        # unparseable/torn/non-object/oversized line
+    "unknown_op",         # parsed fine, but no such operation
+    "overloaded",         # shed at admission (queue depth / bytes cap)
+    "deadline_exceeded",  # admitted, but expired before execution
+    "circuit_open",       # per-client breaker short-circuited the request
+    "draining",           # server is shutting down, no new work admitted
+    "internal",           # the operation itself raised
+)
+
+#: Hard cap on one request line (bytes). A line longer than this is shed
+#: as ``bad_request`` before JSON parsing — an unbounded line is an
+#: unbounded allocation, exactly what admission control exists to stop.
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+
+class BadRequest(ValueError):
+    """A line that cannot become a request dict (torn, malformed, huge)."""
+
+
+def error_response(code: str, detail: str, **extra: object) -> dict:
+    """The one constructor for structured protocol errors."""
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown error code {code!r}; expected {ERROR_CODES}")
+    response = {"ok": False, "error": code, "detail": detail}
+    response.update(extra)
+    return response
+
+
+def parse_request(line: str, *, max_bytes: int = MAX_LINE_BYTES) -> dict | None:
+    """One stripped protocol line → a request dict.
+
+    Returns ``None`` for blank lines (keep-alives / trailing newlines are
+    not requests). Raises :class:`BadRequest` — never ``json.JSONDecodeError``
+    or anything else — for a line that is torn mid-write, not JSON, not a
+    JSON *object*, or larger than ``max_bytes``.
+    """
+    text = line.strip()
+    if not text:
+        return None
+    if len(text.encode("utf-8", errors="replace")) > max_bytes:
+        raise BadRequest(
+            f"request line exceeds {max_bytes} bytes"
+        )
+    try:
+        request = json.loads(text)
+    except json.JSONDecodeError as exc:
+        # A torn line (client died mid-write, or a crash tore the stream)
+        # parses exactly like a malformed one; both degrade, neither kills.
+        raise BadRequest(f"not valid JSON: {exc}") from None
+    if not isinstance(request, dict):
+        raise BadRequest(
+            f"request must be a JSON object, got {type(request).__name__}"
+        )
+    return request
+
+
+def bad_request_response(error: BadRequest | str) -> dict:
+    """The structured response for one unparseable line (counts it too)."""
+    obs.inc("serve.bad_request")
+    return error_response("bad_request", str(error))
+
+
+def encode_response(response: dict) -> bytes:
+    """One response dict → its wire bytes (JSON + newline, UTF-8)."""
+    return (json.dumps(response) + "\n").encode("utf-8")

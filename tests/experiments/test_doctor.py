@@ -9,6 +9,8 @@ from repro.experiments.cli import main
 from repro.runtime.cache import QUARANTINE_SUFFIX, write_envelope
 from repro.runtime.doctor import (
     JOURNAL_NAME,
+    SERVE_JOURNAL_NAME,
+    SERVE_SNAPSHOT_NAME,
     DoctorReport,
     report_to_json,
     run_doctor,
@@ -133,6 +135,85 @@ class TestRepair:
         report = run_doctor(cache_dir, retention_days=0.0)
         assert not report.clean
         assert not target.exists()
+
+
+class TestServeState:
+    """Auditing ``repro serve --state`` directories (PR-9 satellite)."""
+
+    @staticmethod
+    def _serve_state(tmp_path, *, snapshot=True, journal_entries=0):
+        state = tmp_path / "state"
+        state.mkdir()
+        if snapshot:
+            write_envelope(state / SERVE_SNAPSHOT_NAME, {"session": True})
+        journal = CheckpointJournal(state / SERVE_JOURNAL_NAME)
+        journal.path.touch(exist_ok=True)
+        for index in range(journal_entries):
+            journal.mark_done(f"add-{index}", records=index + 1)
+        return state
+
+    def test_healthy_pair_is_clean(self, tmp_path):
+        state = self._serve_state(tmp_path, journal_entries=2)
+        assert run_doctor(state, check=True).clean
+
+    def test_journal_without_snapshot_is_deleted(self, tmp_path):
+        # A journal entry means "covered by a snapshot"; with the
+        # snapshot gone, replayed adds would be journal-skipped and the
+        # records silently lost — the journal must go so adds replay.
+        state = self._serve_state(tmp_path, snapshot=False, journal_entries=2)
+        checked = run_doctor(state, check=True)
+        assert {f.category for f in checked.findings} == {"serve"}
+        assert "would delete" in checked.findings[0].action
+        assert (state / SERVE_JOURNAL_NAME).exists()
+
+        repaired = run_doctor(state)
+        assert not repaired.clean
+        assert not (state / SERVE_JOURNAL_NAME).exists()
+        assert run_doctor(state, check=True).clean  # idempotent
+
+    def test_empty_journal_without_snapshot_is_fine(self, tmp_path):
+        # A fresh daemon that never snapshotted: journal touched at
+        # init, zero entries — a legitimate layout, not torn state.
+        state = self._serve_state(tmp_path, snapshot=False)
+        assert run_doctor(state, check=True).clean
+
+    def test_snapshot_without_journal_gets_one(self, tmp_path):
+        state = self._serve_state(tmp_path)
+        (state / SERVE_JOURNAL_NAME).unlink()
+        checked = run_doctor(state, check=True)
+        assert {f.category for f in checked.findings} == {"serve"}
+        assert not (state / SERVE_JOURNAL_NAME).exists()
+
+        repaired = run_doctor(state)
+        assert not repaired.clean
+        assert (state / SERVE_JOURNAL_NAME).exists()
+        assert run_doctor(state, check=True).clean  # idempotent
+
+    def test_torn_serve_journal_compacts(self, tmp_path):
+        state = self._serve_state(tmp_path, journal_entries=2)
+        with (state / SERVE_JOURNAL_NAME).open(
+            "a", encoding="utf-8"
+        ) as handle:
+            handle.write('{"unit": "add-9", "torn')  # kill mid-append
+        repaired = run_doctor(state)
+        assert {f.category for f in repaired.findings} == {"journal"}
+        journal = CheckpointJournal(state / SERVE_JOURNAL_NAME)
+        assert journal.completed == {"add-0", "add-1"}
+        assert journal.torn_lines == 0
+        assert run_doctor(state, check=True).clean
+
+    def test_corrupt_snapshot_quarantined_and_journal_follows(self, tmp_path):
+        # A corrupt snapshot quarantines like any envelope; the next
+        # pass then sees a journal whose snapshot is gone and clears it.
+        state = self._serve_state(tmp_path, journal_entries=1)
+        (state / SERVE_SNAPSHOT_NAME).write_text("garbage", encoding="utf-8")
+        first = run_doctor(state)
+        assert "cache" in {f.category for f in first.findings}
+        assert not (state / SERVE_SNAPSHOT_NAME).exists()
+        second = run_doctor(state)
+        assert {f.category for f in second.findings} == {"serve"}
+        assert not (state / SERVE_JOURNAL_NAME).exists()
+        assert run_doctor(state, check=True).clean
 
 
 class TestReportSurface:

@@ -12,6 +12,7 @@ import time
 
 import pytest
 
+from repro import obs
 from repro.datasets.generator import build_task_from_sources
 from repro.runtime import faults
 from repro.serve import MatcherSession, open_session
@@ -71,7 +72,8 @@ class TestProtocol:
         assert query["ok"]
         assert "fresh" in query["result"]["candidates"]
         assert batch["ok"] and len(batch["results"]) == 1
-        assert not unknown["ok"] and "unknown op" in unknown["error"]
+        assert not unknown["ok"] and unknown["error"] == "unknown_op"
+        assert "unknown op" in unknown["detail"]
         assert drained["event"] == "drained"
         assert set(drained["stats"]["latency"]) == {
             "block",
@@ -83,13 +85,30 @@ class TestProtocol:
         session = open_session(loop_task, k=3)
         source = io.StringIO('not json\n[1, 2]\n{"op": "stats"}\n')
         sink = io.StringIO()
+        before = obs.counter("serve.bad_request")
         assert ServeLoop(session).run(
             source, sink, install_signals=False
         ) == 0
         responses = [json.loads(line) for line in sink.getvalue().splitlines()]
-        assert not responses[1]["ok"]  # parse error
-        assert not responses[2]["ok"]  # non-object request
+        assert responses[1]["error"] == "bad_request"  # parse error
+        assert responses[2]["error"] == "bad_request"  # non-object request
         assert responses[3]["ok"]  # still serving
+        assert obs.counter("serve.bad_request") - before == 2
+
+    def test_torn_line_is_structured_bad_request(self, loop_task):
+        # A client dying mid-write leaves a torn prefix of a valid
+        # request; the loop answers a structured event and keeps going.
+        session = open_session(loop_task, k=3)
+        torn = json.dumps({"op": "stats"})[:-4]
+        source = io.StringIO(torn + "\n" + '{"op": "stats"}\n')
+        sink = io.StringIO()
+        assert ServeLoop(session).run(
+            source, sink, install_signals=False
+        ) == 0
+        responses = [json.loads(line) for line in sink.getvalue().splitlines()]
+        assert responses[1]["error"] == "bad_request"
+        assert "JSON" in responses[1]["detail"]
+        assert responses[2]["ok"]
 
     def test_shutdown_op_drains(self, loop_task):
         session = open_session(loop_task, k=3)
@@ -190,6 +209,46 @@ class TestDurability:
         # No explicit snapshot op: the drain-time snapshot covers it.
         restored = MatcherSession.load(state / SNAPSHOT_NAME)
         assert "late" in restored._records
+
+
+class TestSigtermOrdering:
+    def test_second_sigterm_mid_drain_snapshot_defers(
+        self, loop_task, tmp_path, monkeypatch
+    ):
+        # Regression: the loop used to restore the previous SIGTERM
+        # handler *before* the drain-time snapshot ran, so a second
+        # SIGTERM landing mid-save terminated the process and could
+        # strand a session.json.tmp<pid> as the only copy. The handler
+        # must stay installed through the final snapshot.
+        state = tmp_path / "state"
+        session = open_session(loop_task, k=3)
+        hits = []
+        previous = signal.signal(
+            signal.SIGTERM, lambda signum, frame: hits.append("outer")
+        )
+        try:
+            original_save = session.save
+            fired = []
+
+            def killing_save(path):
+                if not fired:
+                    fired.append(True)
+                    os.kill(os.getpid(), signal.SIGTERM)
+                return original_save(path)
+
+            monkeypatch.setattr(session, "save", killing_save)
+            loop = ServeLoop(session, state_dir=state)
+            assert (
+                loop.run(io.StringIO(""), io.StringIO(), install_signals=True)
+                == 0
+            )
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+        # The mid-snapshot SIGTERM hit the loop's own (still installed)
+        # handler, not whatever was there before.
+        assert hits == []
+        assert (state / SNAPSHOT_NAME).exists()
+        assert not list(state.glob("*.tmp*"))
 
 
 def record_payload_record(record, new_id):

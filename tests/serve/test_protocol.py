@@ -1,0 +1,79 @@
+"""Tests for the shared serve wire protocol (parsing + error shapes)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.serve.protocol import (
+    ERROR_CODES,
+    MAX_LINE_BYTES,
+    BadRequest,
+    bad_request_response,
+    encode_response,
+    error_response,
+    parse_request,
+)
+
+
+class TestParseRequest:
+    def test_valid_object_round_trips(self):
+        assert parse_request('{"op": "stats"}\n') == {"op": "stats"}
+
+    def test_blank_lines_are_keepalives(self):
+        assert parse_request("") is None
+        assert parse_request("   \n") is None
+
+    @pytest.mark.parametrize(
+        "line",
+        ["not json", "[1, 2]", '"just a string"', "42", "{torn...", "{}x"],
+    )
+    def test_malformed_lines_raise_bad_request(self, line):
+        with pytest.raises(BadRequest):
+            parse_request(line)
+
+    def test_torn_prefix_of_valid_request(self):
+        torn = json.dumps({"op": "query", "record": {"record_id": "x"}})[:-7]
+        with pytest.raises(BadRequest):
+            parse_request(torn)
+
+    def test_oversized_line_shed_before_parsing(self):
+        huge = '{"op": "add", "pad": "' + "x" * 128 + '"}'
+        with pytest.raises(BadRequest, match="exceeds"):
+            parse_request(huge, max_bytes=64)
+        # Under the default cap the same line is fine.
+        assert parse_request(huge)["op"] == "add"
+        assert MAX_LINE_BYTES >= 1024 * 1024
+
+
+class TestErrorResponses:
+    def test_error_response_shape(self):
+        response = error_response("overloaded", "queue full", queue_depth=7)
+        assert response == {
+            "ok": False,
+            "error": "overloaded",
+            "detail": "queue full",
+            "queue_depth": 7,
+        }
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown error code"):
+            error_response("nope", "detail")
+
+    def test_all_codes_constructible(self):
+        for code in ERROR_CODES:
+            assert error_response(code, "x")["error"] == code
+
+    def test_bad_request_response_counts(self):
+        before = obs.counter("serve.bad_request")
+        response = bad_request_response(BadRequest("torn line"))
+        assert response["error"] == "bad_request"
+        assert "torn line" in response["detail"]
+        assert obs.counter("serve.bad_request") - before == 1
+
+    def test_encode_response_is_jsonl(self):
+        payload = encode_response({"ok": True, "op": "stats"})
+        assert payload.endswith(b"\n")
+        assert json.loads(payload) == {"ok": True, "op": "stats"}
