@@ -1,0 +1,98 @@
+"""Scale-mode benchmark: streaming sharded sweep throughput at 10^5–10^6.
+
+Runs ``repro.scale`` sweeps at growing record counts with a fixed shard
+size and records the records/sec trajectory to ``BENCH_scale.json``.
+Because the shard size is constant, per-shard work is constant — the
+trajectory is the proof that the streaming path scales linearly instead
+of super-linearly (no dataset-sized state accumulates across shards).
+Each point must clear ``RATE_FLOOR`` records/sec and keep blocking
+recall above ``PC_FLOOR`` and end-to-end F1 above ``F1_FLOOR``;
+``scripts/verify.sh`` re-checks the recorded floors in its scale stage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.runtime.guard import read_rss_mb
+from repro.scale import ScaleConfig, ShardedSweep
+
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_scale.json"
+DATASET = "Ds2"
+SHARD_SIZE = 10_000
+RECORD_COUNTS = (100_000, 316_000, 1_000_000)
+SEED = 0
+
+#: End-to-end (generate + block + match + checkpoint) records/sec every
+#: trajectory point must clear. Measured ~6k on a dev container; the
+#: floor leaves headroom for slower CI machines.
+RATE_FLOOR = 1000.0
+#: Per-shard LSH blocking recall stays shard-local, so it must not decay
+#: with the record count.
+PC_FLOOR = 0.9
+F1_FLOOR = 0.6
+
+
+@pytest.mark.scale_bench
+def test_scale_throughput_trajectory(tmp_path):
+    trajectory = []
+    for records in RECORD_COUNTS:
+        config = ScaleConfig(
+            dataset_id=DATASET,
+            records=records,
+            shard_size=SHARD_SIZE,
+            blocker="lsh",
+            matcher="SA",
+            seed=SEED,
+        )
+        start = time.perf_counter()
+        report = ShardedSweep(config, cache_dir=tmp_path / str(records)).run()
+        wall = time.perf_counter() - start
+        assert report.complete
+        trajectory.append({
+            "records": report.n_records,
+            "n_shards": report.n_shards,
+            "wall_seconds": round(wall, 2),
+            "records_per_sec": round(report.n_records / wall, 1),
+            "pair_completeness": round(report.pair_completeness, 4),
+            "pairs_quality": round(report.pairs_quality, 4),
+            "f1": round(report.f1, 4),
+            "rss_mb": round(rss, 1) if (rss := read_rss_mb()) else None,
+        })
+
+    record = {
+        "dataset": DATASET,
+        "shard_size": SHARD_SIZE,
+        "seed": SEED,
+        "blocker": "lsh",
+        "matcher": "SA",
+        "rate_floor": RATE_FLOOR,
+        "pc_floor": PC_FLOOR,
+        "f1_floor": F1_FLOOR,
+        "cpu_count": os.cpu_count(),
+        "trajectory": trajectory,
+    }
+    RECORD_PATH.write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+    )
+    print()
+    print(json.dumps(record, indent=2))
+
+    for point in trajectory:
+        records = point["records"]
+        assert point["records_per_sec"] >= RATE_FLOOR, (
+            f"{records} records: {point['records_per_sec']} records/sec "
+            f"below the {RATE_FLOOR} floor"
+        )
+        assert point["pair_completeness"] >= PC_FLOOR, (
+            f"{records} records: PC {point['pair_completeness']} below "
+            f"{PC_FLOOR}"
+        )
+        assert point["f1"] >= F1_FLOOR, (
+            f"{records} records: F1 {point['f1']} below {F1_FLOOR}"
+        )

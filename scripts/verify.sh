@@ -5,7 +5,9 @@
 # observability on a fresh cache, a supervision smoke (hang-injected
 # worker replaced by the watchdog, orphaned-lease repair by the doctor),
 # a seeded chaos smoke campaign with a doctor audit of the surviving
-# cache, the kernel-parity suite, and the overhead/speedup benches.
+# cache, the kernel-parity suite, the overhead/speedup benches, and the
+# scale-mode stage (budgeted sharded sweep, SIGKILL/doctor/resume
+# parity, BENCH_scale.json floor re-check).
 #
 # Usage: scripts/verify.sh [--smoke-only]
 set -euo pipefail
@@ -274,6 +276,87 @@ assert record["admitted_p99_seconds"] <= (
     record["p99_ratio_ceiling"] * record["baseline_p99_seconds"]
 ), "BENCH_frontend.json: admitted p99 blew past the ceiling"
 print("frontend overload-floor check: OK")
+EOF
+
+echo "== scale mode: budgeted sharded sweep + SIGKILL/doctor/resume parity =="
+# A 10^4-record sharded run under a memory budget must complete, journal
+# every shard, and write its deterministic report.
+SCALE_STATE="$(mktemp -d)"
+python -m repro scale-up Ds2 --records 10000 --shard-size 500 \
+    --memory-budget 4096 --cache '' --state "$SCALE_STATE/clean" \
+    --out "$SCALE_STATE/clean.json"
+# SIGKILL mid-shard: rerun the same config fresh, kill it the moment the
+# first shard lands in the journal (leaving later shards unfinished),
+# doctor-audit the survivor state, resume — the resumed final table must
+# be bit-identical to the uninterrupted run's.
+python - "$SCALE_STATE" <<'EOF'
+import os, signal, subprocess, sys, time
+
+state = sys.argv[1]
+proc = subprocess.Popen(
+    [sys.executable, "-m", "repro", "scale-up", "Ds2",
+     "--records", "10000", "--shard-size", "500",
+     "--cache", "", "--state", f"{state}/killed"],
+    stdout=subprocess.DEVNULL,
+)
+journal = f"{state}/killed/scale.journal"
+deadline = time.time() + 120
+while time.time() < deadline:
+    try:
+        with open(journal, encoding="utf-8") as handle:
+            if sum('"scale:shard:' in line for line in handle) >= 1:
+                break
+    except FileNotFoundError:
+        pass
+    if proc.poll() is not None:
+        sys.exit("scale run exited before it could be killed mid-shard")
+    time.sleep(0.02)
+else:
+    proc.kill()
+    sys.exit("no shard journaled before the deadline")
+proc.send_signal(signal.SIGKILL)
+proc.wait()
+print("SIGKILLed the sweep after >=1 journaled shard")
+EOF
+python -m repro doctor --cache "$SCALE_STATE/killed"
+python -m repro scale-up Ds2 --records 10000 --shard-size 500 \
+    --cache '' --state "$SCALE_STATE/killed" \
+    --out "$SCALE_STATE/resumed.json" | tee /tmp/scale_resume.out
+grep -q "resumed from the journal" /tmp/scale_resume.out
+python - "$SCALE_STATE" <<'EOF'
+import json, sys
+
+state = sys.argv[1]
+clean = json.load(open(f"{state}/clean.json"))
+resumed = json.load(open(f"{state}/resumed.json"))
+assert clean == resumed, "resumed final tables differ from the clean run"
+print("scale kill/resume identical-table check: OK")
+EOF
+# Re-check the recorded throughput/quality floors of the committed
+# trajectory (regenerate with: pytest -m scale_bench benchmarks/bench_scale.py).
+python - <<'EOF'
+import json
+
+record = json.load(open("BENCH_scale.json"))
+assert record["trajectory"], "BENCH_scale.json: empty trajectory"
+for point in record["trajectory"]:
+    records = point["records"]
+    assert point["records_per_sec"] >= record["rate_floor"], (
+        f"BENCH_scale.json: {records} records at {point['records_per_sec']} "
+        f"records/sec, below the {record['rate_floor']} floor"
+    )
+    assert point["pair_completeness"] >= record["pc_floor"], (
+        f"BENCH_scale.json: PC {point['pair_completeness']} at {records} "
+        f"records, below {record['pc_floor']}"
+    )
+    assert point["f1"] >= record["f1_floor"], (
+        f"BENCH_scale.json: F1 {point['f1']} at {records} records, below "
+        f"{record['f1_floor']}"
+    )
+assert max(p["records"] for p in record["trajectory"]) >= 1_000_000, (
+    "BENCH_scale.json: trajectory never reaches 10^6 records"
+)
+print("scale throughput-floor check: OK")
 EOF
 
 echo "verify: OK"

@@ -38,6 +38,16 @@ def split_three_way(
         rng.shuffle(members)
         first_cut = int(round(len(members) * ratios[0] / total))
         second_cut = first_cut + int(round(len(members) * ratios[1] / total))
+        if len(members) >= 3:
+            # Rounding starves minorities at small n: with ratios (3,1,1)
+            # a 2-member class cuts to [1,0,1] and a 3-member class to
+            # [2,1,0], so validation or testing sees zero positives and
+            # threshold fitting silently degrades. Clamp so every split
+            # keeps at least one member whenever the class can afford it;
+            # larger classes are untouched (their cuts already satisfy
+            # the bounds).
+            first_cut = min(max(first_cut, 1), len(members) - 2)
+            second_cut = min(max(second_cut, first_cut + 1), len(members) - 1)
         buckets[0].extend(members[:first_cut].tolist())
         buckets[1].extend(members[first_cut:second_cut].tolist())
         buckets[2].extend(members[second_cut:].tolist())

@@ -15,6 +15,7 @@ variants.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass
 
 import numpy as np
@@ -22,6 +23,21 @@ import numpy as np
 from repro.datasets.vocabulary import ConceptVocabulary, build_vocabulary
 
 _CODE_LETTERS = "abcdefghjkmnpqrstuvwxyz"
+
+#: Entities per family block in shard-deterministic generation. Family
+#: variants draw their base only from earlier entities of the *same*
+#: block, so any index range can be regenerated from at most one block
+#: prefix — the property that makes sharded generation bit-identical to
+#: monolithic generation regardless of how entities are grouped into
+#: shards (``repro.scale``).
+FAMILY_BLOCK = 64
+
+#: Stream tags separating the per-entity structure RNG from the
+#: per-entity render RNG (``repro.datasets.generator``); both derive
+#: from ``SeedSequence((seed, tag, entity_index))`` so every entity's
+#: draws are independent of every other entity's.
+STRUCTURE_STREAM = 0x51
+RENDER_STREAM = 0x52
 
 
 @dataclass(frozen=True)
@@ -139,6 +155,57 @@ class EntityFactory:
             else:
                 entities.append(self._fresh(index, rng))
         return entities
+
+    def entity_rng(self, entity_index: int) -> np.random.Generator:
+        """The structure RNG of one entity (shard-deterministic path).
+
+        Derived from ``(seed, STRUCTURE_STREAM, entity_index)`` only, so
+        an entity's identity never depends on which shard generated it.
+        """
+        return np.random.default_rng(
+            np.random.SeedSequence((self.seed, STRUCTURE_STREAM, entity_index))
+        )
+
+    def entity_range(
+        self,
+        lo: int,
+        hi: int,
+        family_fraction: float = 0.3,
+        block_size: int = FAMILY_BLOCK,
+    ) -> Iterator[Entity]:
+        """Yield entities ``lo <= index < hi`` shard-deterministically.
+
+        Unlike :meth:`generate` — whose single sequential RNG makes every
+        entity depend on all of its predecessors — each entity here draws
+        from its own :meth:`entity_rng`, and family variants pick their
+        base only among earlier entities of the same ``block_size`` block.
+        Regenerating an arbitrary range therefore costs at most one block
+        prefix of extra structure work and yields bit-identical entities
+        for every grouping of indexes into ranges.
+        """
+        if lo < 0 or hi < lo:
+            raise ValueError(f"bad entity range [{lo}, {hi})")
+        if not 0.0 <= family_fraction <= 1.0:
+            raise ValueError(
+                f"family_fraction must be in [0, 1], got {family_fraction}"
+            )
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        index = (lo // block_size) * block_size
+        block: list[Entity] = []
+        while index < hi:
+            if index % block_size == 0:
+                block = []
+            rng = self.entity_rng(index)
+            if block and rng.random() < family_fraction:
+                base = block[int(rng.integers(0, len(block)))]
+                entity = self._variant_of(base, index, rng)
+            else:
+                entity = self._fresh(index, rng)
+            block.append(entity)
+            if index >= lo:
+                yield entity
+            index += 1
 
     def _fresh(self, entity_id: int, rng: np.random.Generator) -> Entity:
         parts = {

@@ -22,6 +22,7 @@ datasets.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 
 from repro.data.task import MatchingTask
@@ -205,6 +206,49 @@ def _scaled(value: int, size_factor: float, minimum: int = 1) -> int:
     return max(minimum, int(round(value * size_factor)))
 
 
+#: (dataset_id) keys already warned about clamping, so a sweep over many
+#: size factors emits one warning per dataset, not one per build.
+_CLAMP_WARNED: set[str] = set()
+
+
+def _reset_clamp_warnings() -> None:
+    """Forget previous clamp warnings (test isolation hook)."""
+    _CLAMP_WARNED.clear()
+
+
+def effective_scale(dataset_id: str, size_factor: float) -> dict[str, float]:
+    """The size factor actually realized after the generation minimums.
+
+    ``_scaled`` floors ``n_matches`` at 20 and ``n_pairs`` at 60, so tiny
+    requested factors silently produce datasets larger than asked for.
+    Returns the requested factor, the effective per-dimension factors,
+    and whether any floor fired — the provenance that
+    :func:`build_established_task` records in the task metadata and
+    snapshots surface per dataset.
+    """
+    if dataset_id not in ESTABLISHED_PROFILES:
+        raise KeyError(
+            f"unknown dataset {dataset_id!r}; known: {sorted(ESTABLISHED_PROFILES)}"
+        )
+    profile = ESTABLISHED_PROFILES[dataset_id]
+    matches_effective = (
+        _scaled(profile.n_matches, size_factor, minimum=20) / profile.n_matches
+    )
+    pairs_effective = (
+        _scaled(profile.n_pairs, size_factor, minimum=60) / profile.n_pairs
+    )
+    clamped = (
+        int(round(profile.n_matches * size_factor)) < 20
+        or int(round(profile.n_pairs * size_factor)) < 60
+    )
+    return {
+        "requested": size_factor,
+        "n_matches": matches_effective,
+        "n_pairs": pairs_effective,
+        "clamped": clamped,
+    }
+
+
 def build_established_task(
     dataset_id: str, size_factor: float = 1.0
 ) -> MatchingTask:
@@ -240,8 +284,19 @@ def build_established_task(
         family_fraction=profile.family_fraction,
         seed=profile.seed,
     )
+    scale_info = effective_scale(dataset_id, size_factor)
+    if scale_info["clamped"] and dataset_id not in _CLAMP_WARNED:
+        _CLAMP_WARNED.add(dataset_id)
+        warnings.warn(
+            f"{dataset_id}: size factor {size_factor} hits the generation "
+            f"minimums (20 matches / 60 pairs); effective factors are "
+            f"{scale_info['n_matches']:.3f} (matches) / "
+            f"{scale_info['n_pairs']:.3f} (pairs)",
+            stacklevel=2,
+        )
+
     sources = generate_source_pair(generator_profile)
-    return build_task_from_sources(
+    task = build_task_from_sources(
         sources,
         n_pairs=_scaled(profile.n_pairs, size_factor, minimum=60),
         positive_fraction=profile.positive_fraction,
@@ -249,3 +304,6 @@ def build_established_task(
         seed=profile.seed + 7,
         name=dataset_id,
     )
+    # Scale provenance: what was asked for vs what the minimums produced.
+    task.metadata["scale"] = scale_info
+    return task

@@ -18,7 +18,12 @@ from repro.data.pairs import LabeledPairSet, RecordPair
 from repro.data.records import Record, RecordStore, Schema
 from repro.data.splits import split_three_way
 from repro.data.task import MatchingTask
-from repro.datasets.entities import DomainSpec, Entity, EntityFactory
+from repro.datasets.entities import (
+    RENDER_STREAM,
+    DomainSpec,
+    Entity,
+    EntityFactory,
+)
 from repro.datasets.noise import NoiseModel
 from repro.datasets.vocabulary import ConceptVocabulary
 from repro.text.similarity import jaccard_similarity
@@ -131,8 +136,22 @@ class _Renderer:
         )
 
 
-def generate_source_pair(profile: GeneratorProfile) -> SourcePair:
-    """Generate the two sources and ground truth for *profile*."""
+def generate_source_pair(
+    profile: GeneratorProfile, shard_size: int | None = None
+) -> SourcePair:
+    """Generate the two sources and ground truth for *profile*.
+
+    With ``shard_size=None`` (the default) generation runs the classic
+    sequential-RNG path every existing profile and cached baseline was
+    calibrated against. Passing a ``shard_size`` switches to the
+    shard-deterministic path of :func:`generate_shard` and merges all
+    shards into one :class:`SourcePair` — the records are bit-identical
+    for **every** choice of ``shard_size`` (the ``repro.scale`` tentpole
+    invariant), but form a different (equally valid) sample than the
+    legacy path.
+    """
+    if shard_size is not None:
+        return _generate_sharded(profile, shard_size)
     factory = EntityFactory(profile.domain, seed=profile.seed)
     rng = np.random.default_rng(profile.seed + 17)
     total = profile.n_matches + profile.left_extra + profile.right_extra
@@ -164,6 +183,123 @@ def generate_source_pair(profile: GeneratorProfile) -> SourcePair:
         left.add(left_renderer.render(entity, rng))
     for entity in right_only:
         right.add(right_renderer.render(entity, rng))
+    return SourcePair(
+        name=profile.name,
+        left=left,
+        right=right,
+        matches=frozenset(matches),
+        vocabulary=factory.vocabulary,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shard-deterministic generation (repro.scale)
+# ---------------------------------------------------------------------------
+
+
+def total_entities(profile: GeneratorProfile) -> int:
+    """How many latent entities *profile* describes (shared + extras)."""
+    return profile.n_matches + profile.left_extra + profile.right_extra
+
+
+def shard_count(profile: GeneratorProfile, shard_size: int) -> int:
+    """Number of shards covering *profile* at *shard_size* entities each."""
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    total = total_entities(profile)
+    return (total + shard_size - 1) // shard_size
+
+
+def _render_rng(profile: GeneratorProfile, entity_index: int) -> np.random.Generator:
+    """The render RNG of one entity: depends on the entity index only.
+
+    Rendering draws (synonym choices, noise corruption) come from a
+    per-entity stream — ``SeedSequence((seed, RENDER_STREAM, index))`` —
+    so a record's bytes never depend on which shard rendered it. Shared
+    entities render left first, then right, from the same stream.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence((profile.seed, RENDER_STREAM, entity_index))
+    )
+
+
+def generate_shard(
+    profile: GeneratorProfile,
+    shard_index: int,
+    shard_size: int,
+    factory: EntityFactory | None = None,
+) -> SourcePair:
+    """Generate one shard of *profile* as a self-contained source pair.
+
+    Shard ``k`` covers entity indexes ``[k * shard_size, (k+1) *
+    shard_size)`` (clipped to the profile's total). Each entity derives
+    its structure and render RNGs from ``(seed, stream, entity_index)``
+    alone and family variants stay within fixed
+    :data:`~repro.datasets.entities.FAMILY_BLOCK` blocks, so the records
+    produced for an entity are bit-identical no matter how entities are
+    grouped into shards. Matches never cross shards: a shared entity
+    renders its left and right record in the same shard.
+
+    Pass a pre-built *factory* to amortize vocabulary construction
+    across shards (it is derived from the profile seed either way).
+    """
+    total = total_entities(profile)
+    n_shards = shard_count(profile, shard_size)
+    if not 0 <= shard_index < n_shards:
+        raise ValueError(
+            f"shard_index {shard_index} out of range for {n_shards} shard(s)"
+        )
+    if factory is None:
+        factory = EntityFactory(profile.domain, seed=profile.seed)
+    lo = shard_index * shard_size
+    hi = min(total, lo + shard_size)
+
+    schema = Schema(profile.domain.attribute_names())
+    left_renderer = _Renderer(
+        factory, "a", profile.synonym_rate_left, profile.noise_left
+    )
+    right_renderer = _Renderer(
+        factory, "b", profile.synonym_rate_right, profile.noise_right
+    )
+    left = RecordStore(f"{profile.name}/A[{shard_index}]", schema)
+    right = RecordStore(f"{profile.name}/B[{shard_index}]", schema)
+    matches: set[tuple[str, str]] = set()
+    boundary = profile.n_matches + profile.left_extra
+    for entity in factory.entity_range(lo, hi, profile.family_fraction):
+        rng = _render_rng(profile, entity.entity_id)
+        if entity.entity_id < profile.n_matches:
+            left_record = left_renderer.render(entity, rng)
+            right_record = right_renderer.render(entity, rng)
+            left.add(left_record)
+            right.add(right_record)
+            matches.add((left_record.record_id, right_record.record_id))
+        elif entity.entity_id < boundary:
+            left.add(left_renderer.render(entity, rng))
+        else:
+            right.add(right_renderer.render(entity, rng))
+    return SourcePair(
+        name=f"{profile.name}[{shard_index}/{n_shards}]",
+        left=left,
+        right=right,
+        matches=frozenset(matches),
+        vocabulary=factory.vocabulary,
+    )
+
+
+def _generate_sharded(profile: GeneratorProfile, shard_size: int) -> SourcePair:
+    """All shards of *profile*, merged back into one source pair."""
+    factory = EntityFactory(profile.domain, seed=profile.seed)
+    schema = Schema(profile.domain.attribute_names())
+    left = RecordStore(f"{profile.name}/A", schema)
+    right = RecordStore(f"{profile.name}/B", schema)
+    matches: set[tuple[str, str]] = set()
+    for shard_index in range(shard_count(profile, shard_size)):
+        shard = generate_shard(profile, shard_index, shard_size, factory=factory)
+        for record in shard.left:
+            left.add(record)
+        for record in shard.right:
+            right.add(record)
+        matches.update(shard.matches)
     return SourcePair(
         name=profile.name,
         left=left,

@@ -7,6 +7,8 @@ Usage (after ``pip install -e .``)::
     python -m repro fig1                  # Figure 1 series
     python -m repro audit Ds4             # four-measure audit of one dataset
     python -m repro snapshot --out s.json # every table+figure as one JSON
+    python -m repro scale-up --records 100000 --shard-size 10000
+                                          # streaming sharded scale sweep
     python -m repro doctor --check        # audit cache/journal state
     python -m repro chaos --plans 5       # seeded chaos campaign
     python -m repro list                  # list datasets and experiments
@@ -44,6 +46,7 @@ units while the run executes.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -126,13 +129,14 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help="table3..table7, fig1..fig6, blocking, audit, snapshot, serve, "
-        "trace, doctor, chaos, or list",
+        "scale-up, trace, doctor, chaos, or list",
     )
     parser.add_argument(
         "dataset",
         nargs="?",
         default=None,
-        help="dataset id for 'audit' (e.g. Ds4 or abt_buy)",
+        help="dataset id for 'audit' (e.g. Ds4 or abt_buy) or the profile "
+        "'scale-up' scales (default Ds2)",
     )
     parser.add_argument(
         "--scale",
@@ -182,8 +186,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--out",
         type=Path,
-        default=Path("snapshot.json"),
-        help="output path for the 'snapshot' experiment",
+        default=None,
+        help="output path for 'snapshot' (default snapshot.json) or for "
+        "the 'scale-up' report JSON (default: state dir only)",
     )
     parser.add_argument(
         "--metrics",
@@ -296,7 +301,9 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="for 'serve': state directory (lease + journal + session "
-        "snapshot); restarting with an existing snapshot resumes it",
+        "snapshot); restarting with an existing snapshot resumes it. "
+        "For 'scale-up': shard journal + manifest directory (default "
+        "<cache>/scale); a rerun resumes at the last shard boundary",
     )
     parser.add_argument(
         "--snapshot-every",
@@ -352,6 +359,23 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="for 'serve' with --listen/--socket: slow-client write "
         "bound; a blocked send past it drops that client (default 5)",
+    )
+    parser.add_argument(
+        "--records",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="for 'scale-up': target total record count across both "
+        "sources (default 100000)",
+    )
+    parser.add_argument(
+        "--shard-size",
+        type=_positive_int,
+        default=None,
+        metavar="S",
+        help="for 'scale-up': entities per shard — the streaming memory "
+        "ceiling; results are bit-identical for every choice "
+        "(default 10000)",
     )
     parser.add_argument(
         "--no-auto-degrade",
@@ -514,6 +538,80 @@ def _chaos_command(
     return 1
 
 
+def _scale_command(cache_dir: Path | None, args) -> int:
+    """``python -m repro scale-up [DATASET] --records N --shard-size S``.
+
+    Scales the named established profile (default Ds2) to ``--records``
+    total records and streams it shard-by-shard through blocking,
+    matching and reduction (:mod:`repro.scale`). State (shard journal +
+    manifest) lives in ``--state`` or ``<cache>/scale``; a rerun — or a
+    restart after a mid-shard SIGKILL — resumes at the last completed
+    shard boundary and produces bit-identical final tables.
+    """
+    from repro.runtime.guard import BudgetExceeded
+    from repro.scale import ScaleConfig, ShardedSweep
+
+    options = {}
+    if args.records is not None:
+        options["records"] = args.records
+    if args.shard_size is not None:
+        options["shard_size"] = args.shard_size
+    if args.dataset is not None:
+        options["dataset_id"] = args.dataset
+    # The sweep's blocker vocabulary is wider than the blocking
+    # experiment's restriction flag; the sweep defaults ('all') and the
+    # 'ann' shorthand both mean the LSH backend here.
+    if args.blocker not in ("all", "ann"):
+        options["blocker"] = args.blocker
+    try:
+        config = ScaleConfig(
+            matcher=args.matcher,
+            seed=args.seed,
+            memory_budget_mb=args.memory_budget,
+            disk_reserve_mb=args.disk_reserve,
+            **options,
+        )
+    except ValueError as error:
+        print(f"scale-up: {error}")
+        return 2
+    state_dir = args.state
+    if state_dir is None and cache_dir is not None:
+        state_dir = cache_dir / "scale"
+    sweep = ShardedSweep(config, cache_dir=state_dir)
+    try:
+        report = sweep.run()
+    except BudgetExceeded as error:
+        print(f"scale-up: budget exceeded: {error}")
+        print("completed shards are journaled; rerun to resume")
+        return 3
+    title = (
+        f"Scale sweep — {config.dataset_id} @ {config.records:,} records, "
+        f"{report.n_shards} shard(s), blocker={config.blocker}, "
+        f"matcher={config.matcher_variant}"
+    )
+    print(render(report.to_table(), title=title))
+    print()
+    resumed = (
+        f", {report.resumed_shards} shard(s) resumed from the journal"
+        if report.resumed_shards
+        else ""
+    )
+    print(
+        f"{report.n_records:,} records in {report.total_seconds:.1f}s "
+        f"({report.records_per_sec:,.0f} records/sec{resumed})"
+    )
+    if args.out is not None:
+        args.out.write_text(
+            json.dumps(report.state(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.out}")
+    if args.metrics:
+        print()
+        print(render(obs.snapshot(), title="Metrics"))
+    return 0
+
+
 def _serve_command(args) -> int:
     """``python -m repro serve [DATASET] [--matcher M] [--state DIR] ...``.
 
@@ -631,6 +729,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "serve":
         return _serve_command(args)
 
+    if args.experiment == "scale-up":
+        return _scale_command(cache_dir, args)
+
     if cache_dir is not None and args.experiment not in ("list",):
         problem = check_cache_dir_writable(cache_dir)
         if problem is not None:
@@ -667,7 +768,7 @@ def main(argv: list[str] | None = None) -> int:
             "experiments:",
             ", ".join(
                 [*_TABLES, *_FIGURES, "blocking", "verdicts", "audit",
-                 "snapshot", "serve", "trace"]
+                 "snapshot", "serve", "scale-up", "trace"]
             ),
         )
         print("established datasets:", ", ".join(ESTABLISHED_DATASET_IDS))
@@ -724,9 +825,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "snapshot":
         from repro.experiments.snapshot import save_snapshot
 
-        snapshot = save_snapshot(runner, args.out)
+        out = args.out if args.out is not None else Path("snapshot.json")
+        snapshot = save_snapshot(runner, out)
         n_failures = len(snapshot["failures"])  # type: ignore[arg-type]
-        print(f"snapshot written to {args.out} ({n_failures} degraded unit(s))")
+        print(f"snapshot written to {out} ({n_failures} degraded unit(s))")
         _print_failures(runner)
         _print_observability(runner, args)
         return 0

@@ -72,8 +72,17 @@ def take_snapshot(runner: ExperimentRunner) -> dict[str, object]:
         assessment = runner.assessment(dataset_id, with_practical=True)
         verdicts[dataset_id] = assessment.summary()
 
+    from repro.datasets.established import ESTABLISHED_ORDER, effective_scale
+
     return {
         "size_factor": runner.size_factor,
+        # Scale provenance per dataset: tiny size factors are clamped by
+        # the generation minimums, so the effective factor can exceed the
+        # requested one (the "clamped" flag marks exactly when).
+        "effective_scales": {
+            dataset_id: effective_scale(dataset_id, runner.size_factor)
+            for dataset_id in ESTABLISHED_ORDER
+        },
         "seed": runner.seed,
         "tables": table_entries,
         "figures": figure_entries,

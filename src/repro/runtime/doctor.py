@@ -25,7 +25,14 @@ evidence on disk. :func:`run_doctor` walks the whole directory at once:
   snapshot that is now gone — replayed adds must re-apply, not be
   skipped against an empty session); a snapshot without its journal gets
   an empty journal re-materialized; torn/duplicate serve-journal lines
-  compact exactly like the checkpoint journal's.
+  compact exactly like the checkpoint journal's;
+* **scale state pairing** — a ``repro scale-up`` state directory holds
+  its manifest (``scale.manifest.json``) and shard journal
+  (``scale.journal``) as a pair. A journal whose manifest is missing,
+  unreadable, or fingerprint-mismatched is deleted (per-shard counts are
+  meaningless without the config that produced them; shards are
+  deterministic and recompute); a manifest without its journal gets an
+  empty journal re-materialized; torn tails compact as usual.
 
 ``check=True`` audits without touching anything (exit code 1 from the CLI
 when problems are found); a repair run is idempotent — a second pass
@@ -64,6 +71,13 @@ JOURNAL_NAME = "checkpoint.journal"
 SERVE_JOURNAL_NAME = "serve.journal"
 SERVE_SNAPSHOT_NAME = "session.json"
 
+#: Scale state-directory filenames (kept in sync with
+#: ``repro.scale.sweep.SCALE_JOURNAL_NAME``/``SCALE_MANIFEST_NAME``;
+#: redeclared here so the runtime layer stays importable without the
+#: scale layer).
+SCALE_JOURNAL_NAME = "scale.journal"
+SCALE_MANIFEST_NAME = "scale.manifest.json"
+
 #: Days a quarantined entry is kept as evidence before the doctor
 #: deletes it.
 DEFAULT_RETENTION_DAYS = 7.0
@@ -75,7 +89,7 @@ _TMP_PATTERN = re.compile(r"\.tmp(\d+)$")
 class DoctorFinding:
     """One audited problem and what was (or would be) done about it."""
 
-    category: str  # "journal" | "cache" | "quarantine" | "tmp" | "lease" | "serve"
+    category: str  # "journal" | "cache" | "quarantine" | "tmp" | "lease" | "serve" | "scale"
     path: str
     problem: str
     action: str  # what was done, or "would <x>" in check mode
@@ -187,6 +201,87 @@ def _audit_serve_journal(
         )
         return 0
     return _audit_journal(journal_path, check, findings)
+
+
+def _audit_scale_journal(
+    journal_path: Path, check: bool, findings: list[DoctorFinding]
+) -> int:
+    """Audit a scale shard journal against its manifest.
+
+    A journal entry means "this shard's counts are final under the
+    manifest's config fingerprint". With the manifest gone or unreadable
+    the counts have no config to reduce under, and with a fingerprint
+    mismatch they belong to a *different* run; either way the safe
+    direction is deletion — shards are deterministic and recompute.
+    Torn/duplicate lines compact exactly like the checkpoint journal's.
+    """
+    manifest_path = journal_path.with_name(SCALE_MANIFEST_NAME)
+    journal = CheckpointJournal(journal_path)
+    fingerprint = None
+    if manifest_path.exists():
+        try:
+            payload = read_envelope(manifest_path)
+        except CacheError:
+            pass  # the .json audit quarantines the manifest itself
+        else:
+            if isinstance(payload, dict):
+                fingerprint = payload.get("fingerprint")
+    stale = sum(
+        1
+        for unit in journal.completed
+        if (journal.info(unit) or {}).get("config") != fingerprint
+    )
+    if len(journal) > 0 and (fingerprint is None or stale):
+        if fingerprint is None:
+            problem = (
+                f"{len(journal)} journaled shard(s) but no readable "
+                f"{SCALE_MANIFEST_NAME}; counts have no config to "
+                "reduce under"
+            )
+        else:
+            problem = (
+                f"{stale} journaled shard(s) from a different config "
+                "fingerprint"
+            )
+        if check:
+            action = "would delete (shards recompute)"
+        else:
+            journal_path.unlink(missing_ok=True)
+            obs.inc("doctor.scale_journal_deleted")
+            action = "deleted (shards recompute)"
+        findings.append(
+            DoctorFinding(
+                category="scale",
+                path=journal_path.name,
+                problem=problem,
+                action=action,
+            )
+        )
+        return 0
+    return _audit_journal(journal_path, check, findings)
+
+
+def _audit_scale_manifest(
+    path: Path, check: bool, findings: list[DoctorFinding]
+) -> None:
+    """Re-materialize a scale manifest's missing journal, then verify it."""
+    journal = path.with_name(SCALE_JOURNAL_NAME)
+    if not journal.exists():
+        if check:
+            action = "would create empty journal"
+        else:
+            journal.touch()
+            obs.inc("doctor.scale_journal_created")
+            action = "created empty journal"
+        findings.append(
+            DoctorFinding(
+                category="scale",
+                path=path.name,
+                problem=f"manifest without its {SCALE_JOURNAL_NAME}",
+                action=action,
+            )
+        )
+    _audit_envelope(path, check, findings)
 
 
 def _audit_serve_snapshot(
@@ -357,6 +452,11 @@ def run_doctor(
                         path, check, findings
                     )
                     continue
+                if path.name == SCALE_JOURNAL_NAME:
+                    journal_units += _audit_scale_journal(
+                        path, check, findings
+                    )
+                    continue
                 if path.name == LEASE_NAME:
                     files_scanned += 1
                     _audit_lease(path, now, check, findings)
@@ -370,6 +470,8 @@ def run_doctor(
                     _audit_tmp(path, check, findings)
                 elif path.name == SERVE_SNAPSHOT_NAME:
                     _audit_serve_snapshot(path, check, findings)
+                elif path.name == SCALE_MANIFEST_NAME:
+                    _audit_scale_manifest(path, check, findings)
                 elif path.suffix == ".json":
                     _audit_envelope(path, check, findings)
     report = DoctorReport(

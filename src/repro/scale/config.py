@@ -1,0 +1,126 @@
+"""Configuration for the streaming sharded sweep (``repro scale-up``).
+
+A scale run takes one established benchmark's *shape* — its domain,
+noise channels, synonym divergence, family behaviour and the ratio of
+shared to source-exclusive entities — and scales it to an arbitrary
+record count. The resulting :class:`~repro.datasets.generator
+.GeneratorProfile` is consumed shard-by-shard through
+:func:`~repro.datasets.generator.generate_shard`, so the full dataset is
+never materialized in RAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.datasets.established import ESTABLISHED_PROFILES
+from repro.datasets.generator import GeneratorProfile
+
+#: ESDE variants the scale path can persist and resume (the embedding
+#: variants hold a task-local embedder that cannot snapshot; see
+#: :meth:`repro.matchers.esde.EsdeMatcher.to_payload`).
+SCALE_MATCHER_VARIANTS: tuple[str, ...] = ("SA", "SB", "SAQ", "SBQ")
+
+#: Blocker specs the sweep accepts (``repro.blocking.factory``); the ANN
+#: backends are what make million-record shards affordable.
+SCALE_BLOCKER_SPECS: tuple[str, ...] = (
+    "exhaustive",
+    "qgram",
+    "token",
+    "sorted-neighborhood",
+    "lsh",
+    "graph",
+)
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Everything one scale-up run needs (hashable, fingerprintable).
+
+    ``records`` is the target total record count across both sources;
+    ``shard_size`` counts *entities* per shard — a shared entity renders
+    one record in each source, so a shard yields between ``shard_size``
+    and ``2 * shard_size`` records.
+    """
+
+    dataset_id: str = "Ds2"
+    records: int = 100_000
+    shard_size: int = 10_000
+    blocker: str = "lsh"
+    matcher: str = "SA"
+    seed: int = 0
+    memory_budget_mb: float | None = None
+    disk_reserve_mb: float | None = None
+    #: cap on labeled pairs used to fit the matcher on shard 0.
+    fit_pairs: int = 3000
+
+    def __post_init__(self) -> None:
+        if self.dataset_id not in ESTABLISHED_PROFILES:
+            raise ValueError(
+                f"unknown dataset {self.dataset_id!r}; "
+                f"known: {sorted(ESTABLISHED_PROFILES)}"
+            )
+        if self.records < 10:
+            raise ValueError(f"records must be >= 10, got {self.records}")
+        if self.shard_size < 1:
+            raise ValueError(
+                f"shard_size must be >= 1, got {self.shard_size}"
+            )
+        variant = self.matcher.removesuffix("-ESDE")
+        if variant not in SCALE_MATCHER_VARIANTS:
+            raise ValueError(
+                f"matcher {self.matcher!r} cannot run in scale mode; "
+                f"supported variants: {SCALE_MATCHER_VARIANTS}"
+            )
+        if self.blocker not in SCALE_BLOCKER_SPECS:
+            raise ValueError(
+                f"unknown blocker {self.blocker!r}; "
+                f"known: {SCALE_BLOCKER_SPECS}"
+            )
+        if self.fit_pairs < 10:
+            raise ValueError(f"fit_pairs must be >= 10, got {self.fit_pairs}")
+
+    @property
+    def matcher_variant(self) -> str:
+        """The bare ESDE variant name (``"SA-ESDE"`` -> ``"SA"``)."""
+        return self.matcher.removesuffix("-ESDE")
+
+
+def scale_profile(
+    dataset_id: str, records: int, seed: int = 0
+) -> GeneratorProfile:
+    """An established benchmark's shape, scaled to *records* records.
+
+    The share of matches and source-exclusive extras is preserved from
+    the base profile; only the absolute counts grow. Deterministic in
+    ``(dataset_id, records, seed)``.
+    """
+    if dataset_id not in ESTABLISHED_PROFILES:
+        raise KeyError(
+            f"unknown dataset {dataset_id!r}; "
+            f"known: {sorted(ESTABLISHED_PROFILES)}"
+        )
+    base = ESTABLISHED_PROFILES[dataset_id]
+    base_records = 2 * base.n_matches + base.left_extra + base.right_extra
+    factor = records / base_records
+    n_matches = max(1, int(round(base.n_matches * factor)))
+    left_extra = max(0, int(round(base.left_extra * factor)))
+    right_extra = max(0, int(round(base.right_extra * factor)))
+    noise_left = base.noise
+    noise_right = base.noise_right if base.noise_right is not None else base.noise
+    if base.dirty:
+        noise_left = replace(noise_left, dirty_misplacement_rate=0.5)
+        noise_right = replace(noise_right, dirty_misplacement_rate=0.5)
+    return GeneratorProfile(
+        name=f"{dataset_id}@{records}",
+        domain=base.domain,
+        n_matches=n_matches,
+        left_extra=left_extra,
+        right_extra=right_extra,
+        synonym_rate_left=0.0,
+        synonym_rate_right=base.synonym_rate_right,
+        noise_left=noise_left,
+        noise_right=noise_right,
+        family_fraction=base.family_fraction,
+        seed=base.seed + seed,
+    )

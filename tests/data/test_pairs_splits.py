@@ -131,3 +131,34 @@ class TestSplitThreeWay:
         assert total == len(pairs)
         positives = sum(split.positive_count for split in splits)
         assert positives == n_positive
+
+    def test_minority_class_reaches_every_split(self):
+        """Regression: rounding starved tiny classes out of whole splits.
+
+        With ratios (3,1,1) a 3-member class used to cut to [2,1,0] —
+        zero positives in testing — so threshold fitting on small
+        shards/scales silently saw no positives. Any class with >= 3
+        members must land at least one member in each split.
+        """
+        for n_positive in (3, 4, 5):
+            pairs = _pair_set(n_positive, 12)
+            for split in split_three_way(pairs, seed=0):
+                assert split.positive_count >= 1, (
+                    f"{n_positive} positives left a split empty"
+                )
+
+    @given(st.integers(3, 25), st.integers(3, 50), st.integers(0, 8))
+    def test_property_no_class_starvation(self, n_positive, n_negative, seed):
+        pairs = _pair_set(n_positive, n_negative)
+        for split in split_three_way(pairs, seed=seed):
+            assert split.positive_count >= 1
+            assert split.negative_count >= 1
+
+    def test_two_member_class_prefers_training_and_testing(self):
+        # A 2-member class cannot cover three splits; the historical
+        # [1, 0, 1] allocation (train + test) is preserved.
+        pairs = _pair_set(2, 12)
+        training, validation, testing = split_three_way(pairs, seed=0)
+        assert training.positive_count == 1
+        assert validation.positive_count == 0
+        assert testing.positive_count == 1

@@ -1,0 +1,72 @@
+"""Scale-clamp provenance of the established benchmark builder.
+
+``_scaled`` floors ``n_matches`` at 20 and ``n_pairs`` at 60; tiny
+``--scale`` values used to silently produce datasets larger than
+requested. The builder now records the effective scale in the task
+metadata and warns once per dataset when a floor fires.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.datasets.established import (
+    ESTABLISHED_PROFILES,
+    _reset_clamp_warnings,
+    build_established_task,
+    effective_scale,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warning_state():
+    _reset_clamp_warnings()
+    yield
+    _reset_clamp_warnings()
+
+
+class TestEffectiveScale:
+    def test_unclamped_at_ci_scale(self):
+        info = effective_scale("Ds5", 1.0)
+        assert info["clamped"] is False
+        assert info["requested"] == 1.0
+        assert info["n_matches"] == pytest.approx(1.0)
+        assert info["n_pairs"] == pytest.approx(1.0)
+
+    def test_tiny_factor_reports_clamp(self):
+        profile = ESTABLISHED_PROFILES["Ds5"]
+        info = effective_scale("Ds5", 0.05)
+        assert info["clamped"] is True
+        # The floors, expressed as factors of the profile's base counts.
+        assert info["n_matches"] == pytest.approx(20 / profile.n_matches)
+        assert info["n_pairs"] == pytest.approx(60 / profile.n_pairs)
+        assert info["n_matches"] > 0.05
+        assert info["n_pairs"] > 0.05
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            effective_scale("nope", 1.0)
+
+
+class TestBuildRecordsProvenance:
+    def test_clamped_build_warns_once_and_records_metadata(self):
+        with pytest.warns(UserWarning, match="Ds5.*minimums"):
+            task = build_established_task("Ds5", size_factor=0.05)
+        scale = task.metadata["scale"]
+        assert scale["clamped"] is True
+        assert scale["requested"] == 0.05
+        # The dataset really is bigger than requested: the floors held.
+        assert len(task.training) + len(task.validation) + len(task.testing) >= 60
+
+        # Second build of the same dataset: no duplicate warning.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            build_established_task("Ds5", size_factor=0.05)
+
+    def test_unclamped_build_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            task = build_established_task("Ds5", size_factor=1.0)
+        assert task.metadata["scale"]["clamped"] is False

@@ -22,6 +22,29 @@ class TestCli:
         assert main(["audit"]) == 2
         assert "requires a dataset" in capsys.readouterr().out
 
+    def test_scale_up_small_run_and_resume(self, capsys, tmp_path):
+        args = [
+            "scale-up", "Ds2", "--records", "600", "--shard-size", "150",
+            "--cache", str(tmp_path), "--out", str(tmp_path / "report.json"),
+        ]
+        assert main(args) == 0
+        output = capsys.readouterr().out
+        assert "Scale sweep" in output
+        assert "records/sec" in output
+        assert (tmp_path / "report.json").exists()
+        assert (tmp_path / "scale" / "scale.journal").exists()
+
+        # A rerun resumes every shard from the journal.
+        assert main(args[:-2]) == 0
+        assert "resumed from the journal" in capsys.readouterr().out
+
+    def test_scale_up_rejects_bad_config(self, capsys, tmp_path):
+        assert main(
+            ["scale-up", "Ds2", "--records", "600", "--matcher", "SAS",
+             "--cache", str(tmp_path)]
+        ) == 2
+        assert "scale-up:" in capsys.readouterr().out
+
     def test_table3_half_scale(self, capsys, tmp_path):
         assert main(["table3", "--scale", "0.5", "--cache", str(tmp_path)]) == 0
         output = capsys.readouterr().out

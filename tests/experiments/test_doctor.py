@@ -9,6 +9,8 @@ from repro.experiments.cli import main
 from repro.runtime.cache import QUARANTINE_SUFFIX, write_envelope
 from repro.runtime.doctor import (
     JOURNAL_NAME,
+    SCALE_JOURNAL_NAME,
+    SCALE_MANIFEST_NAME,
     SERVE_JOURNAL_NAME,
     SERVE_SNAPSHOT_NAME,
     DoctorReport,
@@ -213,6 +215,104 @@ class TestServeState:
         second = run_doctor(state)
         assert {f.category for f in second.findings} == {"serve"}
         assert not (state / SERVE_JOURNAL_NAME).exists()
+        assert run_doctor(state, check=True).clean
+
+
+class TestScaleState:
+    """Auditing ``repro scale-up`` state directories (PR-10 tentpole)."""
+
+    FINGERPRINT = "aaaa1111bbbb2222"
+
+    @classmethod
+    def _scale_state(
+        cls, tmp_path, *, manifest=True, shards=0, fingerprint=None
+    ):
+        fingerprint = fingerprint or cls.FINGERPRINT
+        state = tmp_path / "state"
+        state.mkdir(exist_ok=True)
+        if manifest:
+            write_envelope(
+                state / SCALE_MANIFEST_NAME,
+                {"fingerprint": cls.FINGERPRINT, "n_shards": max(shards, 1)},
+            )
+        journal = CheckpointJournal(state / SCALE_JOURNAL_NAME)
+        journal.path.touch(exist_ok=True)
+        for index in range(shards):
+            journal.mark_done(
+                f"scale:shard:{index:05d}", config=fingerprint, tp=index
+            )
+        return state
+
+    def test_healthy_pair_is_clean(self, tmp_path):
+        state = self._scale_state(tmp_path, shards=3)
+        assert run_doctor(state, check=True).clean
+
+    def test_journal_without_manifest_is_deleted(self, tmp_path):
+        # Per-shard counts are meaningless without the config that
+        # produced them; shards are deterministic and recompute.
+        state = self._scale_state(tmp_path, manifest=False, shards=2)
+        checked = run_doctor(state, check=True)
+        assert {f.category for f in checked.findings} == {"scale"}
+        assert "would delete" in checked.findings[0].action
+        assert (state / SCALE_JOURNAL_NAME).exists()
+
+        repaired = run_doctor(state)
+        assert not repaired.clean
+        assert not (state / SCALE_JOURNAL_NAME).exists()
+        assert run_doctor(state, check=True).clean  # idempotent
+
+    def test_empty_journal_without_manifest_is_fine(self, tmp_path):
+        state = self._scale_state(tmp_path, manifest=False)
+        assert run_doctor(state, check=True).clean
+
+    def test_fingerprint_mismatch_deletes_journal(self, tmp_path):
+        state = self._scale_state(tmp_path, shards=2, fingerprint="stale")
+        checked = run_doctor(state, check=True)
+        assert {f.category for f in checked.findings} == {"scale"}
+        assert "different config" in checked.findings[0].problem
+
+        repaired = run_doctor(state)
+        # The stale journal is deleted; the manifest audit later in the
+        # same walk re-materializes an empty one (the healthy pairing).
+        assert not CheckpointJournal(state / SCALE_JOURNAL_NAME).completed
+        assert run_doctor(state, check=True).clean
+
+    def test_manifest_without_journal_gets_one(self, tmp_path):
+        state = self._scale_state(tmp_path)
+        (state / SCALE_JOURNAL_NAME).unlink()
+        checked = run_doctor(state, check=True)
+        assert {f.category for f in checked.findings} == {"scale"}
+        assert not (state / SCALE_JOURNAL_NAME).exists()
+
+        repaired = run_doctor(state)
+        assert (state / SCALE_JOURNAL_NAME).exists()
+        assert run_doctor(state, check=True).clean
+
+    def test_torn_scale_journal_compacts(self, tmp_path):
+        state = self._scale_state(tmp_path, shards=2)
+        with (state / SCALE_JOURNAL_NAME).open(
+            "a", encoding="utf-8"
+        ) as handle:
+            handle.write('{"unit": "scale:shard:0000')  # kill mid-append
+        repaired = run_doctor(state)
+        assert {f.category for f in repaired.findings} == {"journal"}
+        journal = CheckpointJournal(state / SCALE_JOURNAL_NAME)
+        assert journal.completed == {"scale:shard:00000", "scale:shard:00001"}
+        assert journal.torn_lines == 0
+        assert run_doctor(state, check=True).clean
+
+    def test_corrupt_manifest_quarantined_then_journal_follows(self, tmp_path):
+        state = self._scale_state(tmp_path, shards=1)
+        (state / SCALE_MANIFEST_NAME).write_text("garbage", encoding="utf-8")
+        first = run_doctor(state)
+        categories = {f.category for f in first.findings}
+        # The unreadable manifest already orphans the journal this pass.
+        assert "scale" in categories or "cache" in categories
+        assert not (state / SCALE_MANIFEST_NAME).exists()
+        run_doctor(state)
+        assert not (state / SCALE_JOURNAL_NAME).exists() or not CheckpointJournal(
+            state / SCALE_JOURNAL_NAME
+        ).completed
         assert run_doctor(state, check=True).clean
 
 

@@ -1,0 +1,79 @@
+"""ScaleConfig validation and established-profile scaling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.established import ESTABLISHED_PROFILES
+from repro.datasets.generator import total_entities
+from repro.scale import ScaleConfig, scale_profile
+
+
+class TestScaleConfig:
+    def test_defaults_are_valid(self):
+        config = ScaleConfig()
+        assert config.matcher_variant == "SA"
+
+    def test_roster_style_matcher_names_accepted(self):
+        assert ScaleConfig(matcher="SBQ-ESDE").matcher_variant == "SBQ"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dataset_id": "nope"},
+            {"records": 5},
+            {"shard_size": 0},
+            {"matcher": "SAS"},  # embedding variants cannot snapshot
+            {"matcher": "bogus"},
+            {"blocker": "bogus"},
+            {"fit_pairs": 5},
+        ],
+    )
+    def test_invalid_configs_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            ScaleConfig(**kwargs)
+
+
+class TestScaleProfile:
+    def test_record_count_close_to_target(self):
+        for records in (1000, 25_000):
+            profile = scale_profile("Ds2", records)
+            total = (
+                profile.n_matches
+                + total_entities(profile)  # = matches + extras + matches
+            )
+            assert abs(total - records) <= 3
+
+    def test_preserves_match_share(self):
+        base = ESTABLISHED_PROFILES["Ds2"]
+        base_total = 2 * base.n_matches + base.left_extra + base.right_extra
+        profile = scale_profile("Ds2", 50_000)
+        assert profile.n_matches == pytest.approx(
+            base.n_matches * 50_000 / base_total, rel=0.01
+        )
+
+    def test_dirty_profiles_carry_misplacement(self):
+        dirty_ids = [
+            dataset_id
+            for dataset_id, profile in ESTABLISHED_PROFILES.items()
+            if profile.dirty
+        ]
+        assert dirty_ids, "expected at least one dirty established profile"
+        profile = scale_profile(dirty_ids[0], 2000)
+        assert profile.noise_left.dirty_misplacement_rate == 0.5
+        assert profile.noise_right.dirty_misplacement_rate == 0.5
+
+    def test_clean_profiles_do_not(self):
+        profile = scale_profile("Ds2", 2000)
+        assert profile.noise_left.dirty_misplacement_rate == 0.0
+
+    def test_deterministic_and_named(self):
+        one = scale_profile("Ds5", 3000, seed=2)
+        two = scale_profile("Ds5", 3000, seed=2)
+        assert one == two
+        assert one.name == "Ds5@3000"
+        assert one.seed == ESTABLISHED_PROFILES["Ds5"].seed + 2
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            scale_profile("nope", 1000)
